@@ -1,0 +1,269 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index), plus micro-benchmarks of the
+// core operations behind the paper's complexity claims (O(1) per-arrival
+// processing for POLAR/POLAR-OP versus search-based baselines).
+//
+// The macro benchmarks run entire experiments, so they default to a small
+// population scale; set FTOA_BENCH_SCALE (e.g. 0.3 or 1.0 for paper scale)
+// to rescale them. Matching sizes are attached as custom metrics so `go
+// test -bench` output doubles as a results table.
+package ftoa_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"ftoa"
+	"ftoa/internal/experiments"
+	"ftoa/internal/flow"
+	"ftoa/internal/mathx"
+	"ftoa/internal/sim"
+)
+
+// benchScale returns the population scale for macro benchmarks.
+func benchScale() float64 {
+	if v := os.Getenv("FTOA_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.02
+}
+
+// benchExperiment runs one registered experiment per iteration and reports
+// the POLAR-OP and OPT matching sizes of the middle row as metrics.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := experiments.Options{Scale: benchScale()}
+	var res *experiments.Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = runner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(res.Rows) > 0 {
+		mid := res.Rows[len(res.Rows)/2]
+		if m, ok := mid.ByAlgo[experiments.AlgoPOLAROP]; ok {
+			b.ReportMetric(float64(m.MatchingSize), "polar-op-matched")
+		}
+		if m, ok := mid.ByAlgo[experiments.AlgoOPT]; ok {
+			b.ReportMetric(float64(m.MatchingSize), "opt-matched")
+		}
+		if m, ok := mid.ByAlgo[experiments.AlgoSimpleGreedy]; ok {
+			b.ReportMetric(float64(m.MatchingSize), "greedy-matched")
+		}
+	}
+}
+
+// Figure 4: synthetic sweeps over |W|, |R|, Dr and grid resolution.
+func BenchmarkFig4VaryW(b *testing.B)        { benchExperiment(b, "fig4-w") }
+func BenchmarkFig4VaryR(b *testing.B)        { benchExperiment(b, "fig4-r") }
+func BenchmarkFig4VaryDeadline(b *testing.B) { benchExperiment(b, "fig4-dr") }
+func BenchmarkFig4VaryGrid(b *testing.B)     { benchExperiment(b, "fig4-g") }
+
+// Figure 5: time slots, scalability, and the two city traces.
+func BenchmarkFig5VarySlots(b *testing.B)   { benchExperiment(b, "fig5-t") }
+func BenchmarkFig5Scalability(b *testing.B) { benchExperiment(b, "fig5-scale") }
+func BenchmarkFig5Beijing(b *testing.B)     { benchExperiment(b, "fig5-bj") }
+func BenchmarkFig5Hangzhou(b *testing.B)    { benchExperiment(b, "fig5-hz") }
+
+// Figure 6: temporal and spatial distribution sweeps.
+func BenchmarkFig6VaryMu(b *testing.B)    { benchExperiment(b, "fig6-mu") }
+func BenchmarkFig6VarySigma(b *testing.B) { benchExperiment(b, "fig6-sigma") }
+func BenchmarkFig6VaryMean(b *testing.B)  { benchExperiment(b, "fig6-mean") }
+func BenchmarkFig6VaryCov(b *testing.B)   { benchExperiment(b, "fig6-cov") }
+
+// Table 5: the prediction method comparison.
+func BenchmarkTable5Prediction(b *testing.B) { benchExperiment(b, "table5") }
+
+// Ablation: empirical competitive ratios for Theorems 1-2.
+func BenchmarkCompetitiveRatio(b *testing.B) { benchExperiment(b, "ratio") }
+
+// benchSetup prepares a default synthetic instance plus its guide at the
+// benchmark scale.
+func benchSetup(b *testing.B) (*ftoa.Instance, *ftoa.Guide) {
+	b.Helper()
+	cfg := ftoa.DefaultSynthetic()
+	n := int(20000 * benchScale())
+	if n < 500 {
+		n = 500
+	}
+	cfg.NumWorkers, cfg.NumTasks = n, n
+	in, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := 50
+	if benchScale() < 1 {
+		side = int(50 * benchScale())
+		if side < 8 {
+			side = 8
+		}
+	}
+	grid := ftoa.NewGrid(cfg.Bounds(), side, side)
+	slots := ftoa.NewSlotting(cfg.Horizon, 48)
+	wc, tc := cfg.ExpectedCounts(grid, slots)
+	g, err := ftoa.BuildGuide(ftoa.GuideConfig{
+		Grid:           grid,
+		Slots:          slots,
+		Velocity:       cfg.Velocity,
+		WorkerPatience: cfg.WorkerPatience,
+		TaskExpiry:     cfg.TaskExpiry,
+		RepSlack:       slots.Width() / 2,
+	}, wc, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, g
+}
+
+// BenchmarkGuideBuild measures Algorithm 1: constructing the offline guide
+// from predicted counts (the paper's offline preprocessing).
+func BenchmarkGuideBuild(b *testing.B) {
+	cfg := ftoa.DefaultSynthetic()
+	n := int(20000 * benchScale())
+	if n < 500 {
+		n = 500
+	}
+	cfg.NumWorkers, cfg.NumTasks = n, n
+	side := int(50 * benchScale())
+	if side < 8 {
+		side = 8
+	}
+	grid := ftoa.NewGrid(cfg.Bounds(), side, side)
+	slots := ftoa.NewSlotting(cfg.Horizon, 48)
+	wc, tc := cfg.ExpectedCounts(grid, slots)
+	gcfg := ftoa.GuideConfig{
+		Grid:           grid,
+		Slots:          slots,
+		Velocity:       cfg.Velocity,
+		WorkerPatience: cfg.WorkerPatience,
+		TaskExpiry:     cfg.TaskExpiry,
+		RepSlack:       slots.Width() / 2,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ftoa.BuildGuide(gcfg, wc, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReplay measures one full replay of an online algorithm, reporting
+// per-arrival latency — the paper's O(1) claim made visible.
+func benchReplay(b *testing.B, mk func(*ftoa.Guide) ftoa.Algorithm) {
+	in, g := benchSetup(b)
+	eng := ftoa.NewEngine(in, ftoa.AssumeGuide)
+	arrivals := float64(len(in.Workers) + len(in.Tasks))
+	var matched int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matched = eng.Run(mk(g)).Matching.Size()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arrivals, "ns/arrival")
+	b.ReportMetric(float64(matched), "matched")
+}
+
+func BenchmarkPOLARReplay(b *testing.B) {
+	benchReplay(b, func(g *ftoa.Guide) ftoa.Algorithm { return ftoa.NewPOLAR(g) })
+}
+
+func BenchmarkPOLAROPReplay(b *testing.B) {
+	benchReplay(b, func(g *ftoa.Guide) ftoa.Algorithm { return ftoa.NewPOLAROP(g) })
+}
+
+func BenchmarkSimpleGreedyReplay(b *testing.B) {
+	benchReplay(b, func(*ftoa.Guide) ftoa.Algorithm { return ftoa.NewSimpleGreedy() })
+}
+
+func BenchmarkGRReplay(b *testing.B) {
+	benchReplay(b, func(*ftoa.Guide) ftoa.Algorithm { return ftoa.NewGR(0.25) })
+}
+
+// BenchmarkOPT measures the clairvoyant matching used as the paper's upper
+// bound.
+func BenchmarkOPT(b *testing.B) {
+	in, _ := benchSetup(b)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		size = ftoa.OPT(in, ftoa.OPTOptions{MaxCandidates: 64}).Size()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(size), "matched")
+}
+
+// BenchmarkStrictReplay measures the honest-platform validation mode
+// (simulated movement plus deadline rechecks) against the paper counting.
+func BenchmarkStrictReplay(b *testing.B) {
+	in, g := benchSetup(b)
+	eng := sim.NewEngine(in, sim.Strict)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		size = eng.Run(ftoa.NewPOLAROP(g)).Matching.Size()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(size), "matched")
+}
+
+// BenchmarkHopcroftKarp measures the bipartite-matching substrate at a
+// representative density.
+func BenchmarkHopcroftKarp(b *testing.B) {
+	rng := mathx.NewRNG(9)
+	const nl, nr, deg = 2000, 2000, 8
+	adj := make([][]int32, nl)
+	for u := range adj {
+		for k := 0; k < deg; k++ {
+			adj[u] = append(adj[u], int32(rng.Intn(nr)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, size := flow.HopcroftKarp(nl, nr, adj)
+		if size == 0 {
+			b.Fatal("empty matching")
+		}
+	}
+}
+
+// BenchmarkMinCostGuide is the ablation for the paper's note that a
+// min-cost max-flow yields a travel-cost-minimising guide of the same
+// cardinality.
+func BenchmarkMinCostGuide(b *testing.B) {
+	cfg := ftoa.DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 2000, 2000
+	grid := ftoa.NewGrid(cfg.Bounds(), 16, 16)
+	slots := ftoa.NewSlotting(cfg.Horizon, 48)
+	wc, tc := cfg.ExpectedCounts(grid, slots)
+	gcfg := ftoa.GuideConfig{
+		Grid:           grid,
+		Slots:          slots,
+		Velocity:       cfg.Velocity,
+		WorkerPatience: cfg.WorkerPatience,
+		TaskExpiry:     cfg.TaskExpiry,
+		RepSlack:       slots.Width() / 2,
+		MinCost:        true,
+	}
+	b.ResetTimer()
+	var travel float64
+	for i := 0; i < b.N; i++ {
+		g, err := ftoa.BuildGuide(gcfg, wc, tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		travel = g.TravelCost
+	}
+	b.StopTimer()
+	b.ReportMetric(travel, "travel-cost")
+}

@@ -1,0 +1,62 @@
+// Command ftoa-bench reproduces the paper's experiments. Run with -list to
+// see experiment ids, -exp to run one, -all for everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftoa/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		scale   = flag.Float64("scale", 1.0, "population scale factor (1.0 = paper scale)")
+		mode    = flag.String("mode", "assume-guide", "validation mode: assume-guide (paper counting) or strict (simulated movement, rechecked deadlines)")
+		skipOPT = flag.Bool("skip-opt", false, "omit the OPT series")
+		seed    = flag.Uint64("seed", 0, "workload seed offset")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, SkipOPT: *skipOPT, Seed: *seed}
+	switch *mode {
+	case "strict":
+		opts.Strict = true
+	case "assume-guide":
+		opts.Strict = false
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		if err := experiments.All(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *exp != "":
+		runner, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		res, err := runner(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Print(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

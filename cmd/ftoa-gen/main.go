@@ -1,0 +1,131 @@
+// Command ftoa-gen emits FTOA workloads as CSV for external tooling:
+// either one synthetic instance (Table 4 parameterisation) or a multi-day
+// city trace's realized day plus its per-cell count history.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ftoa"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "synthetic", "workload kind: synthetic or city")
+		city   = flag.String("city", "beijing", "city template: beijing or hangzhou")
+		n      = flag.Int("n", 20000, "objects per side (synthetic) or per day (city)")
+		days   = flag.Int("days", 7, "city history days")
+		day    = flag.Int("day", -1, "city day to realize (-1 = last)")
+		dr     = flag.Float64("dr", 2.0, "task deadline in slot units")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("o", "-", "output file (- = stdout)")
+		counts = flag.Bool("counts", false, "emit the city per-cell count history instead of arrivals")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	switch *kind {
+	case "synthetic":
+		cfg := ftoa.DefaultSynthetic()
+		cfg.NumWorkers = *n
+		cfg.NumTasks = *n
+		cfg.TaskExpiry = *dr
+		cfg.Seed = *seed
+		in, err := cfg.Generate()
+		if err != nil {
+			fail(err)
+		}
+		writeInstance(cw, in)
+	case "city":
+		var c ftoa.City
+		switch *city {
+		case "beijing":
+			c = ftoa.Beijing()
+		case "hangzhou":
+			c = ftoa.Hangzhou()
+		default:
+			fail(fmt.Errorf("unknown city %q", *city))
+		}
+		c.WorkersPerDay = *n
+		c.TasksPerDay = *n
+		c.Days = *days
+		c.Seed = *seed
+		tr, err := c.Generate()
+		if err != nil {
+			fail(err)
+		}
+		if *counts {
+			writeCounts(cw, tr, c)
+			return
+		}
+		d := *day
+		if d < 0 {
+			d = c.Days - 1
+		}
+		in, err := tr.Instance(d, *dr)
+		if err != nil {
+			fail(err)
+		}
+		writeInstance(cw, in)
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+// writeInstance emits one row per object: kind,id,x,y,time,deadline.
+func writeInstance(cw *csv.Writer, in *ftoa.Instance) {
+	check(cw.Write([]string{"kind", "id", "x", "y", "time", "window"}))
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for i := range in.Workers {
+		wk := &in.Workers[i]
+		check(cw.Write([]string{"worker", strconv.Itoa(wk.ID), f(wk.Loc.X), f(wk.Loc.Y), f(wk.Arrive), f(wk.Patience)}))
+	}
+	for i := range in.Tasks {
+		t := &in.Tasks[i]
+		check(cw.Write([]string{"task", strconv.Itoa(t.ID), f(t.Loc.X), f(t.Loc.Y), f(t.Release), f(t.Expiry)}))
+	}
+}
+
+// writeCounts emits the history tensor: day,slot,area,workers,tasks,weather.
+func writeCounts(cw *csv.Writer, tr *ftoa.Trace, c ftoa.City) {
+	check(cw.Write([]string{"day", "slot", "area", "workers", "tasks", "weather"}))
+	areas := tr.Grid.NumCells()
+	for d := 0; d < c.Days; d++ {
+		for s := 0; s < c.SlotsPerDay; s++ {
+			for a := 0; a < areas; a++ {
+				check(cw.Write([]string{
+					strconv.Itoa(d), strconv.Itoa(s), strconv.Itoa(a),
+					strconv.Itoa(tr.WorkerCounts[d][s*areas+a]),
+					strconv.Itoa(tr.TaskCounts[d][s*areas+a]),
+					strconv.FormatFloat(tr.Weather[d][s], 'f', 4, 64),
+				}))
+			}
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

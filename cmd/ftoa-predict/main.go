@@ -1,0 +1,27 @@
+// Command ftoa-predict runs the Table 5 prediction comparison at a chosen
+// scale: it generates both city traces, fits the seven spatiotemporal
+// predictors, and prints RMSLE and ER on held-out days.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftoa/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.2, "population scale factor (1.0 = paper scale)")
+		seed  = flag.Uint64("seed", 0, "workload seed offset")
+	)
+	flag.Parse()
+
+	res, err := experiments.PredictionTable(experiments.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res.Print(os.Stdout)
+}

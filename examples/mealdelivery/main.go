@@ -1,0 +1,68 @@
+// Command mealdelivery models an on-wheel meal-ordering service (the
+// paper's GrubHub motivation): couriers come online around the lunch and
+// dinner peaks near residential areas, while orders spike at restaurant
+// districts — and meals have tight delivery windows, so the deadline Dr is
+// the decisive parameter. The example sweeps Dr and shows how the
+// prediction-guided POLAR-OP keeps matching couriers under deadlines where
+// wait-in-place dispatching starves (the Figure 4(c) effect).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ftoa"
+)
+
+func main() {
+	// Couriers cluster near a residential belt (spatial mean 0.3 of the
+	// map) while restaurants cluster across town (0.65) — guidance has to
+	// bridge the gap before orders expire.
+	base := ftoa.DefaultSynthetic()
+	base.NumWorkers = 4000
+	base.NumTasks = 4000
+	base.Space = 30
+	base.Velocity = 4 // bikes, slightly slower than taxis
+	base.WorkerSpatialMean, base.WorkerSpatialCov = 0.3, 0.2
+	base.TaskSpatialMean, base.TaskSpatialCov = 0.65, 0.3
+	// Lunch rush: couriers log on just before orders peak.
+	base.WorkerTempMu, base.WorkerTempSigma = 0.4, 0.2
+	base.TaskTempMu, base.TaskTempSigma = 0.5, 0.2
+
+	grid := ftoa.NewGrid(base.Bounds(), 15, 15)
+	slots := ftoa.NewSlotting(base.Horizon, 48)
+
+	fmt.Println("meal delivery: matching couriers to orders under tightening deadlines")
+	fmt.Printf("%6s %14s %6s %10s %10s %8s\n", "Dr", "SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT")
+	for _, dr := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		cfg := base
+		cfg.TaskExpiry = dr
+		in, err := cfg.Generate()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		wc, tc := cfg.ExpectedCounts(grid, slots)
+		g, err := ftoa.BuildGuide(ftoa.GuideConfig{
+			Grid:           grid,
+			Slots:          slots,
+			Velocity:       cfg.Velocity,
+			WorkerPatience: cfg.WorkerPatience,
+			TaskExpiry:     dr,
+			RepSlack:       slots.Width() / 2,
+		}, wc, tc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng := ftoa.NewEngine(in, ftoa.AssumeGuide)
+		greedy := eng.Run(ftoa.NewSimpleGreedy()).Matching.Size()
+		gr := eng.Run(ftoa.NewGR(0.25)).Matching.Size()
+		polar := eng.Run(ftoa.NewPOLAR(g)).Matching.Size()
+		polarOp := eng.Run(ftoa.NewPOLAROP(g)).Matching.Size()
+		opt := ftoa.OPT(in, ftoa.OPTOptions{MaxCandidates: 64}).Size()
+		fmt.Printf("%6.1f %14d %6d %10d %10d %8d\n", dr, greedy, gr, polar, polarOp, opt)
+	}
+	fmt.Println("\ntight deadlines (Dr ≤ 1) are where guided couriers matter most:")
+	fmt.Println("waiting in place only works once the delivery window is generous.")
+}

@@ -1,0 +1,236 @@
+// Package ftoa is a Go implementation of Flexible Two-sided Online Task
+// Assignment in real-time spatial data (Tong et al., PVLDB 10(11), 2017):
+// streams of spatially distributed tasks and workers are matched online,
+// and idle workers are guided toward locations where tasks are predicted to
+// appear, maximising the number of assigned pairs.
+//
+// The package re-exports the building blocks a platform needs:
+//
+//   - the problem model (Worker, Task, Instance) and feasibility rules;
+//   - the two-step framework: offline per-(time slot, grid area) prediction
+//     (package ftoa's Predictor implementations: HA, ARIMA, GBRT, PAQ, LR,
+//     NN, HP-MSI) and offline guide generation (BuildGuide, Algorithm 1);
+//   - the online algorithms: POLAR (Algorithm 2, competitive ratio ≈ 0.4),
+//     POLAR-OP (Algorithm 3, ≈ 0.47, O(1) per arrival), the baselines
+//     SimpleGreedy and GR, and the clairvoyant optimum OPT;
+//   - the replay engine (NewEngine/Run) that simulates worker movement and
+//     validates matches;
+//   - workload generators for the paper's synthetic sweeps and multi-day
+//     city traces.
+//
+// Quick start:
+//
+//	cfg := ftoa.DefaultSynthetic()
+//	cfg.NumWorkers, cfg.NumTasks = 5000, 5000
+//	instance, _ := cfg.Generate()
+//	grid := ftoa.NewGrid(cfg.Bounds(), 25, 25)
+//	slots := ftoa.NewSlotting(cfg.Horizon, 48)
+//	wCounts, tCounts := cfg.ExpectedCounts(grid, slots)
+//	g, _ := ftoa.BuildGuide(ftoa.GuideConfig{
+//		Grid: grid, Slots: slots, Velocity: cfg.Velocity,
+//		WorkerPatience: cfg.WorkerPatience, TaskExpiry: cfg.TaskExpiry,
+//	}, wCounts, tCounts)
+//	eng := ftoa.NewEngine(instance, ftoa.AssumeGuide)
+//	result := eng.Run(ftoa.NewPOLAROP(g))
+//	fmt.Println(result.Matching.Size())
+package ftoa
+
+import (
+	"io"
+
+	"ftoa/internal/core"
+	"ftoa/internal/geo"
+	"ftoa/internal/guide"
+	"ftoa/internal/model"
+	"ftoa/internal/predict"
+	"ftoa/internal/sim"
+	"ftoa/internal/timeslot"
+	"ftoa/internal/workload"
+)
+
+// Geometry and discretisation.
+type (
+	// Point is a location in the 2D plane.
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geo.Rect
+	// Grid partitions a rectangle into equal cells ("grid areas").
+	Grid = geo.Grid
+	// Slotting partitions the timeline into equal time slots.
+	Slotting = timeslot.Slotting
+	// CellKey identifies one (time slot, grid area) prediction cell.
+	CellKey = timeslot.CellKey
+)
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// NewRect builds a rectangle from two corner coordinates.
+func NewRect(x0, y0, x1, y1 float64) Rect { return geo.NewRect(x0, y0, x1, y1) }
+
+// NewGrid builds a grid over bounds with cols×rows cells.
+func NewGrid(bounds Rect, cols, rows int) *Grid { return geo.NewGrid(bounds, cols, rows) }
+
+// NewSlotting partitions [0, horizon) into count slots.
+func NewSlotting(horizon float64, count int) *Slotting { return timeslot.New(horizon, count) }
+
+// Problem model (Section 2 of the paper).
+type (
+	// Worker is a crowdsourcing worker: w = <Lw, Sw, Dw>.
+	Worker = model.Worker
+	// Task is a spatial task: r = <Lr, Sr, Dr>.
+	Task = model.Task
+	// Instance bundles one FTOA problem instance.
+	Instance = model.Instance
+	// Matching is a set of disjoint worker-task pairs.
+	Matching = model.Matching
+	// Pair is one assigned worker-task pair.
+	Pair = model.Pair
+)
+
+// Feasible reports whether (w, r) satisfies Definition 4's deadline
+// constraint under ideal guidance.
+func Feasible(w *Worker, r *Task, velocity float64) bool {
+	return model.Feasible(w, r, velocity)
+}
+
+// Offline guide generation (Section 4, Algorithm 1).
+type (
+	// GuideConfig parameterises guide construction.
+	GuideConfig = guide.Config
+	// Guide is the offline guide Ĝf consulted by POLAR and POLAR-OP.
+	Guide = guide.Guide
+	// CellPlan is the guide's pair layout for one prediction cell.
+	CellPlan = guide.CellPlan
+)
+
+// BuildGuide runs Algorithm 1 over predicted per-(slot, area) counts.
+func BuildGuide(cfg GuideConfig, workerCounts, taskCounts []int) (*Guide, error) {
+	return guide.Build(cfg, workerCounts, taskCounts)
+}
+
+// Online assignment (Section 5) and baselines (Section 6.1).
+type (
+	// Algorithm is an online assignment algorithm driven by the engine.
+	Algorithm = sim.Algorithm
+	// Platform is the engine-side API visible to algorithms.
+	Platform = sim.Platform
+	// Engine replays instances against algorithms.
+	Engine = sim.Engine
+	// Result summarises one replay.
+	Result = sim.Result
+	// Mode selects match-validation semantics.
+	Mode = sim.Mode
+	// OPTOptions tunes the offline optimum computation.
+	OPTOptions = core.OPTOptions
+)
+
+// Validation modes.
+const (
+	// Strict validates travel feasibility from the worker's simulated
+	// position at commit time.
+	Strict = sim.Strict
+	// AssumeGuide commits any match between two available objects — the
+	// paper's analysis counting.
+	AssumeGuide = sim.AssumeGuide
+)
+
+// NewEngine prepares a replay engine for the instance.
+func NewEngine(in *Instance, mode Mode) *Engine { return sim.NewEngine(in, mode) }
+
+// NewPOLAR creates the POLAR algorithm (Algorithm 2) bound to a guide.
+func NewPOLAR(g *Guide) Algorithm { return core.NewPOLAR(g) }
+
+// NewPOLAROP creates the POLAR-OP algorithm (Algorithm 3) bound to a guide.
+func NewPOLAROP(g *Guide) Algorithm { return core.NewPOLAROP(g) }
+
+// NewSimpleGreedy creates the nearest-feasible-neighbour baseline.
+func NewSimpleGreedy() Algorithm { return core.NewSimpleGreedy() }
+
+// NewGR creates the batch-window baseline with the given window length.
+func NewGR(window float64) Algorithm { return core.NewGR(window) }
+
+// NewHybrid creates the POLAR-OP+Greedy extension (beyond the paper):
+// guide-first assignment with a nearest-feasible-neighbour fallback on
+// guide misses. It weakly dominates both parents; see core.Hybrid.
+func NewHybrid(g *Guide) Algorithm { return core.NewHybrid(g) }
+
+// NewTGOA creates the two-sided random-order baseline of Tong et al.
+// (ICDE 2016) — the prior state of the art (competitive ratio 0.25) that
+// the paper's POLAR-OP nearly doubles. Greedy for the first half of
+// arrivals, optimal-matching-guided for the second half.
+func NewTGOA() Algorithm { return core.NewTGOA() }
+
+// OPT computes the offline optimal matching (Definition 5's denominator).
+func OPT(in *Instance, opts OPTOptions) Matching { return core.OPT(in, opts) }
+
+// Offline prediction (Sections 3.1.1 and 6.3).
+type (
+	// Predictor is one of the paper's prediction methods.
+	Predictor = predict.Predictor
+	// Series is a per-(day, slot, area) count history with covariates.
+	Series = predict.Series
+)
+
+// NewSeries assembles a prediction history; see predict.NewSeries.
+func NewSeries(days, slots, areas int, counts []int, weather []float64, dow []int) (*Series, error) {
+	return predict.NewSeries(days, slots, areas, counts, weather, dow)
+}
+
+// The seven predictors of Table 5.
+func NewHA() Predictor        { return predict.NewHA() }
+func NewARIMA() Predictor     { return predict.NewARIMA() }
+func NewGBRT() Predictor      { return predict.NewGBRT() }
+func NewPAQ() Predictor       { return predict.NewPAQ() }
+func NewLR() Predictor        { return predict.NewLR() }
+func NewNeuralNet() Predictor { return predict.NewNeuralNet() }
+func NewHPMSI() Predictor     { return predict.NewHPMSI() }
+
+// PredictDay runs a fitted predictor over every cell of one day.
+func PredictDay(p Predictor, s *Series, day int) []float64 { return predict.PredictDay(p, s, day) }
+
+// ToCounts rounds forecasts to the integer counts BuildGuide consumes.
+func ToCounts(pred []float64) []int { return predict.ToCounts(pred) }
+
+// ErrorRate is the paper's ER prediction metric.
+func ErrorRate(actual, predicted []float64, slots, areas int) float64 {
+	return predict.ErrorRate(actual, predicted, slots, areas)
+}
+
+// RMSLE is the paper's root mean squared logarithmic error metric.
+func RMSLE(actual, predicted []float64, slots, areas int) float64 {
+	return predict.RMSLE(actual, predicted, slots, areas)
+}
+
+// Workload generation (Section 6.1).
+type (
+	// Synthetic configures the Table 4 synthetic generator.
+	Synthetic = workload.Synthetic
+	// City configures the multi-day taxi-calling trace generator.
+	City = workload.City
+	// Trace is a generated multi-day city history.
+	Trace = workload.Trace
+)
+
+// DefaultSynthetic returns the bold defaults of Table 4.
+func DefaultSynthetic() Synthetic { return workload.DefaultSynthetic() }
+
+// LoadInstanceCSV reads an instance from the CSV format ftoa-gen emits, so
+// platforms can replay their own arrival logs; see workload.LoadInstanceCSV.
+func LoadInstanceCSV(r io.Reader, velocity float64) (*Instance, error) {
+	return workload.LoadInstanceCSV(r, velocity)
+}
+
+// LoadCountsCSV reads a count history from the CSV format ftoa-gen -counts
+// emits, ready for NewSeries; see workload.LoadCountsCSV.
+func LoadCountsCSV(r io.Reader) (days, slots, areas int, workers, tasks []int, weather []float64, err error) {
+	return workload.LoadCountsCSV(r)
+}
+
+// Beijing returns a city configuration shaped like the paper's Beijing
+// dataset (a synthetic substitute; see DESIGN.md §5).
+func Beijing() City { return workload.Beijing() }
+
+// Hangzhou returns a city configuration shaped like the paper's Hangzhou
+// dataset.
+func Hangzhou() City { return workload.Hangzhou() }

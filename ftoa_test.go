@@ -1,0 +1,129 @@
+package ftoa_test
+
+import (
+	"testing"
+
+	"ftoa"
+)
+
+// TestFacadeEndToEnd exercises the complete public API surface the way the
+// package documentation advertises it: generate, predict, build a guide,
+// replay every algorithm, compare with OPT.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := ftoa.DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 1200, 1200
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grid := ftoa.NewGrid(cfg.Bounds(), 12, 12)
+	slots := ftoa.NewSlotting(cfg.Horizon, 48)
+	wc, tc := cfg.ExpectedCounts(grid, slots)
+	g, err := ftoa.BuildGuide(ftoa.GuideConfig{
+		Grid:           grid,
+		Slots:          slots,
+		Velocity:       cfg.Velocity,
+		WorkerPatience: cfg.WorkerPatience,
+		TaskExpiry:     cfg.TaskExpiry,
+		RepSlack:       slots.Width() / 2,
+	}, wc, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := ftoa.NewEngine(in, ftoa.AssumeGuide)
+	greedy := eng.Run(ftoa.NewSimpleGreedy()).Matching.Size()
+	gr := eng.Run(ftoa.NewGR(0.25)).Matching.Size()
+	polar := eng.Run(ftoa.NewPOLAR(g)).Matching.Size()
+	polarOp := eng.Run(ftoa.NewPOLAROP(g)).Matching.Size()
+	opt := ftoa.OPT(in, ftoa.OPTOptions{}).Size()
+
+	if opt == 0 {
+		t.Fatal("OPT found nothing; instance generation broken")
+	}
+	for name, size := range map[string]int{
+		"SimpleGreedy": greedy, "GR": gr, "POLAR": polar, "POLAR-OP": polarOp,
+	} {
+		if size <= 0 {
+			t.Errorf("%s matched nothing", name)
+		}
+	}
+	if polarOp < polar {
+		t.Errorf("POLAR-OP (%d) below POLAR (%d)", polarOp, polar)
+	}
+	// On the hotspot-separated default workload, guidance must beat
+	// waiting in place (the paper's headline claim).
+	if polarOp <= greedy {
+		t.Errorf("POLAR-OP (%d) did not beat SimpleGreedy (%d)", polarOp, greedy)
+	}
+}
+
+// TestFacadePrediction exercises the prediction API surface.
+func TestFacadePrediction(t *testing.T) {
+	city := ftoa.Beijing()
+	city.Days = 8
+	city.WorkersPerDay = 600
+	city.TasksPerDay = 600
+	city.Cols, city.Rows = 5, 7
+	city.SlotsPerDay = 24
+	tr, err := city.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := city.Days
+	areas := tr.Grid.NumCells()
+	counts := make([]int, 0, days*city.SlotsPerDay*areas)
+	weather := make([]float64, 0, days*city.SlotsPerDay)
+	for d := 0; d < days; d++ {
+		counts = append(counts, tr.TaskCounts[d]...)
+		weather = append(weather, tr.Weather[d]...)
+	}
+	s, err := ftoa.NewSeries(days, city.SlotsPerDay, areas, counts, weather, tr.DayOfWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ftoa.NewHPMSI()
+	if err := p.Fit(s, days-1); err != nil {
+		t.Fatal(err)
+	}
+	pred := ftoa.PredictDay(p, s, days-1)
+	if len(pred) != city.SlotsPerDay*areas {
+		t.Fatalf("prediction length %d", len(pred))
+	}
+	cnts := ftoa.ToCounts(pred)
+	total := 0
+	for _, c := range cnts {
+		if c < 0 {
+			t.Fatal("negative predicted count")
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Error("prediction totally empty")
+	}
+	er := ftoa.ErrorRate(pred, pred, city.SlotsPerDay, areas)
+	if er != 0 {
+		t.Errorf("self-ER = %v", er)
+	}
+	if ftoa.RMSLE(pred, pred, city.SlotsPerDay, areas) != 0 {
+		t.Error("self-RMSLE nonzero")
+	}
+}
+
+// TestFacadeModel covers the model helpers.
+func TestFacadeModel(t *testing.T) {
+	w := ftoa.Worker{ID: 1, Loc: ftoa.Pt(0, 0), Arrive: 0, Patience: 10}
+	r := ftoa.Task{ID: 1, Loc: ftoa.Pt(3, 4), Release: 1, Expiry: 5}
+	if !ftoa.Feasible(&w, &r, 1) {
+		t.Error("pair should be feasible (travel 5 ≤ deadline 6)")
+	}
+	if ftoa.Feasible(&w, &r, 0.5) {
+		t.Error("pair should be infeasible at half speed")
+	}
+	rect := ftoa.NewRect(0, 0, 10, 10)
+	grid := ftoa.NewGrid(rect, 5, 5)
+	if grid.NumCells() != 25 {
+		t.Error("grid cells")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/guide"
+	"ftoa/internal/mathx"
+	"ftoa/internal/sim"
+	"ftoa/internal/timeslot"
+	"ftoa/internal/workload"
+)
+
+func buildFixture(t *testing.T) (workload.Synthetic, *geo.Grid, *timeslot.Slotting, []int, []int) {
+	t.Helper()
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers = 1500
+	cfg.NumTasks = 1500
+	grid := geo.NewGrid(cfg.Bounds(), 14, 14)
+	slots := timeslot.New(cfg.Horizon, 48)
+	wc, tc := cfg.ExpectedCounts(grid, slots)
+	return cfg, grid, slots, wc, tc
+}
+
+func buildGuideFrom(t *testing.T, cfg workload.Synthetic, grid *geo.Grid, slots *timeslot.Slotting, wc, tc []int) *guide.Guide {
+	t.Helper()
+	g, err := guide.Build(guide.Config{
+		Grid:            grid,
+		Slots:           slots,
+		Velocity:        cfg.Velocity,
+		WorkerPatience:  cfg.WorkerPatience,
+		TaskExpiry:      cfg.TaskExpiry,
+		MaxEdgesPerCell: 128,
+		RepSlack:        slots.Width() / 2,
+	}, wc, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func runOn(t *testing.T, cfg workload.Synthetic, g *guide.Guide) (polar, polarOp int) {
+	t.Helper()
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(in, sim.AssumeGuide)
+	return eng.Run(NewPOLAR(g)).Matching.Size(), eng.Run(NewPOLAROP(g)).Matching.Size()
+}
+
+// TestUnderPredictionHurtsPOLARMorethanOP injects 0.5× under-prediction:
+// half the actual objects have no node of their type. POLAR (occupy-once)
+// must degrade more than POLAR-OP (reusable nodes) — the entire motivation
+// for Algorithm 3 ("to deal with the cases where the number of the actual
+// tasks/workers exceeds the predicted estimates").
+func TestUnderPredictionHurtsPOLARMoreThanOP(t *testing.T) {
+	cfg, grid, slots, wc, tc := buildFixture(t)
+	base := buildGuideFrom(t, cfg, grid, slots, wc, tc)
+	pBase, opBase := runOn(t, cfg, base)
+
+	halve := func(xs []int) []int {
+		out := make([]int, len(xs))
+		for i, v := range xs {
+			out[i] = v / 2
+		}
+		return out
+	}
+	under := buildGuideFrom(t, cfg, grid, slots, halve(wc), halve(tc))
+	pUnder, opUnder := runOn(t, cfg, under)
+
+	if pUnder >= pBase {
+		t.Errorf("POLAR did not degrade under 0.5x prediction: %d -> %d", pBase, pUnder)
+	}
+	// Relative retention: POLAR-OP must keep a larger share of its
+	// baseline than POLAR keeps of its own.
+	polarLoss := float64(pUnder) / float64(pBase)
+	opLoss := float64(opUnder) / float64(opBase)
+	if opLoss <= polarLoss {
+		t.Errorf("POLAR-OP retention %.3f not above POLAR retention %.3f", opLoss, polarLoss)
+	}
+}
+
+// TestOverPredictionDegradesGracefully injects 2× over-prediction: phantom
+// nodes absorb arrivals and dilute POLAR's pairing, but nothing should
+// crash and POLAR-OP should stay within a modest factor of its baseline.
+func TestOverPredictionDegradesGracefully(t *testing.T) {
+	cfg, grid, slots, wc, tc := buildFixture(t)
+	base := buildGuideFrom(t, cfg, grid, slots, wc, tc)
+	_, opBase := runOn(t, cfg, base)
+
+	double := func(xs []int) []int {
+		out := make([]int, len(xs))
+		for i, v := range xs {
+			out[i] = v * 2
+		}
+		return out
+	}
+	over := buildGuideFrom(t, cfg, grid, slots, double(wc), double(tc))
+	_, opOver := runOn(t, cfg, over)
+	if opOver == 0 {
+		t.Fatal("POLAR-OP collapsed entirely under 2x over-prediction")
+	}
+	if float64(opOver) < 0.3*float64(opBase) {
+		t.Errorf("POLAR-OP lost more than 70%% under over-prediction: %d -> %d", opBase, opOver)
+	}
+}
+
+// TestShuffledPredictionIsWorseThanAccurate destroys the spatial structure
+// of the prediction (random permutation of cells within each slot) and
+// checks that both algorithms lose matches relative to the accurate guide,
+// while the engine still never produces an invalid matching in strict mode.
+func TestShuffledPredictionIsWorseThanAccurate(t *testing.T) {
+	cfg, grid, slots, wc, tc := buildFixture(t)
+	base := buildGuideFrom(t, cfg, grid, slots, wc, tc)
+	_, opBase := runOn(t, cfg, base)
+
+	rng := mathx.NewRNG(99)
+	shuffle := func(xs []int) []int {
+		out := append([]int(nil), xs...)
+		areas := grid.NumCells()
+		for s := 0; s < slots.Count; s++ {
+			seg := out[s*areas : (s+1)*areas]
+			rng.Shuffle(len(seg), func(i, j int) { seg[i], seg[j] = seg[j], seg[i] })
+		}
+		return out
+	}
+	bad := buildGuideFrom(t, cfg, grid, slots, shuffle(wc), shuffle(tc))
+	_, opBad := runOn(t, cfg, bad)
+	if opBad >= opBase {
+		t.Errorf("shuffled prediction did not hurt POLAR-OP: %d vs %d", opBad, opBase)
+	}
+
+	// Strict mode with a garbage guide must still yield a valid matching.
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(in, sim.Strict)
+	res := eng.Run(NewPOLAROP(bad))
+	if err := res.Matching.Validate(in); err != nil {
+		t.Errorf("strict matching invalid under shuffled prediction: %v", err)
+	}
+}
+
+// TestStrictNeverExceedsAssumeGuide: the honest validation can only reject
+// matches the paper counting accepts.
+func TestStrictNeverExceedsAssumeGuide(t *testing.T) {
+	cfg, grid, slots, wc, tc := buildFixture(t)
+	g := buildGuideFrom(t, cfg, grid, slots, wc, tc)
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mk := range map[string]func() sim.Algorithm{
+		"POLAR":    func() sim.Algorithm { return NewPOLAR(g) },
+		"POLAR-OP": func() sim.Algorithm { return NewPOLAROP(g) },
+	} {
+		strict := sim.NewEngine(in, sim.Strict).Run(mk()).Matching.Size()
+		assume := sim.NewEngine(in, sim.AssumeGuide).Run(mk()).Matching.Size()
+		if strict > assume {
+			t.Errorf("%s: strict (%d) above assume-guide (%d)", name, strict, assume)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"ftoa/internal/flow"
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/spatial"
+)
+
+// GR is the batch-window baseline of To, Shahabi and Kazemi (ACM TSAS
+// 2015), the state-of-the-art dynamic assignment algorithm the paper
+// compares against: arrivals are gathered into fixed time windows and a
+// maximum matching among the currently available workers and tasks is
+// committed at every window boundary. Workers wait in place between
+// batches (no relocation).
+type GR struct {
+	p      sim.Platform
+	window float64
+
+	waitingWorkers []int32
+	waitingTasks   []int32
+}
+
+// NewGR creates a GR instance with the given batching window (in the same
+// time units as the instance). Window must be positive.
+func NewGR(window float64) *GR {
+	if window <= 0 {
+		panic("core: GR window must be positive")
+	}
+	return &GR{window: window}
+}
+
+// Name implements sim.Algorithm.
+func (a *GR) Name() string { return "GR" }
+
+// Init implements sim.Algorithm.
+func (a *GR) Init(p sim.Platform) {
+	a.p = p
+	a.waitingWorkers = a.waitingWorkers[:0]
+	a.waitingTasks = a.waitingTasks[:0]
+	p.Schedule(a.window)
+}
+
+// OnWorkerArrival implements sim.Algorithm.
+func (a *GR) OnWorkerArrival(w int, now float64) {
+	a.waitingWorkers = append(a.waitingWorkers, int32(w))
+}
+
+// OnTaskArrival implements sim.Algorithm.
+func (a *GR) OnTaskArrival(t int, now float64) {
+	a.waitingTasks = append(a.waitingTasks, int32(t))
+}
+
+// OnTimer implements sim.TimerAlgorithm: a window boundary.
+func (a *GR) OnTimer(now float64) {
+	a.flush(now)
+	a.p.Schedule(now + a.window)
+}
+
+// OnFinish implements sim.Algorithm: match whatever is still pending.
+func (a *GR) OnFinish(now float64) {
+	a.flush(now)
+}
+
+// flush runs a maximum matching over the currently available waiting
+// objects and commits it.
+func (a *GR) flush(now float64) {
+	in := a.p.Instance()
+
+	// Compact away objects that are matched or expired.
+	liveW := a.waitingWorkers[:0]
+	for _, w := range a.waitingWorkers {
+		if a.p.WorkerAvailable(int(w), now) {
+			liveW = append(liveW, w)
+		}
+	}
+	a.waitingWorkers = liveW
+	liveT := a.waitingTasks[:0]
+	for _, t := range a.waitingTasks {
+		if a.p.TaskAvailable(int(t), now) {
+			liveT = append(liveT, t)
+		}
+	}
+	a.waitingTasks = liveT
+	if len(liveW) == 0 || len(liveT) == 0 {
+		return
+	}
+
+	// Candidate edges via a per-batch spatial index over waiting workers.
+	ix := spatial.NewIndex(in.Bounds, len(liveW))
+	for li, w := range liveW {
+		ix.Insert(li, in.Workers[w].Loc) // ids are local batch indices
+	}
+	adj := make([][]int32, len(liveT))
+	var cands []int
+	for ti, t := range liveT {
+		task := &in.Tasks[t]
+		budget := task.Deadline() - now
+		if budget < 0 {
+			continue
+		}
+		cands = ix.Within(task.Loc, budget*in.Velocity, cands[:0])
+		for _, li := range cands {
+			w := liveW[li]
+			if model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity) {
+				adj[ti] = append(adj[ti], int32(li))
+			}
+		}
+	}
+
+	matchT, _, _ := flow.HopcroftKarp(len(liveT), len(liveW), adj)
+	for ti, li := range matchT {
+		if li < 0 {
+			continue
+		}
+		a.p.TryMatch(int(liveW[li]), int(liveT[ti]), now)
+	}
+	// Matched objects are filtered out at the next flush via availability.
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"ftoa/internal/sim"
+)
+
+// TestHybridDominatesBothParents: on the default workload the hybrid must
+// match at least as much as POLAR-OP and as SimpleGreedy — it takes every
+// guide match and recovers misses greedily.
+func TestHybridDominatesBothParents(t *testing.T) {
+	cfg, grid, slots, wc, tc := buildFixture(t)
+	g := buildGuideFrom(t, cfg, grid, slots, wc, tc)
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []sim.Mode{sim.AssumeGuide, sim.Strict} {
+		eng := sim.NewEngine(in, mode)
+		op := eng.Run(NewPOLAROP(g)).Matching.Size()
+		greedy := eng.Run(NewSimpleGreedy()).Matching.Size()
+		hybridAlg := NewHybrid(g)
+		res := eng.Run(hybridAlg)
+		hybrid := res.Matching.Size()
+		if err := res.Matching.Validate(in); err != nil && mode == sim.Strict {
+			t.Errorf("mode %v: invalid hybrid matching: %v", mode, err)
+		}
+		if hybrid < op {
+			t.Errorf("mode %v: hybrid (%d) below POLAR-OP (%d)", mode, hybrid, op)
+		}
+		// The fallback should contribute something whenever the guide
+		// leaves gaps (it does on this workload).
+		if hybridAlg.FallbackMatches() == 0 {
+			t.Errorf("mode %v: fallback never fired", mode)
+		}
+		t.Logf("mode %v: greedy=%d polar-op=%d hybrid=%d (fallback %d)",
+			mode, greedy, op, hybrid, hybridAlg.FallbackMatches())
+	}
+}
+
+// TestHybridOnPaperExample: on the running example the hybrid reaches the
+// optimum like POLAR-OP (the guide alone already achieves it).
+func TestHybridOnPaperExample(t *testing.T) {
+	in := paperInstance()
+	g := paperGuide(t)
+	eng := sim.NewEngine(in, sim.AssumeGuide)
+	res := eng.Run(NewHybrid(g))
+	if got := res.Matching.Size(); got != 6 {
+		t.Errorf("hybrid = %d, want 6", got)
+	}
+}
+
+// TestHybridWithEmptyGuide degenerates to pure greedy behaviour.
+func TestHybridWithEmptyGuide(t *testing.T) {
+	cfg, grid, slots, wc, tc := buildFixture(t)
+	for i := range wc {
+		wc[i] = 0
+	}
+	for i := range tc {
+		tc[i] = 0
+	}
+	g := buildGuideFrom(t, cfg, grid, slots, wc, tc)
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(in, sim.Strict)
+	hybrid := eng.Run(NewHybrid(g)).Matching.Size()
+	greedy := eng.Run(NewSimpleGreedy()).Matching.Size()
+	// With no guide at all, the hybrid is greedy with a slightly different
+	// radius bound; it must land in the same neighbourhood.
+	if hybrid < greedy*9/10 {
+		t.Errorf("empty-guide hybrid (%d) far below greedy (%d)", hybrid, greedy)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"ftoa/internal/guide"
+	"ftoa/internal/sim"
+)
+
+// POLAR is Algorithm 2: each arriving object occupies at most one node of
+// its (slot, area) type in the offline guide; if the occupied node's
+// pre-paired partner node is already occupied, the two occupants are
+// matched; otherwise a worker is dispatched toward the partner's area and
+// a task waits. Objects that find no unoccupied node of their type are
+// ignored (the prediction underestimated their cell). Every arrival is
+// processed in O(1).
+type POLAR struct {
+	g *guide.Guide
+	p sim.Platform
+
+	wCells []polarCell
+	tCells []polarCell
+}
+
+// polarCell is the online occupation state of one guide cell.
+type polarCell struct {
+	occupants []int32 // object index occupying node k, in occupation order
+	cursor    runCursor
+}
+
+// NewPOLAR creates a POLAR instance bound to an offline guide. The guide
+// is read-only and may be shared across runs and algorithms.
+func NewPOLAR(g *guide.Guide) *POLAR { return &POLAR{g: g} }
+
+// Name implements sim.Algorithm.
+func (a *POLAR) Name() string { return "POLAR" }
+
+// Init implements sim.Algorithm.
+func (a *POLAR) Init(p sim.Platform) {
+	a.p = p
+	a.wCells = make([]polarCell, len(a.g.WorkerCells))
+	a.tCells = make([]polarCell, len(a.g.TaskCells))
+}
+
+// OnWorkerArrival implements sim.Algorithm.
+func (a *POLAR) OnWorkerArrival(w int, now float64) {
+	in := a.p.Instance()
+	slot, area := locateWorker(a.g, &in.Workers[w])
+	cid := a.g.WorkerCellID(slot, area)
+	if cid < 0 {
+		return // no node of this type: ignore (Algorithm 2, line 3 failure)
+	}
+	plan := &a.g.WorkerCells[cid]
+	cell := &a.wCells[cid]
+	if int32(len(cell.occupants)) >= plan.Count {
+		return // all nodes of the type occupied: ignore
+	}
+	cell.occupants = append(cell.occupants, int32(w))
+	partnerCell, partnerNode, matched := cell.cursor.next(plan)
+	if !matched {
+		return // unmatched guide node: the worker simply waits in place
+	}
+	tPlan := &a.g.TaskCells[partnerCell]
+	tCell := &a.tCells[partnerCell]
+	if partnerNode < int32(len(tCell.occupants)) {
+		// Partner node already occupied by an actual task: assign.
+		a.p.TryMatch(w, int(tCell.occupants[partnerNode]), now)
+		return
+	}
+	// Partner task not here yet: dispatch the worker toward its area
+	// (staying put when the predicted task is in the worker's own area).
+	if tPlan.Key.Area != area {
+		a.p.Dispatch(w, a.g.Cfg.Grid.Center(tPlan.Key.Area), now)
+	}
+}
+
+// OnTaskArrival implements sim.Algorithm.
+func (a *POLAR) OnTaskArrival(t int, now float64) {
+	in := a.p.Instance()
+	slot, area := locateTask(a.g, &in.Tasks[t])
+	cid := a.g.TaskCellID(slot, area)
+	if cid < 0 {
+		return
+	}
+	plan := &a.g.TaskCells[cid]
+	cell := &a.tCells[cid]
+	if int32(len(cell.occupants)) >= plan.Count {
+		return
+	}
+	cell.occupants = append(cell.occupants, int32(t))
+	partnerCell, partnerNode, matched := cell.cursor.next(plan)
+	if !matched {
+		return // unmatched node: the task waits until its deadline
+	}
+	wCell := &a.wCells[partnerCell]
+	if partnerNode < int32(len(wCell.occupants)) {
+		a.p.TryMatch(int(wCell.occupants[partnerNode]), t, now)
+	}
+	// Otherwise the paired worker has not arrived yet; the task waits and
+	// will be found by the worker when (if) it arrives.
+}
+
+// OnFinish implements sim.Algorithm.
+func (a *POLAR) OnFinish(now float64) {}

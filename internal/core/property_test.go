@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/guide"
+	"ftoa/internal/mathx"
+	"ftoa/internal/sim"
+	"ftoa/internal/timeslot"
+	"ftoa/internal/workload"
+)
+
+// TestPipelinePropertiesOnRandomConfigs drives the full pipeline (generate
+// → predict → guide → replay all algorithms) on randomly drawn
+// configurations and checks the invariants that must hold regardless of
+// parameters:
+//
+//   - every algorithm's output is a valid matching of the instance
+//     (disjoint, in-range, Definition-4-feasible) in Strict mode;
+//   - no online algorithm exceeds the exact offline optimum;
+//   - Strict never matches more than AssumeGuide for the same algorithm;
+//   - guide construction is internally consistent (Validate).
+func TestPipelinePropertiesOnRandomConfigs(t *testing.T) {
+	rng := mathx.NewRNG(31337)
+	check := func(seed uint32) bool {
+		r := mathx.NewRNG(uint64(seed) ^ rng.Uint64())
+		cfg := workload.DefaultSynthetic()
+		cfg.Seed = r.Uint64()
+		cfg.NumWorkers = 100 + r.Intn(400)
+		cfg.NumTasks = 100 + r.Intn(400)
+		cfg.TaskExpiry = 0.5 + r.Float64()*3
+		cfg.WorkerPatience = 0.5 + r.Float64()*3
+		cfg.TaskTempMu = 0.2 + r.Float64()*0.6
+		cfg.TaskSpatialMean = 0.2 + r.Float64()*0.6
+		cfg.TaskSpatialCov = 0.2 + r.Float64()*0.5
+		gridSide := 4 + r.Intn(10)
+		slotCount := 8 + r.Intn(56)
+
+		in, err := cfg.Generate()
+		if err != nil {
+			t.Logf("generate: %v", err)
+			return false
+		}
+		grid := geo.NewGrid(cfg.Bounds(), gridSide, gridSide)
+		slots := timeslot.New(cfg.Horizon, slotCount)
+		wc, tc := cfg.ExpectedCounts(grid, slots)
+		g, err := guide.Build(guide.Config{
+			Grid:            grid,
+			Slots:           slots,
+			Velocity:        cfg.Velocity,
+			WorkerPatience:  cfg.WorkerPatience,
+			TaskExpiry:      cfg.TaskExpiry,
+			MaxEdgesPerCell: 64,
+			RepSlack:        slots.Width() / 2,
+		}, wc, tc)
+		if err != nil {
+			t.Logf("guide: %v", err)
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			t.Logf("guide validate: %v", err)
+			return false
+		}
+
+		opt := bruteForceOPT(in)
+		grWindow := 0.25 + r.Float64() // drawn once so both modes see the same window
+		algos := []struct {
+			mk func() sim.Algorithm
+			// strictBounded marks algorithms whose Strict-mode matching is
+			// provably a subset of their AssumeGuide matching: POLAR's node
+			// pairing is fixed 1:1 (a rejected pair never frees capacity
+			// for another), and SimpleGreedy makes identical decisions in
+			// both modes. Batch and pooled algorithms (GR, POLAR-OP,
+			// Hybrid) can resolve per-step ties differently across modes,
+			// so only validity and the OPT bound apply to them.
+			strictBounded bool
+		}{
+			{func() sim.Algorithm { return NewSimpleGreedy() }, true},
+			{func() sim.Algorithm { return NewGR(grWindow) }, false},
+			{func() sim.Algorithm { return NewPOLAR(g) }, true},
+			{func() sim.Algorithm { return NewPOLAROP(g) }, false},
+			{func() sim.Algorithm { return NewHybrid(g) }, false},
+		}
+		for _, a := range algos {
+			strictEng := sim.NewEngine(in, sim.Strict)
+			strictRes := strictEng.Run(a.mk())
+			if err := strictRes.Matching.Validate(in); err != nil {
+				t.Logf("%s strict invalid: %v", strictRes.Algorithm, err)
+				return false
+			}
+			if strictRes.Matching.Size() > opt {
+				t.Logf("%s strict (%d) above exact OPT (%d)", strictRes.Algorithm, strictRes.Matching.Size(), opt)
+				return false
+			}
+			if a.strictBounded {
+				assumeEng := sim.NewEngine(in, sim.AssumeGuide)
+				assumeRes := assumeEng.Run(a.mk())
+				if strictRes.Matching.Size() > assumeRes.Matching.Size() {
+					t.Logf("%s strict (%d) above assume-guide (%d)", strictRes.Algorithm,
+						strictRes.Matching.Size(), assumeRes.Matching.Size())
+					return false
+				}
+			}
+		}
+		// Pruned OPT must agree with brute force on these small instances.
+		if got := OPT(in, OPTOptions{}).Size(); got != opt {
+			t.Logf("pruned OPT %d != brute force %d", got, opt)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOPTMonotoneInDeadline: the offline optimum cannot shrink when every
+// task's deadline is extended.
+func TestOPTMonotoneInDeadline(t *testing.T) {
+	rng := mathx.NewRNG(404)
+	for trial := 0; trial < 10; trial++ {
+		cfg := workload.DefaultSynthetic()
+		cfg.Seed = rng.Uint64()
+		cfg.NumWorkers = 400
+		cfg.NumTasks = 400
+		prev := -1
+		for _, dr := range []float64{0.5, 1, 2, 4} {
+			cfg.TaskExpiry = dr
+			in, err := cfg.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := OPT(in, OPTOptions{}).Size()
+			if got < prev {
+				t.Fatalf("trial %d: OPT shrank from %d to %d as Dr grew to %v", trial, prev, got, dr)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestMatchingsAreDisjointAcrossEquivalentRuns: running the same algorithm
+// twice on the same engine yields identical matchings (determinism).
+func TestAlgorithmDeterminism(t *testing.T) {
+	cfg, grid, slots, wc, tc := buildFixture(t)
+	g := buildGuideFrom(t, cfg, grid, slots, wc, tc)
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() sim.Algorithm{
+		func() sim.Algorithm { return NewSimpleGreedy() },
+		func() sim.Algorithm { return NewGR(0.5) },
+		func() sim.Algorithm { return NewPOLAR(g) },
+		func() sim.Algorithm { return NewPOLAROP(g) },
+		func() sim.Algorithm { return NewHybrid(g) },
+	} {
+		eng := sim.NewEngine(in, sim.Strict)
+		a := eng.Run(mk()).Matching
+		b := eng.Run(mk()).Matching
+		if a.Size() != b.Size() {
+			t.Fatalf("%T: nondeterministic sizes %d vs %d", mk(), a.Size(), b.Size())
+		}
+		for i := range a.Pairs {
+			if a.Pairs[i] != b.Pairs[i] {
+				t.Fatalf("%T: nondeterministic pair %d", mk(), i)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/spatial"
+)
+
+// SimpleGreedy is the baseline of Section 2.2, extended from the online
+// model of Tong et al. (ICDE 2016): when a new object arrives, it is
+// matched immediately with the nearest object of the other kind that
+// satisfies the deadline constraint, if any; otherwise it waits in place
+// (workers until Sw+Dw, tasks until Sr+Dr). Workers never relocate.
+type SimpleGreedy struct {
+	p sim.Platform
+
+	waitingWorkers *spatial.Index // unmatched workers at their initial location
+	waitingTasks   *spatial.Index // unmatched released tasks
+
+	maxTaskBudget float64 // max over tasks of Dr, bounding search radii
+	deadIDs       []int   // scratch for lazy expiry cleanup
+}
+
+// NewSimpleGreedy creates the baseline.
+func NewSimpleGreedy() *SimpleGreedy { return &SimpleGreedy{} }
+
+// Name implements sim.Algorithm.
+func (a *SimpleGreedy) Name() string { return "SimpleGreedy" }
+
+// Init implements sim.Algorithm.
+func (a *SimpleGreedy) Init(p sim.Platform) {
+	a.p = p
+	in := p.Instance()
+	a.waitingWorkers = spatial.NewIndex(in.Bounds, len(in.Workers))
+	a.waitingTasks = spatial.NewIndex(in.Bounds, len(in.Tasks))
+	a.maxTaskBudget = 0
+	for i := range in.Tasks {
+		if in.Tasks[i].Expiry > a.maxTaskBudget {
+			a.maxTaskBudget = in.Tasks[i].Expiry
+		}
+	}
+}
+
+// OnWorkerArrival implements sim.Algorithm.
+func (a *SimpleGreedy) OnWorkerArrival(w int, now float64) {
+	in := a.p.Instance()
+	worker := &in.Workers[w]
+	a.deadIDs = a.deadIDs[:0]
+	// The farthest reachable waiting task is bounded by the largest
+	// remaining expiry budget.
+	maxDist := a.maxTaskBudget * in.Velocity
+	t, _ := a.waitingTasks.Nearest(worker.Loc, maxDist, func(t int) bool {
+		if !a.p.TaskAvailable(t, now) {
+			a.deadIDs = append(a.deadIDs, t)
+			return false
+		}
+		return model.FeasibleAt(worker, &in.Tasks[t], worker.Loc, now, in.Velocity)
+	})
+	for _, id := range a.deadIDs {
+		a.waitingTasks.Remove(id)
+	}
+	if t >= 0 && a.p.TryMatch(w, t, now) {
+		a.waitingTasks.Remove(t)
+		return
+	}
+	a.waitingWorkers.Insert(w, worker.Loc)
+}
+
+// OnTaskArrival implements sim.Algorithm.
+func (a *SimpleGreedy) OnTaskArrival(t int, now float64) {
+	in := a.p.Instance()
+	task := &in.Tasks[t]
+	a.deadIDs = a.deadIDs[:0]
+	// Workers beyond Dr·v cannot reach the task before its deadline.
+	maxDist := task.Expiry * in.Velocity
+	w, _ := a.waitingWorkers.Nearest(task.Loc, maxDist, func(w int) bool {
+		if !a.p.WorkerAvailable(w, now) {
+			a.deadIDs = append(a.deadIDs, w)
+			return false
+		}
+		return model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity)
+	})
+	for _, id := range a.deadIDs {
+		a.waitingWorkers.Remove(id)
+	}
+	if w >= 0 && a.p.TryMatch(w, t, now) {
+		a.waitingWorkers.Remove(w)
+		return
+	}
+	a.waitingTasks.Insert(t, task.Loc)
+}
+
+// OnFinish implements sim.Algorithm.
+func (a *SimpleGreedy) OnFinish(now float64) {}

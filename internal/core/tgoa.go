@@ -1,0 +1,232 @@
+package core
+
+import (
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/spatial"
+)
+
+// TGOA is the two-sided online algorithm of Tong et al. (ICDE 2016) — the
+// state-of-the-art whose 0.25 competitive ratio (random-order model) the
+// paper's POLAR-OP nearly doubles. It is included as an additional
+// reference baseline beyond the paper's own comparison set.
+//
+// The algorithm splits the arrival sequence in half. Objects in the first
+// half are matched greedily (nearest feasible counterpart). For an object
+// in the second half, the platform computes a maximum matching over *all*
+// objects seen so far and commits the new object's pair only if its partner
+// in that hypothetical optimal matching is still actually available —
+// "greedy first half, optimal second half". The hypothetical matching is
+// maintained incrementally: each arrival runs one augmenting-path search,
+// so the total cost is O(n·E) rather than n recomputations.
+type TGOA struct {
+	p sim.Platform
+
+	total   int // |W| + |R|, to locate the halfway point
+	arrived int
+
+	// Greedy-phase state (same machinery as SimpleGreedy).
+	waitingWorkers *spatial.Index
+	waitingTasks   *spatial.Index
+	maxTaskBudget  float64
+	deadIDs        []int
+
+	// Virtual maximum matching over all arrived objects, maintained by
+	// incremental augmenting paths on the feasibility graph.
+	virtW []int32 // virtual partner task of each worker, -1 if none
+	virtT []int32 // virtual partner worker of each task, -1 if none
+	seenW []int32 // arrived workers
+	seenT []int32 // arrived tasks
+	mark  []bool  // scratch: visited tasks during augmenting search
+}
+
+// NewTGOA creates the baseline.
+func NewTGOA() *TGOA { return &TGOA{} }
+
+// Name implements sim.Algorithm.
+func (a *TGOA) Name() string { return "TGOA" }
+
+// Init implements sim.Algorithm.
+func (a *TGOA) Init(p sim.Platform) {
+	a.p = p
+	in := p.Instance()
+	a.total = len(in.Workers) + len(in.Tasks)
+	a.arrived = 0
+	a.waitingWorkers = spatial.NewIndex(in.Bounds, len(in.Workers))
+	a.waitingTasks = spatial.NewIndex(in.Bounds, len(in.Tasks))
+	a.maxTaskBudget = 0
+	for i := range in.Tasks {
+		if in.Tasks[i].Expiry > a.maxTaskBudget {
+			a.maxTaskBudget = in.Tasks[i].Expiry
+		}
+	}
+	a.virtW = make([]int32, len(in.Workers))
+	a.virtT = make([]int32, len(in.Tasks))
+	for i := range a.virtW {
+		a.virtW[i] = -1
+	}
+	for i := range a.virtT {
+		a.virtT[i] = -1
+	}
+	a.seenW = a.seenW[:0]
+	a.seenT = a.seenT[:0]
+	a.mark = make([]bool, len(in.Tasks))
+}
+
+// OnWorkerArrival implements sim.Algorithm.
+func (a *TGOA) OnWorkerArrival(w int, now float64) {
+	a.arrived++
+	a.seenW = append(a.seenW, int32(w))
+	a.augmentFromWorker(int32(w))
+	in := a.p.Instance()
+	worker := &in.Workers[w]
+
+	if a.arrived*2 <= a.total {
+		// First half: plain greedy.
+		if t := a.nearestTask(worker, now); t >= 0 && a.p.TryMatch(w, t, now) {
+			a.waitingTasks.Remove(t)
+			return
+		}
+		a.waitingWorkers.Insert(w, worker.Loc)
+		return
+	}
+	// Second half: follow the hypothetical optimal matching.
+	if t := a.virtW[w]; t >= 0 && a.p.TaskAvailable(int(t), now) &&
+		model.FeasibleAt(worker, &in.Tasks[t], worker.Loc, now, in.Velocity) {
+		if a.p.TryMatch(w, int(t), now) {
+			a.waitingTasks.Remove(int(t))
+			return
+		}
+	}
+	a.waitingWorkers.Insert(w, worker.Loc)
+}
+
+// OnTaskArrival implements sim.Algorithm.
+func (a *TGOA) OnTaskArrival(t int, now float64) {
+	a.arrived++
+	a.seenT = append(a.seenT, int32(t))
+	a.augmentFromTask(int32(t))
+	in := a.p.Instance()
+	task := &in.Tasks[t]
+
+	if a.arrived*2 <= a.total {
+		if w := a.nearestWorker(task, now); w >= 0 && a.p.TryMatch(w, t, now) {
+			a.waitingWorkers.Remove(w)
+			return
+		}
+		a.waitingTasks.Insert(t, task.Loc)
+		return
+	}
+	if w := a.virtT[t]; w >= 0 && a.p.WorkerAvailable(int(w), now) &&
+		model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity) {
+		if a.p.TryMatch(int(w), t, now) {
+			a.waitingWorkers.Remove(int(w))
+			return
+		}
+	}
+	a.waitingTasks.Insert(t, task.Loc)
+}
+
+// OnFinish implements sim.Algorithm.
+func (a *TGOA) OnFinish(now float64) {}
+
+// nearestTask / nearestWorker are the greedy-phase searches.
+func (a *TGOA) nearestTask(worker *model.Worker, now float64) int {
+	in := a.p.Instance()
+	a.deadIDs = a.deadIDs[:0]
+	t, _ := a.waitingTasks.Nearest(worker.Loc, a.maxTaskBudget*in.Velocity, func(t int) bool {
+		if !a.p.TaskAvailable(t, now) {
+			a.deadIDs = append(a.deadIDs, t)
+			return false
+		}
+		return model.FeasibleAt(worker, &in.Tasks[t], worker.Loc, now, in.Velocity)
+	})
+	for _, id := range a.deadIDs {
+		a.waitingTasks.Remove(id)
+	}
+	return t
+}
+
+func (a *TGOA) nearestWorker(task *model.Task, now float64) int {
+	in := a.p.Instance()
+	a.deadIDs = a.deadIDs[:0]
+	w, _ := a.waitingWorkers.Nearest(task.Loc, task.Expiry*in.Velocity, func(w int) bool {
+		if !a.p.WorkerAvailable(w, now) {
+			a.deadIDs = append(a.deadIDs, w)
+			return false
+		}
+		return model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity)
+	})
+	for _, id := range a.deadIDs {
+		a.waitingWorkers.Remove(id)
+	}
+	return w
+}
+
+// feasibleWaitInPlace is the pair predicate of TGOA's own online model
+// (workers never relocate): the match is struck when the later of the two
+// objects arrives, and the worker departs its initial location then.
+func feasibleWaitInPlace(w *model.Worker, r *model.Task, velocity float64) bool {
+	if r.Release >= w.Deadline() {
+		return false
+	}
+	depart := w.Arrive
+	if r.Release > depart {
+		depart = r.Release
+	}
+	return model.FeasibleAt(w, r, w.Loc, depart, velocity)
+}
+
+// augmentFromWorker extends the virtual maximum matching with one
+// augmenting-path search rooted at a newly arrived worker. Feasibility uses
+// the wait-in-place predicate of TGOA's model, so the virtual matching
+// approximates the best assignment the algorithm could actually commit.
+func (a *TGOA) augmentFromWorker(w int32) {
+	for i := range a.mark {
+		a.mark[i] = false
+	}
+	a.tryAugmentW(w)
+}
+
+func (a *TGOA) tryAugmentW(w int32) bool {
+	in := a.p.Instance()
+	worker := &in.Workers[w]
+	for _, t := range a.seenT {
+		if a.mark[t] || !feasibleWaitInPlace(worker, &in.Tasks[t], in.Velocity) {
+			continue
+		}
+		a.mark[t] = true
+		if a.virtT[t] == -1 || a.tryAugmentW(a.virtT[t]) {
+			a.virtT[t] = w
+			a.virtW[w] = t
+			return true
+		}
+	}
+	return false
+}
+
+// augmentFromTask is the symmetric search rooted at a new task: it walks
+// workers and recurses through their virtual partners.
+func (a *TGOA) augmentFromTask(t int32) {
+	in := a.p.Instance()
+	visited := make(map[int32]bool, 16)
+	var try func(t int32) bool
+	try = func(t int32) bool {
+		task := &in.Tasks[t]
+		for _, w := range a.seenW {
+			if visited[w] || !feasibleWaitInPlace(&in.Workers[w], task, in.Velocity) {
+				continue
+			}
+			visited[w] = true
+			if a.virtW[w] == -1 || try(a.virtW[w]) {
+				a.virtW[w] = t
+				a.virtT[t] = w
+				return true
+			}
+		}
+		return false
+	}
+	try(t)
+}
+
+var _ sim.Algorithm = (*TGOA)(nil)

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"ftoa/internal/flow"
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/workload"
+)
+
+func TestTGOAValidAndBounded(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers = 600
+	cfg.NumTasks = 600
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(in, sim.Strict)
+	res := eng.Run(NewTGOA())
+	if err := res.Matching.Validate(in); err != nil {
+		t.Fatalf("invalid matching: %v", err)
+	}
+	opt := bruteForceOPT(in)
+	if res.Matching.Size() > opt {
+		t.Fatalf("TGOA (%d) above OPT (%d)", res.Matching.Size(), opt)
+	}
+	if res.Matching.Size() == 0 {
+		t.Fatal("TGOA matched nothing")
+	}
+	// The guarantee is 0.25 of TGOA's own (wait-in-place) optimum; on
+	// benign i.i.d. inputs it should clear a third of it comfortably.
+	wipOpt := bruteForceWaitInPlaceOPT(in)
+	if 3*res.Matching.Size() < wipOpt {
+		t.Errorf("TGOA (%d) below wait-in-place OPT/3 (%d) — implausibly weak",
+			res.Matching.Size(), wipOpt)
+	}
+}
+
+// bruteForceWaitInPlaceOPT is bruteForceOPT under TGOA's own model: workers
+// never relocate, so the match departs from Lw at the later arrival.
+func bruteForceWaitInPlaceOPT(in *model.Instance) int {
+	adj := make([][]int32, len(in.Tasks))
+	for t := range in.Tasks {
+		for w := range in.Workers {
+			if feasibleWaitInPlace(&in.Workers[w], &in.Tasks[t], in.Velocity) {
+				adj[t] = append(adj[t], int32(w))
+			}
+		}
+	}
+	_, _, size := flow.HopcroftKarp(len(in.Tasks), len(in.Workers), adj)
+	return size
+}
+
+func TestTGOAVirtualMatchingIsMaximum(t *testing.T) {
+	// After all arrivals the incremental virtual matching must equal the
+	// offline maximum matching size.
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers = 300
+	cfg.NumTasks = 300
+	cfg.Seed = 5
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(in, sim.Strict)
+	alg := NewTGOA()
+	eng.Run(alg)
+	virt := 0
+	for _, v := range alg.virtW {
+		if v >= 0 {
+			virt++
+		}
+	}
+	if want := bruteForceWaitInPlaceOPT(in); virt != want {
+		t.Errorf("virtual matching %d != offline wait-in-place maximum %d", virt, want)
+	}
+}
+
+func TestTGOAOnPaperExample(t *testing.T) {
+	in := paperInstance()
+	eng := sim.NewEngine(in, sim.Strict)
+	res := eng.Run(NewTGOA())
+	if err := res.Matching.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// TGOA waits in place like greedy, so on the toy example it cannot
+	// beat the flexible-model algorithms; it must still find w1–r1.
+	if res.Matching.Size() < 1 {
+		t.Errorf("TGOA = %d, want at least 1", res.Matching.Size())
+	}
+	if res.Matching.Size() > 6 {
+		t.Errorf("TGOA = %d exceeds OPT", res.Matching.Size())
+	}
+}

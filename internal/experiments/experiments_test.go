@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testOpts shrinks the sweeps enough for CI while keeping per-cell
+// densities (and thus the papers' qualitative shapes) at paper level.
+func testOpts() Options {
+	return Options{Scale: 0.02}
+}
+
+func metric(t *testing.T, r *Result, x, algo string) Metric {
+	t.Helper()
+	for _, row := range r.Rows {
+		if row.X == x {
+			m, ok := row.ByAlgo[algo]
+			if !ok {
+				t.Fatalf("no %s metric at x=%s", algo, x)
+			}
+			return m
+		}
+	}
+	t.Fatalf("no row with x=%s", x)
+	return Metric{}
+}
+
+func TestVaryWShape(t *testing.T) {
+	res, err := VaryW(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	for _, algo := range DefaultAlgorithms {
+		// Matching size must grow with |W| (more edges in the graph).
+		if last.ByAlgo[algo].MatchingSize <= first.ByAlgo[algo].MatchingSize {
+			t.Errorf("%s did not grow with |W|: %d -> %d", algo,
+				first.ByAlgo[algo].MatchingSize, last.ByAlgo[algo].MatchingSize)
+		}
+	}
+	for _, row := range res.Rows {
+		// The paper's ordering at defaults: POLAR-OP ≥ POLAR, and OPT tops
+		// everything.
+		if row.ByAlgo[AlgoPOLAROP].MatchingSize < row.ByAlgo[AlgoPOLAR].MatchingSize {
+			t.Errorf("x=%s: POLAR-OP below POLAR", row.X)
+		}
+		for _, algo := range DefaultAlgorithms[:4] {
+			if row.ByAlgo[algo].MatchingSize > row.ByAlgo[AlgoOPT].MatchingSize {
+				t.Errorf("x=%s: %s above OPT", row.X, algo)
+			}
+		}
+	}
+	// On the default (hotspot-separated) workload the guided algorithm
+	// must beat the wait-in-place baselines at the largest sizes.
+	if last.ByAlgo[AlgoPOLAROP].MatchingSize <= last.ByAlgo[AlgoSimpleGreedy].MatchingSize {
+		t.Errorf("POLAR-OP (%d) not above SimpleGreedy (%d) at max |W|",
+			last.ByAlgo[AlgoPOLAROP].MatchingSize, last.ByAlgo[AlgoSimpleGreedy].MatchingSize)
+	}
+}
+
+func TestVaryDeadlineShape(t *testing.T) {
+	res, err := VaryDeadline(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching size grows with Dr (Fig 4c): compare endpoints, which is
+	// robust to the sampling noise of scaled-down runs. The guide-bound
+	// algorithms saturate once the guide matches everything matchable, so
+	// only require they do not shrink materially.
+	for _, algo := range DefaultAlgorithms {
+		first := res.Rows[0].ByAlgo[algo].MatchingSize
+		last := res.Rows[len(res.Rows)-1].ByAlgo[algo].MatchingSize
+		if last < first {
+			t.Errorf("%s shrank across the Dr sweep: %d -> %d", algo, first, last)
+		}
+	}
+	// At the tightest deadline the guided algorithms dominate the
+	// wait-in-place baselines decisively.
+	tight := res.Rows[0]
+	if tight.ByAlgo[AlgoPOLAROP].MatchingSize <= tight.ByAlgo[AlgoSimpleGreedy].MatchingSize {
+		t.Errorf("POLAR-OP (%d) not above SimpleGreedy (%d) at Dr=1",
+			tight.ByAlgo[AlgoPOLAROP].MatchingSize, tight.ByAlgo[AlgoSimpleGreedy].MatchingSize)
+	}
+}
+
+func TestVaryGridShape(t *testing.T) {
+	res, err := VaryGrid(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refining the grid reduces POLAR's matching (fewer objects per cell,
+	// Fig 4d): compare the coarsest and finest settings.
+	first := res.Rows[0].ByAlgo[AlgoPOLAROP].MatchingSize
+	last := res.Rows[len(res.Rows)-1].ByAlgo[AlgoPOLAROP].MatchingSize
+	if last >= first {
+		t.Errorf("POLAR-OP did not degrade with grid refinement: %d -> %d", first, last)
+	}
+	// SimpleGreedy ignores the grid; its size must stay flat.
+	g0 := res.Rows[0].ByAlgo[AlgoSimpleGreedy].MatchingSize
+	for _, row := range res.Rows {
+		g := row.ByAlgo[AlgoSimpleGreedy].MatchingSize
+		if g != g0 {
+			t.Errorf("SimpleGreedy changed with prediction grid: %d vs %d", g, g0)
+		}
+	}
+}
+
+func TestVarySpatialMeanCrossover(t *testing.T) {
+	res, err := VarySpatialMean(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig 6c observation: when worker and task hotspots
+	// coincide (mean = 0.25), wait-in-place is competitive — greedy beats
+	// the guide-bound algorithms; once the hotspots separate (mean ≥ 0.5),
+	// guidance wins.
+	coincide := metric(t, res, "0.25", AlgoSimpleGreedy)
+	if coincide.MatchingSize < metric(t, res, "0.25", AlgoPOLAROP).MatchingSize {
+		t.Log("note: greedy below POLAR-OP at mean=0.25 (allowed, but unexpected)")
+	}
+	sep := metric(t, res, "0.625", AlgoPOLAROP)
+	if sep.MatchingSize <= metric(t, res, "0.625", AlgoSimpleGreedy).MatchingSize {
+		t.Errorf("POLAR-OP (%d) not above greedy (%d) at mean=0.625",
+			sep.MatchingSize, metric(t, res, "0.625", AlgoSimpleGreedy).MatchingSize)
+	}
+	// Matching size decays as the hotspots separate.
+	if metric(t, res, "0.75", AlgoOPT).MatchingSize >= metric(t, res, "0.25", AlgoOPT).MatchingSize {
+		t.Error("OPT did not decay with hotspot separation")
+	}
+}
+
+func TestScalabilityOmitsOPT(t *testing.T) {
+	opts := testOpts()
+	opts.Scale = 0.002 // 400..2000 objects over the scalability sweep
+	res, err := Scalability(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if _, ok := row.ByAlgo[AlgoOPT]; ok {
+			t.Fatal("scalability must omit OPT")
+		}
+		if len(row.ByAlgo) != 4 {
+			t.Fatalf("expected 4 algorithms, got %d", len(row.ByAlgo))
+		}
+	}
+	if len(res.Notes) == 0 {
+		t.Error("missing OPT-omitted note")
+	}
+}
+
+func TestCityExperimentShape(t *testing.T) {
+	res, err := Beijing(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cityDrSweep) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		opt := row.ByAlgo[AlgoOPT].MatchingSize
+		for _, algo := range DefaultAlgorithms[:4] {
+			m := row.ByAlgo[algo]
+			if m.MatchingSize <= 0 {
+				t.Errorf("Dr=%s: %s matched nothing", row.X, algo)
+			}
+			if m.MatchingSize > opt {
+				t.Errorf("Dr=%s: %s (%d) above OPT (%d)", row.X, algo, m.MatchingSize, opt)
+			}
+		}
+		// The paper's real-data finding: POLAR-OP above POLAR.
+		if row.ByAlgo[AlgoPOLAROP].MatchingSize < row.ByAlgo[AlgoPOLAR].MatchingSize {
+			t.Errorf("Dr=%s: POLAR-OP below POLAR", row.X)
+		}
+	}
+}
+
+func TestCompetitiveRatioBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ratio experiment runs 12 full instances")
+	}
+	res, err := CompetitiveRatio(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The custom block carries min/mean; parse crudely.
+	if !strings.Contains(res.Custom, "POLAR") || !strings.Contains(res.Custom, "0.47") {
+		t.Fatalf("unexpected ratio output: %s", res.Custom)
+	}
+	// Stronger: re-check the numbers are sane by scanning for a ratio
+	// below the proven bounds minus slack.
+	for _, line := range strings.Split(res.Custom, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		if fields[0] == "POLAR" || fields[0] == "POLAR-OP" {
+			var min float64
+			if _, err := fmtSscan(fields[1], &min); err != nil {
+				t.Fatalf("cannot parse %q", line)
+			}
+			bound := 0.40
+			if fields[0] == "POLAR-OP" {
+				bound = 0.47
+			}
+			// The bounds hold with high probability; allow small slack for
+			// finite-size effects.
+			if min < bound-0.05 {
+				t.Errorf("%s empirical min ratio %.3f below bound %.2f", fields[0], min, bound)
+			}
+		}
+	}
+}
+
+func TestPredictionTableRuns(t *testing.T) {
+	res, err := PredictionTable(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Custom == "" {
+		t.Fatal("no table produced")
+	}
+	for _, m := range []string{"HA", "ARIMA", "GBRT", "PAQ", "LR", "NN", "HP-MSI"} {
+		if !strings.Contains(res.Custom, m) {
+			t.Errorf("method %s missing from table", m)
+		}
+	}
+}
+
+func TestRegistryAndPrint(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("registered experiments = %d, want 17", len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+	// Print renders all sections.
+	res, err := VaryW(Options{Scale: 0.002, SkipOPT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Matching size", "Time (s)", "Memory (MB)", "fig4-w"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q", want)
+		}
+	}
+}
+
+// fmtSscan avoids importing fmt solely for one parse in the test body
+// above; it wraps fmt.Sscan.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"ftoa/internal/workload"
+)
+
+// Default sweep values from Table 4 (bold = default).
+var (
+	sweepW     = []int{5000, 10000, 20000, 30000, 40000}
+	sweepR     = []int{5000, 10000, 20000, 30000, 40000}
+	sweepDr    = []float64{1.0, 1.5, 2.0, 2.5, 3.0}
+	sweepGrid  = []int{20, 30, 50, 100, 200}
+	sweepSlots = []int{12, 24, 48, 96, 144}
+	sweepScale = []int{200000, 400000, 600000, 800000, 1000000}
+	sweepFrac  = []float64{0.25, 0.375, 0.5, 0.625, 0.75}
+
+	defaultGridSide = 50
+	defaultSlots    = 48
+)
+
+func init() {
+	register("fig4-w", VaryW)
+	register("fig4-r", VaryR)
+	register("fig4-dr", VaryDeadline)
+	register("fig4-g", VaryGrid)
+	register("fig5-t", VarySlots)
+	register("fig5-scale", Scalability)
+	register("fig5-bj", Beijing)
+	register("fig5-hz", Hangzhou)
+	register("fig6-mu", VaryTempMu)
+	register("fig6-sigma", VaryTempSigma)
+	register("fig6-mean", VarySpatialMean)
+	register("fig6-cov", VarySpatialCov)
+	register("table5", PredictionTable)
+	register("ratio", CompetitiveRatio)
+}
+
+// sweepSynthetic runs one synthetic sweep: mutate configures each point
+// from the default config and the sweep value index.
+func sweepSynthetic(id, title, xlabel string, xs []string,
+	mutate func(cfg *workload.Synthetic, gridSide, slots *int, i int), opts Options) (*Result, error) {
+
+	opts = opts.withDefaults()
+	res := &Result{ID: id, Title: title, XLabel: xlabel, Algorithms: opts.algorithms()}
+	for i, x := range xs {
+		cfg := workload.DefaultSynthetic()
+		cfg.Seed += opts.Seed
+		cfg.NumWorkers = opts.scaled(cfg.NumWorkers)
+		cfg.NumTasks = opts.scaled(cfg.NumTasks)
+		gridSide, slots := opts.scaledSide(defaultGridSide), defaultSlots
+		mutate(&cfg, &gridSide, &slots, i)
+		metrics, err := syntheticPoint(cfg, gridSide, slots, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Row{X: x, ByAlgo: metrics})
+	}
+	return res, nil
+}
+
+// VaryW reproduces Figure 4(a,e,i): matching size, time and memory as the
+// number of workers grows.
+func VaryW(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	xs := make([]string, len(sweepW))
+	for i, v := range sweepW {
+		xs[i] = fmtInt(opts.scaled(v))
+	}
+	return sweepSynthetic("fig4-w", "Fig 4(a,e,i): varying |W|", "|W|", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.NumWorkers = opts.scaled(sweepW[i])
+		}, opts)
+}
+
+// VaryR reproduces Figure 4(b,f,j): varying the number of tasks.
+func VaryR(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	xs := make([]string, len(sweepR))
+	for i, v := range sweepR {
+		xs[i] = fmtInt(opts.scaled(v))
+	}
+	return sweepSynthetic("fig4-r", "Fig 4(b,f,j): varying |R|", "|R|", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.NumTasks = opts.scaled(sweepR[i])
+		}, opts)
+}
+
+// VaryDeadline reproduces Figure 4(c,g,k): varying the task deadline Dr.
+func VaryDeadline(opts Options) (*Result, error) {
+	xs := make([]string, len(sweepDr))
+	for i, v := range sweepDr {
+		xs[i] = fmtF(v)
+	}
+	return sweepSynthetic("fig4-dr", "Fig 4(c,g,k): varying deadline Dr", "Dr", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.TaskExpiry = sweepDr[i]
+		}, opts)
+}
+
+// VaryGrid reproduces Figure 4(d,h,l): varying the prediction grid
+// resolution (cells per side over the same space). Under Scale < 1 the
+// swept resolutions shrink with the populations so per-cell densities
+// match the paper's.
+func VaryGrid(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	xs := make([]string, len(sweepGrid))
+	for i, v := range sweepGrid {
+		xs[i] = fmtInt(opts.scaledSide(v))
+	}
+	return sweepSynthetic("fig4-g", "Fig 4(d,h,l): varying grid resolution", "Grid", xs,
+		func(cfg *workload.Synthetic, gridSide, _ *int, i int) {
+			*gridSide = opts.scaledSide(sweepGrid[i])
+		}, opts)
+}
+
+// VarySlots reproduces Figure 5(a,e,i): varying the number of time slots
+// over the same horizon. The swept values are not scaled: slot width
+// relative to the deadlines is the quantity under study.
+func VarySlots(opts Options) (*Result, error) {
+	xs := make([]string, len(sweepSlots))
+	for i, v := range sweepSlots {
+		xs[i] = fmtInt(v)
+	}
+	return sweepSynthetic("fig5-t", "Fig 5(a,e,i): varying time slots", "Slots", xs,
+		func(cfg *workload.Synthetic, _, slots *int, i int) {
+			*slots = sweepSlots[i]
+		}, opts)
+}
+
+// Scalability reproduces Figure 5(b,f,j): |W| and |R| grow together to one
+// million objects. OPT is omitted, exactly as the paper omits it ("OPT
+// does not scale with the simultaneous increase of |R| and |W|").
+func Scalability(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	opts.SkipOPT = true
+	xs := make([]string, len(sweepScale))
+	for i, v := range sweepScale {
+		xs[i] = fmtInt(opts.scaled(v))
+	}
+	res, err := sweepSynthetic("fig5-scale", "Fig 5(b,f,j): scalability |W|=|R|", "|W|=|R|", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.NumWorkers = opts.scaled(sweepScale[i])
+			cfg.NumTasks = opts.scaled(sweepScale[i])
+		}, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Notes = append(res.Notes, "OPT omitted (does not scale), as in the paper")
+	return res, nil
+}
+
+// VaryTempMu reproduces Figure 6(a,e,i): varying the mean of the tasks'
+// temporal distribution (workers' distribution stays fixed at 0.25).
+func VaryTempMu(opts Options) (*Result, error) {
+	xs := make([]string, len(sweepFrac))
+	for i, v := range sweepFrac {
+		xs[i] = fmtF(v)
+	}
+	return sweepSynthetic("fig6-mu", "Fig 6(a,e,i): varying temporal μ", "mu", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.TaskTempMu = sweepFrac[i]
+		}, opts)
+}
+
+// VaryTempSigma reproduces Figure 6(b,f,j): varying the tasks' temporal
+// standard deviation.
+func VaryTempSigma(opts Options) (*Result, error) {
+	xs := make([]string, len(sweepFrac))
+	for i, v := range sweepFrac {
+		xs[i] = fmtF(v)
+	}
+	return sweepSynthetic("fig6-sigma", "Fig 6(b,f,j): varying temporal σ", "sigma", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.TaskTempSigma = sweepFrac[i]
+		}, opts)
+}
+
+// VarySpatialMean reproduces Figure 6(c,g,k): varying the mean of the
+// tasks' spatial distribution — the distance between worker and task
+// hotspots.
+func VarySpatialMean(opts Options) (*Result, error) {
+	xs := make([]string, len(sweepFrac))
+	for i, v := range sweepFrac {
+		xs[i] = fmtF(v)
+	}
+	return sweepSynthetic("fig6-mean", "Fig 6(c,g,k): varying spatial mean", "mean", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.TaskSpatialMean = sweepFrac[i]
+		}, opts)
+}
+
+// VarySpatialCov reproduces Figure 6(d,h,l): varying the covariance of the
+// tasks' spatial distribution.
+func VarySpatialCov(opts Options) (*Result, error) {
+	xs := make([]string, len(sweepFrac))
+	for i, v := range sweepFrac {
+		xs[i] = fmtF(v)
+	}
+	return sweepSynthetic("fig6-cov", "Fig 6(d,h,l): varying spatial cov", "cov", xs,
+		func(cfg *workload.Synthetic, _, _ *int, i int) {
+			cfg.TaskSpatialCov = sweepFrac[i]
+		}, opts)
+}

@@ -1,0 +1,324 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftoa/internal/mathx"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic CLRS example, max flow 23.
+	g := NewNetwork(6)
+	s, t0 := 0, 5
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlowDinic(s, t0); got != 23 {
+		t.Errorf("Dinic = %d, want 23", got)
+	}
+	g.Reset()
+	if got := g.MaxFlowFordFulkerson(s, t0); got != 23 {
+		t.Errorf("FordFulkerson = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowTrivialCases(t *testing.T) {
+	g := NewNetwork(3)
+	if g.MaxFlowDinic(0, 0) != 0 {
+		t.Error("s==t should be 0")
+	}
+	if g.MaxFlowDinic(0, 2) != 0 {
+		t.Error("no edges should be 0")
+	}
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if got := g.MaxFlowDinic(0, 2); got != 3 {
+		t.Errorf("chain = %d, want 3", got)
+	}
+}
+
+func TestEdgeFlowAndEndpoints(t *testing.T) {
+	g := NewNetwork(4)
+	e0 := g.AddEdge(0, 1, 2)
+	e1 := g.AddEdge(1, 3, 2)
+	e2 := g.AddEdge(0, 2, 1)
+	e3 := g.AddEdge(2, 3, 5)
+	g.MaxFlowDinic(0, 3)
+	if g.EdgeFlow(e0) != 2 || g.EdgeFlow(e1) != 2 {
+		t.Errorf("top path flows = %d,%d, want 2,2", g.EdgeFlow(e0), g.EdgeFlow(e1))
+	}
+	if g.EdgeFlow(e2) != 1 || g.EdgeFlow(e3) != 1 {
+		t.Errorf("bottom path flows = %d,%d, want 1,1", g.EdgeFlow(e2), g.EdgeFlow(e3))
+	}
+	u, v := g.EdgeEndpoints(e1)
+	if u != 1 || v != 3 {
+		t.Errorf("EdgeEndpoints = (%d,%d), want (1,3)", u, v)
+	}
+}
+
+// buildRandomNetwork makes a random bipartite s-L-R-t unit network, the
+// exact shape Algorithm 1 uses.
+func buildRandomBipartite(rng *mathx.RNG, nl, nr int, p float64) (*Network, [][]int32, int, int) {
+	n := nl + nr + 2
+	s, t0 := n-2, n-1
+	g := NewNetwork(n)
+	adj := make([][]int32, nl)
+	for u := 0; u < nl; u++ {
+		g.AddEdge(s, u, 1)
+	}
+	for v := 0; v < nr; v++ {
+		g.AddEdge(nl+v, t0, 1)
+	}
+	for u := 0; u < nl; u++ {
+		for v := 0; v < nr; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, nl+v, 1)
+				adj[u] = append(adj[u], int32(v))
+			}
+		}
+	}
+	return g, adj, s, t0
+}
+
+func TestDinicEqualsFordFulkersonEqualsHopcroftKarp(t *testing.T) {
+	rng := mathx.NewRNG(2024)
+	for trial := 0; trial < 60; trial++ {
+		nl := rng.Intn(12) + 1
+		nr := rng.Intn(12) + 1
+		p := rng.Float64() * 0.6
+		g, adj, s, t0 := buildRandomBipartite(rng, nl, nr, p)
+		dinic := g.MaxFlowDinic(s, t0)
+		g.Reset()
+		ff := g.MaxFlowFordFulkerson(s, t0)
+		_, _, hk := HopcroftKarp(nl, nr, adj)
+		if dinic != ff || dinic != int64(hk) {
+			t.Fatalf("trial %d: dinic=%d ff=%d hk=%d", trial, dinic, ff, hk)
+		}
+	}
+}
+
+func TestFlowConservationAndCapacity(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(10) + 4
+		g := NewNetwork(n)
+		s, t0 := 0, n-1
+		type edge struct{ id, u, v int }
+		var edges []edge
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			id := g.AddEdge(u, v, int64(rng.Intn(10)+1))
+			edges = append(edges, edge{id, u, v})
+		}
+		g.MaxFlowDinic(s, t0)
+		net := make([]int64, n)
+		for _, e := range edges {
+			f := g.EdgeFlow(e.id)
+			if f < 0 || f > g.cap[e.id] {
+				t.Fatalf("trial %d: edge flow %d violates capacity %d", trial, f, g.cap[e.id])
+			}
+			net[e.u] -= f
+			net[e.v] += f
+		}
+		for v := 0; v < n; v++ {
+			if v == s || v == t0 {
+				continue
+			}
+			if net[v] != 0 {
+				t.Fatalf("trial %d: conservation violated at node %d: %d", trial, v, net[v])
+			}
+		}
+		if net[s] != -net[t0] {
+			t.Fatalf("trial %d: source outflow %d != sink inflow %d", trial, -net[s], net[t0])
+		}
+	}
+}
+
+func TestMaxFlowEqualsMinCut(t *testing.T) {
+	rng := mathx.NewRNG(99)
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(9) + 3
+		g := NewNetwork(n)
+		s, t0 := 0, n-1
+		type edge struct{ id, u, v int }
+		var edges []edge
+		for i := 0; i < 4*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			id := g.AddEdge(u, v, int64(rng.Intn(8)))
+			edges = append(edges, edge{id, u, v})
+		}
+		val := g.MaxFlowDinic(s, t0)
+		reach := g.MinCutFromSource(s)
+		if !reach[s] {
+			t.Fatal("source not reachable from itself")
+		}
+		if reach[t0] && val > 0 {
+			t.Fatal("sink reachable in residual graph after max flow")
+		}
+		var cut int64
+		for _, e := range edges {
+			if reach[e.u] && !reach[e.v] {
+				cut += g.cap[e.id]
+			}
+		}
+		if cut != val {
+			t.Fatalf("trial %d: min cut %d != max flow %d", trial, cut, val)
+		}
+	}
+}
+
+func TestMinCostMaxFlow(t *testing.T) {
+	// Two paths of equal capacity, different cost: flow must prefer cheap.
+	g := NewNetwork(4)
+	g.AddEdgeCost(0, 1, 1, 1)
+	g.AddEdgeCost(0, 2, 1, 10)
+	g.AddEdgeCost(1, 3, 1, 1)
+	g.AddEdgeCost(2, 3, 1, 10)
+	f, c := g.MinCostMaxFlow(0, 3)
+	if f != 2 || c != 22 {
+		t.Errorf("flow,cost = %d,%d; want 2,22", f, c)
+	}
+
+	// Cheaper to reroute: classic negative-reduced-cost case.
+	g = NewNetwork(4)
+	g.AddEdgeCost(0, 1, 2, 1)
+	g.AddEdgeCost(1, 3, 1, 1)
+	g.AddEdgeCost(1, 2, 2, 1)
+	g.AddEdgeCost(2, 3, 2, 1)
+	f, c = g.MinCostMaxFlow(0, 3)
+	if f != 2 {
+		t.Errorf("flow = %d, want 2", f)
+	}
+	if c != 2+3 { // path 0-1-3 cost 2, path 0-1-2-3 cost 3
+		t.Errorf("cost = %d, want 5", c)
+	}
+}
+
+func TestMinCostMatchesMaxFlowValue(t *testing.T) {
+	rng := mathx.NewRNG(31)
+	for trial := 0; trial < 30; trial++ {
+		nl := rng.Intn(8) + 1
+		nr := rng.Intn(8) + 1
+		g, _, s, t0 := buildRandomBipartite(rng, nl, nr, 0.4)
+		want := g.MaxFlowDinic(s, t0)
+		g.Reset()
+		got, _ := g.MinCostMaxFlow(s, t0)
+		if got != want {
+			t.Fatalf("trial %d: mincost flow %d != maxflow %d", trial, got, want)
+		}
+	}
+}
+
+func TestHopcroftKarpKnown(t *testing.T) {
+	// Perfect matching on a 3x3 cycle-ish graph.
+	adj := [][]int32{{0, 1}, {1, 2}, {0, 2}}
+	ml, mr, size := HopcroftKarp(3, 3, adj)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	for u, v := range ml {
+		if v == -1 || mr[v] != int32(u) {
+			t.Fatalf("inconsistent matching: ml=%v mr=%v", ml, mr)
+		}
+	}
+	// A graph where greedy can be suboptimal but HK must find 2.
+	adj = [][]int32{{0}, {0, 1}}
+	_, _, size = HopcroftKarp(2, 2, adj)
+	if size != 2 {
+		t.Errorf("size = %d, want 2", size)
+	}
+}
+
+func TestHopcroftKarpEmpty(t *testing.T) {
+	ml, mr, size := HopcroftKarp(0, 0, nil)
+	if size != 0 || len(ml) != 0 || len(mr) != 0 {
+		t.Error("empty graph should yield empty matching")
+	}
+	_, _, size = HopcroftKarp(3, 0, make([][]int32, 3))
+	if size != 0 {
+		t.Error("no right vertices should yield 0")
+	}
+}
+
+func TestGreedyMatchingIsValidAndBelowOptimal(t *testing.T) {
+	rng := mathx.NewRNG(55)
+	if err := quick.Check(func(seed uint32) bool {
+		r := mathx.NewRNG(uint64(seed) ^ rng.Uint64())
+		nl := r.Intn(10) + 1
+		nr := r.Intn(10) + 1
+		adj := make([][]int32, nl)
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if r.Float64() < 0.3 {
+					adj[u] = append(adj[u], int32(v))
+				}
+			}
+		}
+		gl, gr, gs := GreedyMatching(nl, nr, adj)
+		_, _, hs := HopcroftKarp(nl, nr, adj)
+		if gs > hs {
+			return false
+		}
+		// Greedy is maximal: size at least half of optimum.
+		if 2*gs < hs {
+			return false
+		}
+		// Validity.
+		for u, v := range gl {
+			if v != -1 && gr[v] != int32(u) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetworkPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewNetwork(0) },
+		func() { g := NewNetwork(2); g.AddEdge(0, 5, 1) },
+		func() { g := NewNetwork(2); g.AddEdge(-1, 0, 1) },
+		func() { g := NewNetwork(2); g.AddEdge(0, 1, -3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := NewNetwork(3)
+	e := g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, 4)
+	if g.MaxFlowDinic(0, 2) != 4 {
+		t.Fatal("first solve")
+	}
+	g.Reset()
+	if g.EdgeFlow(e) != 0 {
+		t.Fatal("Reset did not zero flow")
+	}
+	if g.MaxFlowDinic(0, 2) != 4 {
+		t.Fatal("re-solve after Reset")
+	}
+}

@@ -1,0 +1,100 @@
+package flow
+
+// HopcroftKarp computes a maximum-cardinality matching in a bipartite graph
+// given as an adjacency list from left vertices to right vertices.
+// adj[u] lists the right-vertex ids (0..nRight-1) adjacent to left vertex u.
+//
+// It returns matchL (for each left vertex, the matched right vertex or -1)
+// and matchR (the reverse), plus the matching size. Runs in O(E·√V), which
+// is what makes OPT computable at the paper's 20k–40k scales.
+func HopcroftKarp(nLeft, nRight int, adj [][]int32) (matchL, matchR []int32, size int) {
+	matchL = make([]int32, nLeft)
+	matchR = make([]int32, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	if nLeft == 0 || nRight == 0 {
+		return matchL, matchR, 0
+	}
+
+	const inf = int32(1) << 30
+	dist := make([]int32, nLeft)
+	queue := make([]int32, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := range dist {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, int32(u))
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 && dfs(int32(u)) {
+				size++
+			}
+		}
+	}
+	return matchL, matchR, size
+}
+
+// GreedyMatching computes a maximal (not maximum) matching by scanning left
+// vertices in order and taking the first free neighbour. It is a fast
+// lower-bound oracle used in tests and as a warm start.
+func GreedyMatching(nLeft, nRight int, adj [][]int32) (matchL, matchR []int32, size int) {
+	matchL = make([]int32, nLeft)
+	matchR = make([]int32, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	for u := 0; u < nLeft; u++ {
+		for _, v := range adj[u] {
+			if matchR[v] == -1 {
+				matchL[u] = v
+				matchR[v] = int32(u)
+				size++
+				break
+			}
+		}
+	}
+	return matchL, matchR, size
+}

@@ -1,0 +1,300 @@
+// Package flow implements the network-flow and bipartite-matching substrate
+// the paper's offline components rely on: Algorithm 1 builds the offline
+// guide with a max-flow computation (the paper uses Ford–Fulkerson and notes
+// any max-flow algorithm works), the competitive-ratio analysis uses the
+// max-flow = min-cut duality, and the optional travel-cost-aware guide uses
+// min-cost max-flow. OPT is a maximum-cardinality bipartite matching, for
+// which Hopcroft–Karp is provided.
+//
+// All algorithms work on integer capacities (unit capacities in the FTOA
+// constructions) and are deterministic.
+package flow
+
+import "fmt"
+
+// Network is a directed flow network stored as an adjacency list over
+// paired residual edges: edge i and edge i^1 are a forward/backward pair.
+type Network struct {
+	n     int
+	heads [][]int32 // per node: indices into edges
+	to    []int32
+	cap   []int64
+	cost  []int64 // used only by min-cost flow; zero otherwise
+	flow  []int64
+}
+
+// NewNetwork creates a network with n nodes and no edges. Node ids are
+// 0..n-1; callers conventionally reserve two of them for source and sink.
+func NewNetwork(n int) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("flow: non-positive node count %d", n))
+	}
+	return &Network{n: n, heads: make([][]int32, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Network) NumNodes() int { return g.n }
+
+// NumEdges returns the number of forward edges added via AddEdge.
+func (g *Network) NumEdges() int { return len(g.to) / 2 }
+
+// AddEdge adds a directed edge from u to v with the given capacity and zero
+// cost, returning the edge id (usable with EdgeFlow). Capacity must be
+// non-negative.
+func (g *Network) AddEdge(u, v int, capacity int64) int {
+	return g.AddEdgeCost(u, v, capacity, 0)
+}
+
+// AddEdgeCost adds a directed edge from u to v with the given capacity and
+// per-unit cost, returning the edge id.
+func (g *Network) AddEdgeCost(u, v int, capacity, cost int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	id := len(g.to)
+	g.to = append(g.to, int32(v), int32(u))
+	g.cap = append(g.cap, capacity, 0)
+	g.cost = append(g.cost, cost, -cost)
+	g.flow = append(g.flow, 0, 0)
+	g.heads[u] = append(g.heads[u], int32(id))
+	g.heads[v] = append(g.heads[v], int32(id+1))
+	return id
+}
+
+// EdgeFlow returns the flow currently routed through the forward edge with
+// the given id (as returned by AddEdge/AddEdgeCost).
+func (g *Network) EdgeFlow(id int) int64 { return g.flow[id] }
+
+// EdgeEndpoints returns (u, v) for the forward edge id.
+func (g *Network) EdgeEndpoints(id int) (u, v int) {
+	return int(g.to[id^1]), int(g.to[id])
+}
+
+// Reset zeroes all flow, allowing the same topology to be re-solved.
+func (g *Network) Reset() {
+	for i := range g.flow {
+		g.flow[i] = 0
+	}
+}
+
+// residual capacity of edge id.
+func (g *Network) res(id int) int64 { return g.cap[id] - g.flow[id] }
+
+// push routes amount f through edge id (and -f through its pair).
+func (g *Network) push(id int, f int64) {
+	g.flow[id] += f
+	g.flow[id^1] -= f
+}
+
+// MaxFlowDinic computes the maximum flow from s to t using Dinic's
+// algorithm (BFS level graph + blocking-flow DFS). It runs on top of any
+// existing flow (so it can extend a partial solution) and returns the amount
+// of additional flow pushed.
+func (g *Network) MaxFlowDinic(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	level := make([]int32, g.n)
+	iter := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, id := range g.heads[u] {
+				v := g.to[id]
+				if level[v] < 0 && g.res(int(id)) > 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int32, limit int64) int64
+	dfs = func(u int32, limit int64) int64 {
+		if int(u) == t {
+			return limit
+		}
+		for ; iter[u] < int32(len(g.heads[u])); iter[u]++ {
+			id := g.heads[u][iter[u]]
+			v := g.to[id]
+			if level[v] != level[u]+1 || g.res(int(id)) <= 0 {
+				continue
+			}
+			amt := limit
+			if r := g.res(int(id)); r < amt {
+				amt = r
+			}
+			if pushed := dfs(v, amt); pushed > 0 {
+				g.push(int(id), pushed)
+				return pushed
+			}
+		}
+		level[u] = -1 // dead end; prune
+		return 0
+	}
+
+	const inf = int64(1) << 62
+	var total int64
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(int32(s), inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// MaxFlowFordFulkerson computes max flow using the Edmonds–Karp variant
+// (BFS augmenting paths), the algorithm the paper cites for Algorithm 1.
+// It is kept as a cross-check oracle for Dinic; production paths use Dinic.
+func (g *Network) MaxFlowFordFulkerson(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	parentEdge := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+	var total int64
+	for {
+		for i := range parentEdge {
+			parentEdge[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		parentEdge[s] = -2
+		found := false
+	bfs:
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, id := range g.heads[u] {
+				v := g.to[id]
+				if parentEdge[v] == -1 && g.res(int(id)) > 0 {
+					parentEdge[v] = id
+					if int(v) == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		if !found {
+			return total
+		}
+		// Find bottleneck.
+		bottleneck := int64(1) << 62
+		for v := int32(t); v != int32(s); {
+			id := parentEdge[v]
+			if r := g.res(int(id)); r < bottleneck {
+				bottleneck = r
+			}
+			v = g.to[id^1]
+		}
+		for v := int32(t); v != int32(s); {
+			id := parentEdge[v]
+			g.push(int(id), bottleneck)
+			v = g.to[id^1]
+		}
+		total += bottleneck
+	}
+}
+
+// MinCutFromSource returns the set of nodes reachable from s in the residual
+// graph after a max-flow computation — the "canonical reachability min-cut"
+// the paper's Lemma 2 uses. reachable[v] is true iff v is on the source side.
+func (g *Network) MinCutFromSource(s int) []bool {
+	reachable := make([]bool, g.n)
+	reachable[s] = true
+	stack := []int32{int32(s)}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.heads[u] {
+			v := g.to[id]
+			if !reachable[v] && g.res(int(id)) > 0 {
+				reachable[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return reachable
+}
+
+// MinCostMaxFlow computes a maximum flow of minimum total cost from s to t
+// using successive shortest augmenting paths with SPFA (costs may be
+// negative only on residual arcs, which SPFA handles). It returns the flow
+// value and its total cost. Intended for the travel-cost-aware guide, where
+// edge costs are travel times scaled to integers.
+func (g *Network) MinCostMaxFlow(s, t int) (flowValue, totalCost int64) {
+	const inf = int64(1) << 62
+	dist := make([]int64, g.n)
+	inQueue := make([]bool, g.n)
+	parentEdge := make([]int32, g.n)
+
+	for {
+		for i := range dist {
+			dist[i] = inf
+			inQueue[i] = false
+			parentEdge[i] = -1
+		}
+		dist[s] = 0
+		queue := []int32{int32(s)}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for _, id := range g.heads[u] {
+				v := g.to[id]
+				if g.res(int(id)) <= 0 {
+					continue
+				}
+				nd := dist[u] + g.cost[id]
+				if nd < dist[v] {
+					dist[v] = nd
+					parentEdge[v] = id
+					if !inQueue[v] {
+						inQueue[v] = true
+						queue = append(queue, v)
+					}
+				}
+			}
+		}
+		if dist[t] >= inf {
+			return flowValue, totalCost
+		}
+		// Bottleneck along the shortest path.
+		bottleneck := inf
+		for v := int32(t); v != int32(s); {
+			id := parentEdge[v]
+			if r := g.res(int(id)); r < bottleneck {
+				bottleneck = r
+			}
+			v = g.to[id^1]
+		}
+		for v := int32(t); v != int32(s); {
+			id := parentEdge[v]
+			g.push(int(id), bottleneck)
+			v = g.to[id^1]
+		}
+		flowValue += bottleneck
+		totalCost += bottleneck * dist[t]
+	}
+}

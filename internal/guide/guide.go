@@ -1,0 +1,482 @@
+// Package guide implements the offline guide generation of Section 4
+// (Algorithm 1): it turns predicted per-(time slot, grid area) counts of
+// workers and tasks into a maximum bipartite matching between predicted
+// objects — the "offline guide" that POLAR and POLAR-OP consult online.
+//
+// Instead of instantiating one graph node per predicted object as the paper
+// presents it (m + n nodes, up to m·n edges), the network here has one node
+// per non-empty (slot, area) cell with capacity equal to the predicted
+// count. Max-flow on this compressed network has exactly the same value,
+// and the integral flow decomposes into a *pair layout*: the conceptually
+// ordered nodes of each cell are split into consecutive runs, each run
+// paired one-to-one with a run of a partner cell. The layout supports the
+// O(1) per-arrival node lookup that gives POLAR / POLAR-OP their constant
+// processing time (Section 5 complexity analyses).
+package guide
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftoa/internal/flow"
+	"ftoa/internal/geo"
+	"ftoa/internal/timeslot"
+)
+
+// Config describes the prediction discretisation and the deadline
+// parameters the guide assumes for predicted objects. The paper's
+// experiments use global deadlines (Dw for workers, Dr for tasks), so the
+// guide applies them to every predicted object.
+type Config struct {
+	Grid     *geo.Grid
+	Slots    *timeslot.Slotting
+	Velocity float64 // worker speed, space units per time unit
+
+	WorkerPatience float64 // Dw applied to predicted workers
+	TaskExpiry     float64 // Dr applied to predicted tasks
+
+	// MaxEdgesPerCell caps the number of task cells a worker cell connects
+	// to, keeping the nearest ones by travel distance. Zero or negative
+	// means unlimited. The cap bounds guide-construction memory at extreme
+	// scales (the 1M-object scalability run) at a small cost in matching
+	// value; the default used by experiments is 128.
+	MaxEdgesPerCell int
+
+	// MinCost, when true, computes a min-cost max-flow with edge cost equal
+	// to the center-to-center travel time, yielding a maximum guide that
+	// also minimises total travel (the paper's note (2) after Algorithm 1).
+	MinCost bool
+
+	// RepSlack is extra travel-time budget (in time units) granted when
+	// testing edge feasibility between cell representatives, compensating
+	// the discretisation error of representing objects by slot midpoints
+	// and cell centers (the "differences can be ignored" remark after the
+	// paper's Lemma 1 assumption). Zero is the neutral default; the
+	// experiments use half a slot width.
+	RepSlack float64
+}
+
+// repTime returns the representative time of a slot: its midpoint, which
+// is unbiased for objects uniform within the slot (slot starts would
+// understate every task's deadline by half a slot on average).
+func (c Config) repTime(slot int) float64 { return c.Slots.Mid(slot) }
+
+// edgeFeasible applies the Definition 4 predicate to cell representatives.
+func (c Config) edgeFeasible(sw, sr, dist float64) bool {
+	if sr >= sw+c.WorkerPatience {
+		return false
+	}
+	return sw+dist/c.Velocity <= sr+c.TaskExpiry+c.RepSlack
+}
+
+// Run is a consecutive block of a cell's predicted nodes paired with a
+// block of a partner cell's nodes. Node (Offset + k) of this cell is paired
+// with node (PartnerOffset + k) of cell Partner, for 0 ≤ k < Count.
+type Run struct {
+	Offset        int32 // first node index of this run within its own cell
+	Partner       int32 // dense id of the partner cell on the other side
+	PartnerOffset int32 // first node index of the paired run in the partner
+	Count         int32 // number of paired nodes in the run
+}
+
+// CellPlan is the guide's plan for one non-empty (slot, area) cell: how
+// many predicted nodes it has and how its matched prefix is paired.
+type CellPlan struct {
+	Key     timeslot.CellKey
+	Count   int32 // predicted number of objects of this type (a_ij or b_ij)
+	Matched int32 // how many of them the guide matched (≤ Count)
+	Runs    []Run // pair layout covering node indices [0, Matched)
+}
+
+// PartnerOf returns, for node index idx within this cell, the partner cell
+// dense id and partner node index, or ok=false if the node is unmatched.
+// It is O(log runs); online consumers use sequential cursors instead.
+func (c *CellPlan) PartnerOf(idx int32) (partner, partnerIdx int32, ok bool) {
+	if idx < 0 || idx >= c.Matched {
+		return 0, 0, false
+	}
+	// Binary search for the run containing idx.
+	lo, hi := 0, len(c.Runs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.Runs[mid].Offset <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	r := c.Runs[lo]
+	if idx < r.Offset || idx >= r.Offset+r.Count {
+		return 0, 0, false
+	}
+	return r.Partner, r.PartnerOffset + (idx - r.Offset), true
+}
+
+// Guide is the offline guide Ĝf: the pair layout for every non-empty
+// worker cell and task cell, plus dense-id lookup tables.
+type Guide struct {
+	Cfg Config
+
+	WorkerCells []CellPlan
+	TaskCells   []CellPlan
+
+	// workerID / taskID map a flattened (slot, area) key to a dense cell id
+	// or -1. Length = slots × areas.
+	workerID []int32
+	taskID   []int32
+
+	// MatchedPairs is the guide's matching size |E*| (total units of flow).
+	MatchedPairs int
+	// TravelCost is the total center-to-center travel time across matched
+	// pairs (only meaningful when Cfg.MinCost, but computed always).
+	TravelCost float64
+}
+
+// WorkerCellID returns the dense id of the worker cell for (slot, area), or
+// -1 if the prediction has no workers there.
+func (g *Guide) WorkerCellID(slot, area int) int32 {
+	return g.workerID[slot*g.Cfg.Grid.NumCells()+area]
+}
+
+// TaskCellID is the task-side analogue of WorkerCellID.
+func (g *Guide) TaskCellID(slot, area int) int32 {
+	return g.taskID[slot*g.Cfg.Grid.NumCells()+area]
+}
+
+// TotalWorkers returns m = Σ a_ij.
+func (g *Guide) TotalWorkers() int {
+	s := 0
+	for i := range g.WorkerCells {
+		s += int(g.WorkerCells[i].Count)
+	}
+	return s
+}
+
+// TotalTasks returns n = Σ b_ij.
+func (g *Guide) TotalTasks() int {
+	s := 0
+	for i := range g.TaskCells {
+		s += int(g.TaskCells[i].Count)
+	}
+	return s
+}
+
+// cellRef is a non-empty prediction cell during construction.
+type cellRef struct {
+	key   timeslot.CellKey
+	count int32
+}
+
+// Build runs Algorithm 1: it constructs the bipartite flow network over the
+// predicted counts and extracts the pair layout from a maximum (optionally
+// min-cost) flow. workerCounts and taskCounts are flattened over
+// (slot, area) with length slots × areas; negative counts are rejected.
+func Build(cfg Config, workerCounts, taskCounts []int) (*Guide, error) {
+	if cfg.Grid == nil || cfg.Slots == nil {
+		return nil, fmt.Errorf("guide: nil grid or slotting")
+	}
+	if cfg.Velocity <= 0 {
+		return nil, fmt.Errorf("guide: non-positive velocity %v", cfg.Velocity)
+	}
+	areas := cfg.Grid.NumCells()
+	want := cfg.Slots.Count * areas
+	if len(workerCounts) != want || len(taskCounts) != want {
+		return nil, fmt.Errorf("guide: counts length %d/%d, want %d", len(workerCounts), len(taskCounts), want)
+	}
+
+	wCells, wID, err := collectCells(workerCounts, areas, cfg.Slots.Count)
+	if err != nil {
+		return nil, fmt.Errorf("guide: worker %w", err)
+	}
+	tCells, tID, err := collectCells(taskCounts, areas, cfg.Slots.Count)
+	if err != nil {
+		return nil, fmt.Errorf("guide: task %w", err)
+	}
+
+	g := &Guide{Cfg: cfg, workerID: wID, taskID: tID}
+	g.WorkerCells = make([]CellPlan, len(wCells))
+	for i, c := range wCells {
+		g.WorkerCells[i] = CellPlan{Key: c.key, Count: c.count}
+	}
+	g.TaskCells = make([]CellPlan, len(tCells))
+	for i, c := range tCells {
+		g.TaskCells[i] = CellPlan{Key: c.key, Count: c.count}
+	}
+	if len(wCells) == 0 || len(tCells) == 0 {
+		return g, nil
+	}
+
+	// Bucket non-empty task cells by slot for edge enumeration.
+	taskBySlot := make([][]int32, cfg.Slots.Count)
+	for i, c := range tCells {
+		taskBySlot[c.key.Slot] = append(taskBySlot[c.key.Slot], int32(i))
+	}
+
+	// Network layout: [0, len(wCells)) worker cells, then task cells, then
+	// source and sink.
+	nw, nt := len(wCells), len(tCells)
+	net := flow.NewNetwork(nw + nt + 2)
+	src, snk := nw+nt, nw+nt+1
+	for i, c := range wCells {
+		net.AddEdge(src, i, int64(c.count))
+	}
+	for i, c := range tCells {
+		net.AddEdge(nw+i, snk, int64(c.count))
+	}
+
+	type pairEdge struct {
+		edgeID int
+		wCell  int32
+		tCell  int32
+	}
+	var pairEdges []pairEdge
+
+	// costScale converts travel times to integer edge costs for the
+	// min-cost solver while keeping relative precision.
+	const costScale = 1024.0
+
+	type cand struct {
+		tCell int32
+		dist  float64
+	}
+	var cands []cand
+	var diskCells []int
+	for wi, wc := range wCells {
+		sw := cfg.repTime(wc.key.Slot)
+		wCenter := cfg.Grid.Center(wc.key.Area)
+		cands = cands[:0]
+		for slot := 0; slot < cfg.Slots.Count; slot++ {
+			sr := cfg.repTime(slot)
+			if sr >= sw+cfg.WorkerPatience {
+				break // later slots only get later
+			}
+			budget := sr + cfg.TaskExpiry + cfg.RepSlack - sw // travel-time budget
+			if budget < 0 {
+				continue
+			}
+			radius := budget * cfg.Velocity
+			nonEmpty := taskBySlot[slot]
+			if len(nonEmpty) == 0 {
+				continue
+			}
+			// Choose the cheaper enumeration: scan non-empty task cells of
+			// the slot, or walk the disk of cells within the radius.
+			cw, ch := cfg.Grid.CellSize()
+			diskArea := math.Pi * (radius/cw + 1) * (radius/ch + 1)
+			if diskArea < float64(len(nonEmpty)) {
+				diskCells = cfg.Grid.CellsWithinRadius(wc.key.Area, radius, diskCells[:0])
+				for _, area := range diskCells {
+					ti := tID[slot*areas+area]
+					if ti < 0 {
+						continue
+					}
+					d := wCenter.Dist(cfg.Grid.Center(area))
+					if cfg.edgeFeasible(sw, sr, d) {
+						cands = append(cands, cand{tCell: ti, dist: d})
+					}
+				}
+			} else {
+				for _, ti := range nonEmpty {
+					area := tCells[ti].key.Area
+					d := wCenter.Dist(cfg.Grid.Center(area))
+					if cfg.edgeFeasible(sw, sr, d) {
+						cands = append(cands, cand{tCell: ti, dist: d})
+					}
+				}
+			}
+		}
+		if cfg.MaxEdgesPerCell > 0 && len(cands) > cfg.MaxEdgesPerCell {
+			sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+			cands = cands[:cfg.MaxEdgesPerCell]
+		}
+		for _, c := range cands {
+			capacity := int64(wc.count)
+			if tc := int64(tCells[c.tCell].count); tc < capacity {
+				capacity = tc
+			}
+			cost := int64(0)
+			if cfg.MinCost {
+				cost = int64(c.dist / cfg.Velocity * costScale)
+			}
+			id := net.AddEdgeCost(wi, nw+int(c.tCell), capacity, cost)
+			pairEdges = append(pairEdges, pairEdge{edgeID: id, wCell: int32(wi), tCell: c.tCell})
+		}
+	}
+
+	if cfg.MinCost {
+		v, _ := net.MinCostMaxFlow(src, snk)
+		g.MatchedPairs = int(v)
+	} else {
+		g.MatchedPairs = int(net.MaxFlowDinic(src, snk))
+	}
+
+	// Decompose the flow into the pair layout. Worker cells are processed
+	// in dense-id order; within a worker cell, partner runs in edge
+	// insertion order (nearest-first when capped). Offsets advance on both
+	// sides as runs are emitted.
+	wOff := make([]int32, nw)
+	tOff := make([]int32, nt)
+	for _, pe := range pairEdges {
+		f := net.EdgeFlow(pe.edgeID)
+		if f <= 0 {
+			continue
+		}
+		wp := &g.WorkerCells[pe.wCell]
+		tp := &g.TaskCells[pe.tCell]
+		run := Run{
+			Offset:        wOff[pe.wCell],
+			Partner:       pe.tCell,
+			PartnerOffset: tOff[pe.tCell],
+			Count:         int32(f),
+		}
+		wp.Runs = append(wp.Runs, run)
+		tp.Runs = append(tp.Runs, Run{
+			Offset:        tOff[pe.tCell],
+			Partner:       pe.wCell,
+			PartnerOffset: wOff[pe.wCell],
+			Count:         int32(f),
+		})
+		wCenter := cfg.Grid.Center(wp.Key.Area)
+		tCenter := cfg.Grid.Center(tp.Key.Area)
+		g.TravelCost += float64(f) * wCenter.Dist(tCenter) / cfg.Velocity
+		wOff[pe.wCell] += int32(f)
+		tOff[pe.tCell] += int32(f)
+		wp.Matched += int32(f)
+		tp.Matched += int32(f)
+	}
+
+	// Task-side runs were appended in worker-cell order; sort them by their
+	// own offset so each side's runs cover [0, Matched) in order.
+	for i := range g.TaskCells {
+		runs := g.TaskCells[i].Runs
+		sort.Slice(runs, func(a, b int) bool { return runs[a].Offset < runs[b].Offset })
+	}
+	return g, nil
+}
+
+// NewManual assembles a Guide from explicit cell plans. It is intended for
+// tests and for callers that compute pairings themselves (the paper's
+// worked example fixes a specific max-flow decomposition); the result is
+// validated before being returned.
+func NewManual(cfg Config, workerCells, taskCells []CellPlan) (*Guide, error) {
+	if cfg.Grid == nil || cfg.Slots == nil {
+		return nil, fmt.Errorf("guide: nil grid or slotting")
+	}
+	areas := cfg.Grid.NumCells()
+	g := &Guide{
+		Cfg:         cfg,
+		WorkerCells: workerCells,
+		TaskCells:   taskCells,
+		workerID:    make([]int32, cfg.Slots.Count*areas),
+		taskID:      make([]int32, cfg.Slots.Count*areas),
+	}
+	for i := range g.workerID {
+		g.workerID[i] = -1
+		g.taskID[i] = -1
+	}
+	for i := range workerCells {
+		g.workerID[workerCells[i].Key.Flatten(areas)] = int32(i)
+		g.MatchedPairs += int(workerCells[i].Matched)
+	}
+	for i := range taskCells {
+		g.taskID[taskCells[i].Key.Flatten(areas)] = int32(i)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// collectCells extracts non-empty cells and builds the dense-id lookup.
+func collectCells(counts []int, areas, slots int) ([]cellRef, []int32, error) {
+	id := make([]int32, slots*areas)
+	for i := range id {
+		id[i] = -1
+	}
+	var cells []cellRef
+	for flat, c := range counts {
+		if c < 0 {
+			return nil, nil, fmt.Errorf("cell %d has negative count %d", flat, c)
+		}
+		if c == 0 {
+			continue
+		}
+		id[flat] = int32(len(cells))
+		cells = append(cells, cellRef{
+			key:   timeslot.UnflattenCell(flat, areas),
+			count: int32(c),
+		})
+	}
+	return cells, id, nil
+}
+
+// Validate checks the internal consistency of the pair layout: runs on each
+// side tile [0, Matched) without gaps, cross-references agree, and every
+// paired (worker cell, task cell) satisfies the Definition 4 predicate on
+// representatives. It is used by tests and available to callers who build
+// guides from untrusted predictions.
+func (g *Guide) Validate() error {
+	check := func(cells []CellPlan, side string) error {
+		for ci := range cells {
+			c := &cells[ci]
+			if c.Matched > c.Count {
+				return fmt.Errorf("guide: %s cell %d matched %d > count %d", side, ci, c.Matched, c.Count)
+			}
+			var off int32
+			for _, r := range c.Runs {
+				if r.Offset != off {
+					return fmt.Errorf("guide: %s cell %d runs have gap at %d", side, ci, off)
+				}
+				if r.Count <= 0 {
+					return fmt.Errorf("guide: %s cell %d has non-positive run", side, ci)
+				}
+				off += r.Count
+			}
+			if off != c.Matched {
+				return fmt.Errorf("guide: %s cell %d runs cover %d, matched %d", side, ci, off, c.Matched)
+			}
+		}
+		return nil
+	}
+	if err := check(g.WorkerCells, "worker"); err != nil {
+		return err
+	}
+	if err := check(g.TaskCells, "task"); err != nil {
+		return err
+	}
+	// Cross-reference and feasibility.
+	total := 0
+	for wi := range g.WorkerCells {
+		wc := &g.WorkerCells[wi]
+		sw := g.Cfg.repTime(wc.Key.Slot)
+		wCenter := g.Cfg.Grid.Center(wc.Key.Area)
+		for _, r := range wc.Runs {
+			total += int(r.Count)
+			tc := &g.TaskCells[r.Partner]
+			sr := g.Cfg.repTime(tc.Key.Slot)
+			if sr >= sw+g.Cfg.WorkerPatience {
+				return fmt.Errorf("guide: pair (w%d,t%d) violates worker deadline", wi, r.Partner)
+			}
+			d := wCenter.Dist(g.Cfg.Grid.Center(tc.Key.Area))
+			if sw+d/g.Cfg.Velocity > sr+g.Cfg.TaskExpiry+g.Cfg.RepSlack+1e-9 {
+				return fmt.Errorf("guide: pair (w%d,t%d) violates travel deadline", wi, r.Partner)
+			}
+			// The reverse run must exist and point back.
+			found := false
+			for _, tr := range tc.Runs {
+				if tr.Partner == int32(wi) && tr.Offset == r.PartnerOffset && tr.PartnerOffset == r.Offset && tr.Count == r.Count {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("guide: run of w%d has no mirror in t%d", wi, r.Partner)
+			}
+		}
+	}
+	if total != g.MatchedPairs {
+		return fmt.Errorf("guide: runs total %d != matched pairs %d", total, g.MatchedPairs)
+	}
+	return nil
+}

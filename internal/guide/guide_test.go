@@ -1,0 +1,363 @@
+package guide
+
+import (
+	"testing"
+
+	"ftoa/internal/flow"
+	"ftoa/internal/geo"
+	"ftoa/internal/mathx"
+	"ftoa/internal/timeslot"
+)
+
+// exampleConfig mirrors the paper's running example: an 8×8 space split
+// into 2×2 areas, a 10-minute timeline split into two 5-minute slots,
+// velocity 1 unit/min, Dw = 30 min, Dr = 2 min.
+func exampleConfig() Config {
+	return Config{
+		Grid:           geo.NewGrid(geo.NewRect(0, 0, 8, 8), 2, 2),
+		Slots:          timeslot.New(10, 2),
+		Velocity:       1,
+		WorkerPatience: 30,
+		TaskExpiry:     2,
+	}
+}
+
+// exampleCounts returns the predicted counts of Figure 1d in this grid's
+// numbering. The paper's Area0 (top-left) is our cell 2, Area1 (top-right)
+// is cell 3, Area2 (bottom-left) is cell 0, Area3 (bottom-right) is cell 1.
+func exampleCounts(cfg Config) (workers, tasks []int) {
+	areas := cfg.Grid.NumCells()
+	workers = make([]int, cfg.Slots.Count*areas)
+	tasks = make([]int, cfg.Slots.Count*areas)
+	workers[0*areas+2] = 2 // a(slot0, paper Area0) = 2
+	workers[0*areas+1] = 3 // a(slot0, paper Area3) = 3
+	tasks[0*areas+2] = 1   // b(slot0, paper Area0) = 1
+	tasks[1*areas+3] = 3   // b(slot1, paper Area1) = 3
+	tasks[1*areas+0] = 1   // b(slot1, paper Area2) = 1
+	return workers, tasks
+}
+
+func TestBuildPaperExample(t *testing.T) {
+	cfg := exampleConfig()
+	workers, tasks := exampleCounts(cfg)
+	g, err := Build(cfg, workers, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All five predicted pairs are matchable (Example 4 / Figure 2).
+	if g.MatchedPairs != 5 {
+		t.Errorf("MatchedPairs = %d, want 5", g.MatchedPairs)
+	}
+	if g.TotalWorkers() != 5 || g.TotalTasks() != 5 {
+		t.Errorf("totals = %d workers, %d tasks; want 5, 5", g.TotalWorkers(), g.TotalTasks())
+	}
+	// Dense-id lookup round-trips.
+	if id := g.WorkerCellID(0, 2); id < 0 || g.WorkerCells[id].Count != 2 {
+		t.Errorf("worker cell (0,2) lookup broken: id=%d", id)
+	}
+	if id := g.TaskCellID(1, 3); id < 0 || g.TaskCells[id].Count != 3 {
+		t.Errorf("task cell (1,3) lookup broken: id=%d", id)
+	}
+	if id := g.WorkerCellID(1, 3); id != -1 {
+		t.Errorf("empty worker cell should be -1, got %d", id)
+	}
+}
+
+func TestBuildEmptySides(t *testing.T) {
+	cfg := exampleConfig()
+	areas := cfg.Grid.NumCells()
+	zero := make([]int, cfg.Slots.Count*areas)
+	some := make([]int, cfg.Slots.Count*areas)
+	some[0] = 3
+	g, err := Build(cfg, zero, some)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MatchedPairs != 0 || len(g.WorkerCells) != 0 || len(g.TaskCells) != 1 {
+		t.Errorf("unexpected guide for empty worker side: %+v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	cfg := exampleConfig()
+	areas := cfg.Grid.NumCells()
+	n := cfg.Slots.Count * areas
+	good := make([]int, n)
+	if _, err := Build(cfg, good, good[:n-1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := make([]int, n)
+	bad[0] = -1
+	if _, err := Build(cfg, bad, good); err == nil {
+		t.Error("negative count accepted")
+	}
+	cfg2 := cfg
+	cfg2.Velocity = 0
+	if _, err := Build(cfg2, good, good); err == nil {
+		t.Error("zero velocity accepted")
+	}
+	cfg3 := cfg
+	cfg3.Grid = nil
+	if _, err := Build(cfg3, good, good); err == nil {
+		t.Error("nil grid accepted")
+	}
+}
+
+func TestPartnerOf(t *testing.T) {
+	cfg := exampleConfig()
+	workers, tasks := exampleCounts(cfg)
+	g, err := Build(cfg, workers, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range g.WorkerCells {
+		c := &g.WorkerCells[ci]
+		for idx := int32(0); idx < c.Matched; idx++ {
+			pc, pn, ok := c.PartnerOf(idx)
+			if !ok {
+				t.Fatalf("worker cell %d node %d should be matched", ci, idx)
+			}
+			// The partner's partner must be this node.
+			bc, bn, ok := g.TaskCells[pc].PartnerOf(pn)
+			if !ok || bc != int32(ci) || bn != idx {
+				t.Fatalf("pairing not involutive: w(%d,%d) -> t(%d,%d) -> w(%d,%d)", ci, idx, pc, pn, bc, bn)
+			}
+		}
+		if _, _, ok := c.PartnerOf(c.Matched); ok {
+			t.Errorf("node beyond Matched reported as paired")
+		}
+		if _, _, ok := c.PartnerOf(-1); ok {
+			t.Errorf("negative node reported as paired")
+		}
+	}
+}
+
+// referenceMatchingSize computes the maximum matching over the expanded
+// unit-node bipartite graph — the literal Algorithm 1 — to cross-check the
+// compressed network construction.
+func referenceMatchingSize(cfg Config, workerCounts, taskCounts []int) int {
+	areas := cfg.Grid.NumCells()
+	type node struct{ slot, area int }
+	var wNodes, tNodes []node
+	for flat, c := range workerCounts {
+		k := timeslot.UnflattenCell(flat, areas)
+		for i := 0; i < c; i++ {
+			wNodes = append(wNodes, node{k.Slot, k.Area})
+		}
+	}
+	for flat, c := range taskCounts {
+		k := timeslot.UnflattenCell(flat, areas)
+		for i := 0; i < c; i++ {
+			tNodes = append(tNodes, node{k.Slot, k.Area})
+		}
+	}
+	adj := make([][]int32, len(wNodes))
+	for i, w := range wNodes {
+		sw := cfg.Slots.Mid(w.slot)
+		for j, r := range tNodes {
+			sr := cfg.Slots.Mid(r.slot)
+			if sr >= sw+cfg.WorkerPatience {
+				continue
+			}
+			d := cfg.Grid.Center(w.area).Dist(cfg.Grid.Center(r.area))
+			if sw+d/cfg.Velocity <= sr+cfg.TaskExpiry+cfg.RepSlack {
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+	}
+	_, _, size := flow.HopcroftKarp(len(wNodes), len(tNodes), adj)
+	return size
+}
+
+func TestCompressedEqualsExpandedOnRandomInputs(t *testing.T) {
+	rng := mathx.NewRNG(404)
+	for trial := 0; trial < 40; trial++ {
+		cfg := Config{
+			Grid:           geo.NewGrid(geo.NewRect(0, 0, 10, 10), 3, 3),
+			Slots:          timeslot.New(6, 3),
+			Velocity:       1 + rng.Float64()*4,
+			WorkerPatience: 1 + rng.Float64()*4,
+			TaskExpiry:     0.5 + rng.Float64()*3,
+		}
+		n := cfg.Slots.Count * cfg.Grid.NumCells()
+		workers := make([]int, n)
+		tasks := make([]int, n)
+		for i := range workers {
+			if rng.Float64() < 0.3 {
+				workers[i] = rng.Intn(4)
+			}
+			if rng.Float64() < 0.3 {
+				tasks[i] = rng.Intn(4)
+			}
+		}
+		g, err := Build(cfg, workers, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := referenceMatchingSize(cfg, workers, tasks)
+		if g.MatchedPairs != want {
+			t.Fatalf("trial %d: compressed matching %d != expanded %d", trial, g.MatchedPairs, want)
+		}
+	}
+}
+
+func TestMinCostGuideSameSizeLowerCost(t *testing.T) {
+	rng := mathx.NewRNG(505)
+	for trial := 0; trial < 15; trial++ {
+		cfg := Config{
+			Grid:           geo.NewGrid(geo.NewRect(0, 0, 20, 20), 4, 4),
+			Slots:          timeslot.New(8, 4),
+			Velocity:       3,
+			WorkerPatience: 4,
+			TaskExpiry:     3,
+		}
+		n := cfg.Slots.Count * cfg.Grid.NumCells()
+		workers := make([]int, n)
+		tasks := make([]int, n)
+		for i := range workers {
+			workers[i] = rng.Intn(3)
+			tasks[i] = rng.Intn(3)
+		}
+		plain, err := Build(cfg, workers, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgMC := cfg
+		cfgMC.MinCost = true
+		mc, err := Build(cfgMC, workers, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if mc.MatchedPairs != plain.MatchedPairs {
+			t.Fatalf("trial %d: mincost size %d != plain size %d", trial, mc.MatchedPairs, plain.MatchedPairs)
+		}
+		if mc.TravelCost > plain.TravelCost+1e-6 {
+			t.Fatalf("trial %d: mincost travel %v > plain travel %v", trial, mc.TravelCost, plain.TravelCost)
+		}
+	}
+}
+
+func TestMaxEdgesPerCellCapsValue(t *testing.T) {
+	cfg := Config{
+		Grid:           geo.NewGrid(geo.NewRect(0, 0, 10, 10), 5, 5),
+		Slots:          timeslot.New(4, 2),
+		Velocity:       100, // everything reachable: dense graph
+		WorkerPatience: 10,
+		TaskExpiry:     10,
+	}
+	n := cfg.Slots.Count * cfg.Grid.NumCells()
+	workers := make([]int, n)
+	tasks := make([]int, n)
+	for i := range workers {
+		workers[i] = 1
+		tasks[i] = 1
+	}
+	full, err := Build(cfg, workers, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgCap := cfg
+	cfgCap.MaxEdgesPerCell = 1
+	capped, err := Build(cfgCap, workers, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := capped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if capped.MatchedPairs > full.MatchedPairs {
+		t.Errorf("capped %d > full %d", capped.MatchedPairs, full.MatchedPairs)
+	}
+	// With cap 1, each worker cell pairs with at most one task cell; value
+	// must still be positive.
+	if capped.MatchedPairs == 0 {
+		t.Error("capped guide matched nothing")
+	}
+	for i := range capped.WorkerCells {
+		seen := map[int32]bool{}
+		for _, r := range capped.WorkerCells[i].Runs {
+			seen[r.Partner] = true
+		}
+		if len(seen) > 1 {
+			t.Errorf("worker cell %d has %d partner cells despite cap 1", i, len(seen))
+		}
+	}
+}
+
+func TestNewManualValidates(t *testing.T) {
+	cfg := exampleConfig()
+	// A single 1-1 pairing between worker cell (slot0, area2) and task cell
+	// (slot0, area2).
+	w := []CellPlan{{
+		Key: timeslot.CellKey{Slot: 0, Area: 2}, Count: 2, Matched: 1,
+		Runs: []Run{{Offset: 0, Partner: 0, PartnerOffset: 0, Count: 1}},
+	}}
+	tk := []CellPlan{{
+		Key: timeslot.CellKey{Slot: 0, Area: 2}, Count: 1, Matched: 1,
+		Runs: []Run{{Offset: 0, Partner: 0, PartnerOffset: 0, Count: 1}},
+	}}
+	g, err := NewManual(cfg, w, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MatchedPairs != 1 {
+		t.Errorf("MatchedPairs = %d", g.MatchedPairs)
+	}
+	// An inconsistent layout must be rejected: matched without runs.
+	bad := []CellPlan{{Key: timeslot.CellKey{Slot: 0, Area: 2}, Count: 1, Matched: 1}}
+	if _, err := NewManual(cfg, bad, nil); err == nil {
+		t.Error("inconsistent manual guide accepted")
+	}
+	// Infeasible pairing must be rejected: worker in slot1 paired with a
+	// task in slot0 that expired long before.
+	wBad := []CellPlan{{
+		Key: timeslot.CellKey{Slot: 1, Area: 2}, Count: 1, Matched: 1,
+		Runs: []Run{{Offset: 0, Partner: 0, PartnerOffset: 0, Count: 1}},
+	}}
+	tBad := []CellPlan{{
+		Key: timeslot.CellKey{Slot: 0, Area: 2}, Count: 1, Matched: 1,
+		Runs: []Run{{Offset: 0, Partner: 0, PartnerOffset: 0, Count: 1}},
+	}}
+	if _, err := NewManual(cfg, wBad, tBad); err == nil {
+		t.Error("infeasible manual pairing accepted")
+	}
+}
+
+func TestGuideDeterminism(t *testing.T) {
+	cfg := exampleConfig()
+	workers, tasks := exampleCounts(cfg)
+	a, err := Build(cfg, workers, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg, workers, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MatchedPairs != b.MatchedPairs || len(a.WorkerCells) != len(b.WorkerCells) {
+		t.Fatal("guide construction not deterministic at top level")
+	}
+	for i := range a.WorkerCells {
+		ra, rb := a.WorkerCells[i].Runs, b.WorkerCells[i].Runs
+		if len(ra) != len(rb) {
+			t.Fatalf("cell %d run count differs", i)
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("cell %d run %d differs: %+v vs %+v", i, j, ra[j], rb[j])
+			}
+		}
+	}
+}

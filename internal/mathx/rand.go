@@ -1,0 +1,231 @@
+// Package mathx is the numeric substrate for the FTOA reproduction:
+// a deterministic random source, the probability distributions the paper's
+// synthetic workloads are drawn from (Normal, truncated Normal, multivariate
+// Normal, Poisson), integerisation helpers (largest-remainder rounding),
+// summary statistics, and a dense linear solver used by the regression-based
+// predictors.
+//
+// Everything is seeded explicitly so experiments are reproducible run to run.
+package mathx
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via splitmix64). It is not safe for concurrent use;
+// create one per goroutine.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed. Distinct seeds give
+// independent-looking streams; the same seed always gives the same stream.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 to spread the seed across the state.
+	x := seed
+	for i := 0; i < 4; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mathx: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap, exactly like
+// math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives a new independent generator from r. Useful for giving each
+// subsystem (temporal sampling, spatial sampling, noise) its own stream so
+// adding draws in one place does not perturb another.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Normal returns a draw from the standard normal distribution using the
+// polar (Marsaglia) method.
+func (r *RNG) Normal() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormalMS returns a draw from N(mu, sigma²). sigma may be zero, in which
+// case mu is returned exactly.
+func (r *RNG) NormalMS(mu, sigma float64) float64 {
+	if sigma == 0 {
+		return mu
+	}
+	return mu + sigma*r.Normal()
+}
+
+// TruncNormal draws from N(mu, sigma²) truncated to [lo, hi] by rejection,
+// falling back to clamping after a bounded number of attempts (relevant only
+// for extreme truncation, where the clamped value is the distribution's
+// effective mass point anyway).
+func (r *RNG) TruncNormal(mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for i := 0; i < 64; i++ {
+		x := r.NormalMS(mu, sigma)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(math.Max(mu, lo), hi)
+}
+
+// Poisson returns a draw from Poisson(lambda). For small lambda it uses
+// Knuth's product method; for large lambda the PTRS-like normal
+// approximation with rounding, which is adequate for workload counts.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction.
+	x := r.NormalMS(lambda, math.Sqrt(lambda))
+	if x < 0 {
+		return 0
+	}
+	return int(x + 0.5)
+}
+
+// Exp returns a draw from the exponential distribution with the given rate.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("mathx: Exp with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Categorical draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. Zero or negative weights are treated as zero.
+// It panics if the total weight is not positive.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("mathx: Categorical with non-positive total weight")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	// Floating point slack: return last positive index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// MVNormal2 draws from a 2D multivariate normal with mean (muX, muY) and
+// covariance matrix [[cxx, cxy], [cxy, cyy]] via its Cholesky factor.
+// It panics if the covariance matrix is not positive semi-definite.
+type MVNormal2 struct {
+	MuX, MuY      float64
+	l11, l21, l22 float64
+}
+
+// NewMVNormal2 prepares a sampler for the given mean and covariance.
+func NewMVNormal2(muX, muY, cxx, cxy, cyy float64) *MVNormal2 {
+	if cxx < 0 || cyy < 0 {
+		panic("mathx: negative variance")
+	}
+	l11 := math.Sqrt(cxx)
+	var l21, l22 float64
+	if l11 > 0 {
+		l21 = cxy / l11
+	} else if cxy != 0 {
+		panic("mathx: covariance inconsistent with zero variance")
+	}
+	d := cyy - l21*l21
+	if d < -1e-9 {
+		panic("mathx: covariance not positive semi-definite")
+	}
+	if d > 0 {
+		l22 = math.Sqrt(d)
+	}
+	return &MVNormal2{MuX: muX, MuY: muY, l11: l11, l21: l21, l22: l22}
+}
+
+// Sample draws one (x, y) pair.
+func (m *MVNormal2) Sample(r *RNG) (x, y float64) {
+	z1, z2 := r.Normal(), r.Normal()
+	return m.MuX + m.l11*z1, m.MuY + m.l21*z1 + m.l22*z2
+}

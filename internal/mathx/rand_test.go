@@ -1,0 +1,243 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("Intn bucket %d grossly unbalanced: %d", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(3)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalMS(t *testing.T) {
+	r := NewRNG(4)
+	if v := r.NormalMS(5, 0); v != 5 {
+		t.Errorf("sigma 0 should return mu exactly, got %v", v)
+	}
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += r.NormalMS(10, 2)
+	}
+	if m := sum / float64(n); math.Abs(m-10) > 0.1 {
+		t.Errorf("NormalMS mean = %v, want ~10", m)
+	}
+}
+
+func TestTruncNormalInRange(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 5000; i++ {
+		v := r.TruncNormal(0.5, 0.3, 0, 1)
+		if v < 0 || v > 1 {
+			t.Fatalf("TruncNormal out of range: %v", v)
+		}
+	}
+	// Extreme truncation falls back to clamp without spinning forever.
+	v := r.TruncNormal(100, 0.001, 0, 1)
+	if v < 0 || v > 1 {
+		t.Fatalf("extreme TruncNormal out of range: %v", v)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(6)
+	for _, lambda := range []float64{0.5, 3, 12, 80} {
+		n := 60000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(lambda)
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive lambda should be 0")
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := NewRNG(7)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("weight-3 to weight-1 ratio = %v, want ~3", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Categorical with zero total should panic")
+		}
+	}()
+	r.Categorical([]float64{0, 0})
+}
+
+func TestMVNormal2(t *testing.T) {
+	r := NewRNG(8)
+	m := NewMVNormal2(2, -1, 4, 1.5, 2)
+	n := 150000
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x, y := m.Sample(r)
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	fn := float64(n)
+	mx, my := sx/fn, sy/fn
+	if math.Abs(mx-2) > 0.05 || math.Abs(my+1) > 0.05 {
+		t.Errorf("MV mean = (%v,%v), want (2,-1)", mx, my)
+	}
+	cxx := sxx/fn - mx*mx
+	cyy := syy/fn - my*my
+	cxy := sxy/fn - mx*my
+	if math.Abs(cxx-4) > 0.15 || math.Abs(cyy-2) > 0.1 || math.Abs(cxy-1.5) > 0.1 {
+		t.Errorf("MV cov = [%v %v; %v %v], want [4 1.5; 1.5 2]", cxx, cxy, cxy, cyy)
+	}
+}
+
+func TestMVNormal2Degenerate(t *testing.T) {
+	r := NewRNG(9)
+	m := NewMVNormal2(3, 4, 0, 0, 0)
+	x, y := m.Sample(r)
+	if x != 3 || y != 4 {
+		t.Errorf("zero-covariance sample = (%v,%v), want (3,4)", x, y)
+	}
+	assertPanics(t, func() { NewMVNormal2(0, 0, -1, 0, 1) })
+	assertPanics(t, func() { NewMVNormal2(0, 0, 0, 1, 1) }) // cxy with zero cxx
+	assertPanics(t, func() { NewMVNormal2(0, 0, 1, 2, 1) }) // not PSD
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(10)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams coincide on %d of 64 draws", same)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := NewRNG(12)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	if m := sum / float64(n); math.Abs(m-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", m)
+	}
+	assertPanics(t, func() { r.Exp(0) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

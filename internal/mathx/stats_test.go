@@ -1,0 +1,209 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{5}, 5, 0},
+		{"pair", []float64{2, 4}, 3, 1},
+		{"mixed", []float64{1, 2, 3, 4, 5}, 3, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); math.Abs(got-tt.mean) > 1e-12 {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Variance(tt.xs); math.Abs(got-tt.variance) > 1e-12 {
+				t.Errorf("Variance = %v, want %v", got, tt.variance)
+			}
+		})
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3.0, 2},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile of empty slice should be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Pearson(xs, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect positive correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect negative correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant series correlation = %v, want 0", got)
+	}
+	if got := Pearson(xs, []float64{1, 2}); got != 0 {
+		t.Errorf("length mismatch correlation = %v, want 0", got)
+	}
+}
+
+func TestLargestRemainderRound(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+		total   int
+		want    []int
+	}{
+		{"exact thirds", []float64{1, 1, 1}, 3, []int{1, 1, 1}},
+		{"remainder to largest frac", []float64{0.5, 0.3, 0.2}, 10, []int{5, 3, 2}},
+		{"uneven", []float64{2, 1}, 4, []int{3, 1}},
+		{"zero total", []float64{1, 2}, 0, []int{0, 0}},
+		{"all zero weights", []float64{0, 0, 0}, 4, []int{2, 1, 1}},
+		{"single bucket", []float64{7}, 13, []int{13}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := LargestRemainderRound(tt.weights, tt.total)
+			if len(got) != len(tt.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tt.want))
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestLargestRemainderRoundProperties(t *testing.T) {
+	r := NewRNG(99)
+	if err := quick.Check(func(nRaw uint8, totalRaw uint16) bool {
+		n := int(nRaw)%20 + 1
+		total := int(totalRaw) % 5000
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64() * 10
+		}
+		out := LargestRemainderRound(weights, total)
+		if SumInts(out) != total {
+			return false
+		}
+		for _, v := range out {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	assertPanics(t, func() { LargestRemainderRound([]float64{1}, -1) })
+	assertPanics(t, func() { LargestRemainderRound([]float64{-1, 2}, 3) })
+	assertPanics(t, func() { LargestRemainderRound(nil, 3) })
+}
+
+func TestSolveLinear(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, ok := SolveLinear(a, b)
+	if !ok {
+		t.Fatal("solver reported singular for a regular system")
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, ok := SolveLinear(a, []float64{1, 2}); ok {
+		t.Error("singular system not detected")
+	}
+	if _, ok := SolveLinear(nil, nil); ok {
+		t.Error("empty system should fail")
+	}
+	if _, ok := SolveLinear([][]float64{{1}}, []float64{1, 2}); ok {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestSolveLinearRandomRoundTrip(t *testing.T) {
+	r := NewRNG(123)
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(6) + 1
+		// Random well-conditioned matrix: diagonally dominant.
+		a := make([][]float64, n)
+		orig := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.Float64()*2 - 1
+			}
+			a[i][i] += float64(n) + 1
+			copy(orig[i], a[i])
+			xTrue[i] = r.Float64()*10 - 5
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += orig[i][j] * xTrue[j]
+			}
+		}
+		x, ok := SolveLinear(a, b)
+		if !ok {
+			t.Fatalf("trial %d: unexpectedly singular", trial)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 10) != 5 || Clamp(-1, 0, 10) != 0 || Clamp(11, 0, 10) != 10 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestSums(t *testing.T) {
+	if SumInts([]int{1, 2, 3}) != 6 || SumInts(nil) != 0 {
+		t.Error("SumInts")
+	}
+	if SumFloats([]float64{1.5, 2.5}) != 4 || SumFloats(nil) != 0 {
+		t.Error("SumFloats")
+	}
+}

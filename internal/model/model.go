@@ -1,0 +1,211 @@
+// Package model defines the FTOA problem objects from Section 2 of the
+// paper: workers (Definition 1), tasks (Definition 2), travel cost
+// (Definition 3), and the pair-feasibility predicate from the FTOA problem
+// statement (Definition 4). It also provides the merged arrival-event
+// stream that online algorithms consume and the Instance container that
+// bundles one experiment's inputs.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"ftoa/internal/geo"
+)
+
+// Worker is a crowdsourcing worker (a taxi in the motivating application).
+// It appears at location Loc at time Arrive and leaves the platform at
+// Arrive+Patience if unassigned (Definition 1: w = <Lw, Sw, Dw>).
+type Worker struct {
+	ID       int
+	Loc      geo.Point // Lw: initial location
+	Arrive   float64   // Sw: arrival time on the platform
+	Patience float64   // Dw: waiting duration before the worker leaves
+}
+
+// Deadline returns the time after which the worker no longer serves tasks.
+func (w *Worker) Deadline() float64 { return w.Arrive + w.Patience }
+
+// Task is a spatial task (a taxi-calling request). It is released at Loc at
+// time Release and must be *reached* by an assigned worker no later than
+// Release+Expiry (Definition 2: r = <Lr, Sr, Dr>).
+type Task struct {
+	ID      int
+	Loc     geo.Point // Lr: fixed task location
+	Release float64   // Sr: release time
+	Expiry  float64   // Dr: service window length
+}
+
+// Deadline returns the latest time a worker may arrive at the task.
+func (t *Task) Deadline() float64 { return t.Release + t.Expiry }
+
+// Feasible reports whether the pair (w, r) satisfies the deadline
+// constraint of Definition 4 under ideal guidance:
+//
+//  1. the task appears before the worker leaves:      Sr < Sw + Dw
+//  2. departing its initial location at its arrival
+//     time, the worker reaches the task in time:      Sw + d(Lw,Lr) ≤ Sr + Dr
+//
+// velocity converts distance to travel time. This is the predicate used for
+// offline OPT and for guide edges; wait-in-place online baselines are
+// subject to the stricter run-time check in FeasibleAt.
+func Feasible(w *Worker, r *Task, velocity float64) bool {
+	if r.Release >= w.Deadline() {
+		return false
+	}
+	return w.Arrive+geo.TravelTime(w.Loc, r.Loc, velocity) <= r.Deadline()
+}
+
+// FeasibleAt reports whether a worker currently located at pos at time now
+// can still serve task r: the task must have been released while the worker
+// is on the platform, and the worker departing pos at time now must reach
+// Lr by the task deadline. This is the strict run-time validation the
+// simulator applies when it actually commits a match.
+func FeasibleAt(w *Worker, r *Task, pos geo.Point, now, velocity float64) bool {
+	if r.Release >= w.Deadline() {
+		return false
+	}
+	return now+geo.TravelTime(pos, r.Loc, velocity) <= r.Deadline()
+}
+
+// EventKind distinguishes arrival events.
+type EventKind uint8
+
+const (
+	// WorkerArrival is the appearance of a new worker on the platform.
+	WorkerArrival EventKind = iota
+	// TaskArrival is the release of a new task.
+	TaskArrival
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case WorkerArrival:
+		return "worker"
+	case TaskArrival:
+		return "task"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one arrival in the online input sequence.
+type Event struct {
+	Time  float64
+	Kind  EventKind
+	Index int // index into Instance.Workers or Instance.Tasks
+}
+
+// Instance bundles one FTOA problem instance: the realized workers and
+// tasks, the shared worker velocity, and the spatial bounds the experiment
+// runs on. Workers and Tasks are identified by their slice index; IDs are
+// informational.
+type Instance struct {
+	Workers  []Worker
+	Tasks    []Task
+	Velocity float64
+	Bounds   geo.Rect
+	Horizon  float64
+}
+
+// Validate checks structural sanity (non-negative durations, velocity > 0,
+// IDs unique within each side). It returns the first problem found.
+func (in *Instance) Validate() error {
+	if in.Velocity <= 0 {
+		return fmt.Errorf("model: non-positive velocity %v", in.Velocity)
+	}
+	seenW := make(map[int]bool, len(in.Workers))
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		if w.Patience < 0 {
+			return fmt.Errorf("model: worker %d has negative patience %v", w.ID, w.Patience)
+		}
+		if seenW[w.ID] {
+			return fmt.Errorf("model: duplicate worker ID %d", w.ID)
+		}
+		seenW[w.ID] = true
+	}
+	seenT := make(map[int]bool, len(in.Tasks))
+	for i := range in.Tasks {
+		r := &in.Tasks[i]
+		if r.Expiry < 0 {
+			return fmt.Errorf("model: task %d has negative expiry %v", r.ID, r.Expiry)
+		}
+		if seenT[r.ID] {
+			return fmt.Errorf("model: duplicate task ID %d", r.ID)
+		}
+		seenT[r.ID] = true
+	}
+	return nil
+}
+
+// Events returns the merged arrival sequence sorted by time. Ties are
+// broken deterministically: earlier kind first (workers before tasks, so a
+// worker arriving at the same instant as a task can serve it, matching the
+// paper's Example 1 where w1 at 9:00 serves r1 at 9:00), then by index.
+func (in *Instance) Events() []Event {
+	evs := make([]Event, 0, len(in.Workers)+len(in.Tasks))
+	for i := range in.Workers {
+		evs = append(evs, Event{Time: in.Workers[i].Arrive, Kind: WorkerArrival, Index: i})
+	}
+	for i := range in.Tasks {
+		evs = append(evs, Event{Time: in.Tasks[i].Release, Kind: TaskArrival, Index: i})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].Time != evs[b].Time {
+			return evs[a].Time < evs[b].Time
+		}
+		if evs[a].Kind != evs[b].Kind {
+			return evs[a].Kind < evs[b].Kind
+		}
+		return evs[a].Index < evs[b].Index
+	})
+	return evs
+}
+
+// Pair is one assigned worker-task pair in a matching.
+type Pair struct {
+	Worker int // index into Instance.Workers
+	Task   int // index into Instance.Tasks
+}
+
+// Matching is the output of an assignment algorithm: a set of disjoint
+// worker-task pairs. MaxSum(M) in the paper is simply len(Matching).
+type Matching struct {
+	Pairs []Pair
+}
+
+// Size returns the number of assigned pairs (the paper's MaxSum objective).
+func (m Matching) Size() int { return len(m.Pairs) }
+
+// Add appends a pair. It does not check disjointness; use Validate.
+func (m *Matching) Add(w, t int) { m.Pairs = append(m.Pairs, Pair{Worker: w, Task: t}) }
+
+// Validate checks that m is a valid matching for in: indices in range, each
+// worker and task used at most once, and every pair feasible per Definition
+// 4 (the ideal-guidance predicate, which is implied by any stricter
+// run-time check the simulator performed).
+func (m Matching) Validate(in *Instance) error {
+	usedW := make(map[int]bool, len(m.Pairs))
+	usedT := make(map[int]bool, len(m.Pairs))
+	for _, p := range m.Pairs {
+		if p.Worker < 0 || p.Worker >= len(in.Workers) {
+			return fmt.Errorf("model: worker index %d out of range", p.Worker)
+		}
+		if p.Task < 0 || p.Task >= len(in.Tasks) {
+			return fmt.Errorf("model: task index %d out of range", p.Task)
+		}
+		if usedW[p.Worker] {
+			return fmt.Errorf("model: worker %d matched twice", p.Worker)
+		}
+		if usedT[p.Task] {
+			return fmt.Errorf("model: task %d matched twice", p.Task)
+		}
+		usedW[p.Worker] = true
+		usedT[p.Task] = true
+		if !Feasible(&in.Workers[p.Worker], &in.Tasks[p.Task], in.Velocity) {
+			return fmt.Errorf("model: pair (w%d, r%d) infeasible", p.Worker, p.Task)
+		}
+	}
+	return nil
+}

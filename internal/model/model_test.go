@@ -1,0 +1,252 @@
+package model
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ftoa/internal/geo"
+)
+
+func TestWorkerTaskDeadlines(t *testing.T) {
+	w := Worker{Arrive: 3, Patience: 30}
+	if w.Deadline() != 33 {
+		t.Errorf("worker deadline = %v", w.Deadline())
+	}
+	r := Task{Release: 5, Expiry: 2}
+	if r.Deadline() != 7 {
+		t.Errorf("task deadline = %v", r.Deadline())
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	// Velocity 1 unit/min throughout, mirroring Example 1.
+	tests := []struct {
+		name string
+		w    Worker
+		r    Task
+		want bool
+	}{
+		{
+			name: "reachable in time",
+			w:    Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 30},
+			r:    Task{Loc: geo.Pt(1, 0), Release: 0, Expiry: 2},
+			want: true,
+		},
+		{
+			name: "too far",
+			w:    Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 30},
+			r:    Task{Loc: geo.Pt(5, 0), Release: 0, Expiry: 2},
+			want: false,
+		},
+		{
+			name: "task released after worker leaves",
+			w:    Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 3},
+			r:    Task{Loc: geo.Pt(0, 0), Release: 3, Expiry: 2},
+			want: false, // Sr < Sw+Dw must be strict
+		},
+		{
+			name: "task released just before worker leaves",
+			w:    Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 3},
+			r:    Task{Loc: geo.Pt(0, 0), Release: 2.9, Expiry: 2},
+			want: true,
+		},
+		{
+			name: "pre-movement toward future task",
+			// Worker arrives at t=0, task appears at t=10 five units away
+			// with Dr=2: worker departing at t=0 arrives at t=5 ≤ 12.
+			w:    Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 30},
+			r:    Task{Loc: geo.Pt(5, 0), Release: 10, Expiry: 2},
+			want: true,
+		},
+		{
+			name: "worker arrives after task deadline",
+			w:    Worker{Loc: geo.Pt(0, 0), Arrive: 10, Patience: 30},
+			r:    Task{Loc: geo.Pt(0, 0), Release: 0, Expiry: 2},
+			want: false, // Sw + 0 = 10 > Sr + Dr = 2
+		},
+		{
+			name: "boundary exactly on deadline",
+			w:    Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 30},
+			r:    Task{Loc: geo.Pt(2, 0), Release: 0, Expiry: 2},
+			want: true, // Sw + d = 2 = Sr + Dr, ≤ holds
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Feasible(&tt.w, &tt.r, 1); got != tt.want {
+				t.Errorf("Feasible = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFeasibleAt(t *testing.T) {
+	w := Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 30}
+	r := Task{Loc: geo.Pt(5, 0), Release: 4, Expiry: 2}
+	// From the initial location at the task's release, 5 > 2 away: infeasible.
+	if FeasibleAt(&w, &r, w.Loc, 4, 1) {
+		t.Error("wait-in-place should be infeasible")
+	}
+	// But a pre-moved worker at (4,0) is 1 ≤ 2 away: feasible.
+	if !FeasibleAt(&w, &r, geo.Pt(4, 0), 4, 1) {
+		t.Error("pre-moved worker should be feasible")
+	}
+	// Expired worker never feasible even from on top of the task.
+	expired := Worker{Loc: r.Loc, Arrive: 0, Patience: 3}
+	if FeasibleAt(&expired, &r, r.Loc, 4, 1) {
+		t.Error("task released after worker deadline must be infeasible")
+	}
+}
+
+func TestFeasibleAtImpliesFeasibleFromStart(t *testing.T) {
+	// If the wait-in-place run-time check passes at the task release with
+	// the worker still at Lw, the Definition-4 predicate must also hold.
+	if err := quick.Check(func(wx, wy, rx, ry, swRaw, srRaw, drRaw uint16) bool {
+		w := Worker{
+			Loc:      geo.Pt(float64(wx%100), float64(wy%100)),
+			Arrive:   float64(swRaw % 50),
+			Patience: 30,
+		}
+		r := Task{
+			Loc:     geo.Pt(float64(rx%100), float64(ry%100)),
+			Release: float64(srRaw % 50),
+			Expiry:  float64(drRaw%10) + 1,
+		}
+		if r.Release < w.Arrive {
+			return true // wait-in-place match can only happen after arrival
+		}
+		now := r.Release
+		if FeasibleAt(&w, &r, w.Loc, now, 1) {
+			return Feasible(&w, &r, 1)
+		}
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventsOrdering(t *testing.T) {
+	in := &Instance{
+		Velocity: 1,
+		Workers: []Worker{
+			{ID: 0, Arrive: 5},
+			{ID: 1, Arrive: 1},
+		},
+		Tasks: []Task{
+			{ID: 0, Release: 1}, // same instant as worker 1
+			{ID: 1, Release: 0.5},
+		},
+	}
+	evs := in.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(events) = %d", len(evs))
+	}
+	if !sort.SliceIsSorted(evs, func(a, b int) bool { return evs[a].Time < evs[b].Time }) {
+		t.Fatal("events not time-sorted")
+	}
+	// At t=1 the worker must precede the task.
+	if evs[1].Kind != WorkerArrival || evs[2].Kind != TaskArrival {
+		t.Errorf("tie-break wrong: %+v", evs)
+	}
+	if evs[0].Kind != TaskArrival || evs[0].Index != 1 {
+		t.Errorf("first event wrong: %+v", evs[0])
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if WorkerArrival.String() != "worker" || TaskArrival.String() != "task" {
+		t.Error("EventKind strings")
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	good := &Instance{
+		Velocity: 1,
+		Workers:  []Worker{{ID: 1}, {ID: 2}},
+		Tasks:    []Task{{ID: 1}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	bad := []*Instance{
+		{Velocity: 0},
+		{Velocity: 1, Workers: []Worker{{ID: 1, Patience: -1}}},
+		{Velocity: 1, Workers: []Worker{{ID: 1}, {ID: 1}}},
+		{Velocity: 1, Tasks: []Task{{ID: 1, Expiry: -0.5}}},
+		{Velocity: 1, Tasks: []Task{{ID: 1}, {ID: 1}}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad instance %d accepted", i)
+		}
+	}
+}
+
+func TestMatchingValidate(t *testing.T) {
+	in := &Instance{
+		Velocity: 1,
+		Workers: []Worker{
+			{ID: 0, Loc: geo.Pt(0, 0), Arrive: 0, Patience: 30},
+			{ID: 1, Loc: geo.Pt(9, 9), Arrive: 0, Patience: 30},
+		},
+		Tasks: []Task{
+			{ID: 0, Loc: geo.Pt(1, 0), Release: 0, Expiry: 2},
+			{ID: 1, Loc: geo.Pt(0, 1), Release: 0, Expiry: 2},
+		},
+	}
+	var m Matching
+	m.Add(0, 0)
+	if err := m.Validate(in); err != nil {
+		t.Errorf("valid matching rejected: %v", err)
+	}
+	if m.Size() != 1 {
+		t.Errorf("Size = %d", m.Size())
+	}
+
+	var dupW Matching
+	dupW.Add(0, 0)
+	dupW.Add(0, 1)
+	if err := dupW.Validate(in); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+
+	var dupT Matching
+	dupT.Add(0, 0)
+	dupT.Add(1, 0)
+	if err := dupT.Validate(in); err == nil {
+		t.Error("duplicate task accepted")
+	}
+
+	var infeasible Matching
+	infeasible.Add(1, 0) // worker at (9,9) cannot reach (1,0) within 2
+	if err := infeasible.Validate(in); err == nil {
+		t.Error("infeasible pair accepted")
+	}
+
+	var oob Matching
+	oob.Add(5, 0)
+	if err := oob.Validate(in); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	oob = Matching{}
+	oob.Add(0, 5)
+	if err := oob.Validate(in); err == nil {
+		t.Error("out-of-range task accepted")
+	}
+}
+
+func TestFeasibleInfiniteVelocityGuard(t *testing.T) {
+	w := Worker{Loc: geo.Pt(0, 0), Arrive: 0, Patience: 10}
+	r := Task{Loc: geo.Pt(1, 1), Release: 0, Expiry: 1}
+	if Feasible(&w, &r, 0) {
+		t.Error("zero velocity should make everything unreachable")
+	}
+	if !math.IsInf(geo.TravelTime(w.Loc, r.Loc, 0), 1) {
+		t.Error("travel time guard")
+	}
+}

@@ -1,0 +1,102 @@
+package predict
+
+// featureExtractor builds the shared feature vector the learned predictors
+// (GBRT, NN) consume, matching the paper's description: the counts of the
+// 15 most recent corresponding periods plus additional features such as the
+// weather condition, the slot of day, the day of week, recent same-day
+// slots and the area's historical level.
+type featureExtractor struct {
+	s         *Series
+	trainDays int
+	lags      int       // corresponding-period lags (15 in the paper)
+	haProfile []float64 // per (slot, area) training mean
+}
+
+// numFeatures is lags + [prev slot, prev-prev slot, weather, slot-of-day,
+// day-of-week, historical mean].
+func (fe *featureExtractor) numFeatures() int { return fe.lags + 6 }
+
+func newFeatureExtractor(s *Series, trainDays int) *featureExtractor {
+	lags := 15
+	if trainDays-1 < lags {
+		lags = trainDays - 1
+	}
+	if lags < 1 {
+		lags = 1
+	}
+	fe := &featureExtractor{s: s, trainDays: trainDays, lags: lags}
+	fe.haProfile = make([]float64, s.Slots*s.Areas)
+	for slot := 0; slot < s.Slots; slot++ {
+		for a := 0; a < s.Areas; a++ {
+			sum := 0.0
+			for d := 0; d < trainDays; d++ {
+				sum += s.At(d, slot, a)
+			}
+			fe.haProfile[slot*s.Areas+a] = sum / float64(trainDays)
+		}
+	}
+	return fe
+}
+
+// extract fills dst (length numFeatures) with the features for forecasting
+// (day, slot, area).
+func (fe *featureExtractor) extract(day, slot, area int, dst []float64) {
+	s := fe.s
+	for lag := 1; lag <= fe.lags; lag++ {
+		dst[lag-1] = s.At(clampDay(day-lag, s.Days), slot, area)
+	}
+	i := fe.lags
+	// Same-day recent slots (observed online before the target slot).
+	prev1, prev2 := 0.0, 0.0
+	d, sl := day, slot-1
+	if sl < 0 {
+		d, sl = day-1, s.Slots-1
+	}
+	if d >= 0 {
+		prev1 = s.At(d, sl, area)
+	}
+	d2, sl2 := d, sl-1
+	if sl2 < 0 {
+		d2, sl2 = d-1, s.Slots-1
+	}
+	if d2 >= 0 {
+		prev2 = s.At(d2, sl2, area)
+	}
+	dst[i] = prev1
+	dst[i+1] = prev2
+	dst[i+2] = s.Weather(clampDay(day, s.Days), slot)
+	dst[i+3] = float64(slot) / float64(s.Slots)
+	dst[i+4] = float64(s.DayOfWeek(clampDay(day, s.Days)))
+	dst[i+5] = fe.haProfile[slot*s.Areas+area]
+}
+
+// trainingSamples materialises up to maxSamples (feature, target) pairs
+// from the training window, deterministically strided.
+func (fe *featureExtractor) trainingSamples(maxSamples int) (features [][]float64, targets []float64) {
+	s := fe.s
+	startDay := fe.lags
+	total := (fe.trainDays - startDay) * s.Slots * s.Areas
+	if total <= 0 {
+		return nil, nil
+	}
+	stride := 1
+	if maxSamples > 0 && total > maxSamples {
+		stride = total / maxSamples
+	}
+	nf := fe.numFeatures()
+	idx := 0
+	for d := startDay; d < fe.trainDays; d++ {
+		for slot := 0; slot < s.Slots; slot++ {
+			for a := 0; a < s.Areas; a++ {
+				if idx%stride == 0 {
+					row := make([]float64, nf)
+					fe.extract(d, slot, a, row)
+					features = append(features, row)
+					targets = append(targets, s.At(d, slot, a))
+				}
+				idx++
+			}
+		}
+	}
+	return features, targets
+}

@@ -1,0 +1,420 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GBRT is gradient-boosted regression trees with squared loss: an ensemble
+// of depth-limited CART trees fit to residuals with shrinkage, the
+// non-parametric regression the paper cites from Friedman. Implemented from
+// scratch on the shared feature set (15 corresponding-period lags, recent
+// same-day slots, weather, calendar, historical level).
+type GBRT struct {
+	// Rounds is the number of boosting stages (default 40).
+	Rounds int
+	// Depth is the maximum tree depth (default 3).
+	Depth int
+	// Shrinkage is the learning rate (default 0.15).
+	Shrinkage float64
+	// MaxSamples bounds the training set size (default 30000).
+	MaxSamples int
+
+	fe    *featureExtractor
+	base  float64
+	trees []*cartTree
+	buf   []float64
+}
+
+// NewGBRT creates the predictor with default hyperparameters.
+func NewGBRT() *GBRT {
+	return &GBRT{Rounds: 40, Depth: 3, Shrinkage: 0.15, MaxSamples: 30000}
+}
+
+// Name implements Predictor.
+func (g *GBRT) Name() string { return "GBRT" }
+
+// Fit implements Predictor.
+func (g *GBRT) Fit(s *Series, trainDays int) error {
+	if trainDays < 2 || trainDays > s.Days {
+		return fmt.Errorf("predict: GBRT trainDays %d out of range", trainDays)
+	}
+	g.fe = newFeatureExtractor(s, trainDays)
+	feats, targets := g.fe.trainingSamples(g.MaxSamples)
+	if len(feats) == 0 {
+		return fmt.Errorf("predict: GBRT has no training samples")
+	}
+	g.buf = make([]float64, g.fe.numFeatures())
+
+	// Base prediction: the mean.
+	g.base = 0
+	for _, y := range targets {
+		g.base += y
+	}
+	g.base /= float64(len(targets))
+
+	resid := make([]float64, len(targets))
+	for i, y := range targets {
+		resid[i] = y - g.base
+	}
+	g.trees = g.trees[:0]
+	for round := 0; round < g.Rounds; round++ {
+		tree := buildCART(feats, resid, g.Depth, 20)
+		if tree == nil {
+			break
+		}
+		g.trees = append(g.trees, tree)
+		for i, row := range feats {
+			resid[i] -= g.Shrinkage * tree.eval(row)
+		}
+	}
+	return nil
+}
+
+// Predict implements Predictor.
+func (g *GBRT) Predict(day, slot, area int) float64 {
+	g.fe.extract(day, slot, area, g.buf)
+	v := g.base
+	for _, t := range g.trees {
+		v += g.Shrinkage * t.eval(g.buf)
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// cartTree is a binary regression tree stored as parallel arrays.
+type cartTree struct {
+	feature []int32   // split feature, -1 for leaf
+	thresh  []float64 // split threshold
+	left    []int32
+	right   []int32
+	value   []float64 // leaf value
+}
+
+func (t *cartTree) eval(row []float64) float64 {
+	node := int32(0)
+	for t.feature[node] >= 0 {
+		if row[t.feature[node]] <= t.thresh[node] {
+			node = t.left[node]
+		} else {
+			node = t.right[node]
+		}
+	}
+	return t.value[node]
+}
+
+// buildCART fits a depth-limited least-squares regression tree on the
+// samples indexed by idx (all if nil). minLeaf is the minimum samples per
+// leaf. Splits are exact: each feature's values are sorted per node.
+func buildCART(feats [][]float64, targets []float64, maxDepth, minLeaf int) *cartTree {
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t := &cartTree{}
+	var grow func(items []int32, depth int) int32
+	grow = func(items []int32, depth int) int32 {
+		node := int32(len(t.feature))
+		t.feature = append(t.feature, -1)
+		t.thresh = append(t.thresh, 0)
+		t.left = append(t.left, -1)
+		t.right = append(t.right, -1)
+		mean := 0.0
+		for _, i := range items {
+			mean += targets[i]
+		}
+		mean /= float64(len(items))
+		t.value = append(t.value, mean)
+		if depth >= maxDepth || len(items) < 2*minLeaf {
+			return node
+		}
+		bestGain, bestF, bestThresh := 0.0, -1, 0.0
+		nf := len(feats[0])
+		// Total sum for gain computation.
+		var totalSum float64
+		for _, i := range items {
+			totalSum += targets[i]
+		}
+		totalN := float64(len(items))
+		order := make([]int32, len(items))
+		for f := 0; f < nf; f++ {
+			copy(order, items)
+			sort.Slice(order, func(a, b int) bool { return feats[order[a]][f] < feats[order[b]][f] })
+			var leftSum float64
+			for k := 0; k < len(order)-1; k++ {
+				i := order[k]
+				leftSum += targets[i]
+				if k+1 < minLeaf || len(order)-(k+1) < minLeaf {
+					continue
+				}
+				v, next := feats[i][f], feats[order[k+1]][f]
+				if v == next {
+					continue // cannot split between equal values
+				}
+				ln := float64(k + 1)
+				rn := totalN - ln
+				rightSum := totalSum - leftSum
+				gain := leftSum*leftSum/ln + rightSum*rightSum/rn - totalSum*totalSum/totalN
+				if gain > bestGain+1e-12 {
+					bestGain, bestF, bestThresh = gain, f, (v+next)/2
+				}
+			}
+		}
+		if bestF < 0 {
+			return node
+		}
+		var leftItems, rightItems []int32
+		for _, i := range items {
+			if feats[i][bestF] <= bestThresh {
+				leftItems = append(leftItems, i)
+			} else {
+				rightItems = append(rightItems, i)
+			}
+		}
+		if len(leftItems) == 0 || len(rightItems) == 0 {
+			return node
+		}
+		t.feature[node] = int32(bestF)
+		t.thresh[node] = bestThresh
+		l := grow(leftItems, depth+1)
+		r := grow(rightItems, depth+1)
+		t.left[node] = l
+		t.right[node] = r
+		return node
+	}
+	grow(idx, 0)
+	return t
+}
+
+// NeuralNet is the paper's NN baseline: a single-hidden-layer feed-forward
+// network (tanh activations, linear output) trained with SGD and momentum
+// on the shared feature set. Inputs are standardised from training
+// statistics.
+type NeuralNet struct {
+	// Hidden is the hidden layer width (default 16).
+	Hidden int
+	// Epochs over the training sample (default 12).
+	Epochs int
+	// LearnRate for mini-batch RMSProp (default 0.01).
+	LearnRate float64
+	// MaxSamples bounds the training set size (default 30000).
+	MaxSamples int
+	// Seed makes training deterministic.
+	Seed uint64
+
+	fe   *featureExtractor
+	mean []float64
+	std  []float64
+	w1   [][]float64 // hidden × (features+1)
+	w2   []float64   // output weights, hidden+1
+	buf  []float64
+	hbuf []float64
+}
+
+// NewNeuralNet creates the predictor with default hyperparameters.
+func NewNeuralNet() *NeuralNet {
+	return &NeuralNet{Hidden: 16, Epochs: 12, LearnRate: 0.01, MaxSamples: 30000, Seed: 7}
+}
+
+// Name implements Predictor.
+func (n *NeuralNet) Name() string { return "NN" }
+
+// Fit implements Predictor.
+func (n *NeuralNet) Fit(s *Series, trainDays int) error {
+	if trainDays < 2 || trainDays > s.Days {
+		return fmt.Errorf("predict: NN trainDays %d out of range", trainDays)
+	}
+	n.fe = newFeatureExtractor(s, trainDays)
+	feats, targets := n.fe.trainingSamples(n.MaxSamples)
+	if len(feats) == 0 {
+		return fmt.Errorf("predict: NN has no training samples")
+	}
+	nf := n.fe.numFeatures()
+	n.buf = make([]float64, nf)
+	n.hbuf = make([]float64, n.Hidden)
+
+	// Standardisation statistics.
+	n.mean = make([]float64, nf)
+	n.std = make([]float64, nf)
+	for _, row := range feats {
+		for j, v := range row {
+			n.mean[j] += v
+		}
+	}
+	for j := range n.mean {
+		n.mean[j] /= float64(len(feats))
+	}
+	for _, row := range feats {
+		for j, v := range row {
+			d := v - n.mean[j]
+			n.std[j] += d * d
+		}
+	}
+	for j := range n.std {
+		n.std[j] = math.Sqrt(n.std[j] / float64(len(feats)))
+		if n.std[j] < 1e-9 {
+			n.std[j] = 1
+		}
+	}
+	// Counts are trained in log1p space as residuals against the
+	// historical-average feature (the last feature): the network learns
+	// corrections to HA rather than absolute levels, which keeps quiet
+	// cells quiet and bounds gradients.
+	haIdx := nf - 1
+	logTargets := make([]float64, len(targets))
+	for i, y := range targets {
+		logTargets[i] = math.Log1p(y) - math.Log1p(feats[i][haIdx])
+	}
+
+	rng := newSmallRNG(n.Seed)
+	n.w1 = make([][]float64, n.Hidden)
+	g1 := make([][]float64, n.Hidden) // accumulated minibatch gradients
+	c1 := make([][]float64, n.Hidden) // RMSProp caches
+	for h := range n.w1 {
+		n.w1[h] = make([]float64, nf+1)
+		g1[h] = make([]float64, nf+1)
+		c1[h] = make([]float64, nf+1)
+		for j := range n.w1[h] {
+			n.w1[h][j] = (rng.float() - 0.5) * 0.5
+		}
+	}
+	n.w2 = make([]float64, n.Hidden+1)
+	g2 := make([]float64, n.Hidden+1)
+	c2 := make([]float64, n.Hidden+1)
+	for j := range n.w2 {
+		n.w2[j] = (rng.float() - 0.5) * 0.5
+	}
+
+	// Mini-batch RMSProp: batch-averaged gradients with per-weight step
+	// normalisation. Far more stable on count data than per-sample SGD
+	// with momentum, which oscillates once tail samples hit.
+	const (
+		batch = 64
+		decay = 0.95
+		eps   = 1e-8
+	)
+	x := make([]float64, nf)
+	hidden := make([]float64, n.Hidden)
+	order := make([]int32, len(feats))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	lr := n.LearnRate
+	apply := func(count float64) {
+		inv := 1 / count
+		for h := 0; h < n.Hidden; h++ {
+			for j := 0; j <= nf; j++ {
+				g := g1[h][j] * inv
+				c1[h][j] = decay*c1[h][j] + (1-decay)*g*g
+				n.w1[h][j] -= lr * g / (math.Sqrt(c1[h][j]) + eps)
+				g1[h][j] = 0
+			}
+		}
+		for j := 0; j <= n.Hidden; j++ {
+			g := g2[j] * inv
+			c2[j] = decay*c2[j] + (1-decay)*g*g
+			n.w2[j] -= lr * g / (math.Sqrt(c2[j]) + eps)
+			g2[j] = 0
+		}
+	}
+	for epoch := 0; epoch < n.Epochs; epoch++ {
+		// Annealing: without it RMSProp keeps wandering at constant step
+		// size and late epochs drift away from the optimum.
+		lr = n.LearnRate / (1 + 0.2*float64(epoch))
+		// Deterministic shuffle per epoch.
+		for i := len(order) - 1; i > 0; i-- {
+			j := int(rng.next() % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+		inBatch := 0
+		for _, si := range order {
+			row := feats[si]
+			for j := range x {
+				x[j] = (row[j] - n.mean[j]) / n.std[j]
+			}
+			// Forward.
+			out := n.w2[n.Hidden]
+			for h := 0; h < n.Hidden; h++ {
+				z := n.w1[h][nf]
+				for j := 0; j < nf; j++ {
+					z += n.w1[h][j] * x[j]
+				}
+				hidden[h] = math.Tanh(z)
+				out += n.w2[h] * hidden[h]
+			}
+			err := out - logTargets[si]
+			// Huber-style clipping bounds the influence of tail samples.
+			if err > 2 {
+				err = 2
+			} else if err < -2 {
+				err = -2
+			}
+			// Accumulate gradients.
+			for h := 0; h < n.Hidden; h++ {
+				g2[h] += err * hidden[h]
+				dh := err * n.w2[h] * (1 - hidden[h]*hidden[h])
+				for j := 0; j < nf; j++ {
+					g1[h][j] += dh * x[j]
+				}
+				g1[h][nf] += dh
+			}
+			g2[n.Hidden] += err
+			inBatch++
+			if inBatch == batch {
+				apply(float64(inBatch))
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			apply(float64(inBatch))
+		}
+	}
+	return nil
+}
+
+// Predict implements Predictor.
+func (n *NeuralNet) Predict(day, slot, area int) float64 {
+	n.fe.extract(day, slot, area, n.buf)
+	nf := len(n.buf)
+	out := n.w2[n.Hidden]
+	for h := 0; h < n.Hidden; h++ {
+		z := n.w1[h][nf]
+		for j := 0; j < nf; j++ {
+			z += n.w1[h][j] * (n.buf[j] - n.mean[j]) / n.std[j]
+		}
+		out += n.w2[h] * math.Tanh(z)
+	}
+	ha := n.buf[nf-1]
+	v := math.Expm1(out + math.Log1p(ha))
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	// Cap wild extrapolations on cells whose history is near-empty: the
+	// network's smooth surface otherwise leaks mass into quiet areas.
+	if cap := 1 + 4*ha; v > cap {
+		return cap
+	}
+	return v
+}
+
+// smallRNG is a tiny splitmix64 for weight initialisation and shuffling.
+type smallRNG struct{ state uint64 }
+
+func newSmallRNG(seed uint64) *smallRNG { return &smallRNG{state: seed} }
+
+func (r *smallRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *smallRNG) float() float64 { return float64(r.next()>>11) / (1 << 53) }

@@ -1,0 +1,414 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// HPMSI is the hierarchical prediction with multi-similarity inference of
+// Li et al. (GIS 2015), the paper's best-performing method and the one its
+// framework adopts. The implementation follows the method's two pillars:
+//
+//  1. Hierarchy: areas are clustered by the similarity of their historical
+//     demand profiles together with geographic proximity; predictions are
+//     made at cluster level, where counts are dense enough to estimate
+//     reliably, and distributed down to areas by their historical
+//     within-cluster shares for that slot of day.
+//  2. Multi-similarity inference: the cluster-level forecast is a learned
+//     combination of similarity-based estimators — the same-day-of-week
+//     historical average, the recent-activity-scaled profile, and the
+//     average over weather-similar training slots — with weights fit by
+//     least squares on the training window.
+type HPMSI struct {
+	// Clusters is the number of area clusters; 0 picks ~√areas.
+	Clusters int
+	// KMeansIters bounds the clustering iterations (default 25).
+	KMeansIters int
+	// Seed makes clustering deterministic.
+	Seed uint64
+
+	s         *Series
+	trainDays int
+
+	assign    []int // area -> cluster
+	nClusters int
+	// clusterHA[dow][slot][cluster]: same-dow mean of cluster totals.
+	clusterHA [][]float64 // indexed [dow*Slots+slot][cluster]
+	haCount   []int       // training days per dow
+	// clusterProfile[slot][cluster]: all-days mean (for PAQ-style scaling).
+	clusterProfile [][]float64
+	// weatherMean[bin][slot][cluster]: mean over training slots whose
+	// weather falls in the bin.
+	weatherMean  [][][]float64
+	weatherCount [][]int
+	// clusterCounts[day*Slots+slot][cluster]: observed cluster totals over
+	// the whole series (test days included — look-back uses only observed
+	// past values).
+	clusterCounts [][]float64
+	// shares[slot*Areas+area]: area's historical share within its cluster
+	// at this slot of day (smoothed).
+	shares []float64
+	// weights of the three estimators + intercept, fit on training tail.
+	weights [4]float64
+}
+
+// NewHPMSI creates the predictor with defaults.
+func NewHPMSI() *HPMSI { return &HPMSI{KMeansIters: 25, Seed: 11} }
+
+// Name implements Predictor.
+func (h *HPMSI) Name() string { return "HP-MSI" }
+
+const weatherBins = 4
+
+// Fit implements Predictor.
+func (h *HPMSI) Fit(s *Series, trainDays int) error {
+	if trainDays < 2 || trainDays > s.Days {
+		return fmt.Errorf("predict: HP-MSI trainDays %d out of range", trainDays)
+	}
+	h.s, h.trainDays = s, trainDays
+
+	h.nClusters = h.Clusters
+	if h.nClusters <= 0 {
+		h.nClusters = int(math.Sqrt(float64(s.Areas)))
+		if h.nClusters < 2 {
+			h.nClusters = 2
+		}
+	}
+	if h.nClusters > s.Areas {
+		h.nClusters = s.Areas
+	}
+	h.cluster()
+	h.buildAggregates()
+	h.fitWeights()
+	return nil
+}
+
+// cluster runs k-means over per-area features: the normalised mean
+// slot-of-day profile (compressed to 12 bins) plus the area's grid
+// coordinates scaled to comparable magnitude — profile similarity plus
+// geographic proximity.
+func (h *HPMSI) cluster() {
+	s := h.s
+	const profBins = 12
+	nf := profBins + 2
+	feats := make([][]float64, s.Areas)
+	// Geographic coordinates: areas are row-major on an unknown grid; use
+	// the index split by a square-ish width as a proxy when the caller's
+	// grid shape is unknown. The profile dominates; geography only breaks
+	// ties between look-alike areas.
+	side := int(math.Sqrt(float64(s.Areas)))
+	if side < 1 {
+		side = 1
+	}
+	for a := 0; a < s.Areas; a++ {
+		f := make([]float64, nf)
+		total := 0.0
+		for d := 0; d < h.trainDays; d++ {
+			for slot := 0; slot < s.Slots; slot++ {
+				bin := slot * profBins / s.Slots
+				v := s.At(d, slot, a)
+				f[bin] += v
+				total += v
+			}
+		}
+		if total > 0 {
+			for b := 0; b < profBins; b++ {
+				f[b] /= total
+			}
+		}
+		f[profBins] = float64(a%side) / float64(side) * 0.3
+		f[profBins+1] = float64(a/side) / float64(side) * 0.3
+		feats[a] = f
+	}
+	h.assign = kmeans(feats, h.nClusters, h.KMeansIters, h.Seed)
+}
+
+// buildAggregates precomputes cluster-level statistics and area shares.
+func (h *HPMSI) buildAggregates() {
+	s := h.s
+	k := h.nClusters
+	h.clusterHA = make([][]float64, 7*s.Slots)
+	for i := range h.clusterHA {
+		h.clusterHA[i] = make([]float64, k)
+	}
+	h.haCount = make([]int, 7)
+	h.clusterProfile = make([][]float64, s.Slots)
+	for i := range h.clusterProfile {
+		h.clusterProfile[i] = make([]float64, k)
+	}
+	h.weatherMean = make([][][]float64, weatherBins)
+	h.weatherCount = make([][]int, weatherBins)
+	for b := 0; b < weatherBins; b++ {
+		h.weatherMean[b] = make([][]float64, s.Slots)
+		h.weatherCount[b] = make([]int, s.Slots)
+		for i := range h.weatherMean[b] {
+			h.weatherMean[b][i] = make([]float64, k)
+		}
+	}
+	// Cluster totals for every observed (day, slot), full series.
+	h.clusterCounts = make([][]float64, s.Days*s.Slots)
+	for d := 0; d < s.Days; d++ {
+		for slot := 0; slot < s.Slots; slot++ {
+			row := make([]float64, k)
+			for a := 0; a < s.Areas; a++ {
+				row[h.assign[a]] += s.At(d, slot, a)
+			}
+			h.clusterCounts[d*s.Slots+slot] = row
+		}
+	}
+	// Accumulate training aggregates.
+	areaSum := make([]float64, s.Slots*s.Areas) // per (slot, area) mean numerator
+	for d := 0; d < h.trainDays; d++ {
+		dow := s.DayOfWeek(d)
+		h.haCount[dow]++
+		for slot := 0; slot < s.Slots; slot++ {
+			wbin := weatherBin(s.Weather(d, slot))
+			h.weatherCount[wbin][slot]++
+			cc := h.clusterCounts[d*s.Slots+slot]
+			for c := 0; c < k; c++ {
+				h.clusterHA[dow*s.Slots+slot][c] += cc[c]
+				h.clusterProfile[slot][c] += cc[c]
+				h.weatherMean[wbin][slot][c] += cc[c]
+			}
+			for a := 0; a < s.Areas; a++ {
+				areaSum[slot*s.Areas+a] += s.At(d, slot, a)
+			}
+		}
+	}
+	for dow := 0; dow < 7; dow++ {
+		if h.haCount[dow] == 0 {
+			continue
+		}
+		for slot := 0; slot < s.Slots; slot++ {
+			for c := 0; c < k; c++ {
+				h.clusterHA[dow*s.Slots+slot][c] /= float64(h.haCount[dow])
+			}
+		}
+	}
+	for slot := 0; slot < s.Slots; slot++ {
+		for c := 0; c < k; c++ {
+			h.clusterProfile[slot][c] /= float64(h.trainDays)
+		}
+		for b := 0; b < weatherBins; b++ {
+			if n := h.weatherCount[b][slot]; n > 0 {
+				for c := 0; c < k; c++ {
+					h.weatherMean[b][slot][c] /= float64(n)
+				}
+			}
+		}
+	}
+	// Area shares within cluster per slot, Laplace-smoothed.
+	h.shares = make([]float64, s.Slots*s.Areas)
+	clusterSize := make([]int, k)
+	for _, c := range h.assign {
+		clusterSize[c]++
+	}
+	for slot := 0; slot < s.Slots; slot++ {
+		clusterTotal := make([]float64, k)
+		for a := 0; a < s.Areas; a++ {
+			clusterTotal[h.assign[a]] += areaSum[slot*s.Areas+a]
+		}
+		for a := 0; a < s.Areas; a++ {
+			c := h.assign[a]
+			h.shares[slot*s.Areas+a] = (areaSum[slot*s.Areas+a] + 0.1) /
+				(clusterTotal[c] + 0.1*float64(clusterSize[c]))
+		}
+	}
+}
+
+// estimators returns the three cluster-level similarity estimates for
+// (day, slot, cluster).
+func (h *HPMSI) estimators(day, slot, c int) (ha, recent, weather float64) {
+	s := h.s
+	dow := s.DayOfWeek(clampDay(day, s.Days))
+	if h.haCount[dow] > 0 {
+		ha = h.clusterHA[dow*s.Slots+slot][c]
+	} else {
+		ha = h.clusterProfile[slot][c]
+	}
+
+	// Recent-activity scaling over the last quarter-day, at cluster level.
+	window := s.Slots / 4
+	if window < 1 {
+		window = 1
+	}
+	var obs, exp float64
+	d, sl := day, slot
+	for i := 0; i < window; i++ {
+		sl--
+		if sl < 0 {
+			sl += s.Slots
+			d--
+		}
+		if d < 0 {
+			break
+		}
+		obs += h.clusterCounts[d*s.Slots+sl][c]
+		exp += h.clusterProfile[sl][c]
+	}
+	recent = h.clusterProfile[slot][c]
+	if exp > 0 {
+		recent *= obs / exp
+	}
+
+	wbin := weatherBin(s.Weather(clampDay(day, s.Days), slot))
+	if h.weatherCount[wbin][slot] > 0 {
+		weather = h.weatherMean[wbin][slot][c]
+	} else {
+		weather = h.clusterProfile[slot][c]
+	}
+	return ha, recent, weather
+}
+
+// fitWeights regresses actual cluster counts on the three estimators over
+// the training tail (the most recent quarter of the training window), so
+// the combination adapts to how informative each similarity is for this
+// city.
+func (h *HPMSI) fitWeights() {
+	s := h.s
+	start := h.trainDays * 3 / 4
+	if start < 1 {
+		start = 1
+	}
+	var xtx [4][4]float64
+	var xty [4]float64
+	for d := start; d < h.trainDays; d++ {
+		for slot := 0; slot < s.Slots; slot++ {
+			for c := 0; c < h.nClusters; c++ {
+				ha, rec, wx := h.estimators(d, slot, c)
+				actual := h.clusterCounts[d*s.Slots+slot][c]
+				row := [4]float64{1, ha, rec, wx}
+				for i := 0; i < 4; i++ {
+					for j := 0; j < 4; j++ {
+						xtx[i][j] += row[i] * row[j]
+					}
+					xty[i] += row[i] * actual
+				}
+			}
+		}
+	}
+	a := make([][]float64, 4)
+	b := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		a[i] = append([]float64(nil), xtx[i][:]...)
+		a[i][i] += 1e-6
+		b[i] = xty[i]
+	}
+	coef, ok := solveCopy(a, b)
+	if !ok {
+		h.weights = [4]float64{0, 0.34, 0.33, 0.33} // fallback: equal blend
+		return
+	}
+	copy(h.weights[:], coef)
+}
+
+// Predict implements Predictor.
+func (h *HPMSI) Predict(day, slot, area int) float64 {
+	c := h.assign[area]
+	ha, rec, wx := h.estimators(day, slot, c)
+	clusterPred := h.weights[0] + h.weights[1]*ha + h.weights[2]*rec + h.weights[3]*wx
+	if clusterPred < 0 {
+		clusterPred = 0
+	}
+	return clusterPred * h.shares[slot*h.s.Areas+area]
+}
+
+// weatherBin discretises weather intensity into weatherBins levels.
+func weatherBin(w float64) int {
+	b := int(w * weatherBins)
+	if b < 0 {
+		return 0
+	}
+	if b >= weatherBins {
+		return weatherBins - 1
+	}
+	return b
+}
+
+// kmeans clusters rows into k groups with Lloyd's algorithm and
+// deterministic seeding (k-means++ style: farthest-point heuristic).
+func kmeans(rows [][]float64, k, iters int, seed uint64) []int {
+	n := len(rows)
+	assign := make([]int, n)
+	if n == 0 || k <= 1 {
+		return assign
+	}
+	if k > n {
+		k = n
+	}
+	rng := newSmallRNG(seed)
+
+	centers := make([][]float64, k)
+	first := int(rng.next() % uint64(n))
+	centers[0] = append([]float64(nil), rows[first]...)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(rows[i], centers[0])
+	}
+	for c := 1; c < k; c++ {
+		// Farthest point from current centers.
+		best, bestD := 0, -1.0
+		for i, d := range minDist {
+			if d > bestD {
+				best, bestD = i, d
+			}
+		}
+		centers[c] = append([]float64(nil), rows[best]...)
+		for i := range minDist {
+			if d := sqDist(rows[i], centers[c]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	counts := make([]int, k)
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i, row := range rows {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := sqDist(row, centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, row := range rows {
+			c := assign[i]
+			counts[c]++
+			for j, v := range row {
+				centers[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	return assign
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,390 @@
+// Package sim is the event-driven simulation engine that replays an FTOA
+// instance against an online assignment algorithm. It owns the ground
+// truth the paper's platform would own: worker positions over time
+// (including movement of dispatched workers at the shared velocity),
+// availability, and the committed matching. Algorithms interact with it
+// through the Platform interface and never mutate ground truth directly,
+// so an algorithm bug cannot produce an invalid matching.
+//
+// Two validation modes are supported (see DESIGN.md §3.2):
+//
+//   - Strict: a match is committed only if the worker, departing its
+//     current simulated position at commit time, can reach the task before
+//     the task's deadline (and the task was released before the worker's
+//     own deadline). This is the honest platform semantics.
+//   - AssumeGuide: a match between two available objects always commits.
+//     This mirrors the paper's analysis assumption that guide-based pairs
+//     are feasible in reality, and reproduces the paper's example counts.
+package sim
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+)
+
+// Mode selects the match-validation semantics.
+type Mode uint8
+
+const (
+	// Strict validates travel feasibility from the worker's current
+	// position at commit time.
+	Strict Mode = iota
+	// AssumeGuide commits any match between two available objects.
+	AssumeGuide
+)
+
+func (m Mode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "assume-guide"
+}
+
+// Platform is the engine-side API visible to algorithms.
+type Platform interface {
+	// Instance returns the problem instance being replayed. Algorithms
+	// must treat it as read-only.
+	Instance() *model.Instance
+
+	// WorkerPos returns worker w's simulated position at time now,
+	// accounting for any movement ordered via Dispatch.
+	WorkerPos(w int, now float64) geo.Point
+
+	// WorkerAvailable reports whether worker w is unmatched and can still
+	// be assigned some task released at time now (now < deadline).
+	WorkerAvailable(w int, now float64) bool
+
+	// TaskAvailable reports whether task t is unmatched and could still be
+	// reached by some worker departing at time now (now ≤ deadline).
+	TaskAvailable(t int, now float64) bool
+
+	// TryMatch attempts to commit the pair (w, t) at time now and reports
+	// whether the engine accepted it. Acceptance depends on the engine's
+	// Mode; on success the pair is recorded irrevocably (Definition 4's
+	// invariable constraint) and both objects become unavailable.
+	TryMatch(w, t int, now float64) bool
+
+	// Dispatch orders worker w to start moving from its current position
+	// toward target at the shared velocity. A later Dispatch overrides an
+	// earlier one. Dispatching a matched worker is a no-op.
+	Dispatch(w int, target geo.Point, now float64)
+
+	// Schedule asks the engine to invoke the algorithm's OnTimer at time
+	// at. Only one pending timer is kept: a new call overrides any earlier
+	// pending one. Times in the past fire before the next event.
+	Schedule(at float64)
+}
+
+// Algorithm is an online assignment algorithm driven by the engine.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Init is called once before replay.
+	Init(p Platform)
+	// OnWorkerArrival handles a new worker (index into Instance.Workers).
+	OnWorkerArrival(w int, now float64)
+	// OnTaskArrival handles a new task (index into Instance.Tasks).
+	OnTaskArrival(t int, now float64)
+	// OnFinish is called once after the last event, so batch algorithms
+	// can flush pending work.
+	OnFinish(now float64)
+}
+
+// TimerAlgorithm is implemented by algorithms that use Platform.Schedule.
+type TimerAlgorithm interface {
+	Algorithm
+	// OnTimer fires at a time previously passed to Schedule.
+	OnTimer(now float64)
+}
+
+// Result summarises one replay.
+type Result struct {
+	Algorithm string
+	Mode      Mode
+	Matching  model.Matching
+	// Elapsed is the wall-clock time spent inside the replay loop (guide
+	// construction and instance generation are excluded, matching the
+	// paper's decision to omit offline preprocessing from reported times).
+	Elapsed time.Duration
+	// AllocBytes is the heap allocated during the replay (TotalAlloc
+	// delta), the closest portable analogue of the paper's memory metric.
+	AllocBytes uint64
+	// Attempted and Rejected count TryMatch calls and how many the engine
+	// refused (always 0 in AssumeGuide mode for available pairs); the gap
+	// quantifies the discretisation/prediction error the paper's Strict
+	// assumption hides.
+	Attempted int
+	Rejected  int
+	// Stats aggregates service-quality measures over committed matches.
+	Stats MatchStats
+}
+
+// MatchStats aggregates platform-level service quality over the committed
+// matches of one replay. All quantities are measured at commit time from
+// the engine's simulated ground truth, so they are meaningful in both
+// validation modes (in AssumeGuide they describe what the paper's counting
+// implies physically).
+type MatchStats struct {
+	// TotalPickupDistance sums the remaining distance from each matched
+	// worker's position at commit time to its task's location.
+	TotalPickupDistance float64
+	// TotalGuidedDistance sums the distance workers travelled under
+	// dispatch guidance before being matched (or until the horizon for
+	// unmatched dispatched workers it is not accumulated).
+	TotalGuidedDistance float64
+	// TotalTaskWait sums, over matched tasks, the time between the task's
+	// release and the commit.
+	TotalTaskWait float64
+	// TotalWorkerIdle sums, over matched workers, the time between the
+	// worker's arrival and the commit.
+	TotalWorkerIdle float64
+}
+
+// MeanPickupDistance returns TotalPickupDistance averaged over matches.
+func (s MatchStats) MeanPickupDistance(matches int) float64 {
+	if matches == 0 {
+		return 0
+	}
+	return s.TotalPickupDistance / float64(matches)
+}
+
+// MeanTaskWait returns TotalTaskWait averaged over matches.
+func (s MatchStats) MeanTaskWait(matches int) float64 {
+	if matches == 0 {
+		return 0
+	}
+	return s.TotalTaskWait / float64(matches)
+}
+
+// Engine replays instances. Create one per (instance, mode) and call Run
+// once per algorithm; Run resets per-run state.
+type Engine struct {
+	in   *model.Instance
+	mode Mode
+
+	events []model.Event
+
+	// Per-run state.
+	anchor     []geo.Point // position at anchorTime
+	anchorTime []float64
+	target     []geo.Point
+	moving     []bool
+	matchedW   []bool
+	matchedT   []bool
+	matching   model.Matching
+	timer      float64 // pending timer or +Inf
+	attempted  int
+	rejected   int
+	stats      MatchStats
+	// origin remembers each worker's initial location so guided travel can
+	// be measured at commit time.
+	origin []geo.Point
+}
+
+// NewEngine prepares an engine for the instance. The event order is
+// computed once and shared across runs.
+func NewEngine(in *model.Instance, mode Mode) *Engine {
+	n := len(in.Workers)
+	return &Engine{
+		in:         in,
+		mode:       mode,
+		events:     in.Events(),
+		anchor:     make([]geo.Point, n),
+		anchorTime: make([]float64, n),
+		target:     make([]geo.Point, n),
+		moving:     make([]bool, n),
+		matchedW:   make([]bool, n),
+		matchedT:   make([]bool, len(in.Tasks)),
+	}
+}
+
+// Instance implements Platform.
+func (e *Engine) Instance() *model.Instance { return e.in }
+
+// Mode returns the validation mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+func (e *Engine) reset() {
+	if e.origin == nil {
+		e.origin = make([]geo.Point, len(e.in.Workers))
+	}
+	for i := range e.anchor {
+		e.anchor[i] = e.in.Workers[i].Loc
+		e.anchorTime[i] = e.in.Workers[i].Arrive
+		e.origin[i] = e.in.Workers[i].Loc
+		e.moving[i] = false
+		e.matchedW[i] = false
+	}
+	for i := range e.matchedT {
+		e.matchedT[i] = false
+	}
+	e.matching = model.Matching{}
+	e.timer = math.Inf(1)
+	e.attempted = 0
+	e.rejected = 0
+	e.stats = MatchStats{}
+}
+
+// WorkerPos implements Platform.
+func (e *Engine) WorkerPos(w int, now float64) geo.Point {
+	if !e.moving[w] {
+		return e.anchor[w]
+	}
+	elapsed := now - e.anchorTime[w]
+	if elapsed <= 0 {
+		return e.anchor[w]
+	}
+	total := e.anchor[w].Dist(e.target[w])
+	traveled := elapsed * e.in.Velocity
+	if traveled >= total {
+		// Arrived: collapse the segment so future queries are O(1).
+		e.anchor[w] = e.target[w]
+		e.anchorTime[w] = now
+		e.moving[w] = false
+		return e.anchor[w]
+	}
+	return e.anchor[w].Lerp(e.target[w], traveled/total)
+}
+
+// WorkerAvailable implements Platform. In AssumeGuide mode deadlines are
+// not enforced — the paper's counting assumes guide pairs are feasible, so
+// an unmatched worker stays assignable; in Strict mode a task released at
+// `now` must satisfy Sr < Sw + Dw.
+func (e *Engine) WorkerAvailable(w int, now float64) bool {
+	if e.matchedW[w] {
+		return false
+	}
+	if e.mode == AssumeGuide {
+		return true
+	}
+	return now < e.in.Workers[w].Deadline()
+}
+
+// TaskAvailable implements Platform. See WorkerAvailable for the mode
+// semantics; in Strict mode a worker departing at `now` needs non-negative
+// travel budget.
+func (e *Engine) TaskAvailable(t int, now float64) bool {
+	if e.matchedT[t] {
+		return false
+	}
+	if e.mode == AssumeGuide {
+		return true
+	}
+	return now <= e.in.Tasks[t].Deadline()
+}
+
+// TryMatch implements Platform.
+func (e *Engine) TryMatch(w, t int, now float64) bool {
+	e.attempted++
+	if e.matchedW[w] || e.matchedT[t] {
+		e.rejected++
+		return false
+	}
+	if e.mode == Strict {
+		worker := &e.in.Workers[w]
+		task := &e.in.Tasks[t]
+		if !model.FeasibleAt(worker, task, e.WorkerPos(w, now), now, e.in.Velocity) {
+			e.rejected++
+			return false
+		}
+	}
+	pos := e.WorkerPos(w, now)
+	e.matchedW[w] = true
+	e.matchedT[t] = true
+	e.matching.Add(w, t)
+	e.stats.TotalPickupDistance += pos.Dist(e.in.Tasks[t].Loc)
+	e.stats.TotalGuidedDistance += e.origin[w].Dist(pos)
+	if wait := now - e.in.Tasks[t].Release; wait > 0 {
+		e.stats.TotalTaskWait += wait
+	}
+	if idle := now - e.in.Workers[w].Arrive; idle > 0 {
+		e.stats.TotalWorkerIdle += idle
+	}
+	return true
+}
+
+// Dispatch implements Platform.
+func (e *Engine) Dispatch(w int, target geo.Point, now float64) {
+	if e.matchedW[w] {
+		return
+	}
+	pos := e.WorkerPos(w, now)
+	e.anchor[w] = pos
+	e.anchorTime[w] = now
+	if pos == target {
+		e.moving[w] = false
+		return
+	}
+	e.target[w] = target
+	e.moving[w] = true
+}
+
+// Schedule implements Platform.
+func (e *Engine) Schedule(at float64) { e.timer = at }
+
+// Run replays the instance against alg and returns the result. The
+// matching is validated in Strict mode against the ideal-guidance
+// predicate as a safety net; a violation panics, because it indicates an
+// engine bug rather than bad input.
+func (e *Engine) Run(alg Algorithm) Result {
+	e.reset()
+	alg.Init(e)
+
+	timerAlg, hasTimer := alg.(TimerAlgorithm)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocBefore := ms.TotalAlloc
+	start := time.Now()
+
+	lastTime := 0.0
+	for _, ev := range e.events {
+		if hasTimer {
+			for e.timer <= ev.Time {
+				at := e.timer
+				e.timer = math.Inf(1)
+				timerAlg.OnTimer(at)
+			}
+		}
+		switch ev.Kind {
+		case model.WorkerArrival:
+			alg.OnWorkerArrival(ev.Index, ev.Time)
+		case model.TaskArrival:
+			alg.OnTaskArrival(ev.Index, ev.Time)
+		}
+		lastTime = ev.Time
+	}
+	// Fire any timer scheduled at or before the end of the horizon, then
+	// let the algorithm flush.
+	end := lastTime
+	if e.in.Horizon > end {
+		end = e.in.Horizon
+	}
+	if hasTimer {
+		for e.timer <= end {
+			at := e.timer
+			e.timer = math.Inf(1)
+			timerAlg.OnTimer(at)
+		}
+	}
+	alg.OnFinish(end)
+
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+
+	res := Result{
+		Algorithm:  alg.Name(),
+		Mode:       e.mode,
+		Matching:   e.matching,
+		Elapsed:    elapsed,
+		AllocBytes: ms.TotalAlloc - allocBefore,
+		Attempted:  e.attempted,
+		Rejected:   e.rejected,
+		Stats:      e.stats,
+	}
+	return res
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+)
+
+func TestMatchStatsAccumulation(t *testing.T) {
+	in := &model.Instance{
+		Velocity: 1,
+		Bounds:   geo.NewRect(0, 0, 20, 20),
+		Horizon:  20,
+		Workers: []model.Worker{
+			{ID: 0, Loc: geo.Pt(0, 0), Arrive: 0, Patience: 20},
+		},
+		Tasks: []model.Task{
+			{ID: 0, Loc: geo.Pt(10, 0), Release: 6, Expiry: 10},
+		},
+	}
+	e := NewEngine(in, Strict)
+	alg := &scriptAlg{
+		name: "stats",
+		onWorker: func(p Platform, w int, now float64) {
+			// Pre-move the worker toward where the task will appear.
+			p.Dispatch(w, geo.Pt(10, 0), now)
+		},
+		onTask: func(p Platform, tk int, now float64) {
+			if !p.TryMatch(0, tk, now) {
+				t.Error("match rejected")
+			}
+		},
+	}
+	res := e.Run(alg)
+	if res.Matching.Size() != 1 {
+		t.Fatalf("size = %d", res.Matching.Size())
+	}
+	s := res.Stats
+	// At t=6 the worker has covered 6 of the 10 units; pickup distance 4,
+	// guided distance 6, task wait 0, worker idle 6.
+	if math.Abs(s.TotalPickupDistance-4) > 1e-9 {
+		t.Errorf("pickup distance = %v, want 4", s.TotalPickupDistance)
+	}
+	if math.Abs(s.TotalGuidedDistance-6) > 1e-9 {
+		t.Errorf("guided distance = %v, want 6", s.TotalGuidedDistance)
+	}
+	if s.TotalTaskWait != 0 {
+		t.Errorf("task wait = %v, want 0", s.TotalTaskWait)
+	}
+	if math.Abs(s.TotalWorkerIdle-6) > 1e-9 {
+		t.Errorf("worker idle = %v, want 6", s.TotalWorkerIdle)
+	}
+	if math.Abs(s.MeanPickupDistance(res.Matching.Size())-4) > 1e-9 {
+		t.Error("mean pickup")
+	}
+	if s.MeanTaskWait(0) != 0 || s.MeanPickupDistance(0) != 0 {
+		t.Error("zero-match means should be 0")
+	}
+}
+
+func TestMatchStatsTaskWait(t *testing.T) {
+	in := &model.Instance{
+		Velocity: 1,
+		Bounds:   geo.NewRect(0, 0, 20, 20),
+		Horizon:  20,
+		Workers: []model.Worker{
+			{ID: 0, Loc: geo.Pt(1, 0), Arrive: 5, Patience: 10},
+		},
+		Tasks: []model.Task{
+			{ID: 0, Loc: geo.Pt(0, 0), Release: 2, Expiry: 10},
+		},
+	}
+	e := NewEngine(in, Strict)
+	alg := &scriptAlg{
+		name: "wait",
+		onWorker: func(p Platform, w int, now float64) {
+			// Task has been waiting since t=2; worker arrives at t=5.
+			if !p.TryMatch(w, 0, now) {
+				t.Error("match rejected")
+			}
+		},
+	}
+	res := e.Run(alg)
+	if res.Matching.Size() != 1 {
+		t.Fatalf("size = %d", res.Matching.Size())
+	}
+	if math.Abs(res.Stats.TotalTaskWait-3) > 1e-9 {
+		t.Errorf("task wait = %v, want 3", res.Stats.TotalTaskWait)
+	}
+	if res.Stats.TotalWorkerIdle != 0 {
+		t.Errorf("worker idle = %v, want 0", res.Stats.TotalWorkerIdle)
+	}
+	if math.Abs(res.Stats.TotalPickupDistance-1) > 1e-9 {
+		t.Errorf("pickup = %v, want 1", res.Stats.TotalPickupDistance)
+	}
+	if res.Stats.TotalGuidedDistance != 0 {
+		t.Errorf("guided = %v, want 0 (never dispatched)", res.Stats.TotalGuidedDistance)
+	}
+}

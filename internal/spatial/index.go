@@ -1,0 +1,157 @@
+// Package spatial provides a dynamic grid-bucket index over points with
+// expanding-ring nearest-neighbour search. SimpleGreedy uses it to find the
+// closest feasible counterpart on every arrival (the operation the paper
+// identifies as SimpleGreedy's bottleneck), GR uses it to enumerate batch
+// candidates, and OPT uses a static variant to prune its bipartite graph.
+//
+// The index is deliberately decoupled from the prediction grid: it chooses
+// its own bucket resolution from an expected population so that query cost
+// does not degrade when experiments refine the prediction grid.
+package spatial
+
+import (
+	"math"
+
+	"ftoa/internal/geo"
+)
+
+// Index is a dynamic point index. IDs are caller-chosen non-negative ints,
+// unique among the currently inserted entries.
+type Index struct {
+	grid    *geo.Grid
+	buckets [][]int32
+	loc     map[int32]geo.Point
+	scratch []int
+}
+
+// NewIndex creates an index over bounds sized for roughly expectedN entries
+// (used only to pick the bucket resolution; the index grows fine beyond it).
+func NewIndex(bounds geo.Rect, expectedN int) *Index {
+	if expectedN < 1 {
+		expectedN = 1
+	}
+	// Aim for ~4 entries per bucket at expected population, capped so tiny
+	// instances still get a few buckets and huge ones do not explode memory.
+	side := int(math.Sqrt(float64(expectedN) / 4))
+	if side < 1 {
+		side = 1
+	}
+	if side > 1024 {
+		side = 1024
+	}
+	g := geo.NewGrid(bounds, side, side)
+	return &Index{
+		grid:    g,
+		buckets: make([][]int32, g.NumCells()),
+		loc:     make(map[int32]geo.Point, expectedN),
+	}
+}
+
+// Len returns the number of entries currently in the index.
+func (ix *Index) Len() int { return len(ix.loc) }
+
+// Insert adds id at point p. Inserting an id that is already present is a
+// programming error and panics.
+func (ix *Index) Insert(id int, p geo.Point) {
+	key := int32(id)
+	if _, ok := ix.loc[key]; ok {
+		panic("spatial: duplicate insert")
+	}
+	ix.loc[key] = p
+	c := ix.grid.CellOf(p)
+	ix.buckets[c] = append(ix.buckets[c], key)
+}
+
+// Remove deletes id from the index. Removing an absent id is a no-op so
+// callers can remove lazily-invalidated entries without tracking state.
+func (ix *Index) Remove(id int) {
+	key := int32(id)
+	p, ok := ix.loc[key]
+	if !ok {
+		return
+	}
+	delete(ix.loc, key)
+	c := ix.grid.CellOf(p)
+	b := ix.buckets[c]
+	for i, v := range b {
+		if v == key {
+			b[i] = b[len(b)-1]
+			ix.buckets[c] = b[:len(b)-1]
+			return
+		}
+	}
+}
+
+// Nearest returns the id of the entry nearest to p within maxDist for which
+// accept returns true, or (-1, 0) if none qualifies. Entries for which
+// accept returns false are skipped but kept. Accept may be nil, meaning
+// every entry qualifies.
+//
+// The search expands ring by ring and stops as soon as the best candidate
+// found so far is provably closer than anything in unexplored rings.
+func (ix *Index) Nearest(p geo.Point, maxDist float64, accept func(id int) bool) (best int, bestDist float64) {
+	best = -1
+	bestDist = math.Inf(1)
+	if maxDist < 0 || len(ix.loc) == 0 {
+		return -1, 0
+	}
+	maxRing := ix.grid.MaxRing()
+	for ring := 0; ring <= maxRing; ring++ {
+		// Stop when no unexplored cell can beat the current best.
+		inner := ix.grid.RingInnerDist(p, ring)
+		if inner > maxDist || inner > bestDist {
+			break
+		}
+		ix.scratch = ix.grid.RingCells(p, ring, ix.scratch[:0])
+		for _, c := range ix.scratch {
+			for _, id := range ix.buckets[c] {
+				q := ix.loc[id]
+				d := p.Dist(q)
+				if d > maxDist || d >= bestDist {
+					continue
+				}
+				if accept != nil && !accept(int(id)) {
+					continue
+				}
+				best, bestDist = int(id), d
+			}
+		}
+	}
+	if best == -1 {
+		return -1, 0
+	}
+	return best, bestDist
+}
+
+// Within appends to dst the ids of all entries within maxDist of p and
+// returns the extended slice, in no particular order.
+func (ix *Index) Within(p geo.Point, maxDist float64, dst []int) []int {
+	if maxDist < 0 || len(ix.loc) == 0 {
+		return dst
+	}
+	origin := ix.grid.CellOf(p)
+	w, h := ix.grid.CellSize()
+	// The query point sits up to half a cell diagonal from its cell center
+	// and so does any entry from its own cell center, so centers within
+	// maxDist + one full cell diagonal cover every cell intersecting the
+	// query disk.
+	slack := math.Sqrt(w*w + h*h)
+	ix.scratch = ix.grid.CellsWithinRadius(origin, maxDist+slack, ix.scratch[:0])
+	for _, c := range ix.scratch {
+		for _, id := range ix.buckets[c] {
+			if p.Dist(ix.loc[id]) <= maxDist {
+				dst = append(dst, int(id))
+			}
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn for every entry until fn returns false.
+func (ix *Index) ForEach(fn func(id int, p geo.Point) bool) {
+	for id, p := range ix.loc {
+		if !fn(int(id), p) {
+			return
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/mathx"
+)
+
+func bounds() geo.Rect { return geo.NewRect(0, 0, 100, 100) }
+
+func TestInsertRemoveLen(t *testing.T) {
+	ix := NewIndex(bounds(), 10)
+	ix.Insert(1, geo.Pt(5, 5))
+	ix.Insert(2, geo.Pt(50, 50))
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	ix.Remove(1)
+	if ix.Len() != 1 {
+		t.Fatalf("Len after remove = %d", ix.Len())
+	}
+	ix.Remove(1) // absent: no-op
+	if ix.Len() != 1 {
+		t.Fatalf("Len after double remove = %d", ix.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert should panic")
+		}
+	}()
+	ix.Insert(2, geo.Pt(1, 1))
+}
+
+func TestNearestBasic(t *testing.T) {
+	ix := NewIndex(bounds(), 10)
+	ix.Insert(1, geo.Pt(10, 10))
+	ix.Insert(2, geo.Pt(20, 10))
+	ix.Insert(3, geo.Pt(90, 90))
+	id, d := ix.Nearest(geo.Pt(12, 10), 1000, nil)
+	if id != 1 || math.Abs(d-2) > 1e-9 {
+		t.Errorf("Nearest = (%d, %v), want (1, 2)", id, d)
+	}
+	// maxDist excludes everything.
+	if id, _ := ix.Nearest(geo.Pt(0, 0), 5, nil); id != -1 {
+		t.Errorf("Nearest within 5 = %d, want -1", id)
+	}
+	// accept filter skips the closest.
+	id, _ = ix.Nearest(geo.Pt(12, 10), 1000, func(id int) bool { return id != 1 })
+	if id != 2 {
+		t.Errorf("filtered Nearest = %d, want 2", id)
+	}
+	// Empty index.
+	empty := NewIndex(bounds(), 1)
+	if id, _ := empty.Nearest(geo.Pt(1, 1), 10, nil); id != -1 {
+		t.Error("empty index should return -1")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := mathx.NewRNG(77)
+	ix := NewIndex(bounds(), 200)
+	type entry struct {
+		id int
+		p  geo.Point
+	}
+	var entries []entry
+	for i := 0; i < 300; i++ {
+		p := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		ix.Insert(i, p)
+		entries = append(entries, entry{i, p})
+	}
+	for trial := 0; trial < 200; trial++ {
+		q := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		maxD := rng.Float64() * 60
+		// Brute force.
+		wantID, wantD := -1, math.Inf(1)
+		for _, e := range entries {
+			d := q.Dist(e.p)
+			if d <= maxD && d < wantD {
+				wantID, wantD = e.id, d
+			}
+		}
+		gotID, gotD := ix.Nearest(q, maxD, nil)
+		if gotID != wantID {
+			t.Fatalf("trial %d: Nearest = %d (%v), want %d (%v)", trial, gotID, gotD, wantID, wantD)
+		}
+		if wantID != -1 && math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("trial %d: dist %v, want %v", trial, gotD, wantD)
+		}
+	}
+}
+
+func TestNearestAfterRemovals(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	ix := NewIndex(bounds(), 100)
+	live := map[int]geo.Point{}
+	for i := 0; i < 200; i++ {
+		p := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		ix.Insert(i, p)
+		live[i] = p
+	}
+	// Remove half.
+	for i := 0; i < 200; i += 2 {
+		ix.Remove(i)
+		delete(live, i)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		wantID, wantD := -1, math.Inf(1)
+		for id, p := range live {
+			if d := q.Dist(p); d < wantD {
+				wantID, wantD = id, d
+			}
+		}
+		gotID, _ := ix.Nearest(q, math.Inf(1), nil)
+		if gotID != wantID {
+			t.Fatalf("trial %d: got %d want %d", trial, gotID, wantID)
+		}
+	}
+}
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	rng := mathx.NewRNG(31)
+	ix := NewIndex(bounds(), 150)
+	pts := make(map[int]geo.Point)
+	for i := 0; i < 250; i++ {
+		p := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		ix.Insert(i, p)
+		pts[i] = p
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		radius := rng.Float64() * 40
+		got := ix.Within(q, radius, nil)
+		var want []int
+		for id, p := range pts {
+			if q.Dist(p) <= radius {
+				want = append(want, id)
+			}
+		}
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: |got|=%d |want|=%d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+	if res := ix.Within(geo.Pt(0, 0), -1, nil); len(res) != 0 {
+		t.Error("negative radius should return nothing")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	ix := NewIndex(bounds(), 4)
+	ix.Insert(1, geo.Pt(1, 1))
+	ix.Insert(2, geo.Pt(2, 2))
+	ix.Insert(3, geo.Pt(3, 3))
+	seen := map[int]bool{}
+	ix.ForEach(func(id int, p geo.Point) bool {
+		seen[id] = true
+		return true
+	})
+	if len(seen) != 3 {
+		t.Errorf("ForEach visited %d entries", len(seen))
+	}
+	count := 0
+	ix.ForEach(func(id int, p geo.Point) bool {
+		count++
+		return false // stop immediately
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d entries", count)
+	}
+}
+
+func TestPointsOutsideBounds(t *testing.T) {
+	// Entries outside the nominal bounds still work (clamped buckets).
+	ix := NewIndex(bounds(), 10)
+	ix.Insert(1, geo.Pt(-50, -50))
+	ix.Insert(2, geo.Pt(150, 150))
+	id, _ := ix.Nearest(geo.Pt(-40, -40), 1000, nil)
+	if id != 1 {
+		t.Errorf("Nearest = %d, want 1", id)
+	}
+	got := ix.Within(geo.Pt(140, 140), 20, nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Within = %v, want [2]", got)
+	}
+}

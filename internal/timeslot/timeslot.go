@@ -1,0 +1,78 @@
+// Package timeslot partitions the experiment horizon into the discrete
+// "time slots" the paper's offline prediction and guide generation operate
+// on (§3.1.1): a horizon [0, Horizon) divided into Count equal slots.
+//
+// Times are float64 in slot-agnostic time units (the synthetic experiments
+// use "slots of 15 minutes" but all algorithms only care about relative
+// durations, so the unit is arbitrary as long as it is consistent with
+// worker velocity).
+package timeslot
+
+import "fmt"
+
+// Slotting describes a partition of [0, Horizon) into Count equal slots.
+type Slotting struct {
+	Horizon float64 // total duration of the timeline
+	Count   int     // number of slots (t in the paper)
+
+	width float64
+}
+
+// New builds a Slotting. It panics on non-positive horizon or count, which
+// indicate a misconfigured experiment rather than bad data.
+func New(horizon float64, count int) *Slotting {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("timeslot: non-positive horizon %v", horizon))
+	}
+	if count <= 0 {
+		panic(fmt.Sprintf("timeslot: non-positive slot count %d", count))
+	}
+	return &Slotting{Horizon: horizon, Count: count, width: horizon / float64(count)}
+}
+
+// Width returns the duration of one slot.
+func (s *Slotting) Width() float64 { return s.width }
+
+// SlotOf returns the index of the slot containing time tm. Times before 0
+// clamp to slot 0 and times at or beyond the horizon clamp to the last
+// slot, mirroring geo.Grid.CellOf so that every event maps somewhere.
+func (s *Slotting) SlotOf(tm float64) int {
+	i := int(tm / s.width)
+	if i < 0 {
+		return 0
+	}
+	if i >= s.Count {
+		return s.Count - 1
+	}
+	return i
+}
+
+// Start returns the start time of slot i.
+func (s *Slotting) Start(i int) float64 { return float64(i) * s.width }
+
+// End returns the end time (exclusive) of slot i.
+func (s *Slotting) End(i int) float64 { return float64(i+1) * s.width }
+
+// Mid returns the midpoint time of slot i. The guide uses slot starts as
+// representative times (conservative for worker departure), but Mid is
+// exposed for predictors that want slot-centred features.
+func (s *Slotting) Mid(i int) float64 { return (float64(i) + 0.5) * s.width }
+
+// Contains reports whether tm falls inside [0, Horizon).
+func (s *Slotting) Contains(tm float64) bool { return tm >= 0 && tm < s.Horizon }
+
+// CellKey identifies one (time slot, grid area) prediction cell. The paper
+// writes these as the pair (Slot i, Area j) with counts a_ij / b_ij.
+type CellKey struct {
+	Slot int // time slot index
+	Area int // flattened grid cell index
+}
+
+// Flatten maps a CellKey to a single integer given the number of grid
+// areas, enabling dense arrays over all (slot, area) cells.
+func (k CellKey) Flatten(numAreas int) int { return k.Slot*numAreas + k.Area }
+
+// UnflattenCell reverses CellKey.Flatten.
+func UnflattenCell(flat, numAreas int) CellKey {
+	return CellKey{Slot: flat / numAreas, Area: flat % numAreas}
+}

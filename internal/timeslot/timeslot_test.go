@@ -1,0 +1,82 @@
+package timeslot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlotOf(t *testing.T) {
+	s := New(48, 48) // 48 slots of width 1
+	tests := []struct {
+		tm   float64
+		want int
+	}{
+		{0, 0}, {0.99, 0}, {1, 1}, {47.5, 47},
+		{48, 47},  // clamps at horizon
+		{-3, 0},   // clamps below
+		{500, 47}, // clamps far above
+	}
+	for _, tt := range tests {
+		if got := s.SlotOf(tt.tm); got != tt.want {
+			t.Errorf("SlotOf(%v) = %d, want %d", tt.tm, got, tt.want)
+		}
+	}
+}
+
+func TestStartEndMid(t *testing.T) {
+	s := New(24, 12) // width 2
+	if s.Width() != 2 {
+		t.Fatalf("Width = %v", s.Width())
+	}
+	if s.Start(3) != 6 || s.End(3) != 8 || s.Mid(3) != 7 {
+		t.Errorf("Start/End/Mid(3) = %v/%v/%v", s.Start(3), s.End(3), s.Mid(3))
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(10, 5)
+	if !s.Contains(0) || !s.Contains(9.99) {
+		t.Error("Contains should include [0, horizon)")
+	}
+	if s.Contains(-0.1) || s.Contains(10) {
+		t.Error("Contains should exclude outside")
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	s := New(96, 96)
+	if err := quick.Check(func(raw uint8) bool {
+		i := int(raw) % s.Count
+		// The start and mid of slot i must map back to slot i.
+		return s.SlotOf(s.Start(i)) == i && s.SlotOf(s.Mid(i)) == i
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellKeyFlatten(t *testing.T) {
+	const areas = 600
+	if err := quick.Check(func(slotRaw, areaRaw uint16) bool {
+		k := CellKey{Slot: int(slotRaw) % 144, Area: int(areaRaw) % areas}
+		return UnflattenCell(k.Flatten(areas), areas) == k
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 5) },
+		func() { New(-1, 5) },
+		func() { New(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

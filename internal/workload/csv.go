@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+)
+
+// LoadInstanceCSV reads an instance from the CSV format ftoa-gen emits
+// (and that users can produce from their own platform logs):
+//
+//	kind,id,x,y,time,window
+//	worker,0,13.2,7.8,21.3,2.0
+//	task,0,24.4,23.2,42.5,1.5
+//
+// kind is "worker" or "task"; time is the arrival/release time; window is
+// the worker's patience Dw or the task's expiry Dr. velocity is the shared
+// worker speed in space units per time unit. Bounds and horizon are
+// derived from the data with a small margin unless every point is needed
+// exactly; callers may adjust the returned instance before use.
+func LoadInstanceCSV(r io.Reader, velocity float64) (*model.Instance, error) {
+	if velocity <= 0 {
+		return nil, fmt.Errorf("workload: non-positive velocity %v", velocity)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	if header[0] != "kind" {
+		return nil, fmt.Errorf("workload: unexpected CSV header %v", header)
+	}
+	in := &model.Instance{Velocity: velocity}
+	var minX, minY, maxX, maxY, maxTime float64
+	first := true
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: reading CSV: %w", err)
+		}
+		line++
+		id, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad id %q", line, rec[1])
+		}
+		var x, y, tm, win float64
+		for i, dst := range []*float64{&x, &y, &tm, &win} {
+			v, err := strconv.ParseFloat(rec[2+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad number %q", line, rec[2+i])
+			}
+			*dst = v
+		}
+		if win < 0 {
+			return nil, fmt.Errorf("workload: line %d: negative window %v", line, win)
+		}
+		switch rec[0] {
+		case "worker":
+			in.Workers = append(in.Workers, model.Worker{
+				ID: id, Loc: geo.Pt(x, y), Arrive: tm, Patience: win,
+			})
+		case "task":
+			in.Tasks = append(in.Tasks, model.Task{
+				ID: id, Loc: geo.Pt(x, y), Release: tm, Expiry: win,
+			})
+		default:
+			return nil, fmt.Errorf("workload: line %d: unknown kind %q", line, rec[0])
+		}
+		if first {
+			minX, maxX, minY, maxY = x, x, y, y
+			first = false
+		} else {
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		if end := tm + win; end > maxTime {
+			maxTime = end
+		}
+	}
+	if first {
+		return nil, fmt.Errorf("workload: CSV contains no objects")
+	}
+	// A touch of margin keeps boundary points inside the half-open bounds.
+	margin := (maxX - minX + maxY - minY) * 0.005
+	if margin <= 0 {
+		margin = 1
+	}
+	in.Bounds = geo.NewRect(minX-margin, minY-margin, maxX+margin, maxY+margin)
+	in.Horizon = maxTime
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// LoadCountsCSV reads a per-(day, slot, area) count history from the CSV
+// format ftoa-gen -counts emits:
+//
+//	day,slot,area,workers,tasks,weather
+//
+// Dimensions are inferred from the maxima present; every (day, slot, area)
+// triple must appear exactly once. It returns the flattened worker and task
+// count tensors plus the per-(day, slot) weather series, ready for
+// predict.NewSeries.
+func LoadCountsCSV(r io.Reader) (days, slots, areas int, workers, tasks []int, weather []float64, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	header, err := cr.Read()
+	if err != nil {
+		return 0, 0, 0, nil, nil, nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	if header[0] != "day" {
+		return 0, 0, 0, nil, nil, nil, fmt.Errorf("workload: unexpected CSV header %v", header)
+	}
+	type rec struct {
+		day, slot, area, w, t int
+		wx                    float64
+	}
+	var recs []rec
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("workload: reading CSV: %w", err)
+		}
+		var rr rec
+		for i, dst := range []*int{&rr.day, &rr.slot, &rr.area, &rr.w, &rr.t} {
+			v, err := strconv.Atoi(row[i])
+			if err != nil {
+				return 0, 0, 0, nil, nil, nil, fmt.Errorf("workload: bad integer %q", row[i])
+			}
+			*dst = v
+		}
+		wx, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("workload: bad weather %q", row[5])
+		}
+		rr.wx = wx
+		if rr.day < 0 || rr.slot < 0 || rr.area < 0 || rr.w < 0 || rr.t < 0 {
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("workload: negative field in %v", row)
+		}
+		if rr.day >= days {
+			days = rr.day + 1
+		}
+		if rr.slot >= slots {
+			slots = rr.slot + 1
+		}
+		if rr.area >= areas {
+			areas = rr.area + 1
+		}
+		recs = append(recs, rr)
+	}
+	if len(recs) != days*slots*areas {
+		return 0, 0, 0, nil, nil, nil,
+			fmt.Errorf("workload: %d rows for %d×%d×%d cells", len(recs), days, slots, areas)
+	}
+	workers = make([]int, days*slots*areas)
+	tasks = make([]int, days*slots*areas)
+	weather = make([]float64, days*slots)
+	seen := make([]bool, days*slots*areas)
+	for _, rr := range recs {
+		flat := (rr.day*slots+rr.slot)*areas + rr.area
+		if seen[flat] {
+			return 0, 0, 0, nil, nil, nil,
+				fmt.Errorf("workload: duplicate cell (%d,%d,%d)", rr.day, rr.slot, rr.area)
+		}
+		seen[flat] = true
+		workers[flat] = rr.w
+		tasks[flat] = rr.t
+		weather[rr.day*slots+rr.slot] = rr.wx
+	}
+	return days, slots, areas, workers, tasks, weather, nil
+}

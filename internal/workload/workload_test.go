@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/mathx"
+	"ftoa/internal/timeslot"
+)
+
+func TestSyntheticGenerateBasics(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumWorkers = 2000
+	cfg.NumTasks = 1500
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Workers) != 2000 || len(in.Tasks) != 1500 {
+		t.Fatalf("sizes %d/%d", len(in.Workers), len(in.Tasks))
+	}
+	for i := range in.Workers {
+		w := &in.Workers[i]
+		if w.Arrive < 0 || w.Arrive >= cfg.Horizon {
+			t.Fatalf("worker %d arrival %v out of horizon", i, w.Arrive)
+		}
+		if !in.Bounds.Contains(w.Loc) {
+			t.Fatalf("worker %d location %v out of bounds", i, w.Loc)
+		}
+		if w.Patience != cfg.WorkerPatience {
+			t.Fatalf("worker %d patience %v", i, w.Patience)
+		}
+	}
+	for i := range in.Tasks {
+		r := &in.Tasks[i]
+		if r.Release < 0 || r.Release >= cfg.Horizon {
+			t.Fatalf("task %d release %v out of horizon", i, r.Release)
+		}
+		if !in.Bounds.Contains(r.Loc) {
+			t.Fatalf("task %d location %v out of bounds", i, r.Loc)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 500, 500
+	a, _ := cfg.Generate()
+	b, _ := cfg.Generate()
+	for i := range a.Workers {
+		if a.Workers[i] != b.Workers[i] {
+			t.Fatal("same seed produced different workers")
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	c, _ := cfg2.Generate()
+	same := 0
+	for i := range a.Workers {
+		if a.Workers[i].Loc == c.Workers[i].Loc {
+			same++
+		}
+	}
+	if same == len(a.Workers) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := DefaultSynthetic()
+	bad.NumWorkers = -1
+	if _, err := bad.Generate(); err == nil {
+		t.Error("negative population accepted")
+	}
+	bad = DefaultSynthetic()
+	bad.Velocity = 0
+	if _, err := bad.Generate(); err == nil {
+		t.Error("zero velocity accepted")
+	}
+	bad = DefaultSynthetic()
+	bad.Horizon = -5
+	if _, err := bad.Generate(); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestExpectedCountsMatchEmpirical(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumWorkers = 30000
+	cfg.NumTasks = 30000
+	grid := geo.NewGrid(cfg.Bounds(), 10, 10)
+	slots := timeslot.New(cfg.Horizon, 8)
+
+	wantW, wantT := cfg.ExpectedCounts(grid, slots)
+	if mathx.SumInts(wantW) != cfg.NumWorkers || mathx.SumInts(wantT) != cfg.NumTasks {
+		t.Fatalf("expected counts do not sum to totals: %d, %d", mathx.SumInts(wantW), mathx.SumInts(wantT))
+	}
+
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotW := make([]int, len(wantW))
+	areas := grid.NumCells()
+	for i := range in.Workers {
+		s := slots.SlotOf(in.Workers[i].Arrive)
+		a := grid.CellOf(in.Workers[i].Loc)
+		gotW[s*areas+a]++
+	}
+	// Compare aggregate deviation: with 30k draws the realized counts
+	// should track expectations closely in L1.
+	l1 := 0.0
+	for i := range wantW {
+		l1 += math.Abs(float64(wantW[i] - gotW[i]))
+	}
+	if rel := l1 / float64(cfg.NumWorkers); rel > 0.15 {
+		t.Errorf("L1 deviation between expected and empirical counts = %.3f of total, want < 0.15", rel)
+	}
+}
+
+func TestExpectedCountsConcentratedWhereConfigured(t *testing.T) {
+	cfg := DefaultSynthetic()
+	cfg.NumTasks = 10000
+	grid := geo.NewGrid(cfg.Bounds(), 10, 10)
+	slots := timeslot.New(cfg.Horizon, 4)
+	_, tasks := cfg.ExpectedCounts(grid, slots)
+	areas := grid.NumCells()
+	// Task spatial mean is 0.5·50 = 25 → cell (5,5); temporal mean slot 2.
+	peakCell := 5*grid.Cols + 5
+	peak := tasks[2*areas+peakCell]
+	corner := tasks[0*areas+0]
+	if peak <= corner {
+		t.Errorf("peak cell count %d not above corner %d", peak, corner)
+	}
+	if peak == 0 {
+		t.Error("peak cell empty")
+	}
+}
+
+func TestTruncNormalBinProbs(t *testing.T) {
+	probs := truncNormalBinProbs(5, 2, 0, 10, 10)
+	sum := 0.0
+	for _, p := range probs {
+		if p < 0 {
+			t.Fatalf("negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	// Symmetric around the middle.
+	for i := 0; i < 5; i++ {
+		if math.Abs(probs[i]-probs[9-i]) > 1e-9 {
+			t.Errorf("asymmetry at bin %d: %v vs %v", i, probs[i], probs[9-i])
+		}
+	}
+	// Degenerate sigma: point mass.
+	probs = truncNormalBinProbs(7.2, 0, 0, 10, 10)
+	if probs[7] != 1 {
+		t.Errorf("point mass not in bin 7: %v", probs)
+	}
+	// Far-away mean: degenerate truncation falls back to nearest bin.
+	probs = truncNormalBinProbs(1e9, 1e-12, 0, 10, 10)
+	if probs[9] != 1 {
+		t.Errorf("degenerate truncation: %v", probs)
+	}
+}
+
+func TestCityTraceShape(t *testing.T) {
+	c := Beijing()
+	c.Days = 10
+	c.WorkersPerDay = 3000
+	c.TasksPerDay = 3200
+	tr, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.WorkerCounts) != 10 || len(tr.TaskCounts) != 10 {
+		t.Fatalf("history days %d/%d", len(tr.WorkerCounts), len(tr.TaskCounts))
+	}
+	areas := tr.Grid.NumCells()
+	if areas != 600 {
+		t.Fatalf("areas = %d, want 600", areas)
+	}
+	for day := 0; day < 10; day++ {
+		if len(tr.WorkerCounts[day]) != c.SlotsPerDay*areas {
+			t.Fatalf("day %d counts length %d", day, len(tr.WorkerCounts[day]))
+		}
+		total := mathx.SumInts(tr.TaskCounts[day])
+		// Poisson totals should be within a factor of the configured scale
+		// (weekends and weather can pull them down).
+		if total < c.TasksPerDay/3 || total > c.TasksPerDay*2 {
+			t.Errorf("day %d task total %d wildly off %d", day, total, c.TasksPerDay)
+		}
+		for s := 0; s < c.SlotsPerDay; s++ {
+			w := tr.Weather[day][s]
+			if w < 0 || w > 1 {
+				t.Fatalf("weather out of range: %v", w)
+			}
+		}
+	}
+	// Weekend effect: average weekday task total above average weekend.
+	wd, we := 0.0, 0.0
+	nwd, nwe := 0, 0
+	for day := 0; day < 10; day++ {
+		tot := float64(mathx.SumInts(tr.TaskCounts[day]))
+		if tr.DayOfWeek[day] >= 5 {
+			we += tot
+			nwe++
+		} else {
+			wd += tot
+			nwd++
+		}
+	}
+	if nwd > 0 && nwe > 0 && wd/float64(nwd) <= we/float64(nwe) {
+		t.Errorf("weekday average %v not above weekend average %v", wd/float64(nwd), we/float64(nwe))
+	}
+}
+
+func TestCityTraceInstance(t *testing.T) {
+	c := Hangzhou()
+	c.Days = 3
+	c.WorkersPerDay = 1000
+	c.TasksPerDay = 1100
+	tr, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := tr.Instance(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Workers) != mathx.SumInts(tr.WorkerCounts[2]) {
+		t.Errorf("instance workers %d != counts %d", len(in.Workers), mathx.SumInts(tr.WorkerCounts[2]))
+	}
+	areas := tr.Grid.NumCells()
+	// Every object must lie in the cell and slot of its generating count.
+	gotW := make([]int, c.SlotsPerDay*areas)
+	for i := range in.Workers {
+		s := tr.Slots.SlotOf(in.Workers[i].Arrive)
+		a := tr.Grid.CellOf(in.Workers[i].Loc)
+		gotW[s*areas+a]++
+	}
+	for i := range gotW {
+		if gotW[i] != tr.WorkerCounts[2][i] {
+			t.Fatalf("realized counts diverge from history at flat index %d: %d vs %d", i, gotW[i], tr.WorkerCounts[2][i])
+		}
+	}
+	// Expiry override.
+	in2, err := tr.Instance(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.Tasks[0].Expiry != 0.5 {
+		t.Errorf("expiry override not applied: %v", in2.Tasks[0].Expiry)
+	}
+	// Out-of-range day.
+	if _, err := tr.Instance(5, 0); err == nil {
+		t.Error("out-of-range day accepted")
+	}
+}
+
+func TestCityTraceRushHours(t *testing.T) {
+	c := Beijing()
+	c.Days = 7
+	c.WorkersPerDay = 5000
+	c.TasksPerDay = 5000
+	tr, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas := tr.Grid.NumCells()
+	// Aggregate per-slot task totals across days; the 8:00 rush slot must
+	// be busier than the 3:00 night slot.
+	slotTotal := func(hour int) int {
+		s := hour * c.SlotsPerDay / 24
+		total := 0
+		for day := 0; day < c.Days; day++ {
+			for a := 0; a < areas; a++ {
+				total += tr.TaskCounts[day][s*areas+a]
+			}
+		}
+		return total
+	}
+	if rush, night := slotTotal(8), slotTotal(3); rush <= night {
+		t.Errorf("rush-hour slot total %d not above night %d", rush, night)
+	}
+}
+
+func TestCityValidation(t *testing.T) {
+	for _, mutate := range []func(*City){
+		func(c *City) { c.Cols = 0 },
+		func(c *City) { c.Days = 0 },
+		func(c *City) { c.SlotsPerDay = -1 },
+		func(c *City) { c.WorkersPerDay = -1 },
+		func(c *City) { c.Hotspots = 0 },
+		func(c *City) { c.Velocity = 0 },
+	} {
+		c := Beijing()
+		mutate(&c)
+		if _, err := c.Generate(); err == nil {
+			t.Errorf("invalid city config accepted: %+v", c)
+		}
+	}
+}
+
+func TestLambdaExposed(t *testing.T) {
+	c := Beijing()
+	c.Days = 2
+	c.WorkersPerDay = 500
+	c.TasksPerDay = 500
+	tr, err := c.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, task := tr.Lambda(1)
+	if len(w) != c.SlotsPerDay*tr.Grid.NumCells() || len(task) != len(w) {
+		t.Fatal("lambda lengths")
+	}
+	for _, v := range task {
+		if v < 0 {
+			t.Fatal("negative intensity")
+		}
+	}
+}
