@@ -35,11 +35,17 @@ func benchScale() float64 {
 // the POLAR-OP and OPT matching sizes of the middle row as metrics.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	benchExperimentOpts(b, id, experiments.Options{Scale: benchScale()})
+}
+
+// benchExperimentOpts is benchExperiment with explicit options, so the
+// parallel variants can pin a worker-pool size.
+func benchExperimentOpts(b *testing.B, id string, opts experiments.Options) {
+	b.Helper()
 	runner, ok := experiments.Lookup(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
-	opts := experiments.Options{Scale: benchScale()}
 	var res *experiments.Result
 	var err error
 	b.ResetTimer()
@@ -75,6 +81,16 @@ func BenchmarkFig5VarySlots(b *testing.B)   { benchExperiment(b, "fig5-t") }
 func BenchmarkFig5Scalability(b *testing.B) { benchExperiment(b, "fig5-scale") }
 func BenchmarkFig5Beijing(b *testing.B)     { benchExperiment(b, "fig5-bj") }
 func BenchmarkFig5Hangzhou(b *testing.B)    { benchExperiment(b, "fig5-hz") }
+
+// BenchmarkFig5ScalabilityParallel is BenchmarkFig5Scalability with the
+// experiment worker pool sized to GOMAXPROCS: sweep rows and the
+// algorithms within each row replay concurrently on private engine
+// clones. Compare against the sequential benchmark in the same build to
+// measure the harness speedup on a multi-core runner (matching sizes are
+// bit-identical either way; memory series are omitted in parallel mode).
+func BenchmarkFig5ScalabilityParallel(b *testing.B) {
+	benchExperimentOpts(b, "fig5-scale", experiments.Options{Scale: benchScale(), Parallelism: -1})
+}
 
 // Figure 6: temporal and spatial distribution sweeps.
 func BenchmarkFig6VaryMu(b *testing.B)    { benchExperiment(b, "fig6-mu") }

@@ -121,6 +121,8 @@ type (
 	Result = sim.Result
 	// Mode selects match-validation semantics.
 	Mode = sim.Mode
+	// EngineOption tunes replay-engine construction.
+	EngineOption = sim.EngineOption
 	// OPTOptions tunes the offline optimum computation.
 	OPTOptions = core.OPTOptions
 )
@@ -135,8 +137,16 @@ const (
 	AssumeGuide = sim.AssumeGuide
 )
 
-// NewEngine prepares a replay engine for the instance.
-func NewEngine(in *Instance, mode Mode) *Engine { return sim.NewEngine(in, mode) }
+// NewEngine prepares a replay engine for the instance. Use the returned
+// engine's Clone method to replay the same instance concurrently on
+// several goroutines.
+func NewEngine(in *Instance, mode Mode, opts ...EngineOption) *Engine {
+	return sim.NewEngine(in, mode, opts...)
+}
+
+// WithAllocTracking enables per-run heap-allocation measurement
+// (Result.AllocBytes) at the cost of two stop-the-world pauses per Run.
+func WithAllocTracking() EngineOption { return sim.WithAllocTracking() }
 
 // NewPOLAR creates the POLAR algorithm (Algorithm 2) bound to a guide.
 func NewPOLAR(g *Guide) Algorithm { return core.NewPOLAR(g) }

@@ -1,0 +1,3 @@
+module ftoa
+
+go 1.24

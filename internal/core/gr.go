@@ -19,6 +19,16 @@ type GR struct {
 
 	waitingWorkers []int32
 	waitingTasks   []int32
+
+	// ix is the per-batch candidate index, created once per replay and
+	// Reset between windows so steady-state flushes allocate nothing for
+	// spatial lookups. ixSizedFor records the population it was sized
+	// for, so a bursty window that dwarfs the estimate triggers a
+	// re-grid instead of degenerating to over-full buckets.
+	ix         *spatial.Index
+	ixSizedFor int
+	adj        [][]int32
+	cands      []int
 }
 
 // NewGR creates a GR instance with the given batching window (in the same
@@ -38,6 +48,7 @@ func (a *GR) Init(p sim.Platform) {
 	a.p = p
 	a.waitingWorkers = a.waitingWorkers[:0]
 	a.waitingTasks = a.waitingTasks[:0]
+	a.ix = nil // instance (and bounds) may differ between runs
 	p.Schedule(a.window)
 }
 
@@ -86,21 +97,44 @@ func (a *GR) flush(now float64) {
 		return
 	}
 
-	// Candidate edges via a per-batch spatial index over waiting workers.
-	ix := spatial.NewIndex(in.Bounds, len(liveW))
-	for li, w := range liveW {
-		ix.Insert(li, in.Workers[w].Loc) // ids are local batch indices
+	// Candidate edges via the replay-lifetime spatial index over waiting
+	// workers, sized for the expected batch population and Reset between
+	// windows so steady-state flushes reuse all of its storage. A batch
+	// that outgrows the sizing estimate 4× (bursty arrivals) re-grids at
+	// the observed population rather than scanning over-full buckets for
+	// the rest of the replay.
+	if a.ix == nil || len(liveW) > 4*a.ixSizedFor {
+		expected := len(liveW)
+		if in.Horizon > 0 {
+			if e := int(float64(len(in.Workers)) * a.window / in.Horizon); e > expected {
+				expected = e
+			}
+		}
+		a.ixSizedFor = expected
+		a.ix = spatial.NewIndex(in.Bounds, expected)
+	} else {
+		a.ix.Reset()
 	}
-	adj := make([][]int32, len(liveT))
-	var cands []int
+	for li, w := range liveW {
+		a.ix.Insert(li, in.Workers[w].Loc) // ids are local batch indices
+	}
+	if cap(a.adj) >= len(liveT) {
+		a.adj = a.adj[:len(liveT)]
+		for i := range a.adj {
+			a.adj[i] = a.adj[i][:0]
+		}
+	} else {
+		a.adj = make([][]int32, len(liveT))
+	}
+	adj := a.adj
 	for ti, t := range liveT {
 		task := &in.Tasks[t]
 		budget := task.Deadline() - now
 		if budget < 0 {
 			continue
 		}
-		cands = ix.Within(task.Loc, budget*in.Velocity, cands[:0])
-		for _, li := range cands {
+		a.cands = a.ix.Within(task.Loc, budget*in.Velocity, a.cands[:0])
+		for _, li := range a.cands {
 			w := liveW[li]
 			if model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity) {
 				adj[ti] = append(adj[ti], int32(li))

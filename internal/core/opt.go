@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ftoa/internal/flow"
 	"ftoa/internal/model"
@@ -109,12 +110,11 @@ func OPT(in *model.Instance, opts OPTOptions) model.Matching {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ta, tb := &in.Tasks[order[a]], &in.Tasks[order[b]]
-		if ta.Release != tb.Release {
-			return ta.Release < tb.Release
+	slices.SortFunc(order, func(a, b int) int {
+		if c := cmp.Compare(in.Tasks[a].Release, in.Tasks[b].Release); c != 0 {
+			return c
 		}
-		return order[a] < order[b]
+		return cmp.Compare(a, b)
 	})
 	for _, t := range order {
 		task := &in.Tasks[t]
@@ -134,9 +134,11 @@ func OPT(in *model.Instance, opts OPTOptions) model.Matching {
 			}
 		}
 		if opts.MaxCandidates <= 0 || len(cands) <= opts.MaxCandidates {
-			for _, c := range cands {
-				adj[t] = append(adj[t], c.w)
+			edges := make([]int32, len(cands))
+			for i, c := range cands {
+				edges[i] = c.w
 			}
+			adj[t] = edges
 			if workerDeg != nil {
 				for _, c := range cands {
 					workerDeg[c.w]++
@@ -144,7 +146,8 @@ func OPT(in *model.Instance, opts OPTOptions) model.Matching {
 			}
 			continue
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		slices.SortFunc(cands, func(a, b cand) int { return cmp.Compare(a.dist, b.dist) })
+		adj[t] = make([]int32, 0, opts.MaxCandidates)
 		// First pass: nearest workers with spare degree.
 		for _, c := range cands {
 			if len(adj[t]) >= opts.MaxCandidates {

@@ -17,8 +17,9 @@ type SimpleGreedy struct {
 	waitingWorkers *spatial.Index // unmatched workers at their initial location
 	waitingTasks   *spatial.Index // unmatched released tasks
 
-	maxTaskBudget float64 // max over tasks of Dr, bounding search radii
-	deadIDs       []int   // scratch for lazy expiry cleanup
+	maxTaskBudget float64         // max over tasks of Dr, bounding search radii
+	deadIDs       []int           // scratch for lazy expiry cleanup
+	lastIn        *model.Instance // enables index reuse across runs on one instance
 }
 
 // NewSimpleGreedy creates the baseline.
@@ -31,8 +32,16 @@ func (a *SimpleGreedy) Name() string { return "SimpleGreedy" }
 func (a *SimpleGreedy) Init(p sim.Platform) {
 	a.p = p
 	in := p.Instance()
-	a.waitingWorkers = spatial.NewIndex(in.Bounds, len(in.Workers))
-	a.waitingTasks = spatial.NewIndex(in.Bounds, len(in.Tasks))
+	if a.lastIn == in && a.waitingWorkers != nil {
+		// Replaying the same instance: clear the indexes in place instead
+		// of rebuilding them, so repeat runs allocate nothing here.
+		a.waitingWorkers.Reset()
+		a.waitingTasks.Reset()
+	} else {
+		a.waitingWorkers = spatial.NewIndex(in.Bounds, len(in.Workers))
+		a.waitingTasks = spatial.NewIndex(in.Bounds, len(in.Tasks))
+		a.lastIn = in
+	}
 	a.maxTaskBudget = 0
 	for i := range in.Tasks {
 		if in.Tasks[i].Expiry > a.maxTaskBudget {

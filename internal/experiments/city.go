@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ftoa/internal/guide"
+	"ftoa/internal/model"
 	"ftoa/internal/predict"
 	"ftoa/internal/workload"
 )
@@ -78,25 +79,37 @@ func cityExperiment(id string, city workload.City, opts Options) (*Result, error
 				city.Name, sum(wPred), sum(tPred)),
 		},
 	}
-	for _, dr := range cityDrSweep {
-		in, err := tr.Instance(testDay, dr)
+	// Each Dr row rebuilds its instance and guide from the shared read-only
+	// trace and forecasts, so rows parallelise exactly like the synthetic
+	// sweeps (Trace.Instance derives a fresh RNG per call).
+	res.Rows = make([]Row, len(cityDrSweep))
+	err = forEach(opts, len(cityDrSweep), func(i int) error {
+		dr := cityDrSweep[i]
+		var in *model.Instance
+		var g *guide.Guide
+		var err error
+		opts.pool.do(func() {
+			if in, err = tr.Instance(testDay, dr); err != nil {
+				return
+			}
+			g, err = guide.Build(guide.Config{
+				Grid:            tr.Grid,
+				Slots:           tr.Slots,
+				Velocity:        city.Velocity,
+				WorkerPatience:  city.WorkerPatience,
+				TaskExpiry:      dr,
+				MaxEdgesPerCell: opts.GuideMaxEdges,
+				RepSlack:        tr.Slots.Width() / 2,
+			}, wPred, tPred)
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g, err := guide.Build(guide.Config{
-			Grid:            tr.Grid,
-			Slots:           tr.Slots,
-			Velocity:        city.Velocity,
-			WorkerPatience:  city.WorkerPatience,
-			TaskExpiry:      dr,
-			MaxEdgesPerCell: opts.GuideMaxEdges,
-			RepSlack:        tr.Slots.Width() / 2,
-		}, wPred, tPred)
-		if err != nil {
-			return nil, err
-		}
-		metrics := runAll(in, g, opts)
-		res.Rows = append(res.Rows, Row{X: fmtF(dr), ByAlgo: metrics})
+		res.Rows[i] = Row{X: fmtF(dr), ByAlgo: runAll(in, g, opts)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

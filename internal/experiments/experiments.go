@@ -12,8 +12,9 @@ import (
 	"io"
 	"math"
 	"runtime"
-	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftoa/internal/core"
@@ -130,6 +131,18 @@ type Options struct {
 	GRWindow float64
 	// Seed offsets workload seeds, for variance studies.
 	Seed uint64
+	// Parallelism bounds the worker pool that runs sweep rows — and the
+	// independent algorithm replays within each row — concurrently.
+	// 0 or 1 keeps the fully sequential path, which is also the only mode
+	// with meaningful per-algorithm memory measurements (the allocation
+	// counter is process-wide). Negative means GOMAXPROCS. Results are
+	// deterministic and bit-identical to the sequential path on matching
+	// sizes: every row derives its own seed and every replay runs on a
+	// private engine clone.
+	Parallelism int
+
+	// pool is the shared bounded worker pool, created by withDefaults.
+	pool *pool
 }
 
 // withDefaults fills zero values.
@@ -146,7 +159,97 @@ func (o Options) withDefaults() Options {
 	if o.GRWindow <= 0 {
 		o.GRWindow = 0.25
 	}
+	if o.pool == nil {
+		o.pool = newPool(o.parallelism())
+	}
 	return o
+}
+
+// parallelism resolves the Parallelism knob to a worker count.
+func (o Options) parallelism() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism == 0:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}
+
+// parallel reports whether the experiment runs on the concurrent path.
+func (o Options) parallel() bool { return o.parallelism() > 1 }
+
+// pool is a bounded worker pool: at most cap(sem) submitted functions
+// compute at once. A sequential pool (nil sem) runs callers inline. Slots
+// are held only while a leaf unit of work computes — coordinating
+// goroutines never hold one while waiting on children — so nested fan-out
+// (rows spawning per-algorithm replays) cannot deadlock.
+type pool struct {
+	sem chan struct{}
+}
+
+func newPool(par int) *pool {
+	if par <= 1 {
+		return &pool{}
+	}
+	return &pool{sem: make(chan struct{}, par)}
+}
+
+// do runs fn, blocking while the pool is saturated.
+func (p *pool) do(fn func()) {
+	if p.sem == nil {
+		fn()
+		return
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}
+
+// forEach runs fn(i) for every i in [0, n), fanning out across at most
+// parallelism() concurrent workers when the options ask for parallelism
+// and inline otherwise. Bounding the in-flight calls (rather than just
+// the pool's compute slots) keeps peak memory at O(parallelism) rows —
+// a finished row's instance, guide and engine clones are released before
+// the worker claims the next index. It returns the first non-nil error
+// by index, so error identity is deterministic.
+func forEach(opts Options, n int, fn func(i int) error) error {
+	if !opts.parallel() || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := opts.parallelism()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // scaled multiplies a paper population by the scale factor, keeping at
@@ -177,39 +280,102 @@ func (o Options) scaledSide(n int) int {
 // runAll runs the full comparison set on one instance and returns metrics
 // keyed by algorithm label. guideCfg and counts parameterise the guide the
 // POLAR variants use; OPT runs unless opts.SkipOPT.
+//
+// On the sequential path every replay measures its own heap allocation (the
+// paper's memory metric). On the parallel path each algorithm replays on a
+// private clone of the engine, gated by the shared worker pool; MemoryMB is
+// reported as 0 there because the allocation counter is process-wide.
 func runAll(in *model.Instance, g *guide.Guide, opts Options) map[string]Metric {
-	out := make(map[string]Metric, 5)
 	mode := sim.AssumeGuide
 	if opts.Strict {
 		mode = sim.Strict
 	}
-	eng := sim.NewEngine(in, mode)
-
-	record := func(name string, res sim.Result) {
-		out[name] = Metric{
-			MatchingSize: res.Matching.Size(),
-			Seconds:      res.Elapsed.Seconds(),
-			MemoryMB:     float64(res.AllocBytes) / (1 << 20),
+	mkAlgs := func() []sim.Algorithm {
+		return []sim.Algorithm{
+			core.NewSimpleGreedy(),
+			core.NewGR(opts.GRWindow),
+			core.NewPOLAR(g),
+			core.NewPOLAROP(g),
 		}
 	}
-	record(AlgoSimpleGreedy, eng.Run(core.NewSimpleGreedy()))
-	record(AlgoGR, eng.Run(core.NewGR(opts.GRWindow)))
-	record(AlgoPOLAR, eng.Run(core.NewPOLAR(g)))
-	record(AlgoPOLAROP, eng.Run(core.NewPOLAROP(g)))
 
-	if !opts.SkipOPT {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		before := ms.TotalAlloc
-		start := time.Now()
-		m := core.OPT(in, core.OPTOptions{MaxCandidates: opts.OPTCandidates})
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&ms)
-		out[AlgoOPT] = Metric{
-			MatchingSize: m.Size(),
-			Seconds:      elapsed.Seconds(),
-			MemoryMB:     float64(ms.TotalAlloc-before) / (1 << 20),
+	if !opts.parallel() {
+		out := make(map[string]Metric, 5)
+		eng := sim.NewEngine(in, mode, sim.WithAllocTracking())
+		for _, alg := range mkAlgs() {
+			res := eng.Run(alg)
+			out[res.Algorithm] = Metric{
+				MatchingSize: res.Matching.Size(),
+				Seconds:      res.Elapsed.Seconds(),
+				MemoryMB:     float64(res.AllocBytes) / (1 << 20),
+			}
 		}
+		if !opts.SkipOPT {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			before := ms.TotalAlloc
+			start := time.Now()
+			m := core.OPT(in, core.OPTOptions{MaxCandidates: opts.OPTCandidates})
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms)
+			out[AlgoOPT] = Metric{
+				MatchingSize: m.Size(),
+				Seconds:      elapsed.Seconds(),
+				MemoryMB:     float64(ms.TotalAlloc-before) / (1 << 20),
+			}
+		}
+		return out
+	}
+
+	algs := mkAlgs()
+	names := make([]string, len(algs))
+	metrics := make([]Metric, len(algs)+1) // last slot is OPT
+	base := sim.NewEngine(in, mode)
+	var wg sync.WaitGroup
+	for i, alg := range algs {
+		names[i] = alg.Name()
+		wg.Add(1)
+		go func(i int, alg sim.Algorithm) {
+			defer wg.Done()
+			opts.pool.do(func() {
+				// The first replay reuses the base engine's state slices;
+				// the rest clone inside their pool slot so per-run state
+				// is only allocated once a replay is actually admitted.
+				eng := base
+				if i > 0 {
+					eng = base.Clone()
+				}
+				res := eng.Run(alg)
+				metrics[i] = Metric{
+					MatchingSize: res.Matching.Size(),
+					Seconds:      res.Elapsed.Seconds(),
+				}
+			})
+		}(i, alg)
+	}
+	if !opts.SkipOPT {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts.pool.do(func() {
+				start := time.Now()
+				m := core.OPT(in, core.OPTOptions{MaxCandidates: opts.OPTCandidates})
+				metrics[len(algs)] = Metric{
+					MatchingSize: m.Size(),
+					Seconds:      time.Since(start).Seconds(),
+				}
+			})
+		}()
+	}
+	wg.Wait()
+
+	out := make(map[string]Metric, len(algs)+1)
+	for i, name := range names {
+		// POLAR's Name() is "POLAR" etc., matching the Algo constants.
+		out[name] = metrics[i]
+	}
+	if !opts.SkipOPT {
+		out[AlgoOPT] = metrics[len(algs)]
 	}
 	return out
 }
@@ -232,13 +398,18 @@ func buildSyntheticGuide(cfg workload.Synthetic, gridSide, slots int, opts Optio
 }
 
 // syntheticPoint generates an instance for cfg, builds its guide, and runs
-// the comparison set.
+// the comparison set. Instance generation and guide construction are gated
+// through the worker pool so concurrent rows respect the parallelism bound.
 func syntheticPoint(cfg workload.Synthetic, gridSide, slots int, opts Options) (map[string]Metric, error) {
-	in, err := cfg.Generate()
-	if err != nil {
-		return nil, err
-	}
-	g, err := buildSyntheticGuide(cfg, gridSide, slots, opts)
+	var in *model.Instance
+	var g *guide.Guide
+	var err error
+	opts.pool.do(func() {
+		if in, err = cfg.Generate(); err != nil {
+			return
+		}
+		g, err = buildSyntheticGuide(cfg, gridSide, slots, opts)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -276,18 +447,46 @@ func IDs() []string {
 	return out
 }
 
-// All runs every registered experiment in order.
-func All(opts Options, w io.Writer) error {
-	ids := IDs()
-	sort.SliceStable(ids, func(a, b int) bool { return false }) // keep order
+// Timing is one machine-readable per-experiment wall-clock sample. The
+// bench CLI emits these as JSON so successive PRs have a perf trajectory
+// to gate against.
+type Timing struct {
+	ID          string  `json:"id"`
+	Seconds     float64 `json:"seconds"`
+	Parallelism int     `json:"parallelism"`
+	Scale       float64 `json:"scale"`
+}
+
+// Run executes the given experiments in registration order, printing each
+// to w, and returns a wall-clock timing per experiment.
+func Run(ids []string, opts Options, w io.Writer) ([]Timing, error) {
+	opts = opts.withDefaults()
+	timings := make([]Timing, 0, len(ids))
 	for _, id := range ids {
-		res, err := registry[id](opts)
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", id, err)
+		runner, ok := registry[id]
+		if !ok {
+			return timings, fmt.Errorf("experiment %s: unknown id", id)
 		}
+		start := time.Now()
+		res, err := runner(opts)
+		if err != nil {
+			return timings, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		timings = append(timings, Timing{
+			ID:          id,
+			Seconds:     time.Since(start).Seconds(),
+			Parallelism: opts.parallelism(),
+			Scale:       opts.Scale,
+		})
 		res.Print(w)
 	}
-	return nil
+	return timings, nil
+}
+
+// All runs every registered experiment in order.
+func All(opts Options, w io.Writer) error {
+	_, err := Run(IDs(), opts, w)
+	return err
 }
 
 // fmtInt renders an integer x-axis value compactly (20000 → "20000").

@@ -39,7 +39,7 @@ func HybridAblation(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := sim.NewEngine(in, sim.Strict)
+		eng := sim.NewEngine(in, sim.Strict, sim.WithAllocTracking())
 		row := Row{X: fmtF(dr), ByAlgo: map[string]Metric{}}
 		for _, alg := range []sim.Algorithm{
 			core.NewSimpleGreedy(), core.NewPOLAROP(g), core.NewHybrid(g),
@@ -88,7 +88,7 @@ func MinCostAblation(opts Options) (*Result, error) {
 			return nil, err
 		}
 		eng := sim.NewEngine(in, sim.Strict)
-		r := eng.Run(core.NewPOLAROP(g))
+		r := eng.Run(core.NewPOLAROP(g)) // MemoryMB column repurposed below; no alloc tracking needed
 		res.Rows = append(res.Rows, Row{
 			X: variant.name,
 			ByAlgo: map[string]Metric{AlgoPOLAROP: {
@@ -127,7 +127,7 @@ func StrictGapAblation(opts Options) (*Result, error) {
 		return nil, err
 	}
 	for _, mode := range []sim.Mode{sim.AssumeGuide, sim.Strict} {
-		eng := sim.NewEngine(in, mode)
+		eng := sim.NewEngine(in, mode, sim.WithAllocTracking())
 		row := Row{X: mode.String(), ByAlgo: map[string]Metric{}}
 		for _, alg := range []sim.Algorithm{
 			core.NewSimpleGreedy(), core.NewPOLAR(g), core.NewPOLAROP(g),

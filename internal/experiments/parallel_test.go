@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// matchingTable flattens a result's MatchingSize series into a comparable
+// map keyed by (row, algorithm).
+func matchingTable(t *testing.T, r *Result) map[string]int {
+	t.Helper()
+	out := make(map[string]int)
+	for _, row := range r.Rows {
+		for algo, m := range row.ByAlgo {
+			out[row.X+"/"+algo] = m.MatchingSize
+		}
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the determinism contract of the worker
+// pool: for a fixed seed, the parallel path must produce bit-identical
+// MatchingSize tables to the sequential path, row for row and algorithm
+// for algorithm.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  Runner
+		opts Options
+	}{
+		{"fig4-w", VaryW, Options{Scale: 0.002}},
+		{"fig5-scale", Scalability, Options{Scale: 0.0005}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seqOpts := tc.opts
+			seq, err := tc.run(seqOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parOpts := tc.opts
+			parOpts.Parallelism = 4
+			par, err := tc.run(parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			seqTab, parTab := matchingTable(t, seq), matchingTable(t, par)
+			if len(seqTab) != len(parTab) {
+				t.Fatalf("table sizes differ: sequential %d vs parallel %d", len(seqTab), len(parTab))
+			}
+			for key, want := range seqTab {
+				if got, ok := parTab[key]; !ok || got != want {
+					t.Errorf("%s: parallel MatchingSize = %d, sequential = %d", key, got, want)
+				}
+			}
+			// Row order must be the sweep order on both paths.
+			for i := range seq.Rows {
+				if seq.Rows[i].X != par.Rows[i].X {
+					t.Errorf("row %d: sequential x=%s, parallel x=%s", i, seq.Rows[i].X, par.Rows[i].X)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelOmitsMemory pins the documented contract that concurrent
+// replays cannot attribute the process-wide allocation counter.
+func TestParallelOmitsMemory(t *testing.T) {
+	res, err := VaryW(Options{Scale: 0.002, SkipOPT: true, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		for algo, m := range row.ByAlgo {
+			if m.MemoryMB != 0 {
+				t.Errorf("x=%s %s: parallel MemoryMB = %v, want 0", row.X, algo, m.MemoryMB)
+			}
+		}
+	}
+	// Sequential runs keep the paper's memory series.
+	res, err = VaryW(Options{Scale: 0.002, SkipOPT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	any := false
+	for _, row := range res.Rows {
+		for _, m := range row.ByAlgo {
+			if m.MemoryMB > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		t.Error("sequential run reported no memory at all")
+	}
+}
+
+// TestRunEmitsTimings covers the timing series the bench CLI serialises.
+func TestRunEmitsTimings(t *testing.T) {
+	var buf bytes.Buffer
+	timings, err := Run([]string{"fig4-w"}, Options{Scale: 0.002, SkipOPT: true, Parallelism: 2}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 1 {
+		t.Fatalf("timings = %d, want 1", len(timings))
+	}
+	tm := timings[0]
+	if tm.ID != "fig4-w" || tm.Seconds <= 0 || tm.Parallelism != 2 || tm.Scale != 0.002 {
+		t.Errorf("unexpected timing record %+v", tm)
+	}
+	if !strings.Contains(buf.String(), "fig4-w") {
+		t.Error("Run did not print the experiment")
+	}
+	if _, err := Run([]string{"nope"}, Options{Scale: 0.002}, &buf); err == nil {
+		t.Error("Run with unknown id should fail")
+	}
+}

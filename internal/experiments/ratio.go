@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ftoa/internal/core"
+	"ftoa/internal/model"
 	"ftoa/internal/sim"
 	"ftoa/internal/workload"
 )
@@ -40,6 +41,48 @@ func CompetitiveRatio(opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Trials are independent redraws, so they fan out across the worker
+	// pool; per-trial ratios land in an indexed slice and are reduced in
+	// trial order, keeping min and mean bit-identical to a sequential run.
+	type trialRatio struct {
+		polar, polarOP float64
+		valid          bool
+	}
+	ratios := make([]trialRatio, trials)
+	err = forEach(opts, trials, func(trial int) error {
+		tcfg := cfg
+		tcfg.Seed = uint64(trial+1)*7919 + opts.Seed
+		var in *model.Instance
+		var genErr error
+		var opt, polar, polarOP int
+		opts.pool.do(func() {
+			if in, genErr = tcfg.Generate(); genErr != nil {
+				return
+			}
+			opt = core.OPT(in, core.OPTOptions{MaxCandidates: opts.OPTCandidates}).Size()
+		})
+		if genErr != nil {
+			return genErr
+		}
+		if opt == 0 {
+			return nil
+		}
+		opts.pool.do(func() {
+			eng := sim.NewEngine(in, sim.AssumeGuide)
+			polar = eng.Run(core.NewPOLAR(g)).Matching.Size()
+			polarOP = eng.Run(core.NewPOLAROP(g)).Matching.Size()
+		})
+		ratios[trial] = trialRatio{
+			polar:   float64(polar) / float64(opt),
+			polarOP: float64(polarOP) / float64(opt),
+			valid:   true,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type stats struct {
 		min, sum float64
 	}
@@ -47,27 +90,19 @@ func CompetitiveRatio(opts Options) (*Result, error) {
 		AlgoPOLAR:   {min: 1},
 		AlgoPOLAROP: {min: 1},
 	}
-	for trial := 0; trial < trials; trial++ {
-		cfg.Seed = uint64(trial+1)*7919 + opts.Seed
-		in, err := cfg.Generate()
-		if err != nil {
-			return nil, err
-		}
-		opt := core.OPT(in, core.OPTOptions{MaxCandidates: opts.OPTCandidates}).Size()
-		if opt == 0 {
+	for _, r := range ratios {
+		if !r.valid {
 			continue
 		}
-		eng := sim.NewEngine(in, sim.AssumeGuide)
-		for name, alg := range map[string]sim.Algorithm{
-			AlgoPOLAR:   core.NewPOLAR(g),
-			AlgoPOLAROP: core.NewPOLAROP(g),
-		} {
-			ratio := float64(eng.Run(alg).Matching.Size()) / float64(opt)
-			st := agg[name]
-			st.sum += ratio
-			if ratio < st.min {
-				st.min = ratio
-			}
+		st := agg[AlgoPOLAR]
+		st.sum += r.polar
+		if r.polar < st.min {
+			st.min = r.polar
+		}
+		st = agg[AlgoPOLAROP]
+		st.sum += r.polarOP
+		if r.polarOP < st.min {
+			st.min = r.polarOP
 		}
 	}
 

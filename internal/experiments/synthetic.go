@@ -36,13 +36,17 @@ func init() {
 }
 
 // sweepSynthetic runs one synthetic sweep: mutate configures each point
-// from the default config and the sweep value index.
+// from the default config and the sweep value index. Rows are independent
+// — each derives its own deterministic seed from the base config — so with
+// Options.Parallelism they run concurrently on the shared worker pool;
+// results land in sweep order either way.
 func sweepSynthetic(id, title, xlabel string, xs []string,
 	mutate func(cfg *workload.Synthetic, gridSide, slots *int, i int), opts Options) (*Result, error) {
 
 	opts = opts.withDefaults()
 	res := &Result{ID: id, Title: title, XLabel: xlabel, Algorithms: opts.algorithms()}
-	for i, x := range xs {
+	res.Rows = make([]Row, len(xs))
+	err := forEach(opts, len(xs), func(i int) error {
 		cfg := workload.DefaultSynthetic()
 		cfg.Seed += opts.Seed
 		cfg.NumWorkers = opts.scaled(cfg.NumWorkers)
@@ -51,9 +55,13 @@ func sweepSynthetic(id, title, xlabel string, xs []string,
 		mutate(&cfg, &gridSide, &slots, i)
 		metrics, err := syntheticPoint(cfg, gridSide, slots, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, Row{X: x, ByAlgo: metrics})
+		res.Rows[i] = Row{X: xs[i], ByAlgo: metrics}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -21,6 +21,13 @@ type Network struct {
 	cap   []int64
 	cost  []int64 // used only by min-cost flow; zero otherwise
 	flow  []int64
+
+	// Scratch reused across MaxFlowDinic calls so repeated solves on one
+	// network (guide construction probes, re-solves after Reset) allocate
+	// nothing per call. Sized lazily to n on first use.
+	level []int32
+	iter  []int32
+	queue []int32
 }
 
 // NewNetwork creates a network with n nodes and no edges. Node ids are
@@ -97,9 +104,14 @@ func (g *Network) MaxFlowDinic(s, t int) int64 {
 	if s == t {
 		return 0
 	}
-	level := make([]int32, g.n)
-	iter := make([]int32, g.n)
-	queue := make([]int32, 0, g.n)
+	if cap(g.level) < g.n {
+		g.level = make([]int32, g.n)
+		g.iter = make([]int32, g.n)
+		g.queue = make([]int32, 0, g.n)
+	}
+	level := g.level[:g.n]
+	iter := g.iter[:g.n]
+	queue := g.queue[:0]
 
 	bfs := func() bool {
 		for i := range level {
@@ -159,6 +171,7 @@ func (g *Network) MaxFlowDinic(s, t int) int64 {
 			total += f
 		}
 	}
+	g.queue = queue // keep any grown capacity for the next call
 	return total
 }
 

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// greedyScript matches every arriving task with the first available worker,
+// dispatching workers so clones exercise the mutable movement state.
+func greedyScript() *scriptAlg {
+	return &scriptAlg{
+		name: "greedy-script",
+		onTask: func(p Platform, t int, now float64) {
+			in := p.Instance()
+			for w := range in.Workers {
+				if p.WorkerAvailable(w, now) && p.TryMatch(w, t, now) {
+					return
+				}
+			}
+		},
+		onWorker: func(p Platform, w int, now float64) {
+			p.Dispatch(w, p.Instance().Tasks[0].Loc, now)
+		},
+	}
+}
+
+func TestCloneRunsIndependently(t *testing.T) {
+	in := twoByTwo()
+	base := NewEngine(in, Strict)
+	want := base.Run(greedyScript()).Matching.Size()
+
+	// Concurrent clones must reproduce the sequential result exactly and
+	// must not corrupt each other's ground truth.
+	const replicas = 8
+	got := make([]int, replicas)
+	var wg sync.WaitGroup
+	for i := 0; i < replicas; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = base.Clone().Run(greedyScript()).Matching.Size()
+		}(i)
+	}
+	wg.Wait()
+	for i, g := range got {
+		if g != want {
+			t.Errorf("clone %d matched %d, sequential matched %d", i, g, want)
+		}
+	}
+	// The original engine still works after its clones ran.
+	if again := base.Run(greedyScript()).Matching.Size(); again != want {
+		t.Errorf("base engine after clones matched %d, want %d", again, want)
+	}
+}
+
+func TestAllocTrackingOptIn(t *testing.T) {
+	in := twoByTwo()
+	// Default: no tracking, AllocBytes stays zero.
+	if res := NewEngine(in, Strict).Run(greedyScript()); res.AllocBytes != 0 {
+		t.Errorf("AllocBytes = %d without WithAllocTracking, want 0", res.AllocBytes)
+	}
+	// Opt-in: the replay allocates at least the matching pairs.
+	if res := NewEngine(in, Strict, WithAllocTracking()).Run(greedyScript()); res.AllocBytes == 0 {
+		t.Error("AllocBytes = 0 with WithAllocTracking, want > 0")
+	}
+	// Clones do not inherit tracking (process-wide counter, concurrency).
+	tracked := NewEngine(in, Strict, WithAllocTracking())
+	if res := tracked.Clone().Run(greedyScript()); res.AllocBytes != 0 {
+		t.Errorf("clone AllocBytes = %d, want 0 (tracking not inherited)", res.AllocBytes)
+	}
+}

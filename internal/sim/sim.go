@@ -112,6 +112,10 @@ type Result struct {
 	Elapsed time.Duration
 	// AllocBytes is the heap allocated during the replay (TotalAlloc
 	// delta), the closest portable analogue of the paper's memory metric.
+	// It is 0 unless the engine was created with WithAllocTracking:
+	// measuring it costs two stop-the-world runtime.ReadMemStats pauses
+	// per Run, and the process-wide counter is meaningless when several
+	// replays run concurrently.
 	AllocBytes uint64
 	// Attempted and Rejected count TryMatch calls and how many the engine
 	// refused (always 0 in AssumeGuide mode for available pairs); the gap
@@ -161,10 +165,16 @@ func (s MatchStats) MeanTaskWait(matches int) float64 {
 }
 
 // Engine replays instances. Create one per (instance, mode) and call Run
-// once per algorithm; Run resets per-run state.
+// once per algorithm; Run resets per-run state. An Engine is not safe for
+// concurrent use — use Clone to replay the same instance on several
+// goroutines at once.
 type Engine struct {
 	in   *model.Instance
 	mode Mode
+
+	// measureAllocs enables the TotalAlloc delta in Result.AllocBytes at
+	// the cost of two stop-the-world pauses per Run.
+	measureAllocs bool
 
 	events []model.Event
 
@@ -185,11 +195,22 @@ type Engine struct {
 	origin []geo.Point
 }
 
+// EngineOption tunes engine construction.
+type EngineOption func(*Engine)
+
+// WithAllocTracking enables per-run heap-allocation measurement
+// (Result.AllocBytes). It costs two stop-the-world runtime.ReadMemStats
+// pauses per Run and reads a process-wide counter, so leave it off on hot
+// replay paths and whenever engines run concurrently.
+func WithAllocTracking() EngineOption {
+	return func(e *Engine) { e.measureAllocs = true }
+}
+
 // NewEngine prepares an engine for the instance. The event order is
-// computed once and shared across runs.
-func NewEngine(in *model.Instance, mode Mode) *Engine {
+// computed once and shared across runs (and across Clones).
+func NewEngine(in *model.Instance, mode Mode, opts ...EngineOption) *Engine {
 	n := len(in.Workers)
-	return &Engine{
+	e := &Engine{
 		in:         in,
 		mode:       mode,
 		events:     in.Events(),
@@ -199,6 +220,30 @@ func NewEngine(in *model.Instance, mode Mode) *Engine {
 		moving:     make([]bool, n),
 		matchedW:   make([]bool, n),
 		matchedT:   make([]bool, len(in.Tasks)),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Clone returns a new engine over the same instance and mode that shares
+// the immutable inputs (instance and precomputed event order) but owns all
+// per-run mutable ground truth, so clones can Run concurrently on separate
+// goroutines. Alloc tracking is NOT inherited: the counter it reads is
+// process-wide and meaningless under concurrency.
+func (e *Engine) Clone() *Engine {
+	n := len(e.in.Workers)
+	return &Engine{
+		in:         e.in,
+		mode:       e.mode,
+		events:     e.events,
+		anchor:     make([]geo.Point, n),
+		anchorTime: make([]float64, n),
+		target:     make([]geo.Point, n),
+		moving:     make([]bool, n),
+		matchedW:   make([]bool, n),
+		matchedT:   make([]bool, len(e.in.Tasks)),
 	}
 }
 
@@ -222,6 +267,8 @@ func (e *Engine) reset() {
 	for i := range e.matchedT {
 		e.matchedT[i] = false
 	}
+	// The matching escapes to the caller via Result, so it is the one
+	// piece of per-run state that cannot be reused.
 	e.matching = model.Matching{}
 	e.timer = math.Inf(1)
 	e.attempted = 0
@@ -337,8 +384,11 @@ func (e *Engine) Run(alg Algorithm) Result {
 	timerAlg, hasTimer := alg.(TimerAlgorithm)
 
 	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	allocBefore := ms.TotalAlloc
+	var allocBefore uint64
+	if e.measureAllocs {
+		runtime.ReadMemStats(&ms)
+		allocBefore = ms.TotalAlloc
+	}
 	start := time.Now()
 
 	lastTime := 0.0
@@ -374,14 +424,18 @@ func (e *Engine) Run(alg Algorithm) Result {
 	alg.OnFinish(end)
 
 	elapsed := time.Since(start)
-	runtime.ReadMemStats(&ms)
+	var allocBytes uint64
+	if e.measureAllocs {
+		runtime.ReadMemStats(&ms)
+		allocBytes = ms.TotalAlloc - allocBefore
+	}
 
 	res := Result{
 		Algorithm:  alg.Name(),
 		Mode:       e.mode,
 		Matching:   e.matching,
 		Elapsed:    elapsed,
-		AllocBytes: ms.TotalAlloc - allocBefore,
+		AllocBytes: allocBytes,
 		Attempted:  e.attempted,
 		Rejected:   e.rejected,
 		Stats:      e.stats,

@@ -7,6 +7,13 @@
 // The index is deliberately decoupled from the prediction grid: it chooses
 // its own bucket resolution from an expected population so that query cost
 // does not degrade when experiments refine the prediction grid.
+//
+// Storage is dense: each bucket holds (id, point) entries inline, so the
+// innermost ring scan of Nearest/Within walks contiguous memory with no map
+// lookups, and queries allocate nothing at steady state (the cell scratch
+// buffer is reused across calls). An id→(bucket, slot) table makes Remove
+// O(1), and Reset clears the index without releasing any capacity so one
+// index can serve many replay runs.
 package spatial
 
 import (
@@ -15,12 +22,23 @@ import (
 	"ftoa/internal/geo"
 )
 
+// entry is one indexed point, stored inline in its bucket.
+type entry struct {
+	id int32
+	p  geo.Point
+}
+
 // Index is a dynamic point index. IDs are caller-chosen non-negative ints,
 // unique among the currently inserted entries.
 type Index struct {
 	grid    *geo.Grid
-	buckets [][]int32
-	loc     map[int32]geo.Point
+	buckets [][]entry
+	// cell[id] is the bucket holding id, or -1 when id is absent; slot[id]
+	// is its position within that bucket. Both grow with the largest id
+	// ever inserted.
+	cell    []int32
+	slot    []int32
+	n       int
 	scratch []int
 }
 
@@ -40,46 +58,86 @@ func NewIndex(bounds geo.Rect, expectedN int) *Index {
 		side = 1024
 	}
 	g := geo.NewGrid(bounds, side, side)
-	return &Index{
+	ix := &Index{
 		grid:    g,
-		buckets: make([][]int32, g.NumCells()),
-		loc:     make(map[int32]geo.Point, expectedN),
+		buckets: make([][]entry, g.NumCells()),
+		cell:    make([]int32, expectedN),
+		slot:    make([]int32, expectedN),
 	}
+	for i := range ix.cell {
+		ix.cell[i] = -1
+	}
+	return ix
 }
 
 // Len returns the number of entries currently in the index.
-func (ix *Index) Len() int { return len(ix.loc) }
+func (ix *Index) Len() int { return ix.n }
 
-// Insert adds id at point p. Inserting an id that is already present is a
-// programming error and panics.
-func (ix *Index) Insert(id int, p geo.Point) {
-	key := int32(id)
-	if _, ok := ix.loc[key]; ok {
-		panic("spatial: duplicate insert")
+// grow extends the id tables to cover ids below n.
+func (ix *Index) grow(n int) {
+	for len(ix.cell) < n {
+		ix.cell = append(ix.cell, -1)
+		ix.slot = append(ix.slot, 0)
 	}
-	ix.loc[key] = p
-	c := ix.grid.CellOf(p)
-	ix.buckets[c] = append(ix.buckets[c], key)
 }
 
-// Remove deletes id from the index. Removing an absent id is a no-op so
-// callers can remove lazily-invalidated entries without tracking state.
-func (ix *Index) Remove(id int) {
-	key := int32(id)
-	p, ok := ix.loc[key]
-	if !ok {
-		return
+// Insert adds id at point p. Inserting an id that is already present is a
+// programming error and panics, as is a negative id.
+func (ix *Index) Insert(id int, p geo.Point) {
+	if id < 0 {
+		panic("spatial: negative id")
 	}
-	delete(ix.loc, key)
+	if id >= len(ix.cell) {
+		ix.grow(id + 1)
+	}
+	if ix.cell[id] >= 0 {
+		panic("spatial: duplicate insert")
+	}
 	c := ix.grid.CellOf(p)
 	b := ix.buckets[c]
-	for i, v := range b {
-		if v == key {
-			b[i] = b[len(b)-1]
-			ix.buckets[c] = b[:len(b)-1]
-			return
-		}
+	ix.cell[id] = int32(c)
+	ix.slot[id] = int32(len(b))
+	ix.buckets[c] = append(b, entry{id: int32(id), p: p})
+	ix.n++
+}
+
+// Remove deletes id from the index in O(1). Removing an absent id is a
+// no-op so callers can remove lazily-invalidated entries without tracking
+// state.
+func (ix *Index) Remove(id int) {
+	if id < 0 || id >= len(ix.cell) || ix.cell[id] < 0 {
+		return
 	}
+	c, s := ix.cell[id], ix.slot[id]
+	b := ix.buckets[c]
+	last := len(b) - 1
+	if int(s) != last {
+		moved := b[last]
+		b[s] = moved
+		ix.slot[moved.id] = s
+	}
+	ix.buckets[c] = b[:last]
+	ix.cell[id] = -1
+	ix.n--
+}
+
+// Reset removes every entry while keeping all allocated capacity (buckets,
+// id tables, scratch), so an index can be reused across engine runs or
+// batch windows with zero steady-state allocations.
+func (ix *Index) Reset() {
+	if ix.n == 0 {
+		return
+	}
+	for c, b := range ix.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		for _, e := range b {
+			ix.cell[e.id] = -1
+		}
+		ix.buckets[c] = b[:0]
+	}
+	ix.n = 0
 }
 
 // Nearest returns the id of the entry nearest to p within maxDist for which
@@ -92,7 +150,7 @@ func (ix *Index) Remove(id int) {
 func (ix *Index) Nearest(p geo.Point, maxDist float64, accept func(id int) bool) (best int, bestDist float64) {
 	best = -1
 	bestDist = math.Inf(1)
-	if maxDist < 0 || len(ix.loc) == 0 {
+	if maxDist < 0 || ix.n == 0 {
 		return -1, 0
 	}
 	maxRing := ix.grid.MaxRing()
@@ -104,16 +162,15 @@ func (ix *Index) Nearest(p geo.Point, maxDist float64, accept func(id int) bool)
 		}
 		ix.scratch = ix.grid.RingCells(p, ring, ix.scratch[:0])
 		for _, c := range ix.scratch {
-			for _, id := range ix.buckets[c] {
-				q := ix.loc[id]
-				d := p.Dist(q)
+			for _, e := range ix.buckets[c] {
+				d := p.Dist(e.p)
 				if d > maxDist || d >= bestDist {
 					continue
 				}
-				if accept != nil && !accept(int(id)) {
+				if accept != nil && !accept(int(e.id)) {
 					continue
 				}
-				best, bestDist = int(id), d
+				best, bestDist = int(e.id), d
 			}
 		}
 	}
@@ -126,7 +183,7 @@ func (ix *Index) Nearest(p geo.Point, maxDist float64, accept func(id int) bool)
 // Within appends to dst the ids of all entries within maxDist of p and
 // returns the extended slice, in no particular order.
 func (ix *Index) Within(p geo.Point, maxDist float64, dst []int) []int {
-	if maxDist < 0 || len(ix.loc) == 0 {
+	if maxDist < 0 || ix.n == 0 {
 		return dst
 	}
 	origin := ix.grid.CellOf(p)
@@ -138,20 +195,24 @@ func (ix *Index) Within(p geo.Point, maxDist float64, dst []int) []int {
 	slack := math.Sqrt(w*w + h*h)
 	ix.scratch = ix.grid.CellsWithinRadius(origin, maxDist+slack, ix.scratch[:0])
 	for _, c := range ix.scratch {
-		for _, id := range ix.buckets[c] {
-			if p.Dist(ix.loc[id]) <= maxDist {
-				dst = append(dst, int(id))
+		for _, e := range ix.buckets[c] {
+			if p.Dist(e.p) <= maxDist {
+				dst = append(dst, int(e.id))
 			}
 		}
 	}
 	return dst
 }
 
-// ForEach calls fn for every entry until fn returns false.
+// ForEach calls fn for every entry until fn returns false. Iteration order
+// is deterministic: by bucket, then by insertion order within the bucket
+// (as modified by Remove's swap-deletion).
 func (ix *Index) ForEach(fn func(id int, p geo.Point) bool) {
-	for id, p := range ix.loc {
-		if !fn(int(id), p) {
-			return
+	for _, b := range ix.buckets {
+		for _, e := range b {
+			if !fn(int(e.id), e.p) {
+				return
+			}
 		}
 	}
 }

@@ -180,6 +180,127 @@ func TestForEach(t *testing.T) {
 	}
 }
 
+func TestNearestAcceptRejectsEverything(t *testing.T) {
+	ix := NewIndex(bounds(), 10)
+	ix.Insert(1, geo.Pt(10, 10))
+	ix.Insert(2, geo.Pt(20, 20))
+	ix.Insert(3, geo.Pt(30, 30))
+	id, d := ix.Nearest(geo.Pt(15, 15), math.Inf(1), func(int) bool { return false })
+	if id != -1 || d != 0 {
+		t.Errorf("Nearest with all-rejecting accept = (%d, %v), want (-1, 0)", id, d)
+	}
+	// Rejected entries must survive the scan.
+	if ix.Len() != 3 {
+		t.Errorf("Len after rejected scan = %d, want 3", ix.Len())
+	}
+	if id, _ := ix.Nearest(geo.Pt(15, 15), math.Inf(1), nil); id == -1 {
+		t.Error("entries lost after all-rejecting scan")
+	}
+}
+
+func TestWithinAtBucketBoundaries(t *testing.T) {
+	// bounds() is 100×100; an index sized for 400 entries gets a 10×10
+	// bucket grid with 10-unit cells, so multiples of 10 sit exactly on
+	// bucket boundaries.
+	ix := NewIndex(bounds(), 400)
+	on := []geo.Point{
+		geo.Pt(10, 10), geo.Pt(20, 10), geo.Pt(10, 20),
+		geo.Pt(0, 0), geo.Pt(50, 50),
+	}
+	for i, p := range on {
+		ix.Insert(i, p)
+	}
+	// Query from a boundary point with a radius that lands other boundary
+	// points exactly on the circle: Within uses <=, so they must appear.
+	got := ix.Within(geo.Pt(10, 10), 10, nil)
+	sort.Ints(got)
+	want := []int{0, 1, 2} // (10,10) itself plus (20,10) and (10,20) at exactly 10
+	if len(got) != len(want) {
+		t.Fatalf("Within at boundary = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Within at boundary = %v, want %v", got, want)
+		}
+	}
+	// Nearest from a boundary point must see entries in the adjacent cell.
+	if id, _ := ix.Nearest(geo.Pt(10, 10), 0.5, nil); id != 0 {
+		t.Errorf("Nearest at boundary = %d, want 0", id)
+	}
+}
+
+func TestReset(t *testing.T) {
+	ix := NewIndex(bounds(), 50)
+	for i := 0; i < 50; i++ {
+		ix.Insert(i, geo.Pt(float64(i*2), float64(i)))
+	}
+	ix.Reset()
+	if ix.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", ix.Len())
+	}
+	if id, _ := ix.Nearest(geo.Pt(50, 25), math.Inf(1), nil); id != -1 {
+		t.Errorf("Nearest on reset index = %d, want -1", id)
+	}
+	if got := ix.Within(geo.Pt(50, 25), 1000, nil); len(got) != 0 {
+		t.Errorf("Within on reset index = %v, want empty", got)
+	}
+	// Every id must be re-insertable after Reset, and queries must work.
+	for i := 0; i < 50; i++ {
+		ix.Insert(i, geo.Pt(float64(i*2), float64(i)))
+	}
+	if ix.Len() != 50 {
+		t.Fatalf("Len after re-insert = %d", ix.Len())
+	}
+	if id, _ := ix.Nearest(geo.Pt(0, 0), 1, nil); id != 0 {
+		t.Errorf("Nearest after Reset+re-insert = %d, want 0", id)
+	}
+	// Reset of an empty index is a no-op.
+	empty := NewIndex(bounds(), 4)
+	empty.Reset()
+	if empty.Len() != 0 {
+		t.Error("Reset of empty index changed Len")
+	}
+}
+
+func TestQueriesDoNotAllocateAtSteadyState(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	ix := NewIndex(bounds(), 500)
+	pts := make([]geo.Point, 500)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		ix.Insert(i, pts[i])
+	}
+	// Warm up the scratch buffer.
+	ix.Nearest(geo.Pt(50, 50), 100, nil)
+	dst := ix.Within(geo.Pt(50, 50), 30, nil)
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		ix.Nearest(geo.Pt(37, 61), 25, nil)
+	}); allocs != 0 {
+		t.Errorf("Nearest allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		dst = ix.Within(geo.Pt(37, 61), 25, dst[:0])
+	}); allocs != 0 {
+		t.Errorf("Within allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		ix.Remove(7)
+		ix.Insert(7, pts[7])
+	}); allocs != 0 {
+		t.Errorf("Remove+Insert allocates %.1f objects/op at steady state, want 0", allocs)
+	}
+}
+
+func TestNegativeIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative id insert should panic")
+		}
+	}()
+	NewIndex(bounds(), 4).Insert(-1, geo.Pt(1, 1))
+}
+
 func TestPointsOutsideBounds(t *testing.T) {
 	// Entries outside the nominal bounds still work (clamped buckets).
 	ix := NewIndex(bounds(), 10)
