@@ -283,3 +283,61 @@ func BenchmarkMinCostGuide(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(travel, "travel-cost")
 }
+
+// benchStream measures pushing a recorded arrival stream through the
+// open-world session API directly — AddWorker/AddTask per arrival, no
+// replay engine — reporting per-arrival latency. This is the acceptance
+// gate that the streaming redesign keeps the paper's O(1) claim intact.
+func benchStream(b *testing.B, mk func(*ftoa.Guide) ftoa.Algorithm) {
+	in, g := benchSetup(b)
+	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
+		Mode:     ftoa.AssumeGuide,
+		Velocity: in.Velocity,
+		Bounds:   in.Bounds,
+		Hints: ftoa.Hints{
+			ExpectedWorkers: len(in.Workers),
+			ExpectedTasks:   len(in.Tasks),
+			Horizon:         in.Horizon,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := in.Events()
+	sess := m.NewSession(mk(g))
+	arrivals := float64(len(events))
+	var matched int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Reset(mk(g))
+		for _, ev := range events {
+			var err error
+			switch ev.Kind {
+			case ftoa.WorkerArrival:
+				_, err = sess.AddWorker(in.Workers[ev.Index])
+			case ftoa.TaskArrival:
+				_, err = sess.AddTask(in.Tasks[ev.Index])
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		sess.Finish()
+		matched = sess.Matching().Size()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arrivals, "ns/arrival")
+	b.ReportMetric(float64(matched), "matched")
+}
+
+func BenchmarkPOLARStream(b *testing.B) {
+	benchStream(b, func(g *ftoa.Guide) ftoa.Algorithm { return ftoa.NewPOLAR(g) })
+}
+
+func BenchmarkPOLAROPStream(b *testing.B) {
+	benchStream(b, func(g *ftoa.Guide) ftoa.Algorithm { return ftoa.NewPOLAROP(g) })
+}
+
+func BenchmarkSimpleGreedyStream(b *testing.B) {
+	benchStream(b, func(*ftoa.Guide) ftoa.Algorithm { return ftoa.NewSimpleGreedy() })
+}

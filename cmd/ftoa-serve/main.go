@@ -1,0 +1,300 @@
+// Command ftoa-serve exposes an open-world ftoa matching session over
+// HTTP/JSON: workers and tasks are admitted as they POST in, the matching
+// algorithm runs on every arrival, and committed pairs are reported back.
+// It is the minimal proof that the streaming Matcher API serves live
+// traffic rather than replayed instances.
+//
+//	POST /workers          {"x":10,"y":10,"patience":300} -> {"worker":0,"time":1.5}
+//	POST /tasks            {"x":11,"y":10,"expiry":60}    -> {"task":0,"time":2.1}
+//	GET  /matches          -> {"matches":[{"worker":0,"task":0,"time":2.1}],"count":1}
+//	GET  /matches?since=N  -> matches committed after the first N (poll cursor)
+//	GET  /stats            -> {"workers":1,"tasks":1,"matches":1,"now":3.0}
+//	GET  /healthz          -> ok
+//
+// Times are seconds since the server started; arrivals are stamped on
+// admission. The session is single-writer, so the server serialises all
+// access behind one mutex — sharding sessions per region/tenant is the
+// scaling story, not concurrent writes to one session.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ftoa"
+)
+
+type config struct {
+	algorithm string
+	window    float64
+	mode      string
+	velocity  float64
+	bounds    [4]float64
+	tick      time.Duration
+}
+
+// server owns one matching session and serialises HTTP access to it.
+type server struct {
+	mu   sync.Mutex
+	sess *ftoa.Session
+	// clock returns the session-time value of "now" (seconds since the
+	// server started); tests substitute a manual clock.
+	clock func() float64
+
+	// matches accumulates every committed pair drained so far, so GET
+	// /matches is a cheap snapshot rather than a session walk. The history
+	// is append-only for the server's lifetime (the session retains the
+	// full matching anyway); pollers should pass ?since=N so responses
+	// stay proportional to new commits, not to the total history.
+	matches []matchJSON
+	scratch []ftoa.Match
+}
+
+type matchJSON struct {
+	Worker int     `json:"worker"`
+	Task   int     `json:"task"`
+	Time   float64 `json:"time"`
+}
+
+type workerReq struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Patience float64 `json:"patience"`
+}
+
+type taskReq struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Expiry float64 `json:"expiry"`
+}
+
+func newServer(cfg config) (*server, error) {
+	var mode ftoa.Mode
+	switch cfg.mode {
+	case "strict":
+		mode = ftoa.Strict
+	case "assume-guide":
+		mode = ftoa.AssumeGuide
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want strict or assume-guide)", cfg.mode)
+	}
+	if cfg.tick <= 0 {
+		return nil, fmt.Errorf("tick must be positive, got %v", cfg.tick)
+	}
+	var alg ftoa.Algorithm
+	switch cfg.algorithm {
+	case "greedy":
+		alg = ftoa.NewSimpleGreedy()
+	case "gr":
+		if cfg.window <= 0 {
+			return nil, fmt.Errorf("gr window must be positive, got %v", cfg.window)
+		}
+		alg = ftoa.NewGR(cfg.window)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want greedy or gr)", cfg.algorithm)
+	}
+	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
+		Mode:     mode,
+		Velocity: cfg.velocity,
+		Bounds:   ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3]),
+	})
+	if err != nil {
+		return nil, err
+	}
+	started := time.Now()
+	return &server{
+		sess:  m.NewSession(alg),
+		clock: func() float64 { return time.Since(started).Seconds() },
+	}, nil
+}
+
+// now is the session clock value for the current instant.
+func (s *server) now() float64 { return s.clock() }
+
+// advance drives session timers from wall time; it is the live analogue of
+// the replay loop's event clock and is what makes batch algorithms (GR)
+// flush between arrivals. Callers hold s.mu.
+func (s *server) advanceLocked() { s.sess.Advance(s.now()) }
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/workers", s.handleWorkers)
+	mux.HandleFunc("/tasks", s.handleTasks)
+	mux.HandleFunc("/matches", s.handleMatches)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req workerReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Patience <= 0 {
+		writeError(w, http.StatusBadRequest, "patience must be positive")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	h, err := s.sess.AddWorker(ftoa.Worker{ID: s.sess.NumWorkers(), Loc: ftoa.Pt(req.X, req.Y), Arrive: now, Patience: req.Patience})
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"worker": h, "time": now})
+}
+
+func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req taskReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Expiry <= 0 {
+		writeError(w, http.StatusBadRequest, "expiry must be positive")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	h, err := s.sess.AddTask(ftoa.Task{ID: s.sess.NumTasks(), Loc: ftoa.Pt(req.X, req.Y), Release: now, Expiry: req.Expiry})
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"task": h, "time": now})
+}
+
+func (s *server) handleMatches(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "since must be a non-negative integer")
+			return
+		}
+		since = n
+	}
+	s.mu.Lock()
+	s.advanceLocked()
+	s.scratch = s.sess.Drain(s.scratch[:0])
+	for _, m := range s.scratch {
+		s.matches = append(s.matches, matchJSON{Worker: m.Worker, Task: m.Task, Time: m.Time})
+	}
+	// O(1) snapshot: the prefix of the append-only history is immutable,
+	// so a full-capacity reslice is safe to encode outside the lock and
+	// keeps lock hold time flat as the history grows.
+	total := len(s.matches)
+	out := s.matches[:total:total]
+	s.mu.Unlock()
+	if since > total {
+		since = total
+	}
+	out = out[since:]
+	if out == nil {
+		out = []matchJSON{} // encode an empty history as [], not null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "count": total})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	s.advanceLocked()
+	stats := map[string]any{
+		"workers":   s.sess.NumWorkers(),
+		"tasks":     s.sess.NumTasks(),
+		"matches":   s.sess.Matching().Size(),
+		"attempted": s.sess.Attempted(),
+		"rejected":  s.sess.Rejected(),
+		"now":       s.sess.Now(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// tickLoop advances the session clock periodically so timer-driven
+// algorithms make progress during arrival lulls.
+func (s *server) tickLoop(interval time.Duration) {
+	for range time.Tick(interval) {
+		s.mu.Lock()
+		s.advanceLocked()
+		s.mu.Unlock()
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	alg := flag.String("alg", "greedy", "matching algorithm: greedy or gr")
+	window := flag.Float64("window", 1.0, "gr batch window in seconds")
+	mode := flag.String("mode", "strict", "validation mode: strict or assume-guide")
+	velocity := flag.Float64("velocity", 1.0, "worker velocity (units per second)")
+	boundsStr := flag.String("bounds", "0,0,100,100", "service area as x0,y0,x1,y1")
+	tick := flag.Duration("tick", 250*time.Millisecond, "timer advance interval")
+	flag.Parse()
+
+	cfg := config{algorithm: *alg, window: *window, mode: *mode, velocity: *velocity, tick: *tick}
+	parts := strings.Split(*boundsStr, ",")
+	if len(parts) != 4 {
+		log.Fatalf("bad -bounds %q: want x0,y0,x1,y1", *boundsStr)
+	}
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &cfg.bounds[i]); err != nil {
+			log.Fatalf("bad -bounds component %q: %v", p, err)
+		}
+	}
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.tickLoop(cfg.tick)
+	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s)",
+		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func defaultTestConfig() config {
+	return config{
+		algorithm: "greedy",
+		window:    1,
+		mode:      "strict",
+		velocity:  1,
+		bounds:    [4]float64{0, 0, 100, 100},
+		tick:      time.Second, // tests drive the clock themselves
+	}
+}
+
+func postJSON(t *testing.T, url, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d, body %v", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServeEndToEnd is the smoke test CI runs: post a worker and a nearby
+// task, and the committed match must come back on /matches.
+func TestServeEndToEnd(t *testing.T) {
+	srv, err := newServer(defaultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	w := postJSON(t, ts.URL+"/workers", `{"x":10,"y":10,"patience":300}`)
+	if w["worker"].(float64) != 0 {
+		t.Fatalf("first worker handle = %v, want 0", w["worker"])
+	}
+	r := postJSON(t, ts.URL+"/tasks", `{"x":11,"y":10,"expiry":60}`)
+	if r["task"].(float64) != 0 {
+		t.Fatalf("first task handle = %v, want 0", r["task"])
+	}
+
+	m := getJSON(t, ts.URL+"/matches")
+	if m["count"].(float64) != 1 {
+		t.Fatalf("matches = %v, want exactly one", m)
+	}
+	pair := m["matches"].([]any)[0].(map[string]any)
+	if pair["worker"].(float64) != 0 || pair["task"].(float64) != 0 {
+		t.Fatalf("unexpected pair %v", pair)
+	}
+
+	stats := getJSON(t, ts.URL+"/stats")
+	if stats["workers"].(float64) != 1 || stats["tasks"].(float64) != 1 || stats["matches"].(float64) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+// TestServeGRBatches tasks until the window timer flushes them, using a
+// manual clock so the window boundary is crossed deterministically.
+func TestServeGRBatches(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.algorithm = "gr"
+	cfg.window = 10
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The handler goroutines read the clock concurrently with the test's
+	// advances, so the manual clock must be atomic.
+	var now atomic.Uint64
+	setNow := func(v float64) { now.Store(math.Float64bits(v)) }
+	srv.clock = func() float64 { return math.Float64frombits(now.Load()) }
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	setNow(1)
+	postJSON(t, ts.URL+"/workers", `{"x":50,"y":50,"patience":300}`)
+	setNow(2)
+	postJSON(t, ts.URL+"/tasks", `{"x":50,"y":51,"expiry":120}`)
+	// Still inside the first batch window: nothing committed yet.
+	if m := getJSON(t, ts.URL+"/matches"); m["count"].(float64) != 0 {
+		t.Fatalf("GR matched inside the window: %v", m)
+	}
+	// Cross the window boundary: GET /matches advances the clock, firing
+	// the batch flush before draining.
+	setNow(11)
+	if m := getJSON(t, ts.URL+"/matches"); m["count"].(float64) != 1 {
+		t.Fatalf("GR matches = %v, want 1 after window flush", m)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	srv, err := newServer(defaultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for _, tc := range []struct{ url, body string }{
+		{"/workers", `{"x":1,"y":1,"patience":-5}`},
+		{"/workers", `{"x":1,"y":1}`},
+		{"/tasks", `{"x":1,"y":1,"expiry":0}`},
+		{"/workers", `{"x":1,"unknown":2,"patience":3}`},
+		{"/tasks", `not json`},
+	} {
+		resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %q: status %d, want 400", tc.url, tc.body, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/workers"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /workers: status %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+func TestNewServerRejectsBadConfig(t *testing.T) {
+	bad := defaultTestConfig()
+	bad.algorithm = "polar" // needs a guide; not servable without one
+	if _, err := newServer(bad); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	bad = defaultTestConfig()
+	bad.mode = "lenient"
+	if _, err := newServer(bad); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	bad = defaultTestConfig()
+	bad.velocity = 0
+	if _, err := newServer(bad); err == nil {
+		t.Error("zero velocity accepted")
+	}
+}
+
+func TestNewServerRejectsBadTiming(t *testing.T) {
+	bad := defaultTestConfig()
+	bad.tick = 0
+	if _, err := newServer(bad); err == nil {
+		t.Error("zero tick accepted (would dead-block the tick loop)")
+	}
+	bad = defaultTestConfig()
+	bad.algorithm = "gr"
+	bad.window = 0
+	if _, err := newServer(bad); err == nil {
+		t.Error("zero gr window accepted (NewGR would panic)")
+	}
+}
+
+// TestServeMatchesSinceCursor: ?since=N returns only matches committed
+// after the first N, while count always reports the full history size.
+func TestServeMatchesSinceCursor(t *testing.T) {
+	srv, err := newServer(defaultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/workers", `{"x":10,"y":10,"patience":300}`)
+	postJSON(t, ts.URL+"/tasks", `{"x":10,"y":11,"expiry":60}`)
+	postJSON(t, ts.URL+"/workers", `{"x":40,"y":40,"patience":300}`)
+	postJSON(t, ts.URL+"/tasks", `{"x":40,"y":41,"expiry":60}`)
+
+	full := getJSON(t, ts.URL+"/matches")
+	if full["count"].(float64) != 2 || len(full["matches"].([]any)) != 2 {
+		t.Fatalf("full history = %v", full)
+	}
+	tail := getJSON(t, ts.URL+"/matches?since=1")
+	if tail["count"].(float64) != 2 || len(tail["matches"].([]any)) != 1 {
+		t.Fatalf("since=1 = %v, want count 2 with 1 returned match", tail)
+	}
+	if m := tail["matches"].([]any)[0].(map[string]any); m["worker"].(float64) != 1 {
+		t.Fatalf("since=1 returned %v, want the second match", m)
+	}
+	// A cursor past the end returns an empty list, not an error.
+	if past := getJSON(t, ts.URL+"/matches?since=99"); len(past["matches"].([]any)) != 0 {
+		t.Fatalf("since=99 = %v, want empty", past)
+	}
+	if resp, err := http.Get(ts.URL + "/matches?since=-1"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("since=-1: status %d, want 400", resp.StatusCode)
+		}
+	}
+}

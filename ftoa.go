@@ -13,12 +13,32 @@
 //   - the online algorithms: POLAR (Algorithm 2, competitive ratio ≈ 0.4),
 //     POLAR-OP (Algorithm 3, ≈ 0.47, O(1) per arrival), the baselines
 //     SimpleGreedy and GR, and the clairvoyant optimum OPT;
-//   - the replay engine (NewEngine/Run) that simulates worker movement and
-//     validates matches;
+//   - the open-world streaming surface (NewMatcher/Session): workers and
+//     tasks are admitted at arrival time and matched live, with no
+//     pre-materialised instance — this is what cmd/ftoa-serve exposes
+//     over HTTP;
+//   - the replay engine (NewEngine/Run), a thin driver that feeds a
+//     recorded instance's arrival stream through the same session API,
+//     simulating worker movement and validating matches;
 //   - workload generators for the paper's synthetic sweeps and multi-day
 //     city traces.
 //
-// Quick start:
+// Streaming quick start — push live arrivals into a session and drain
+// committed pairs (see examples/streaming for a guided POLAR-OP session):
+//
+//	m, _ := ftoa.NewMatcher(ftoa.MatcherConfig{
+//		Mode:     ftoa.Strict,
+//		Velocity: 1,
+//		Bounds:   ftoa.NewRect(0, 0, 100, 100),
+//	})
+//	sess := m.NewSession(ftoa.NewSimpleGreedy())
+//	w, _ := sess.AddWorker(ftoa.Worker{Loc: ftoa.Pt(10, 10), Arrive: 0, Patience: 300})
+//	r, _ := sess.AddTask(ftoa.Task{Loc: ftoa.Pt(11, 10), Release: 5, Expiry: 60})
+//	for _, match := range sess.Drain(nil) {
+//		fmt.Println(match.Worker == w, match.Task == r) // true true
+//	}
+//
+// Replay quick start:
 //
 //	cfg := ftoa.DefaultSynthetic()
 //	cfg.NumWorkers, cfg.NumTasks = 5000, 5000
@@ -86,6 +106,19 @@ type (
 	Matching = model.Matching
 	// Pair is one assigned worker-task pair.
 	Pair = model.Pair
+	// Event is one arrival in an instance's merged online input sequence
+	// (Instance.Events), the stream a replay feeds into a Session.
+	Event = model.Event
+	// EventKind distinguishes worker from task arrivals.
+	EventKind = model.EventKind
+)
+
+// Arrival kinds of Event.
+const (
+	// WorkerArrival is the appearance of a new worker on the platform.
+	WorkerArrival = model.WorkerArrival
+	// TaskArrival is the release of a new task.
+	TaskArrival = model.TaskArrival
 )
 
 // Feasible reports whether (w, r) satisfies Definition 4's deadline
@@ -111,11 +144,22 @@ func BuildGuide(cfg GuideConfig, workerCounts, taskCounts []int) (*Guide, error)
 
 // Online assignment (Section 5) and baselines (Section 6.1).
 type (
-	// Algorithm is an online assignment algorithm driven by the engine.
+	// Algorithm is an online assignment algorithm driven by a session.
 	Algorithm = sim.Algorithm
-	// Platform is the engine-side API visible to algorithms.
+	// Platform is the session-side API visible to algorithms.
 	Platform = sim.Platform
-	// Engine replays instances against algorithms.
+	// Matcher is a configured factory for open-world matching sessions.
+	Matcher = sim.Matcher
+	// MatcherConfig parameterises a Matcher.
+	MatcherConfig = sim.MatcherConfig
+	// Session is one live open-world matching session: AddWorker/AddTask
+	// admit arrivals, Advance drives timers, Drain returns committed pairs.
+	Session = sim.Session
+	// Match is one committed worker-task pair (session handles).
+	Match = sim.Match
+	// Hints carries optional closed-world sizing information.
+	Hints = sim.Hints
+	// Engine replays recorded instances through the session API.
 	Engine = sim.Engine
 	// Result summarises one replay.
 	Result = sim.Result
@@ -137,9 +181,17 @@ const (
 	AssumeGuide = sim.AssumeGuide
 )
 
-// NewEngine prepares a replay engine for the instance. Use the returned
-// engine's Clone method to replay the same instance concurrently on
-// several goroutines.
+// NewMatcher validates cfg and returns a factory for open-world streaming
+// sessions: workers and tasks are admitted at arrival time via
+// Session.AddWorker/AddTask (returning stable handles), Session.Advance
+// drives timers and expiry, and committed pairs surface through the
+// OnMatch callback or Session.Drain.
+func NewMatcher(cfg MatcherConfig) (*Matcher, error) { return sim.NewMatcher(cfg) }
+
+// NewEngine prepares a replay engine for the instance: a thin driver that
+// feeds the recorded arrival stream through the same open-world session
+// API live deployments use. Use the returned engine's Clone method to
+// replay the same instance concurrently on several goroutines.
 func NewEngine(in *Instance, mode Mode, opts ...EngineOption) *Engine {
 	return sim.NewEngine(in, mode, opts...)
 }

@@ -127,3 +127,39 @@ func TestFacadeModel(t *testing.T) {
 		t.Error("grid cells")
 	}
 }
+
+// TestFacadeStreaming exercises the open-world surface exactly as the
+// package documentation advertises it: a Matcher session fed live
+// arrivals, matches surfacing through both OnMatch and Drain.
+func TestFacadeStreaming(t *testing.T) {
+	var fromCallback []ftoa.Match
+	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
+		Mode:     ftoa.Strict,
+		Velocity: 1,
+		Bounds:   ftoa.NewRect(0, 0, 100, 100),
+		OnMatch:  func(match ftoa.Match) { fromCallback = append(fromCallback, match) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := m.NewSession(ftoa.NewSimpleGreedy())
+	w, err := sess.AddWorker(ftoa.Worker{Loc: ftoa.Pt(10, 10), Arrive: 0, Patience: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sess.AddTask(ftoa.Task{Loc: ftoa.Pt(11, 10), Release: 5, Expiry: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sess.Drain(nil)
+	if len(got) != 1 || got[0].Worker != w || got[0].Task != r {
+		t.Fatalf("Drain = %v, want the (w,r) pair", got)
+	}
+	if len(fromCallback) != 1 || fromCallback[0] != got[0] {
+		t.Fatalf("OnMatch = %v, want %v", fromCallback, got)
+	}
+	sess.Finish()
+	if _, err := sess.AddWorker(ftoa.Worker{Loc: ftoa.Pt(1, 1), Arrive: 9, Patience: 1}); err == nil {
+		t.Error("AddWorker after Finish must fail")
+	}
+}

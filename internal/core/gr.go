@@ -20,15 +20,20 @@ type GR struct {
 	waitingWorkers []int32
 	waitingTasks   []int32
 
-	// ix is the per-batch candidate index, created once per replay and
-	// Reset between windows so steady-state flushes allocate nothing for
-	// spatial lookups. ixSizedFor records the population it was sized
+	// ix is the per-session candidate index, created at the first flush
+	// and Reset between windows so steady-state flushes allocate nothing
+	// for spatial lookups. ixSizedFor records the population it was sized
 	// for, so a bursty window that dwarfs the estimate triggers a
 	// re-grid instead of degenerating to over-full buckets.
 	ix         *spatial.Index
 	ixSizedFor int
 	adj        [][]int32
 	cands      []int
+	// hk keeps the Hopcroft–Karp scratch (match arrays, BFS levels and
+	// queue) alive across batch windows — the same reusable-scratch
+	// treatment Dinic received — so steady-state flushes run the matching
+	// with zero allocations beyond adjacency growth.
+	hk flow.BipartiteMatcher
 }
 
 // NewGR creates a GR instance with the given batching window (in the same
@@ -48,7 +53,7 @@ func (a *GR) Init(p sim.Platform) {
 	a.p = p
 	a.waitingWorkers = a.waitingWorkers[:0]
 	a.waitingTasks = a.waitingTasks[:0]
-	a.ix = nil // instance (and bounds) may differ between runs
+	a.ix = nil // the service area (and bounds) may differ between sessions
 	p.Schedule(a.window)
 }
 
@@ -76,7 +81,7 @@ func (a *GR) OnFinish(now float64) {
 // flush runs a maximum matching over the currently available waiting
 // objects and commits it.
 func (a *GR) flush(now float64) {
-	in := a.p.Instance()
+	velocity := a.p.Velocity()
 
 	// Compact away objects that are matched or expired.
 	liveW := a.waitingWorkers[:0]
@@ -97,26 +102,27 @@ func (a *GR) flush(now float64) {
 		return
 	}
 
-	// Candidate edges via the replay-lifetime spatial index over waiting
+	// Candidate edges via the session-lifetime spatial index over waiting
 	// workers, sized for the expected batch population and Reset between
 	// windows so steady-state flushes reuse all of its storage. A batch
 	// that outgrows the sizing estimate 4× (bursty arrivals) re-grids at
 	// the observed population rather than scanning over-full buckets for
-	// the rest of the replay.
+	// the rest of the session.
 	if a.ix == nil || len(liveW) > 4*a.ixSizedFor {
 		expected := len(liveW)
-		if in.Horizon > 0 {
-			if e := int(float64(len(in.Workers)) * a.window / in.Horizon); e > expected {
+		h := a.p.Hints()
+		if h.Horizon > 0 && h.ExpectedWorkers > 0 {
+			if e := int(float64(h.ExpectedWorkers) * a.window / h.Horizon); e > expected {
 				expected = e
 			}
 		}
 		a.ixSizedFor = expected
-		a.ix = spatial.NewIndex(in.Bounds, expected)
+		a.ix = spatial.NewIndex(a.p.Bounds(), expected)
 	} else {
 		a.ix.Reset()
 	}
 	for li, w := range liveW {
-		a.ix.Insert(li, in.Workers[w].Loc) // ids are local batch indices
+		a.ix.Insert(li, a.p.Worker(int(w)).Loc) // ids are local batch indices
 	}
 	if cap(a.adj) >= len(liveT) {
 		a.adj = a.adj[:len(liveT)]
@@ -128,21 +134,22 @@ func (a *GR) flush(now float64) {
 	}
 	adj := a.adj
 	for ti, t := range liveT {
-		task := &in.Tasks[t]
+		task := a.p.Task(int(t))
 		budget := task.Deadline() - now
 		if budget < 0 {
 			continue
 		}
-		a.cands = a.ix.Within(task.Loc, budget*in.Velocity, a.cands[:0])
+		a.cands = a.ix.Within(task.Loc, budget*velocity, a.cands[:0])
 		for _, li := range a.cands {
 			w := liveW[li]
-			if model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity) {
+			worker := a.p.Worker(int(w))
+			if model.FeasibleAt(worker, task, worker.Loc, now, velocity) {
 				adj[ti] = append(adj[ti], int32(li))
 			}
 		}
 	}
 
-	matchT, _, _ := flow.HopcroftKarp(len(liveT), len(liveW), adj)
+	matchT, _, _ := a.hk.Match(len(liveT), len(liveW), adj)
 	for ti, li := range matchT {
 		if li < 0 {
 			continue

@@ -28,8 +28,11 @@ type Hybrid struct {
 
 	waitingWorkers *spatial.Index
 	waitingTasks   *spatial.Index
-	maxTaskBudget  float64
-	deadIDs        []int
+	// maxTaskBudget is the running max of Dr over admitted tasks; see the
+	// SimpleGreedy field of the same name for why the running max prunes
+	// exactly the same candidates as the closed-world peek did.
+	maxTaskBudget float64
+	deadIDs       []int
 }
 
 // NewHybrid creates the extension bound to an offline guide.
@@ -46,16 +49,11 @@ func (a *Hybrid) FallbackMatches() int { return a.fallbackMatches }
 func (a *Hybrid) Init(p sim.Platform) {
 	a.p = p
 	a.op.Init(p)
-	in := p.Instance()
-	a.waitingWorkers = spatial.NewIndex(in.Bounds, len(in.Workers))
-	a.waitingTasks = spatial.NewIndex(in.Bounds, len(in.Tasks))
+	h := p.Hints()
+	a.waitingWorkers = spatial.NewIndex(p.Bounds(), expectedOr(h.ExpectedWorkers, defaultIndexCapacity))
+	a.waitingTasks = spatial.NewIndex(p.Bounds(), expectedOr(h.ExpectedTasks, defaultIndexCapacity))
 	a.maxTaskBudget = 0
 	a.fallbackMatches = 0
-	for i := range in.Tasks {
-		if in.Tasks[i].Expiry > a.maxTaskBudget {
-			a.maxTaskBudget = in.Tasks[i].Expiry
-		}
-	}
 }
 
 // OnWorkerArrival implements sim.Algorithm.
@@ -65,16 +63,16 @@ func (a *Hybrid) OnWorkerArrival(w int, now float64) {
 		return // the guide path matched it
 	}
 	// Guide miss: try the greedy fallback over all waiting tasks.
-	in := a.p.Instance()
-	worker := &in.Workers[w]
+	worker := a.p.Worker(w)
+	velocity := a.p.Velocity()
 	a.deadIDs = a.deadIDs[:0]
 	pos := a.p.WorkerPos(w, now)
-	t, _ := a.waitingTasks.Nearest(pos, a.maxTaskBudget*in.Velocity, func(t int) bool {
+	t, _ := a.waitingTasks.Nearest(pos, a.maxTaskBudget*velocity, func(t int) bool {
 		if !a.p.TaskAvailable(t, now) {
 			a.deadIDs = append(a.deadIDs, t)
 			return false
 		}
-		return model.FeasibleAt(worker, &in.Tasks[t], pos, now, in.Velocity)
+		return model.FeasibleAt(worker, a.p.Task(t), pos, now, velocity)
 	})
 	for _, id := range a.deadIDs {
 		a.waitingTasks.Remove(id)
@@ -92,19 +90,22 @@ func (a *Hybrid) OnWorkerArrival(w int, now float64) {
 
 // OnTaskArrival implements sim.Algorithm.
 func (a *Hybrid) OnTaskArrival(t int, now float64) {
+	task := a.p.Task(t)
+	if task.Expiry > a.maxTaskBudget {
+		a.maxTaskBudget = task.Expiry
+	}
 	a.op.OnTaskArrival(t, now)
 	if taskMatched(a.p, t) {
 		return
 	}
-	in := a.p.Instance()
-	task := &in.Tasks[t]
+	velocity := a.p.Velocity()
 	a.deadIDs = a.deadIDs[:0]
-	w, _ := a.waitingWorkers.Nearest(task.Loc, task.Expiry*in.Velocity*2, func(w int) bool {
+	w, _ := a.waitingWorkers.Nearest(task.Loc, task.Expiry*velocity*2, func(w int) bool {
 		if !a.p.WorkerAvailable(w, now) {
 			a.deadIDs = append(a.deadIDs, w)
 			return false
 		}
-		return model.FeasibleAt(&in.Workers[w], task, a.p.WorkerPos(w, now), now, in.Velocity)
+		return model.FeasibleAt(a.p.Worker(w), task, a.p.WorkerPos(w, now), now, velocity)
 	})
 	for _, id := range a.deadIDs {
 		a.waitingWorkers.Remove(id)

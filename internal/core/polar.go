@@ -42,8 +42,7 @@ func (a *POLAR) Init(p sim.Platform) {
 
 // OnWorkerArrival implements sim.Algorithm.
 func (a *POLAR) OnWorkerArrival(w int, now float64) {
-	in := a.p.Instance()
-	slot, area := locateWorker(a.g, &in.Workers[w])
+	slot, area := locateWorker(a.g, a.p.Worker(w))
 	cid := a.g.WorkerCellID(slot, area)
 	if cid < 0 {
 		return // no node of this type: ignore (Algorithm 2, line 3 failure)
@@ -74,8 +73,7 @@ func (a *POLAR) OnWorkerArrival(w int, now float64) {
 
 // OnTaskArrival implements sim.Algorithm.
 func (a *POLAR) OnTaskArrival(t int, now float64) {
-	in := a.p.Instance()
-	slot, area := locateTask(a.g, &in.Tasks[t])
+	slot, area := locateTask(a.g, a.p.Task(t))
 	cid := a.g.TaskCellID(slot, area)
 	if cid < 0 {
 		return

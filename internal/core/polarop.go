@@ -92,8 +92,7 @@ func (a *POLAROP) Init(p sim.Platform) {
 
 // OnWorkerArrival implements sim.Algorithm.
 func (a *POLAROP) OnWorkerArrival(w int, now float64) {
-	in := a.p.Instance()
-	slot, area := locateWorker(a.g, &in.Workers[w])
+	slot, area := locateWorker(a.g, a.p.Worker(w))
 	cid := a.g.WorkerCellID(slot, area)
 	if cid < 0 {
 		return // no node of this type at all: ignore
@@ -126,8 +125,7 @@ func (a *POLAROP) OnWorkerArrival(w int, now float64) {
 
 // OnTaskArrival implements sim.Algorithm.
 func (a *POLAROP) OnTaskArrival(t int, now float64) {
-	in := a.p.Instance()
-	slot, area := locateTask(a.g, &in.Tasks[t])
+	slot, area := locateTask(a.g, a.p.Task(t))
 	cid := a.g.TaskCellID(slot, area)
 	if cid < 0 {
 		return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ftoa/internal/geo"
 	"ftoa/internal/model"
 	"ftoa/internal/sim"
 	"ftoa/internal/spatial"
@@ -17,9 +18,35 @@ type SimpleGreedy struct {
 	waitingWorkers *spatial.Index // unmatched workers at their initial location
 	waitingTasks   *spatial.Index // unmatched released tasks
 
-	maxTaskBudget float64         // max over tasks of Dr, bounding search radii
-	deadIDs       []int           // scratch for lazy expiry cleanup
-	lastIn        *model.Instance // enables index reuse across runs on one instance
+	// maxTaskBudget is the largest Dr seen so far, bounding worker-side
+	// search radii. Tracking the running max instead of peeking at the
+	// full population keeps the algorithm open-world without changing its
+	// output: a waiting task has already arrived, so its expiry is
+	// included in the running max and the nearest-search radius still
+	// covers every feasible candidate.
+	maxTaskBudget float64
+	deadIDs       []int // scratch for lazy expiry cleanup
+
+	// lastBounds/lastSized enable index reuse across sessions over the
+	// same service area, so repeat replays allocate nothing here.
+	lastBounds             geo.Rect
+	lastSizedW, lastSizedT int
+}
+
+// defaultIndexCapacity sizes waiting-object indexes when the session has
+// no population hints (live traffic). The index stays correct beyond this
+// — id tables grow on demand — but its bucket resolution is fixed at
+// construction, so ring scans slow down once the waiting population
+// dwarfs the estimate; callers who can bound their traffic should pass
+// Hints.
+const defaultIndexCapacity = 1024
+
+// expectedOr returns the hint when present and def otherwise.
+func expectedOr(hint, def int) int {
+	if hint > 0 {
+		return hint
+	}
+	return def
 }
 
 // NewSimpleGreedy creates the baseline.
@@ -31,39 +58,38 @@ func (a *SimpleGreedy) Name() string { return "SimpleGreedy" }
 // Init implements sim.Algorithm.
 func (a *SimpleGreedy) Init(p sim.Platform) {
 	a.p = p
-	in := p.Instance()
-	if a.lastIn == in && a.waitingWorkers != nil {
-		// Replaying the same instance: clear the indexes in place instead
-		// of rebuilding them, so repeat runs allocate nothing here.
+	bounds := p.Bounds()
+	h := p.Hints()
+	expW := expectedOr(h.ExpectedWorkers, defaultIndexCapacity)
+	expT := expectedOr(h.ExpectedTasks, defaultIndexCapacity)
+	if a.waitingWorkers != nil && bounds == a.lastBounds && expW == a.lastSizedW && expT == a.lastSizedT {
+		// Same service area and sizing: clear the indexes in place instead
+		// of rebuilding them, so repeat sessions allocate nothing here.
 		a.waitingWorkers.Reset()
 		a.waitingTasks.Reset()
 	} else {
-		a.waitingWorkers = spatial.NewIndex(in.Bounds, len(in.Workers))
-		a.waitingTasks = spatial.NewIndex(in.Bounds, len(in.Tasks))
-		a.lastIn = in
+		a.waitingWorkers = spatial.NewIndex(bounds, expW)
+		a.waitingTasks = spatial.NewIndex(bounds, expT)
+		a.lastBounds = bounds
+		a.lastSizedW, a.lastSizedT = expW, expT
 	}
 	a.maxTaskBudget = 0
-	for i := range in.Tasks {
-		if in.Tasks[i].Expiry > a.maxTaskBudget {
-			a.maxTaskBudget = in.Tasks[i].Expiry
-		}
-	}
 }
 
 // OnWorkerArrival implements sim.Algorithm.
 func (a *SimpleGreedy) OnWorkerArrival(w int, now float64) {
-	in := a.p.Instance()
-	worker := &in.Workers[w]
+	worker := a.p.Worker(w)
+	velocity := a.p.Velocity()
 	a.deadIDs = a.deadIDs[:0]
 	// The farthest reachable waiting task is bounded by the largest
 	// remaining expiry budget.
-	maxDist := a.maxTaskBudget * in.Velocity
+	maxDist := a.maxTaskBudget * velocity
 	t, _ := a.waitingTasks.Nearest(worker.Loc, maxDist, func(t int) bool {
 		if !a.p.TaskAvailable(t, now) {
 			a.deadIDs = append(a.deadIDs, t)
 			return false
 		}
-		return model.FeasibleAt(worker, &in.Tasks[t], worker.Loc, now, in.Velocity)
+		return model.FeasibleAt(worker, a.p.Task(t), worker.Loc, now, velocity)
 	})
 	for _, id := range a.deadIDs {
 		a.waitingTasks.Remove(id)
@@ -77,17 +103,21 @@ func (a *SimpleGreedy) OnWorkerArrival(w int, now float64) {
 
 // OnTaskArrival implements sim.Algorithm.
 func (a *SimpleGreedy) OnTaskArrival(t int, now float64) {
-	in := a.p.Instance()
-	task := &in.Tasks[t]
+	task := a.p.Task(t)
+	velocity := a.p.Velocity()
+	if task.Expiry > a.maxTaskBudget {
+		a.maxTaskBudget = task.Expiry
+	}
 	a.deadIDs = a.deadIDs[:0]
 	// Workers beyond Dr·v cannot reach the task before its deadline.
-	maxDist := task.Expiry * in.Velocity
+	maxDist := task.Expiry * velocity
 	w, _ := a.waitingWorkers.Nearest(task.Loc, maxDist, func(w int) bool {
 		if !a.p.WorkerAvailable(w, now) {
 			a.deadIDs = append(a.deadIDs, w)
 			return false
 		}
-		return model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity)
+		worker := a.p.Worker(w)
+		return model.FeasibleAt(worker, task, worker.Loc, now, velocity)
 	})
 	for _, id := range a.deadIDs {
 		a.waitingWorkers.Remove(id)

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/guide"
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/timeslot"
+	"ftoa/internal/workload"
+)
+
+// streamReplay feeds a recorded instance's arrival stream through the
+// open-world Session API by hand — exactly what a live frontend does —
+// keeping its own handle→index maps, and returns the matching expressed in
+// instance indexes.
+func streamReplay(t *testing.T, in *model.Instance, mode sim.Mode, alg sim.Algorithm) model.Matching {
+	t.Helper()
+	m, err := sim.NewMatcher(sim.MatcherConfig{
+		Mode:     mode,
+		Velocity: in.Velocity,
+		Bounds:   in.Bounds,
+		Hints: sim.Hints{
+			ExpectedWorkers: len(in.Workers),
+			ExpectedTasks:   len(in.Tasks),
+			Horizon:         in.Horizon,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := m.NewSession(alg)
+	var h2w, h2t []int
+	for _, ev := range in.Events() {
+		switch ev.Kind {
+		case model.WorkerArrival:
+			if _, err := sess.AddWorker(in.Workers[ev.Index]); err != nil {
+				t.Fatal(err)
+			}
+			h2w = append(h2w, ev.Index)
+		case model.TaskArrival:
+			if _, err := sess.AddTask(in.Tasks[ev.Index]); err != nil {
+				t.Fatal(err)
+			}
+			h2t = append(h2t, ev.Index)
+		}
+	}
+	sess.Finish()
+	var out model.Matching
+	for _, p := range sess.Matching().Pairs {
+		out.Add(h2w[p.Worker], h2t[p.Task])
+	}
+	return out
+}
+
+func sortedPairs(m model.Matching) []model.Pair {
+	ps := append([]model.Pair(nil), m.Pairs...)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Worker != ps[j].Worker {
+			return ps[i].Worker < ps[j].Worker
+		}
+		return ps[i].Task < ps[j].Task
+	})
+	return ps
+}
+
+// parityGuide builds a learned-shape guide for the synthetic instance.
+func parityGuide(t *testing.T, cfg workload.Synthetic) *guide.Guide {
+	t.Helper()
+	grid := geo.NewGrid(cfg.Bounds(), 8, 8)
+	slots := timeslot.New(cfg.Horizon, 12)
+	wc, tc := cfg.ExpectedCounts(grid, slots)
+	g, err := guide.Build(guide.Config{
+		Grid:           grid,
+		Slots:          slots,
+		Velocity:       cfg.Velocity,
+		WorkerPatience: cfg.WorkerPatience,
+		TaskExpiry:     cfg.TaskExpiry,
+		RepSlack:       slots.Width() / 2,
+	}, wc, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestStreamingReplayParity is the acceptance gate for the open-world API:
+// feeding a recorded instance through the streaming Session must produce a
+// bit-identical matching (same size, same pairs) to the legacy Engine.Run
+// replay path, for every online algorithm and both validation modes.
+func TestStreamingReplayParity(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 400, 400
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parityGuide(t, cfg)
+
+	algs := []struct {
+		name string
+		mk   func() sim.Algorithm
+	}{
+		{"POLAR", func() sim.Algorithm { return NewPOLAR(g) }},
+		{"POLAR-OP", func() sim.Algorithm { return NewPOLAROP(g) }},
+		{"SimpleGreedy", func() sim.Algorithm { return NewSimpleGreedy() }},
+		{"GR", func() sim.Algorithm { return NewGR(cfg.Horizon / 40) }},
+		{"Hybrid", func() sim.Algorithm { return NewHybrid(g) }},
+		{"TGOA", func() sim.Algorithm { return NewTGOA() }},
+	}
+	for _, mode := range []sim.Mode{sim.AssumeGuide, sim.Strict} {
+		eng := sim.NewEngine(in, mode)
+		for _, a := range algs {
+			t.Run(a.name+"/"+mode.String(), func(t *testing.T) {
+				replay := eng.Run(a.mk()).Matching
+				stream := streamReplay(t, in, mode, a.mk())
+				if replay.Size() != stream.Size() {
+					t.Fatalf("matching size: replay %d, stream %d", replay.Size(), stream.Size())
+				}
+				rp, sp := sortedPairs(replay), sortedPairs(stream)
+				for i := range rp {
+					if rp[i] != sp[i] {
+						t.Fatalf("pair %d differs: replay %+v, stream %+v", i, rp[i], sp[i])
+					}
+				}
+				if replay.Size() == 0 {
+					t.Fatal("degenerate parity: empty matching")
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingLiveHints checks the documented open-world degradations:
+// with zero hints the algorithms still run and commit matches (TGOA stays
+// greedy, indexes size themselves by default).
+func TestStreamingLiveHints(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 200, 200
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []sim.Algorithm{NewSimpleGreedy(), NewTGOA(), NewGR(cfg.Horizon / 40)} {
+		m, err := sim.NewMatcher(sim.MatcherConfig{
+			Mode:     sim.Strict,
+			Velocity: in.Velocity,
+			Bounds:   in.Bounds,
+			// No hints: a live deployment does not know the population.
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := m.NewSession(a)
+		for _, ev := range in.Events() {
+			switch ev.Kind {
+			case model.WorkerArrival:
+				_, err = sess.AddWorker(in.Workers[ev.Index])
+			case model.TaskArrival:
+				_, err = sess.AddTask(in.Tasks[ev.Index])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		sess.Finish()
+		if sess.Matching().Size() == 0 {
+			t.Errorf("%s: no matches under zero hints", a.Name())
+		}
+	}
+}

@@ -19,25 +19,34 @@ import (
 // "greedy first half, optimal second half". The hypothetical matching is
 // maintained incrementally: each arrival runs one augmenting-path search,
 // so the total cost is O(n·E) rather than n recomputations.
+//
+// TGOA is inherently closed-world: locating the halfway point requires the
+// total arrival count, which it takes from the session's Hints (a replay
+// supplies the exact population). In a live session with zero hints the
+// split never triggers and TGOA degrades to its greedy phase.
 type TGOA struct {
 	p sim.Platform
 
-	total   int // |W| + |R|, to locate the halfway point
+	total   int // hinted |W| + |R|, to locate the halfway point; 0 = unknown
 	arrived int
 
 	// Greedy-phase state (same machinery as SimpleGreedy).
 	waitingWorkers *spatial.Index
 	waitingTasks   *spatial.Index
-	maxTaskBudget  float64
-	deadIDs        []int
+	// maxTaskBudget is the running max of Dr over admitted tasks; pruning
+	// with it is lossless, see the SimpleGreedy field of the same name.
+	maxTaskBudget float64
+	deadIDs       []int
 
 	// Virtual maximum matching over all arrived objects, maintained by
-	// incremental augmenting paths on the feasibility graph.
+	// incremental augmenting paths on the feasibility graph. All three
+	// tables grow with the handles admitted so far.
 	virtW []int32 // virtual partner task of each worker, -1 if none
 	virtT []int32 // virtual partner worker of each task, -1 if none
 	seenW []int32 // arrived workers
 	seenT []int32 // arrived tasks
 	mark  []bool  // scratch: visited tasks during augmenting search
+	markW []bool  // scratch: visited workers during the task-rooted search
 }
 
 // NewTGOA creates the baseline.
@@ -49,39 +58,43 @@ func (a *TGOA) Name() string { return "TGOA" }
 // Init implements sim.Algorithm.
 func (a *TGOA) Init(p sim.Platform) {
 	a.p = p
-	in := p.Instance()
-	a.total = len(in.Workers) + len(in.Tasks)
+	h := p.Hints()
+	// The phase split needs the full population; a one-sided hint would
+	// place the halfway point far too early, so it counts as unknown.
+	a.total = 0
+	if h.ExpectedWorkers > 0 && h.ExpectedTasks > 0 {
+		a.total = h.ExpectedWorkers + h.ExpectedTasks
+	}
 	a.arrived = 0
-	a.waitingWorkers = spatial.NewIndex(in.Bounds, len(in.Workers))
-	a.waitingTasks = spatial.NewIndex(in.Bounds, len(in.Tasks))
+	a.waitingWorkers = spatial.NewIndex(p.Bounds(), expectedOr(h.ExpectedWorkers, defaultIndexCapacity))
+	a.waitingTasks = spatial.NewIndex(p.Bounds(), expectedOr(h.ExpectedTasks, defaultIndexCapacity))
 	a.maxTaskBudget = 0
-	for i := range in.Tasks {
-		if in.Tasks[i].Expiry > a.maxTaskBudget {
-			a.maxTaskBudget = in.Tasks[i].Expiry
-		}
-	}
-	a.virtW = make([]int32, len(in.Workers))
-	a.virtT = make([]int32, len(in.Tasks))
-	for i := range a.virtW {
-		a.virtW[i] = -1
-	}
-	for i := range a.virtT {
-		a.virtT[i] = -1
-	}
+	a.virtW = a.virtW[:0]
+	a.virtT = a.virtT[:0]
 	a.seenW = a.seenW[:0]
 	a.seenT = a.seenT[:0]
-	a.mark = make([]bool, len(in.Tasks))
+	a.mark = a.mark[:0]
+	a.markW = a.markW[:0]
 }
+
+// secondHalf reports whether the current arrival falls in the
+// optimal-matching-guided phase. With no population hint the halfway point
+// is unknown and every arrival is treated as first-half.
+func (a *TGOA) secondHalf() bool { return a.total > 0 && a.arrived*2 > a.total }
 
 // OnWorkerArrival implements sim.Algorithm.
 func (a *TGOA) OnWorkerArrival(w int, now float64) {
 	a.arrived++
 	a.seenW = append(a.seenW, int32(w))
+	for int(w) >= len(a.virtW) {
+		a.virtW = append(a.virtW, -1)
+		a.markW = append(a.markW, false)
+	}
 	a.augmentFromWorker(int32(w))
-	in := a.p.Instance()
-	worker := &in.Workers[w]
+	worker := a.p.Worker(w)
+	velocity := a.p.Velocity()
 
-	if a.arrived*2 <= a.total {
+	if !a.secondHalf() {
 		// First half: plain greedy.
 		if t := a.nearestTask(worker, now); t >= 0 && a.p.TryMatch(w, t, now) {
 			a.waitingTasks.Remove(t)
@@ -92,7 +105,7 @@ func (a *TGOA) OnWorkerArrival(w int, now float64) {
 	}
 	// Second half: follow the hypothetical optimal matching.
 	if t := a.virtW[w]; t >= 0 && a.p.TaskAvailable(int(t), now) &&
-		model.FeasibleAt(worker, &in.Tasks[t], worker.Loc, now, in.Velocity) {
+		model.FeasibleAt(worker, a.p.Task(int(t)), worker.Loc, now, velocity) {
 		if a.p.TryMatch(w, int(t), now) {
 			a.waitingTasks.Remove(int(t))
 			return
@@ -105,11 +118,18 @@ func (a *TGOA) OnWorkerArrival(w int, now float64) {
 func (a *TGOA) OnTaskArrival(t int, now float64) {
 	a.arrived++
 	a.seenT = append(a.seenT, int32(t))
+	for int(t) >= len(a.virtT) {
+		a.virtT = append(a.virtT, -1)
+		a.mark = append(a.mark, false)
+	}
 	a.augmentFromTask(int32(t))
-	in := a.p.Instance()
-	task := &in.Tasks[t]
+	task := a.p.Task(t)
+	velocity := a.p.Velocity()
+	if task.Expiry > a.maxTaskBudget {
+		a.maxTaskBudget = task.Expiry
+	}
 
-	if a.arrived*2 <= a.total {
+	if !a.secondHalf() {
 		if w := a.nearestWorker(task, now); w >= 0 && a.p.TryMatch(w, t, now) {
 			a.waitingWorkers.Remove(w)
 			return
@@ -118,7 +138,7 @@ func (a *TGOA) OnTaskArrival(t int, now float64) {
 		return
 	}
 	if w := a.virtT[t]; w >= 0 && a.p.WorkerAvailable(int(w), now) &&
-		model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity) {
+		model.FeasibleAt(a.p.Worker(int(w)), task, a.p.Worker(int(w)).Loc, now, velocity) {
 		if a.p.TryMatch(int(w), t, now) {
 			a.waitingWorkers.Remove(int(w))
 			return
@@ -132,14 +152,14 @@ func (a *TGOA) OnFinish(now float64) {}
 
 // nearestTask / nearestWorker are the greedy-phase searches.
 func (a *TGOA) nearestTask(worker *model.Worker, now float64) int {
-	in := a.p.Instance()
+	velocity := a.p.Velocity()
 	a.deadIDs = a.deadIDs[:0]
-	t, _ := a.waitingTasks.Nearest(worker.Loc, a.maxTaskBudget*in.Velocity, func(t int) bool {
+	t, _ := a.waitingTasks.Nearest(worker.Loc, a.maxTaskBudget*velocity, func(t int) bool {
 		if !a.p.TaskAvailable(t, now) {
 			a.deadIDs = append(a.deadIDs, t)
 			return false
 		}
-		return model.FeasibleAt(worker, &in.Tasks[t], worker.Loc, now, in.Velocity)
+		return model.FeasibleAt(worker, a.p.Task(t), worker.Loc, now, velocity)
 	})
 	for _, id := range a.deadIDs {
 		a.waitingTasks.Remove(id)
@@ -148,14 +168,15 @@ func (a *TGOA) nearestTask(worker *model.Worker, now float64) int {
 }
 
 func (a *TGOA) nearestWorker(task *model.Task, now float64) int {
-	in := a.p.Instance()
+	velocity := a.p.Velocity()
 	a.deadIDs = a.deadIDs[:0]
-	w, _ := a.waitingWorkers.Nearest(task.Loc, task.Expiry*in.Velocity, func(w int) bool {
+	w, _ := a.waitingWorkers.Nearest(task.Loc, task.Expiry*velocity, func(w int) bool {
 		if !a.p.WorkerAvailable(w, now) {
 			a.deadIDs = append(a.deadIDs, w)
 			return false
 		}
-		return model.FeasibleAt(&in.Workers[w], task, in.Workers[w].Loc, now, in.Velocity)
+		worker := a.p.Worker(w)
+		return model.FeasibleAt(worker, task, worker.Loc, now, velocity)
 	})
 	for _, id := range a.deadIDs {
 		a.waitingWorkers.Remove(id)
@@ -189,10 +210,10 @@ func (a *TGOA) augmentFromWorker(w int32) {
 }
 
 func (a *TGOA) tryAugmentW(w int32) bool {
-	in := a.p.Instance()
-	worker := &in.Workers[w]
+	velocity := a.p.Velocity()
+	worker := a.p.Worker(int(w))
 	for _, t := range a.seenT {
-		if a.mark[t] || !feasibleWaitInPlace(worker, &in.Tasks[t], in.Velocity) {
+		if a.mark[t] || !feasibleWaitInPlace(worker, a.p.Task(int(t)), velocity) {
 			continue
 		}
 		a.mark[t] = true
@@ -206,27 +227,30 @@ func (a *TGOA) tryAugmentW(w int32) bool {
 }
 
 // augmentFromTask is the symmetric search rooted at a new task: it walks
-// workers and recurses through their virtual partners.
+// workers and recurses through their virtual partners, using the reusable
+// markW scratch so the task path is as allocation-free as the worker one.
 func (a *TGOA) augmentFromTask(t int32) {
-	in := a.p.Instance()
-	visited := make(map[int32]bool, 16)
-	var try func(t int32) bool
-	try = func(t int32) bool {
-		task := &in.Tasks[t]
-		for _, w := range a.seenW {
-			if visited[w] || !feasibleWaitInPlace(&in.Workers[w], task, in.Velocity) {
-				continue
-			}
-			visited[w] = true
-			if a.virtW[w] == -1 || try(a.virtW[w]) {
-				a.virtW[w] = t
-				a.virtT[t] = w
-				return true
-			}
-		}
-		return false
+	for i := range a.markW {
+		a.markW[i] = false
 	}
-	try(t)
+	a.tryAugmentT(t)
+}
+
+func (a *TGOA) tryAugmentT(t int32) bool {
+	velocity := a.p.Velocity()
+	task := a.p.Task(int(t))
+	for _, w := range a.seenW {
+		if a.markW[w] || !feasibleWaitInPlace(a.p.Worker(int(w)), task, velocity) {
+			continue
+		}
+		a.markW[w] = true
+		if a.virtW[w] == -1 || a.tryAugmentT(a.virtW[w]) {
+			a.virtW[w] = t
+			a.virtT[t] = w
+			return true
+		}
+	}
+	return false
 }
 
 var _ sim.Algorithm = (*TGOA)(nil)

@@ -322,3 +322,51 @@ func TestReset(t *testing.T) {
 		t.Fatal("re-solve after Reset")
 	}
 }
+
+// TestBipartiteMatcherReuse runs one matcher across many batch windows of
+// varying size (the GR usage pattern) and checks every solve agrees with a
+// fresh one-shot HopcroftKarp, then verifies the scratch buffers stop
+// allocating once grown to the largest window.
+func TestBipartiteMatcherReuse(t *testing.T) {
+	rng := mathx.NewRNG(41)
+	var m BipartiteMatcher
+	sizes := []int{17, 200, 3, 64, 200, 1, 150}
+	for round, n := range sizes {
+		adj := make([][]int32, n)
+		for u := range adj {
+			deg := rng.Intn(5)
+			for k := 0; k < deg; k++ {
+				adj[u] = append(adj[u], int32(rng.Intn(n)))
+			}
+		}
+		gotL, gotR, gotSize := m.Match(n, n, adj)
+		wantL, wantR, wantSize := HopcroftKarp(n, n, adj)
+		if gotSize != wantSize {
+			t.Fatalf("round %d: reused matcher size %d, one-shot %d", round, gotSize, wantSize)
+		}
+		// Matchings may differ pair-by-pair only if sizes differ — both are
+		// produced by the same deterministic algorithm, so require equality.
+		for u := range gotL {
+			if gotL[u] != wantL[u] {
+				t.Fatalf("round %d: matchL[%d] = %d, want %d", round, u, gotL[u], wantL[u])
+			}
+		}
+		for v := range gotR {
+			if gotR[v] != wantR[v] {
+				t.Fatalf("round %d: matchR[%d] = %d, want %d", round, v, gotR[v], wantR[v])
+			}
+		}
+	}
+	// Steady state: re-solving a window no larger than the biggest seen
+	// must not allocate (the GR hot path claim).
+	adj := make([][]int32, 100)
+	for u := range adj {
+		adj[u] = append(adj[u], int32((u*7)%100), int32((u*13)%100))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		m.Match(100, 100, adj)
+	})
+	if allocs != 0 {
+		t.Errorf("reused BipartiteMatcher allocates %v per solve, want 0", allocs)
+	}
+}

@@ -3,23 +3,26 @@ package sim
 import (
 	"sync"
 	"testing"
+
+	"ftoa/internal/geo"
 )
 
 // greedyScript matches every arriving task with the first available worker,
-// dispatching workers so clones exercise the mutable movement state.
+// dispatching workers so clones exercise the mutable movement state. The
+// dispatch target is where twoByTwo's first task will appear — an
+// open-world algorithm cannot peek at unreleased tasks.
 func greedyScript() *scriptAlg {
 	return &scriptAlg{
 		name: "greedy-script",
 		onTask: func(p Platform, t int, now float64) {
-			in := p.Instance()
-			for w := range in.Workers {
+			for w := 0; w < p.NumWorkers(); w++ {
 				if p.WorkerAvailable(w, now) && p.TryMatch(w, t, now) {
 					return
 				}
 			}
 		},
 		onWorker: func(p Platform, w int, now float64) {
-			p.Dispatch(w, p.Instance().Tasks[0].Loc, now)
+			p.Dispatch(w, geo.Pt(1, 0), now)
 		},
 	}
 }

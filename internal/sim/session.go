@@ -1,0 +1,443 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+)
+
+// Match is one committed worker-task pair, reported in commit order.
+// Worker and Task are the session handles returned by AddWorker/AddTask.
+type Match struct {
+	Worker int
+	Task   int
+	// Time is the session time at which the pair was committed.
+	Time float64
+}
+
+// Hints carries closed-world sizing information when the caller happens to
+// have it — a replay driver knows the full population in advance, a live
+// deployment at best estimates it. All fields are optional; zero means
+// unknown. Hints never change what an algorithm matches, only how it sizes
+// internal state, with one documented exception: TGOA's greedy/optimal
+// phase split needs the total arrival count, so with zero hints it stays
+// in its greedy phase forever.
+type Hints struct {
+	// ExpectedWorkers and ExpectedTasks estimate how many objects the
+	// session will admit.
+	ExpectedWorkers int
+	ExpectedTasks   int
+	// Horizon estimates the session end time (same clock as arrivals).
+	Horizon float64
+}
+
+// MatcherConfig parameterises a Matcher. Velocity must be positive; Bounds
+// must be a non-empty rectangle covering the locations that will arrive.
+type MatcherConfig struct {
+	// Mode selects the match-validation semantics (Strict or AssumeGuide).
+	Mode Mode
+	// Velocity is the shared worker speed (distance per time unit).
+	Velocity float64
+	// Bounds is the service area. Spatial algorithms size their indexes
+	// from it; locations outside are clamped by grid lookups, not rejected.
+	Bounds geo.Rect
+	// Hints optionally sizes algorithm state; see Hints.
+	Hints Hints
+	// OnMatch, when non-nil, is invoked synchronously for every committed
+	// pair, from within the AddWorker/AddTask/Advance/Finish call that
+	// committed it — possibly mid-algorithm-callback. The handler must
+	// not call back into the Session (no admissions, Advance, Finish or
+	// Reset): the algorithm's state is mid-update when it fires. Record
+	// the match and return; committed pairs also remain available via
+	// Session.Drain regardless.
+	OnMatch func(Match)
+}
+
+// Matcher is a configured factory for open-world matching sessions. One
+// Matcher can mint any number of independent sessions (e.g. one per tenant
+// or per shard); the Matcher itself is immutable and safe for concurrent
+// use. An individual Session is single-goroutine: callers serialising live
+// traffic onto it must provide their own locking.
+type Matcher struct {
+	cfg MatcherConfig
+}
+
+// NewMatcher validates cfg and returns a session factory.
+func NewMatcher(cfg MatcherConfig) (*Matcher, error) {
+	if !(cfg.Velocity > 0) {
+		return nil, fmt.Errorf("sim: non-positive velocity %v", cfg.Velocity)
+	}
+	if !(cfg.Bounds.Width() > 0) || !(cfg.Bounds.Height() > 0) {
+		return nil, fmt.Errorf("sim: empty bounds %+v", cfg.Bounds)
+	}
+	if cfg.Mode != Strict && cfg.Mode != AssumeGuide {
+		return nil, fmt.Errorf("sim: unknown mode %d", cfg.Mode)
+	}
+	return &Matcher{cfg: cfg}, nil
+}
+
+// Config returns the matcher's configuration.
+func (m *Matcher) Config() MatcherConfig { return m.cfg }
+
+// NewSession starts an open-world session driven by alg. The algorithm's
+// Init hook runs before NewSession returns.
+func (m *Matcher) NewSession(alg Algorithm) *Session {
+	return newSession(m.cfg, alg)
+}
+
+// newSession builds a session without re-validating cfg. The replay Engine
+// uses it directly so that degenerate recorded instances (zero velocity,
+// empty bounds) replay exactly as they always did instead of failing
+// Matcher validation.
+func newSession(cfg MatcherConfig, alg Algorithm) *Session {
+	s := &Session{
+		mode:     cfg.Mode,
+		velocity: cfg.Velocity,
+		bounds:   cfg.Bounds,
+		hints:    cfg.Hints,
+		onMatch:  cfg.OnMatch,
+	}
+	s.Reset(alg)
+	return s
+}
+
+// workerState is the platform-owned ground truth for one admitted worker.
+type workerState struct {
+	anchor     geo.Point // position at anchorTime
+	target     geo.Point // dispatch target, valid while moving
+	origin     geo.Point // admission location, for guided-distance stats
+	anchorTime float64
+	moving     bool
+	matched    bool
+}
+
+// ErrFinished is returned by AddWorker/AddTask after Finish.
+var ErrFinished = errors.New("sim: session finished")
+
+// Session is one live open-world matching session: workers and tasks are
+// admitted at arrival time and handed to the algorithm immediately, with no
+// pre-materialised instance. Handles returned by AddWorker/AddTask are
+// stable dense indexes into append-only arenas (0, 1, 2, …, in admission
+// order per side), so algorithm state and the platform's ground truth stay
+// flat slices with zero steady-state allocations on the hot path.
+//
+// Session time is driven by the caller: each admission carries its arrival
+// time (clamped to be non-decreasing), and Advance moves the clock without
+// admitting anything, firing due timers. A Session is not safe for
+// concurrent use.
+type Session struct {
+	mode     Mode
+	velocity float64
+	bounds   geo.Rect
+	hints    Hints
+	onMatch  func(Match)
+
+	alg      Algorithm
+	timerAlg TimerAlgorithm // nil when alg has no OnTimer
+
+	// Append-only arenas; handles index into them.
+	workers []model.Worker
+	tasks   []model.Task
+	wstate  []workerState
+	tMatch  []bool
+
+	matching  model.Matching
+	committed []Match
+	drained   int
+
+	now      float64
+	timer    float64 // pending timer or +Inf
+	finished bool
+
+	attempted int
+	rejected  int
+	stats     MatchStats
+}
+
+var _ Platform = (*Session)(nil)
+
+// Reset rewinds the session to empty and rebinds it to alg (which may be
+// the same algorithm), reusing all arena capacity. It exists so replay
+// drivers and benchmarks can run many sessions with zero steady-state
+// allocations; live deployments normally create a session once and never
+// reset it.
+func (s *Session) Reset(alg Algorithm) {
+	s.workers = s.workers[:0]
+	s.tasks = s.tasks[:0]
+	s.wstate = s.wstate[:0]
+	s.tMatch = s.tMatch[:0]
+	// The matching escapes to callers via Matching, so it is the one piece
+	// of per-session state that cannot be reused.
+	s.matching = model.Matching{}
+	s.committed = s.committed[:0]
+	s.drained = 0
+	// The clock starts unset (-Inf) so the first admission defines session
+	// time — recorded streams replay with their timestamps intact, even
+	// negative ones; clamping only ever applies to genuinely out-of-order
+	// arrivals.
+	s.now = math.Inf(-1)
+	s.timer = math.Inf(1)
+	s.finished = false
+	s.attempted = 0
+	s.rejected = 0
+	s.stats = MatchStats{}
+	s.alg = alg
+	s.timerAlg, _ = alg.(TimerAlgorithm)
+	alg.Init(s)
+}
+
+// AddWorker admits a worker and returns its handle. The worker's Arrive
+// time is clamped up to the session clock (an object cannot arrive in the
+// past), due timers fire first, and the algorithm's OnWorkerArrival hook
+// runs before AddWorker returns. Only ErrFinished is possible after a
+// successful NewSession.
+func (s *Session) AddWorker(w model.Worker) (int, error) {
+	if s.finished {
+		return -1, ErrFinished
+	}
+	if w.Arrive < s.now {
+		w.Arrive = s.now
+	}
+	s.advanceTo(w.Arrive)
+	h := len(s.workers)
+	s.workers = append(s.workers, w)
+	s.wstate = append(s.wstate, workerState{
+		anchor:     w.Loc,
+		origin:     w.Loc,
+		anchorTime: w.Arrive,
+	})
+	s.alg.OnWorkerArrival(h, w.Arrive)
+	return h, nil
+}
+
+// AddTask admits a task and returns its handle; see AddWorker for the
+// clock and timer semantics (Release plays the role of Arrive).
+func (s *Session) AddTask(t model.Task) (int, error) {
+	if s.finished {
+		return -1, ErrFinished
+	}
+	if t.Release < s.now {
+		t.Release = s.now
+	}
+	s.advanceTo(t.Release)
+	h := len(s.tasks)
+	s.tasks = append(s.tasks, t)
+	s.tMatch = append(s.tMatch, false)
+	s.alg.OnTaskArrival(h, t.Release)
+	return h, nil
+}
+
+// Advance moves the session clock to now (ignored if in the past), firing
+// any due timer, and returns the resulting clock. Live drivers call it
+// periodically so batch algorithms flush even when no arrivals come in.
+func (s *Session) Advance(now float64) float64 {
+	if !s.finished {
+		s.advanceTo(now)
+	}
+	return s.now
+}
+
+// advanceTo fires pending timers scheduled at or before t, then moves the
+// clock to t. Timer callbacks observe a monotonic clock: a timer that was
+// scheduled in the past (see Schedule) fires at the current session time.
+func (s *Session) advanceTo(t float64) {
+	if s.timerAlg != nil {
+		for s.timer <= t {
+			at := s.timer
+			s.timer = math.Inf(1)
+			if at < s.now {
+				at = s.now
+			}
+			s.now = at
+			s.timerAlg.OnTimer(at)
+		}
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Finish ends the session: the clock advances to the hinted horizon (if
+// later than the last arrival), remaining timers fire, and the algorithm's
+// OnFinish hook flushes pending work. Further admissions return
+// ErrFinished; Drain, Matching and the other accessors remain usable.
+func (s *Session) Finish() {
+	if s.finished {
+		return
+	}
+	// An idle session (no arrivals, no horizon) finishes at time 0, the
+	// clock origin a replay of an empty instance would use.
+	end := 0.0
+	if s.now > end {
+		end = s.now
+	}
+	if s.hints.Horizon > end {
+		end = s.hints.Horizon
+	}
+	s.advanceTo(end)
+	s.finished = true
+	s.alg.OnFinish(end)
+}
+
+// Drain appends to dst every match committed since the previous Drain and
+// returns the extended slice. Pair order is commit order.
+func (s *Session) Drain(dst []Match) []Match {
+	dst = append(dst, s.committed[s.drained:]...)
+	s.drained = len(s.committed)
+	return dst
+}
+
+// Now returns the session clock.
+func (s *Session) Now() float64 { return s.now }
+
+// Matching returns the committed matching so far. The caller must not
+// retain it across Reset.
+func (s *Session) Matching() model.Matching { return s.matching }
+
+// Stats returns the service-quality aggregates over committed matches.
+func (s *Session) Stats() MatchStats { return s.stats }
+
+// Attempted returns the number of TryMatch calls so far.
+func (s *Session) Attempted() int { return s.attempted }
+
+// Rejected returns how many TryMatch calls the platform refused.
+func (s *Session) Rejected() int { return s.rejected }
+
+// Mode returns the session's validation mode.
+func (s *Session) Mode() Mode { return s.mode }
+
+// Worker implements Platform. The returned pointer stays valid and
+// immutable for the session's lifetime.
+func (s *Session) Worker(w int) *model.Worker { return &s.workers[w] }
+
+// Task implements Platform.
+func (s *Session) Task(t int) *model.Task { return &s.tasks[t] }
+
+// NumWorkers implements Platform.
+func (s *Session) NumWorkers() int { return len(s.workers) }
+
+// NumTasks implements Platform.
+func (s *Session) NumTasks() int { return len(s.tasks) }
+
+// Velocity implements Platform.
+func (s *Session) Velocity() float64 { return s.velocity }
+
+// Bounds implements Platform.
+func (s *Session) Bounds() geo.Rect { return s.bounds }
+
+// Hints implements Platform.
+func (s *Session) Hints() Hints { return s.hints }
+
+// WorkerPos implements Platform.
+func (s *Session) WorkerPos(w int, now float64) geo.Point {
+	ws := &s.wstate[w]
+	if !ws.moving {
+		return ws.anchor
+	}
+	elapsed := now - ws.anchorTime
+	if elapsed <= 0 {
+		return ws.anchor
+	}
+	total := ws.anchor.Dist(ws.target)
+	traveled := elapsed * s.velocity
+	if traveled >= total {
+		// Arrived: collapse the segment so future queries are O(1).
+		ws.anchor = ws.target
+		ws.anchorTime = now
+		ws.moving = false
+		return ws.anchor
+	}
+	return ws.anchor.Lerp(ws.target, traveled/total)
+}
+
+// WorkerAvailable implements Platform. In AssumeGuide mode deadlines are
+// not enforced — the paper's counting assumes guide pairs are feasible, so
+// an unmatched worker stays assignable; in Strict mode a task released at
+// `now` must satisfy Sr < Sw + Dw.
+func (s *Session) WorkerAvailable(w int, now float64) bool {
+	if s.wstate[w].matched {
+		return false
+	}
+	if s.mode == AssumeGuide {
+		return true
+	}
+	return now < s.workers[w].Deadline()
+}
+
+// TaskAvailable implements Platform. See WorkerAvailable for the mode
+// semantics; in Strict mode a worker departing at `now` needs non-negative
+// travel budget.
+func (s *Session) TaskAvailable(t int, now float64) bool {
+	if s.tMatch[t] {
+		return false
+	}
+	if s.mode == AssumeGuide {
+		return true
+	}
+	return now <= s.tasks[t].Deadline()
+}
+
+// TryMatch implements Platform.
+func (s *Session) TryMatch(w, t int, now float64) bool {
+	s.attempted++
+	ws := &s.wstate[w]
+	if ws.matched || s.tMatch[t] {
+		s.rejected++
+		return false
+	}
+	if s.mode == Strict {
+		if !model.FeasibleAt(&s.workers[w], &s.tasks[t], s.WorkerPos(w, now), now, s.velocity) {
+			s.rejected++
+			return false
+		}
+	}
+	pos := s.WorkerPos(w, now)
+	ws.matched = true
+	s.tMatch[t] = true
+	s.matching.Add(w, t)
+	s.stats.TotalPickupDistance += pos.Dist(s.tasks[t].Loc)
+	s.stats.TotalGuidedDistance += ws.origin.Dist(pos)
+	if wait := now - s.tasks[t].Release; wait > 0 {
+		s.stats.TotalTaskWait += wait
+	}
+	if idle := now - s.workers[w].Arrive; idle > 0 {
+		s.stats.TotalWorkerIdle += idle
+	}
+	m := Match{Worker: w, Task: t, Time: now}
+	s.committed = append(s.committed, m)
+	if s.onMatch != nil {
+		s.onMatch(m)
+	}
+	return true
+}
+
+// Dispatch implements Platform.
+func (s *Session) Dispatch(w int, target geo.Point, now float64) {
+	ws := &s.wstate[w]
+	if ws.matched {
+		return
+	}
+	pos := s.WorkerPos(w, now)
+	ws.anchor = pos
+	ws.anchorTime = now
+	if pos == target {
+		ws.moving = false
+		return
+	}
+	ws.target = target
+	ws.moving = true
+}
+
+// Schedule implements Platform. Only one pending timer is kept — a newer
+// call overrides any earlier pending one — and a time in the past is
+// clamped to the session clock, so it fires before the next admission but
+// the OnTimer callback never observes time running backwards.
+func (s *Session) Schedule(at float64) {
+	if at < s.now {
+		at = s.now
+	}
+	s.timer = at
+}

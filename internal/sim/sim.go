@@ -1,10 +1,17 @@
-// Package sim is the event-driven simulation engine that replays an FTOA
-// instance against an online assignment algorithm. It owns the ground
-// truth the paper's platform would own: worker positions over time
-// (including movement of dispatched workers at the shared velocity),
-// availability, and the committed matching. Algorithms interact with it
-// through the Platform interface and never mutate ground truth directly,
-// so an algorithm bug cannot produce an invalid matching.
+// Package sim owns the platform side of FTOA matching: the ground truth
+// the paper's platform would own — worker positions over time (including
+// movement of dispatched workers at the shared velocity), availability,
+// and the committed matching. Algorithms interact with it through the
+// Platform interface and never mutate ground truth directly, so an
+// algorithm bug cannot produce an invalid matching.
+//
+// The core abstraction is the open-world Session (see session.go): workers
+// and tasks are *admitted* at arrival time via AddWorker/AddTask, which
+// return stable dense handles, and Advance drives timers. Live
+// deployments (cmd/ftoa-serve) push real traffic straight into a Session;
+// the closed-world Engine in this file is a thin replay driver that feeds
+// a recorded instance's arrival events through the very same Session API,
+// so experiments and benchmarks exercise the production code path.
 //
 // Two validation modes are supported (see DESIGN.md §3.2):
 //
@@ -18,7 +25,6 @@
 package sim
 
 import (
-	"math"
 	"runtime"
 	"time"
 
@@ -44,11 +50,35 @@ func (m Mode) String() string {
 	return "assume-guide"
 }
 
-// Platform is the engine-side API visible to algorithms.
+// Platform is the session-side API visible to algorithms. Workers and
+// tasks are identified by the dense handles the session assigned at
+// admission (0, 1, 2, … per side, in arrival order); the platform is
+// open-world, so NumWorkers/NumTasks only ever grow and algorithms must
+// not assume they have seen the full population.
 type Platform interface {
-	// Instance returns the problem instance being replayed. Algorithms
-	// must treat it as read-only.
-	Instance() *model.Instance
+	// Worker returns the admitted worker behind a handle. The pointed-to
+	// value is immutable; the pointer stays valid for the session.
+	Worker(w int) *model.Worker
+
+	// Task returns the admitted task behind a handle.
+	Task(t int) *model.Task
+
+	// NumWorkers returns how many workers have been admitted so far.
+	// Handles 0..NumWorkers()-1 are valid.
+	NumWorkers() int
+
+	// NumTasks returns how many tasks have been admitted so far.
+	NumTasks() int
+
+	// Velocity is the shared worker speed (distance per time unit).
+	Velocity() float64
+
+	// Bounds is the service area spatial algorithms should size for.
+	Bounds() geo.Rect
+
+	// Hints returns optional closed-world sizing information; all fields
+	// may be zero in a live deployment. See Hints.
+	Hints() Hints
 
 	// WorkerPos returns worker w's simulated position at time now,
 	// accounting for any movement ordered via Dispatch.
@@ -63,7 +93,7 @@ type Platform interface {
 	TaskAvailable(t int, now float64) bool
 
 	// TryMatch attempts to commit the pair (w, t) at time now and reports
-	// whether the engine accepted it. Acceptance depends on the engine's
+	// whether the platform accepted it. Acceptance depends on the session's
 	// Mode; on success the pair is recorded irrevocably (Definition 4's
 	// invariable constraint) and both objects become unavailable.
 	TryMatch(w, t int, now float64) bool
@@ -73,24 +103,29 @@ type Platform interface {
 	// earlier one. Dispatching a matched worker is a no-op.
 	Dispatch(w int, target geo.Point, now float64)
 
-	// Schedule asks the engine to invoke the algorithm's OnTimer at time
-	// at. Only one pending timer is kept: a new call overrides any earlier
-	// pending one. Times in the past fire before the next event.
+	// Schedule asks the session to invoke the algorithm's OnTimer at time
+	// at. Exactly one timer is pending at a time: a new call overrides any
+	// earlier pending one, so algorithms needing several outstanding
+	// deadlines must multiplex them onto the single slot. Times in the
+	// past are clamped to the session clock and fire before the next
+	// admission — OnTimer never observes time running backwards.
 	Schedule(at float64)
 }
 
-// Algorithm is an online assignment algorithm driven by the engine.
+// Algorithm is an online assignment algorithm driven by a session.
 type Algorithm interface {
 	// Name identifies the algorithm in experiment output.
 	Name() string
-	// Init is called once before replay.
+	// Init is called once when the session starts (and again if a session
+	// is Reset). The platform is empty at this point; sizing information,
+	// if any, is in p.Hints().
 	Init(p Platform)
-	// OnWorkerArrival handles a new worker (index into Instance.Workers).
+	// OnWorkerArrival handles a newly admitted worker handle.
 	OnWorkerArrival(w int, now float64)
-	// OnTaskArrival handles a new task (index into Instance.Tasks).
+	// OnTaskArrival handles a newly admitted task handle.
 	OnTaskArrival(t int, now float64)
-	// OnFinish is called once after the last event, so batch algorithms
-	// can flush pending work.
+	// OnFinish is called once when the session finishes, so batch
+	// algorithms can flush pending work.
 	OnFinish(now float64)
 }
 
@@ -128,10 +163,10 @@ type Result struct {
 }
 
 // MatchStats aggregates platform-level service quality over the committed
-// matches of one replay. All quantities are measured at commit time from
-// the engine's simulated ground truth, so they are meaningful in both
-// validation modes (in AssumeGuide they describe what the paper's counting
-// implies physically).
+// matches of one session. All quantities are measured at commit time from
+// the simulated ground truth, so they are meaningful in both validation
+// modes (in AssumeGuide they describe what the paper's counting implies
+// physically).
 type MatchStats struct {
 	// TotalPickupDistance sums the remaining distance from each matched
 	// worker's position at commit time to its task's location.
@@ -164,10 +199,12 @@ func (s MatchStats) MeanTaskWait(matches int) float64 {
 	return s.TotalTaskWait / float64(matches)
 }
 
-// Engine replays instances. Create one per (instance, mode) and call Run
-// once per algorithm; Run resets per-run state. An Engine is not safe for
-// concurrent use — use Clone to replay the same instance on several
-// goroutines at once.
+// Engine replays recorded instances through the open-world Session API: it
+// is the bridge from the closed-world experiment harness (a materialised
+// *model.Instance) to the streaming Matcher surface live deployments use.
+// Create one per (instance, mode) and call Run once per algorithm; Run
+// resets the underlying session. An Engine is not safe for concurrent use
+// — use Clone to replay the same instance on several goroutines at once.
 type Engine struct {
 	in   *model.Instance
 	mode Mode
@@ -178,21 +215,13 @@ type Engine struct {
 
 	events []model.Event
 
-	// Per-run state.
-	anchor     []geo.Point // position at anchorTime
-	anchorTime []float64
-	target     []geo.Point
-	moving     []bool
-	matchedW   []bool
-	matchedT   []bool
-	matching   model.Matching
-	timer      float64 // pending timer or +Inf
-	attempted  int
-	rejected   int
-	stats      MatchStats
-	// origin remembers each worker's initial location so guided travel can
-	// be measured at commit time.
-	origin []geo.Point
+	sess *Session
+	// h2w/h2t translate session handles back to instance indexes (they
+	// differ when a side's arrivals are not sorted by time). identity
+	// records whether translation is a no-op so the common sorted case
+	// skips the copy.
+	h2w, h2t []int
+	identity bool
 }
 
 // EngineOption tunes engine construction.
@@ -209,17 +238,10 @@ func WithAllocTracking() EngineOption {
 // NewEngine prepares an engine for the instance. The event order is
 // computed once and shared across runs (and across Clones).
 func NewEngine(in *model.Instance, mode Mode, opts ...EngineOption) *Engine {
-	n := len(in.Workers)
 	e := &Engine{
-		in:         in,
-		mode:       mode,
-		events:     in.Events(),
-		anchor:     make([]geo.Point, n),
-		anchorTime: make([]float64, n),
-		target:     make([]geo.Point, n),
-		moving:     make([]bool, n),
-		matchedW:   make([]bool, n),
-		matchedT:   make([]bool, len(in.Tasks)),
+		in:     in,
+		mode:   mode,
+		events: in.Events(),
 	}
 	for _, o := range opts {
 		o(e)
@@ -228,160 +250,56 @@ func NewEngine(in *model.Instance, mode Mode, opts ...EngineOption) *Engine {
 }
 
 // Clone returns a new engine over the same instance and mode that shares
-// the immutable inputs (instance and precomputed event order) but owns all
-// per-run mutable ground truth, so clones can Run concurrently on separate
-// goroutines. Alloc tracking is NOT inherited: the counter it reads is
-// process-wide and meaningless under concurrency.
+// the immutable inputs (instance and precomputed event order) but owns its
+// own session, so clones can Run concurrently on separate goroutines.
+// Alloc tracking is NOT inherited: the counter it reads is process-wide
+// and meaningless under concurrency.
 func (e *Engine) Clone() *Engine {
-	n := len(e.in.Workers)
 	return &Engine{
-		in:         e.in,
-		mode:       e.mode,
-		events:     e.events,
-		anchor:     make([]geo.Point, n),
-		anchorTime: make([]float64, n),
-		target:     make([]geo.Point, n),
-		moving:     make([]bool, n),
-		matchedW:   make([]bool, n),
-		matchedT:   make([]bool, len(e.in.Tasks)),
+		in:     e.in,
+		mode:   e.mode,
+		events: e.events,
 	}
 }
 
-// Instance implements Platform.
+// Instance returns the problem instance being replayed.
 func (e *Engine) Instance() *model.Instance { return e.in }
 
 // Mode returns the validation mode.
 func (e *Engine) Mode() Mode { return e.mode }
 
-func (e *Engine) reset() {
-	if e.origin == nil {
-		e.origin = make([]geo.Point, len(e.in.Workers))
+// matcherConfig derives the session configuration for the replay: the
+// recorded instance supplies exact sizing hints, which is how replays keep
+// closed-world algorithms (TGOA's phase split, index pre-sizing) behaving
+// exactly as they did against the pre-materialised instance.
+func (e *Engine) matcherConfig() MatcherConfig {
+	return MatcherConfig{
+		Mode:     e.mode,
+		Velocity: e.in.Velocity,
+		Bounds:   e.in.Bounds,
+		Hints: Hints{
+			ExpectedWorkers: len(e.in.Workers),
+			ExpectedTasks:   len(e.in.Tasks),
+			Horizon:         e.in.Horizon,
+		},
 	}
-	for i := range e.anchor {
-		e.anchor[i] = e.in.Workers[i].Loc
-		e.anchorTime[i] = e.in.Workers[i].Arrive
-		e.origin[i] = e.in.Workers[i].Loc
-		e.moving[i] = false
-		e.matchedW[i] = false
-	}
-	for i := range e.matchedT {
-		e.matchedT[i] = false
-	}
-	// The matching escapes to the caller via Result, so it is the one
-	// piece of per-run state that cannot be reused.
-	e.matching = model.Matching{}
-	e.timer = math.Inf(1)
-	e.attempted = 0
-	e.rejected = 0
-	e.stats = MatchStats{}
 }
 
-// WorkerPos implements Platform.
-func (e *Engine) WorkerPos(w int, now float64) geo.Point {
-	if !e.moving[w] {
-		return e.anchor[w]
-	}
-	elapsed := now - e.anchorTime[w]
-	if elapsed <= 0 {
-		return e.anchor[w]
-	}
-	total := e.anchor[w].Dist(e.target[w])
-	traveled := elapsed * e.in.Velocity
-	if traveled >= total {
-		// Arrived: collapse the segment so future queries are O(1).
-		e.anchor[w] = e.target[w]
-		e.anchorTime[w] = now
-		e.moving[w] = false
-		return e.anchor[w]
-	}
-	return e.anchor[w].Lerp(e.target[w], traveled/total)
-}
-
-// WorkerAvailable implements Platform. In AssumeGuide mode deadlines are
-// not enforced — the paper's counting assumes guide pairs are feasible, so
-// an unmatched worker stays assignable; in Strict mode a task released at
-// `now` must satisfy Sr < Sw + Dw.
-func (e *Engine) WorkerAvailable(w int, now float64) bool {
-	if e.matchedW[w] {
-		return false
-	}
-	if e.mode == AssumeGuide {
-		return true
-	}
-	return now < e.in.Workers[w].Deadline()
-}
-
-// TaskAvailable implements Platform. See WorkerAvailable for the mode
-// semantics; in Strict mode a worker departing at `now` needs non-negative
-// travel budget.
-func (e *Engine) TaskAvailable(t int, now float64) bool {
-	if e.matchedT[t] {
-		return false
-	}
-	if e.mode == AssumeGuide {
-		return true
-	}
-	return now <= e.in.Tasks[t].Deadline()
-}
-
-// TryMatch implements Platform.
-func (e *Engine) TryMatch(w, t int, now float64) bool {
-	e.attempted++
-	if e.matchedW[w] || e.matchedT[t] {
-		e.rejected++
-		return false
-	}
-	if e.mode == Strict {
-		worker := &e.in.Workers[w]
-		task := &e.in.Tasks[t]
-		if !model.FeasibleAt(worker, task, e.WorkerPos(w, now), now, e.in.Velocity) {
-			e.rejected++
-			return false
-		}
-	}
-	pos := e.WorkerPos(w, now)
-	e.matchedW[w] = true
-	e.matchedT[t] = true
-	e.matching.Add(w, t)
-	e.stats.TotalPickupDistance += pos.Dist(e.in.Tasks[t].Loc)
-	e.stats.TotalGuidedDistance += e.origin[w].Dist(pos)
-	if wait := now - e.in.Tasks[t].Release; wait > 0 {
-		e.stats.TotalTaskWait += wait
-	}
-	if idle := now - e.in.Workers[w].Arrive; idle > 0 {
-		e.stats.TotalWorkerIdle += idle
-	}
-	return true
-}
-
-// Dispatch implements Platform.
-func (e *Engine) Dispatch(w int, target geo.Point, now float64) {
-	if e.matchedW[w] {
-		return
-	}
-	pos := e.WorkerPos(w, now)
-	e.anchor[w] = pos
-	e.anchorTime[w] = now
-	if pos == target {
-		e.moving[w] = false
-		return
-	}
-	e.target[w] = target
-	e.moving[w] = true
-}
-
-// Schedule implements Platform.
-func (e *Engine) Schedule(at float64) { e.timer = at }
-
-// Run replays the instance against alg and returns the result. The
-// matching is validated in Strict mode against the ideal-guidance
-// predicate as a safety net; a violation panics, because it indicates an
-// engine bug rather than bad input.
+// Run replays the instance's recorded arrival stream through a Session
+// driven by alg and returns the result, with matching pairs translated
+// back to instance indexes.
 func (e *Engine) Run(alg Algorithm) Result {
-	e.reset()
-	alg.Init(e)
-
-	timerAlg, hasTimer := alg.(TimerAlgorithm)
+	if e.sess == nil {
+		// Built directly (not via NewMatcher) so degenerate instances the
+		// old engine tolerated — zero velocity, empty bounds — still replay.
+		e.sess = newSession(e.matcherConfig(), alg)
+	} else {
+		e.sess.Reset(alg)
+	}
+	s := e.sess
+	e.h2w = e.h2w[:0]
+	e.h2t = e.h2t[:0]
+	e.identity = true
 
 	var ms runtime.MemStats
 	var allocBefore uint64
@@ -391,37 +309,27 @@ func (e *Engine) Run(alg Algorithm) Result {
 	}
 	start := time.Now()
 
-	lastTime := 0.0
 	for _, ev := range e.events {
-		if hasTimer {
-			for e.timer <= ev.Time {
-				at := e.timer
-				e.timer = math.Inf(1)
-				timerAlg.OnTimer(at)
-			}
-		}
 		switch ev.Kind {
 		case model.WorkerArrival:
-			alg.OnWorkerArrival(ev.Index, ev.Time)
+			if _, err := s.AddWorker(e.in.Workers[ev.Index]); err != nil {
+				panic("sim: replay admission failed: " + err.Error())
+			}
+			if ev.Index != len(e.h2w) {
+				e.identity = false
+			}
+			e.h2w = append(e.h2w, ev.Index)
 		case model.TaskArrival:
-			alg.OnTaskArrival(ev.Index, ev.Time)
-		}
-		lastTime = ev.Time
-	}
-	// Fire any timer scheduled at or before the end of the horizon, then
-	// let the algorithm flush.
-	end := lastTime
-	if e.in.Horizon > end {
-		end = e.in.Horizon
-	}
-	if hasTimer {
-		for e.timer <= end {
-			at := e.timer
-			e.timer = math.Inf(1)
-			timerAlg.OnTimer(at)
+			if _, err := s.AddTask(e.in.Tasks[ev.Index]); err != nil {
+				panic("sim: replay admission failed: " + err.Error())
+			}
+			if ev.Index != len(e.h2t) {
+				e.identity = false
+			}
+			e.h2t = append(e.h2t, ev.Index)
 		}
 	}
-	alg.OnFinish(end)
+	s.Finish()
 
 	elapsed := time.Since(start)
 	var allocBytes uint64
@@ -430,15 +338,23 @@ func (e *Engine) Run(alg Algorithm) Result {
 		allocBytes = ms.TotalAlloc - allocBefore
 	}
 
-	res := Result{
+	matching := s.Matching()
+	if !e.identity {
+		translated := model.Matching{Pairs: make([]model.Pair, len(matching.Pairs))}
+		for i, p := range matching.Pairs {
+			translated.Pairs[i] = model.Pair{Worker: e.h2w[p.Worker], Task: e.h2t[p.Task]}
+		}
+		matching = translated
+	}
+
+	return Result{
 		Algorithm:  alg.Name(),
 		Mode:       e.mode,
-		Matching:   e.matching,
+		Matching:   matching,
 		Elapsed:    elapsed,
 		AllocBytes: allocBytes,
-		Attempted:  e.attempted,
-		Rejected:   e.rejected,
-		Stats:      e.stats,
+		Attempted:  s.Attempted(),
+		Rejected:   s.Rejected(),
+		Stats:      s.Stats(),
 	}
-	return res
 }
