@@ -341,3 +341,59 @@ func BenchmarkPOLAROPStream(b *testing.B) {
 func BenchmarkSimpleGreedyStream(b *testing.B) {
 	benchStream(b, func(*ftoa.Guide) ftoa.Algorithm { return ftoa.NewSimpleGreedy() })
 }
+
+// benchRouterStream measures the sharded serving layer end to end: one
+// recorded day routed by location through a cols x rows ShardRouter
+// (admission -> shard lock -> session -> event sequencing), reporting
+// per-arrival latency. Compare against BenchmarkSimpleGreedyStream to see
+// the routing + sequencing overhead, and 1x1 vs 4x4 to see how per-shard
+// population shrinkage pays for it.
+func benchRouterStream(b *testing.B, cols, rows int) {
+	in, _ := benchSetup(b)
+	events := in.Events()
+	arrivals := float64(len(events))
+	var matched int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		router, err := ftoa.NewShardRouter(ftoa.ShardConfig{
+			Matcher: ftoa.MatcherConfig{
+				Mode:     ftoa.AssumeGuide,
+				Velocity: in.Velocity,
+				Bounds:   in.Bounds,
+				Hints: ftoa.Hints{
+					ExpectedWorkers: len(in.Workers),
+					ExpectedTasks:   len(in.Tasks),
+					Horizon:         in.Horizon,
+				},
+			},
+			Cols:         cols,
+			Rows:         rows,
+			NewAlgorithm: func() ftoa.Algorithm { return ftoa.NewSimpleGreedy() },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range events {
+			switch ev.Kind {
+			case ftoa.WorkerArrival:
+				_, _, err = router.AddWorker(in.Workers[ev.Index])
+			case ftoa.TaskArrival:
+				_, _, err = router.AddTask(in.Tasks[ev.Index])
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		router.Finish()
+		matched = 0
+		for _, st := range router.StatsAll(nil) {
+			matched += st.Matches
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arrivals, "ns/arrival")
+	b.ReportMetric(float64(matched), "matched")
+}
+
+func BenchmarkShardRouter1x1Stream(b *testing.B) { benchRouterStream(b, 1, 1) }
+func BenchmarkShardRouter4x4Stream(b *testing.B) { benchRouterStream(b, 4, 4) }

@@ -1,31 +1,55 @@
-// Command ftoa-serve exposes an open-world ftoa matching session over
-// HTTP/JSON: workers and tasks are admitted as they POST in, the matching
-// algorithm runs on every arrival, and committed pairs are reported back.
-// It is the minimal proof that the streaming Matcher API serves live
-// traffic rather than replayed instances.
+// Command ftoa-serve exposes sharded open-world ftoa matching over
+// HTTP/JSON: the service area is partitioned into a -shards NxM grid of
+// independent sessions, workers and tasks are routed by location as they
+// POST in, the matching algorithm runs on every arrival, and the merged
+// lifecycle event stream — commits AND the deadline expiries of objects
+// that leave unserved — is served back behind a sequence cursor.
 //
-//	POST /workers          {"x":10,"y":10,"patience":300} -> {"worker":0,"time":1.5}
-//	POST /tasks            {"x":11,"y":10,"expiry":60}    -> {"task":0,"time":2.1}
-//	GET  /matches          -> {"matches":[{"worker":0,"task":0,"time":2.1}],"count":1}
+//	POST /workers          {"x":10,"y":10,"patience":300} -> {"worker":0,"shard":0,"time":1.5}
+//	POST /tasks            {"x":11,"y":10,"expiry":60}    -> {"task":0,"shard":0,"time":2.1}
+//	GET  /events?since=N   -> {"events":[{"seq":0,"shard":0,"kind":"match","worker":0,"task":0,"time":2.1}],"next":1}
+//	GET  /matches          -> {"matches":[{"worker":0,"task":0,"shard":0,"time":2.1}],"count":1}
 //	GET  /matches?since=N  -> matches committed after the first N (poll cursor)
-//	GET  /stats            -> {"workers":1,"tasks":1,"matches":1,"now":3.0}
+//	GET  /stats            -> global aggregates plus a per-shard breakdown
 //	GET  /healthz          -> ok
 //
+// Event kinds are "match", "worker-expired" and "task-expired"; expiries
+// carry -1 on the uninvolved side. Both histories are retention-bounded
+// (-retention): a cursor pointing below the eviction boundary gets 410
+// Gone and must restart from the "next" cursor of a fresh poll.
+//
+// Guided algorithms are servable: -alg polar|polarop|hybrid with -guide
+// pointing at a per-cell count history CSV (the format ftoa-gen -counts
+// emits). The server trains HP-MSI (the paper's Table 5 winner) on all
+// days but the last, forecasts the last day, and builds the offline guide
+// for the first -horizon seconds of uptime from those counts.
+//
 // Times are seconds since the server started; arrivals are stamped on
-// admission. The session is single-writer, so the server serialises all
-// access behind one mutex — sharding sessions per region/tenant is the
-// scaling story, not concurrent writes to one session.
+// admission. Each shard's session is single-writer behind its own lock,
+// so disjoint regions admit concurrently — sharding, not concurrent
+// writes to one session, is the scaling story.
+//
+// Known limitation: -retention bounds the event and match histories, but
+// each shard's session arenas (admitted workers/tasks and algorithm
+// state) are append-only by design — handles are dense indexes — so
+// memory still grows with lifetime admissions. Deployments that run
+// beyond one service day should recycle the process at the day boundary
+// (the guide horizon); in-session object retirement is a ROADMAP item.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftoa"
@@ -38,26 +62,82 @@ type config struct {
 	velocity  float64
 	bounds    [4]float64
 	tick      time.Duration
+	shards    [2]int // cols, rows
+	retention int
+
+	// Guide pipeline (polar/polarop/hybrid only).
+	guidePath     string // counts CSV; "" = no guide
+	guideGrid     [2]int // cols, rows; 0,0 = infer a square grid
+	guideDow0     int    // weekday (0-6) of the history's first day
+	horizon       float64
+	guidePatience float64
+	guideExpiry   float64
 }
 
-// server owns one matching session and serialises HTTP access to it.
+// server owns the shard router and a bounded match-history view of its
+// merged event stream.
 type server struct {
-	mu   sync.Mutex
-	sess *ftoa.Session
+	router *ftoa.ShardRouter
 	// clock returns the session-time value of "now" (seconds since the
 	// server started); tests substitute a manual clock.
 	clock func() float64
+	// minAdvance throttles the read-path advance: a GET only walks all
+	// shard locks when the clock moved at least this far (half the tick
+	// interval) since the last walk, so polling traffic cannot convoy
+	// the whole grid. lastAdvance holds the float64 bits of the clock
+	// value of the last walk.
+	minAdvance  float64
+	lastAdvance atomic.Uint64
 
-	// matches accumulates every committed pair drained so far, so GET
-	// /matches is a cheap snapshot rather than a session walk. The history
-	// is append-only for the server's lifetime (the session retains the
-	// full matching anyway); pollers should pass ?since=N so responses
-	// stay proportional to new commits, not to the total history.
-	matches []matchJSON
-	scratch []ftoa.Match
+	// mu guards the match-history view: matches holds the most recent
+	// committed pairs (fed synchronously and losslessly by the router's
+	// OnEvent hook, so it never misses a commit even when the polled
+	// event log wraps), matchBase counts the ones evicted before it. The
+	// window is retention-bounded — the fix for the old append-only
+	// history — with ?since cursor semantics preserved: count always
+	// reports matchBase+len(matches), cursors below matchBase get 410.
+	mu        sync.Mutex
+	matches   []matchJSON
+	matchBase int
+	retention int
 }
 
+// recordEvent is the router's OnEvent hook: fold commits into the bounded
+// match view. It runs while a shard lock is held, so it must not call
+// back into the router.
+func (s *server) recordEvent(ev ftoa.ShardEvent) {
+	if ev.Kind != ftoa.EventMatch {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.matches = append(s.matches, matchJSON{Worker: ev.Worker, Task: ev.Task, Shard: ev.Shard, Time: ev.Time})
+	// Evict in batches (50% slack before dropping back to retention) so
+	// the copy is O(1) amortized per match, and into a fresh array so
+	// snapshots handed to encoders outside the lock keep reading the
+	// old, now-immutable one. The windowing arithmetic mirrors
+	// shard.shardInstance.collectLocked — keep the two in sync.
+	if len(s.matches) > s.retention+s.retention/2 {
+		drop := len(s.matches) - s.retention
+		s.matchBase += drop
+		s.matches = append([]matchJSON(nil), s.matches[drop:]...)
+	}
+}
+
+// maxEventsPage caps one GET /events response; pollers page via "next".
+const maxEventsPage = 10000
+
 type matchJSON struct {
+	Worker int     `json:"worker"`
+	Task   int     `json:"task"`
+	Shard  int     `json:"shard"`
+	Time   float64 `json:"time"`
+}
+
+type eventJSON struct {
+	Seq    uint64  `json:"seq"`
+	Shard  int     `json:"shard"`
+	Kind   string  `json:"kind"`
 	Worker int     `json:"worker"`
 	Task   int     `json:"task"`
 	Time   float64 `json:"time"`
@@ -75,6 +155,107 @@ type taskReq struct {
 	Expiry float64 `json:"expiry"`
 }
 
+// buildAlgorithm resolves the -alg flag into a per-shard factory, loading
+// and training the guide pipeline when the algorithm needs one.
+func buildAlgorithm(cfg config) (func() ftoa.Algorithm, error) {
+	switch cfg.algorithm {
+	case "greedy":
+		return func() ftoa.Algorithm { return ftoa.NewSimpleGreedy() }, nil
+	case "gr":
+		if cfg.window <= 0 {
+			return nil, fmt.Errorf("gr window must be positive, got %v", cfg.window)
+		}
+		return func() ftoa.Algorithm { return ftoa.NewGR(cfg.window) }, nil
+	case "polar", "polarop", "hybrid":
+		if cfg.guidePath == "" {
+			return nil, fmt.Errorf("algorithm %q needs -guide counts.csv", cfg.algorithm)
+		}
+		f, err := os.Open(cfg.guidePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := guideFromCounts(f, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("building guide from %s: %w", cfg.guidePath, err)
+		}
+		// The guide is read-only: one instance is shared by every
+		// shard's algorithm.
+		switch cfg.algorithm {
+		case "polar":
+			return func() ftoa.Algorithm { return ftoa.NewPOLAR(g) }, nil
+		case "polarop":
+			return func() ftoa.Algorithm { return ftoa.NewPOLAROP(g) }, nil
+		default:
+			return func() ftoa.Algorithm { return ftoa.NewHybrid(g) }, nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want greedy, gr, polar, polarop or hybrid)", cfg.algorithm)
+	}
+}
+
+// guideFromCounts runs the paper's offline pipeline over a recorded count
+// history: load the per-(day, slot, area) CSV, train HP-MSI on every day
+// but the last, forecast the last day, and build the guide (Algorithm 1)
+// over the server's bounds and the first -horizon seconds of uptime.
+func guideFromCounts(r io.Reader, cfg config) (*ftoa.Guide, error) {
+	days, slots, areas, wCounts, tCounts, weather, err := ftoa.LoadCountsCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	if days < 3 {
+		return nil, fmt.Errorf("count history has %d day(s); need >= 3 (HP-MSI trains on all but the last, forecasts the last)", days)
+	}
+	cols, rows := cfg.guideGrid[0], cfg.guideGrid[1]
+	if cols == 0 && rows == 0 {
+		side := int(math.Round(math.Sqrt(float64(areas))))
+		if side*side != areas {
+			return nil, fmt.Errorf("%d areas is not square; pass -guide-grid CxR", areas)
+		}
+		cols, rows = side, side
+	}
+	if cols*rows != areas {
+		return nil, fmt.Errorf("-guide-grid %dx%d does not match the history's %d areas", cols, rows, areas)
+	}
+	// Day-of-week labels feed HP-MSI's weekday seasonality; -guide-dow0
+	// anchors the history's first day so a trace starting mid-week is
+	// not silently rotated.
+	dow := make([]int, days)
+	for i := range dow {
+		dow[i] = (cfg.guideDow0 + i) % 7
+	}
+	forecast := func(counts []int) ([]int, error) {
+		s, err := ftoa.NewSeries(days, slots, areas, counts, weather, dow)
+		if err != nil {
+			return nil, err
+		}
+		p := ftoa.NewHPMSI()
+		if err := p.Fit(s, days-1); err != nil {
+			return nil, err
+		}
+		return ftoa.ToCounts(ftoa.PredictDay(p, s, days-1)), nil
+	}
+	wPred, err := forecast(wCounts)
+	if err != nil {
+		return nil, err
+	}
+	tPred, err := forecast(tCounts)
+	if err != nil {
+		return nil, err
+	}
+	bounds := ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3])
+	slotting := ftoa.NewSlotting(cfg.horizon, slots)
+	return ftoa.BuildGuide(ftoa.GuideConfig{
+		Grid:            ftoa.NewGrid(bounds, cols, rows),
+		Slots:           slotting,
+		Velocity:        cfg.velocity,
+		WorkerPatience:  cfg.guidePatience,
+		TaskExpiry:      cfg.guideExpiry,
+		MaxEdgesPerCell: 128,
+		RepSlack:        slotting.Width() / 2,
+	}, wPred, tPred)
+}
+
 func newServer(cfg config) (*server, error) {
 	var mode ftoa.Mode
 	switch cfg.mode {
@@ -88,45 +269,68 @@ func newServer(cfg config) (*server, error) {
 	if cfg.tick <= 0 {
 		return nil, fmt.Errorf("tick must be positive, got %v", cfg.tick)
 	}
-	var alg ftoa.Algorithm
-	switch cfg.algorithm {
-	case "greedy":
-		alg = ftoa.NewSimpleGreedy()
-	case "gr":
-		if cfg.window <= 0 {
-			return nil, fmt.Errorf("gr window must be positive, got %v", cfg.window)
-		}
-		alg = ftoa.NewGR(cfg.window)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q (want greedy or gr)", cfg.algorithm)
+	if cfg.retention <= 0 {
+		return nil, fmt.Errorf("retention must be positive, got %d", cfg.retention)
 	}
-	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
-		Mode:     mode,
-		Velocity: cfg.velocity,
-		Bounds:   ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3]),
-	})
+	if cfg.horizon <= 0 {
+		return nil, fmt.Errorf("horizon must be positive, got %v", cfg.horizon)
+	}
+	mk, err := buildAlgorithm(cfg)
 	if err != nil {
 		return nil, err
 	}
 	started := time.Now()
-	return &server{
-		sess:  m.NewSession(alg),
-		clock: func() float64 { return time.Since(started).Seconds() },
-	}, nil
+	s := &server{
+		clock:      func() float64 { return time.Since(started).Seconds() },
+		retention:  cfg.retention,
+		minAdvance: cfg.tick.Seconds() / 2,
+	}
+	s.lastAdvance.Store(math.Float64bits(math.Inf(-1)))
+	s.router, err = ftoa.NewShardRouter(ftoa.ShardConfig{
+		Matcher: ftoa.MatcherConfig{
+			Mode:     mode,
+			Velocity: cfg.velocity,
+			Bounds:   ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3]),
+		},
+		Cols:         cfg.shards[0],
+		Rows:         cfg.shards[1],
+		NewAlgorithm: mk,
+		Retention:    cfg.retention,
+		OnEvent:      s.recordEvent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // now is the session clock value for the current instant.
 func (s *server) now() float64 { return s.clock() }
 
-// advance drives session timers from wall time; it is the live analogue of
-// the replay loop's event clock and is what makes batch algorithms (GR)
-// flush between arrivals. Callers hold s.mu.
-func (s *server) advanceLocked() { s.sess.Advance(s.now()) }
+// advance drives every shard's timers and expiries from wall time; it is
+// the live analogue of the replay loop's event clock and what makes batch
+// algorithms (GR) flush — and deadlines expire — between arrivals. It is
+// throttled to minAdvance of clock movement (the tick loop already bounds
+// staleness to one tick); the CAS dedups walkers racing for the same
+// clock window, though two walks may still overlap across windows —
+// safe, since Router.Advance is concurrent-safe and monotone per shard.
+func (s *server) advance() {
+	now := s.now()
+	last := s.lastAdvance.Load()
+	if now-math.Float64frombits(last) < s.minAdvance {
+		return
+	}
+	if !s.lastAdvance.CompareAndSwap(last, math.Float64bits(now)) {
+		return // a concurrent request is already walking the shards
+	}
+	s.router.Advance(now)
+}
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/workers", s.handleWorkers)
 	mux.HandleFunc("/tasks", s.handleTasks)
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/matches", s.handleMatches)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -168,15 +372,16 @@ func (s *server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "patience must be positive")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.now()
-	h, err := s.sess.AddWorker(ftoa.Worker{ID: s.sess.NumWorkers(), Loc: ftoa.Pt(req.X, req.Y), Arrive: now, Patience: req.Patience})
+	// The router reports the admission time the shard session actually
+	// stamped (the clock read here, clamped monotone under the shard
+	// lock), so the response always agrees with the session's deadlines
+	// even when concurrent POSTs race the clock forward.
+	h, admitted, err := s.router.AddWorker(ftoa.Worker{Loc: ftoa.Pt(req.X, req.Y), Arrive: s.now(), Patience: req.Patience})
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"worker": h, "time": now})
+	writeJSON(w, http.StatusOK, map[string]any{"worker": h.Local, "shard": h.Shard, "time": admitted})
 }
 
 func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
@@ -192,15 +397,88 @@ func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "expiry must be positive")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.now()
-	h, err := s.sess.AddTask(ftoa.Task{ID: s.sess.NumTasks(), Loc: ftoa.Pt(req.X, req.Y), Release: now, Expiry: req.Expiry})
+	h, admitted, err := s.router.AddTask(ftoa.Task{Loc: ftoa.Pt(req.X, req.Y), Release: s.now(), Expiry: req.Expiry})
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"task": h, "time": now})
+	writeJSON(w, http.StatusOK, map[string]any{"task": h.Local, "shard": h.Shard, "time": admitted})
+}
+
+// parseSince reads a non-negative integer cursor. present reports whether
+// the parameter was supplied (an absent cursor means "from the oldest
+// retained", never 410); ok is false after an error response has been
+// written.
+func parseSince(w http.ResponseWriter, r *http.Request) (since uint64, present, ok bool) {
+	v := r.URL.Query().Get("since")
+	if v == "" {
+		return 0, false, true
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "since must be a non-negative integer")
+		return 0, true, false
+	}
+	return n, true, true
+}
+
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	since, present, ok := parseSince(w, r)
+	if !ok {
+		return
+	}
+	// Page size: bounded so a cold cursor over a full multi-shard backlog
+	// cannot serialize shards x retention events into one response; the
+	// returned "next" cursor pages through the rest gap-free. Clients may
+	// lower it with ?limit=N.
+	limit := maxEventsPage
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	s.advance()
+	var evs []ftoa.ShardEvent
+	var next uint64
+	var err error
+	if present {
+		evs, next, err = s.router.EventsLimit(since, limit, nil)
+	} else {
+		// The bare form serves "whatever is retained" atomically — it
+		// can never race retention into a 410.
+		evs, next = s.router.EventsFromOldest(limit, nil)
+	}
+	if err != nil {
+		// The cursor points below the retention boundary: the client
+		// restarts from the oldest still-readable cursor, losing only
+		// the genuinely evicted events.
+		writeJSON(w, http.StatusGone, map[string]any{
+			"error": err.Error(),
+			"next":  s.router.OldestCursor(),
+		})
+		return
+	}
+	out := make([]eventJSON, len(evs))
+	for i, ev := range evs {
+		out[i] = eventJSON{
+			Seq:    ev.Seq,
+			Shard:  ev.Shard,
+			Kind:   ev.Kind.String(),
+			Worker: ev.Worker,
+			Task:   ev.Task,
+			Time:   ev.Time,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": out, "next": next})
 }
 
 func (s *server) handleMatches(w http.ResponseWriter, r *http.Request) {
@@ -208,31 +486,35 @@ func (s *server) handleMatches(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	since := 0
-	if v := r.URL.Query().Get("since"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "since must be a non-negative integer")
-			return
-		}
-		since = n
+	since, present, ok := parseSince(w, r)
+	if !ok {
+		return
 	}
+	s.advance()
 	s.mu.Lock()
-	s.advanceLocked()
-	s.scratch = s.sess.Drain(s.scratch[:0])
-	for _, m := range s.scratch {
-		s.matches = append(s.matches, matchJSON{Worker: m.Worker, Task: m.Task, Time: m.Time})
+	base, total := s.matchBase, s.matchBase+len(s.matches)
+	if !present {
+		// The bare snapshot form returns the retained window, never 410.
+		since = uint64(base)
 	}
-	// O(1) snapshot: the prefix of the append-only history is immutable,
-	// so a full-capacity reslice is safe to encode outside the lock and
-	// keeps lock hold time flat as the history grows.
-	total := len(s.matches)
-	out := s.matches[:total:total]
+	// O(1) snapshot: the retained window is copy-on-evict, so a
+	// full-capacity reslice is safe to encode outside the lock.
+	out := s.matches[:len(s.matches):len(s.matches)]
 	s.mu.Unlock()
-	if since > total {
-		since = total
+	if since > uint64(total) {
+		since = uint64(total)
 	}
-	out = out[since:]
+	if since < uint64(base) {
+		// Like /events, hand back the oldest still-readable cursor so
+		// the client loses only the genuinely evicted matches.
+		writeJSON(w, http.StatusGone, map[string]any{
+			"error": fmt.Sprintf("matches before %d evicted (retention window)", base),
+			"count": total,
+			"next":  base,
+		})
+		return
+	}
+	out = out[since-uint64(base):]
 	if out == nil {
 		out = []matchJSON{} // encode an empty history as [], not null
 	}
@@ -244,41 +526,120 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
-	s.advanceLocked()
-	stats := map[string]any{
-		"workers":   s.sess.NumWorkers(),
-		"tasks":     s.sess.NumTasks(),
-		"matches":   s.sess.Matching().Size(),
-		"attempted": s.sess.Attempted(),
-		"rejected":  s.sess.Rejected(),
-		"now":       s.sess.Now(),
+	s.advance()
+	type shardJSON struct {
+		Shard          int     `json:"shard"`
+		Workers        int     `json:"workers"`
+		Tasks          int     `json:"tasks"`
+		Matches        int     `json:"matches"`
+		ExpiredWorkers int     `json:"expired_workers"`
+		ExpiredTasks   int     `json:"expired_tasks"`
+		Attempted      int     `json:"attempted"`
+		Rejected       int     `json:"rejected"`
+		Now            float64 `json:"now"`
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, stats)
+	shards := make([]shardJSON, s.router.NumShards())
+	var workers, tasks, matches, expW, expT, attempted, rejected int
+	now := 0.0
+	for i := range shards {
+		st := s.router.ShardStats(i)
+		// A session that has never been advanced reports -Inf (the
+		// unset-clock sentinel), which JSON cannot encode; server time
+		// starts at 0, so clamp there.
+		if math.IsInf(st.Now, -1) {
+			st.Now = 0
+		}
+		shards[i] = shardJSON{
+			Shard:          st.Shard,
+			Workers:        st.Workers,
+			Tasks:          st.Tasks,
+			Matches:        st.Matches,
+			ExpiredWorkers: st.ExpiredWorkers,
+			ExpiredTasks:   st.ExpiredTasks,
+			Attempted:      st.Attempted,
+			Rejected:       st.Rejected,
+			Now:            st.Now,
+		}
+		workers += st.Workers
+		tasks += st.Tasks
+		matches += st.Matches
+		expW += st.ExpiredWorkers
+		expT += st.ExpiredTasks
+		attempted += st.Attempted
+		rejected += st.Rejected
+		if st.Now > now {
+			now = st.Now
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":         workers,
+		"tasks":           tasks,
+		"matches":         matches,
+		"expired_workers": expW,
+		"expired_tasks":   expT,
+		"attempted":       attempted,
+		"rejected":        rejected,
+		"now":             now,
+		"shards":          shards,
+	})
 }
 
-// tickLoop advances the session clock periodically so timer-driven
-// algorithms make progress during arrival lulls.
+// tickLoop advances the shard clocks periodically so timer-driven
+// algorithms make progress — and deadlines expire — during arrival lulls.
 func (s *server) tickLoop(interval time.Duration) {
 	for range time.Tick(interval) {
-		s.mu.Lock()
-		s.advanceLocked()
-		s.mu.Unlock()
+		s.advance()
 	}
+}
+
+// parsePair parses "NxM" into two positive integers.
+func parsePair(s, flagName string) ([2]int, error) {
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) != 2 {
+		return [2]int{}, fmt.Errorf("bad %s %q: want NxM", flagName, s)
+	}
+	var out [2]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return [2]int{}, fmt.Errorf("bad %s component %q: want a positive integer", flagName, p)
+		}
+		out[i] = n
+	}
+	return out, nil
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	alg := flag.String("alg", "greedy", "matching algorithm: greedy or gr")
+	alg := flag.String("alg", "greedy", "matching algorithm: greedy, gr, polar, polarop or hybrid")
 	window := flag.Float64("window", 1.0, "gr batch window in seconds")
 	mode := flag.String("mode", "strict", "validation mode: strict or assume-guide")
 	velocity := flag.Float64("velocity", 1.0, "worker velocity (units per second)")
 	boundsStr := flag.String("bounds", "0,0,100,100", "service area as x0,y0,x1,y1")
 	tick := flag.Duration("tick", 250*time.Millisecond, "timer advance interval")
+	shards := flag.String("shards", "1x1", "shard grid as NxM (regions served independently)")
+	retention := flag.Int("retention", 1<<16, "events/matches retained per history before eviction")
+	guide := flag.String("guide", "", "per-cell count history CSV (ftoa-gen -counts format) for guided algorithms")
+	guideGrid := flag.String("guide-grid", "", "guide grid as CxR (default: infer a square from the history)")
+	guideDow0 := flag.Int("guide-dow0", 0, "weekday (0-6) of the count history's first day, anchoring HP-MSI's weekday feature")
+	horizon := flag.Float64("horizon", 86400, "guide horizon in seconds of uptime (one served day)")
+	guidePatience := flag.Float64("guide-patience", 300, "worker patience Dw assumed by the guide (seconds)")
+	guideExpiry := flag.Float64("guide-expiry", 60, "task expiry Dr assumed by the guide (seconds)")
 	flag.Parse()
 
-	cfg := config{algorithm: *alg, window: *window, mode: *mode, velocity: *velocity, tick: *tick}
+	cfg := config{
+		algorithm:     *alg,
+		window:        *window,
+		mode:          *mode,
+		velocity:      *velocity,
+		tick:          *tick,
+		retention:     *retention,
+		guidePath:     *guide,
+		guideDow0:     ((*guideDow0)%7 + 7) % 7,
+		horizon:       *horizon,
+		guidePatience: *guidePatience,
+		guideExpiry:   *guideExpiry,
+	}
 	parts := strings.Split(*boundsStr, ",")
 	if len(parts) != 4 {
 		log.Fatalf("bad -bounds %q: want x0,y0,x1,y1", *boundsStr)
@@ -288,13 +649,22 @@ func main() {
 			log.Fatalf("bad -bounds component %q: %v", p, err)
 		}
 	}
+	var err error
+	if cfg.shards, err = parsePair(*shards, "-shards"); err != nil {
+		log.Fatal(err)
+	}
+	if *guideGrid != "" {
+		if cfg.guideGrid, err = parsePair(*guideGrid, "-guide-grid"); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	srv, err := newServer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	go srv.tickLoop(cfg.tick)
-	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s)",
-		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr)
+	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s)",
+		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr, *shards)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

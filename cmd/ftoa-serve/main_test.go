@@ -2,9 +2,11 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -19,6 +21,9 @@ func defaultTestConfig() config {
 		velocity:  1,
 		bounds:    [4]float64{0, 0, 100, 100},
 		tick:      time.Second, // tests drive the clock themselves
+		shards:    [2]int{1, 1},
+		retention: 1 << 16,
+		horizon:   86400,
 	}
 }
 
@@ -39,21 +44,34 @@ func postJSON(t *testing.T, url, body string) map[string]any {
 	return out
 }
 
-func getJSON(t *testing.T, url string) map[string]any {
+func getJSONStatus(t *testing.T, url string) (map[string]any, int) {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
-	}
 	var out map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
+	return out, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	out, status := getJSONStatus(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %v", url, status, out)
+	}
 	return out
+}
+
+// manualClock swaps the server's wall clock for an atomic the test sets.
+func manualClock(srv *server) func(float64) {
+	var now atomic.Uint64
+	srv.clock = func() float64 { return math.Float64frombits(now.Load()) }
+	return func(v float64) { now.Store(math.Float64bits(v)) }
 }
 
 // TestServeEndToEnd is the smoke test CI runs: post a worker and a nearby
@@ -67,8 +85,8 @@ func TestServeEndToEnd(t *testing.T) {
 	defer ts.Close()
 
 	w := postJSON(t, ts.URL+"/workers", `{"x":10,"y":10,"patience":300}`)
-	if w["worker"].(float64) != 0 {
-		t.Fatalf("first worker handle = %v, want 0", w["worker"])
+	if w["worker"].(float64) != 0 || w["shard"].(float64) != 0 {
+		t.Fatalf("first worker = %v, want handle 0 on shard 0", w)
 	}
 	r := postJSON(t, ts.URL+"/tasks", `{"x":11,"y":10,"expiry":60}`)
 	if r["task"].(float64) != 0 {
@@ -80,13 +98,111 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("matches = %v, want exactly one", m)
 	}
 	pair := m["matches"].([]any)[0].(map[string]any)
-	if pair["worker"].(float64) != 0 || pair["task"].(float64) != 0 {
+	if pair["worker"].(float64) != 0 || pair["task"].(float64) != 0 || pair["shard"].(float64) != 0 {
 		t.Fatalf("unexpected pair %v", pair)
 	}
 
 	stats := getJSON(t, ts.URL+"/stats")
 	if stats["workers"].(float64) != 1 || stats["tasks"].(float64) != 1 || stats["matches"].(float64) != 1 {
 		t.Fatalf("stats = %v", stats)
+	}
+}
+
+// TestServeEventsLifecycle: the /events stream surfaces the match AND the
+// expiry of an unserved worker, with a working since cursor.
+func TestServeEventsLifecycle(t *testing.T) {
+	srv, err := newServer(defaultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setNow := manualClock(srv)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	setNow(1)
+	postJSON(t, ts.URL+"/workers", `{"x":10,"y":10,"patience":300}`) // matched below
+	postJSON(t, ts.URL+"/workers", `{"x":90,"y":90,"patience":2}`)   // expires at 3
+	setNow(2)
+	postJSON(t, ts.URL+"/tasks", `{"x":11,"y":10,"expiry":60}`)
+
+	ev := getJSON(t, ts.URL+"/events")
+	events := ev["events"].([]any)
+	if len(events) != 1 {
+		t.Fatalf("events = %v, want just the match", ev)
+	}
+	first := events[0].(map[string]any)
+	if first["kind"].(string) != "match" || first["worker"].(float64) != 0 || first["task"].(float64) != 0 {
+		t.Fatalf("first event = %v, want the (0,0) match", first)
+	}
+	next := int(ev["next"].(float64))
+
+	// Advance past worker 1's deadline: the expiry must appear after the
+	// cursor, tagged with -1 on the task side.
+	setNow(10)
+	ev = getJSON(t, fmt.Sprintf("%s/events?since=%d", ts.URL, next))
+	events = ev["events"].([]any)
+	if len(events) != 1 {
+		t.Fatalf("events since %d = %v, want just the expiry", next, ev)
+	}
+	exp := events[0].(map[string]any)
+	if exp["kind"].(string) != "worker-expired" || exp["worker"].(float64) != 1 || exp["task"].(float64) != -1 {
+		t.Fatalf("expiry event = %v", exp)
+	}
+	if exp["time"].(float64) != 3 {
+		t.Fatalf("expiry at t=%v, want 3 (arrival 1 + patience 2)", exp["time"])
+	}
+
+	stats := getJSON(t, ts.URL+"/stats")
+	if stats["expired_workers"].(float64) != 1 {
+		t.Fatalf("stats = %v, want 1 expired worker", stats)
+	}
+}
+
+// TestServeSharded: a 2x1 grid routes admissions by location, matches
+// stay region-local, and /stats breaks them out per shard.
+func TestServeSharded(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.shards = [2]int{2, 1}
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Left half -> shard 0, right half -> shard 1.
+	w0 := postJSON(t, ts.URL+"/workers", `{"x":10,"y":50,"patience":300}`)
+	if w0["shard"].(float64) != 0 {
+		t.Fatalf("left worker on shard %v, want 0", w0["shard"])
+	}
+	w1 := postJSON(t, ts.URL+"/workers", `{"x":90,"y":50,"patience":300}`)
+	if w1["shard"].(float64) != 1 {
+		t.Fatalf("right worker on shard %v, want 1", w1["shard"])
+	}
+	if w1["worker"].(float64) != 0 {
+		t.Fatalf("right worker handle %v, want shard-local 0", w1["worker"])
+	}
+	postJSON(t, ts.URL+"/tasks", `{"x":11,"y":50,"expiry":60}`)
+	postJSON(t, ts.URL+"/tasks", `{"x":89,"y":50,"expiry":60}`)
+
+	stats := getJSON(t, ts.URL+"/stats")
+	if stats["matches"].(float64) != 2 {
+		t.Fatalf("stats = %v, want 2 matches", stats)
+	}
+	shards := stats["shards"].([]any)
+	if len(shards) != 2 {
+		t.Fatalf("shards = %v, want 2", shards)
+	}
+	for i, raw := range shards {
+		sh := raw.(map[string]any)
+		if sh["workers"].(float64) != 1 || sh["tasks"].(float64) != 1 || sh["matches"].(float64) != 1 {
+			t.Fatalf("shard %d stats = %v, want one of each", i, sh)
+		}
+	}
+
+	m := getJSON(t, ts.URL+"/matches")
+	if m["count"].(float64) != 2 {
+		t.Fatalf("matches = %v, want 2 across shards", m)
 	}
 }
 
@@ -100,11 +216,7 @@ func TestServeGRBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The handler goroutines read the clock concurrently with the test's
-	// advances, so the manual clock must be atomic.
-	var now atomic.Uint64
-	setNow := func(v float64) { now.Store(math.Float64bits(v)) }
-	srv.clock = func() float64 { return math.Float64frombits(now.Load()) }
+	setNow := manualClock(srv)
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -156,11 +268,21 @@ func TestServeValidation(t *testing.T) {
 			t.Errorf("GET /workers: status %d, want 405", resp.StatusCode)
 		}
 	}
+	for _, url := range []string{"/events?since=-1", "/matches?since=-1", "/events?since=x"} {
+		if _, status := getJSONStatus(t, ts.URL+url); status != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", url, status)
+		}
+	}
 }
 
 func TestNewServerRejectsBadConfig(t *testing.T) {
 	bad := defaultTestConfig()
-	bad.algorithm = "polar" // needs a guide; not servable without one
+	bad.algorithm = "polar" // guided: not servable without -guide
+	if _, err := newServer(bad); err == nil {
+		t.Error("guided algorithm without -guide accepted")
+	}
+	bad = defaultTestConfig()
+	bad.algorithm = "tgoa"
 	if _, err := newServer(bad); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
@@ -173,6 +295,16 @@ func TestNewServerRejectsBadConfig(t *testing.T) {
 	bad.velocity = 0
 	if _, err := newServer(bad); err == nil {
 		t.Error("zero velocity accepted")
+	}
+	bad = defaultTestConfig()
+	bad.shards = [2]int{0, 3}
+	if _, err := newServer(bad); err == nil {
+		t.Error("zero shard dimension accepted")
+	}
+	bad = defaultTestConfig()
+	bad.retention = 0
+	if _, err := newServer(bad); err == nil {
+		t.Error("zero retention accepted")
 	}
 }
 
@@ -220,12 +352,178 @@ func TestServeMatchesSinceCursor(t *testing.T) {
 	if past := getJSON(t, ts.URL+"/matches?since=99"); len(past["matches"].([]any)) != 0 {
 		t.Fatalf("since=99 = %v, want empty", past)
 	}
-	if resp, err := http.Get(ts.URL + "/matches?since=-1"); err != nil {
+}
+
+// TestServeMatchRetention: the match history is a bounded window — old
+// cursors get 410 Gone while count still reports the lifetime total.
+func TestServeMatchRetention(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.retention = 2
+	srv, err := newServer(cfg)
+	if err != nil {
 		t.Fatal(err)
-	} else {
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("since=-1: status %d, want 400", resp.StatusCode)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		postJSON(t, ts.URL+"/workers", fmt.Sprintf(`{"x":%d,"y":10,"patience":300}`, 10+20*i))
+		postJSON(t, ts.URL+"/tasks", fmt.Sprintf(`{"x":%d,"y":11,"expiry":60}`, 10+20*i))
+	}
+
+	// 4 matches committed, window keeps the last 2 (base = 2).
+	recent := getJSON(t, ts.URL+"/matches?since=2")
+	if recent["count"].(float64) != 4 || len(recent["matches"].([]any)) != 2 {
+		t.Fatalf("since=2 = %v, want count 4 with the last 2", recent)
+	}
+	if m := recent["matches"].([]any)[0].(map[string]any); m["worker"].(float64) != 2 {
+		t.Fatalf("window start = %v, want worker 2", m)
+	}
+	// The bare snapshot form keeps working after eviction: it returns the
+	// retained window, never 410.
+	bare := getJSON(t, ts.URL+"/matches")
+	if bare["count"].(float64) != 4 || len(bare["matches"].([]any)) != 2 {
+		t.Fatalf("bare /matches after eviction = %v, want the retained window", bare)
+	}
+	out, status := getJSONStatus(t, ts.URL+"/matches?since=1")
+	if status != http.StatusGone {
+		t.Fatalf("since=1 after eviction: status %d (%v), want 410", status, out)
+	}
+	if out["count"].(float64) != 4 {
+		t.Fatalf("410 body = %v, want lifetime count 4", out)
+	}
+	if out["next"].(float64) != 2 {
+		t.Fatalf("410 recovery cursor = %v, want the window base 2", out["next"])
+	}
+}
+
+// TestServeEventsRetention: the router event log is bounded too; a stale
+// /events cursor gets 410 Gone plus a fresh cursor to restart from.
+func TestServeEventsRetention(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.retention = 2
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		postJSON(t, ts.URL+"/workers", fmt.Sprintf(`{"x":%d,"y":10,"patience":300}`, 10+20*i))
+		postJSON(t, ts.URL+"/tasks", fmt.Sprintf(`{"x":%d,"y":11,"expiry":60}`, 10+20*i))
+	}
+	out, status := getJSONStatus(t, ts.URL+"/events?since=0")
+	if status != http.StatusGone {
+		t.Fatalf("stale events cursor: status %d (%v), want 410", status, out)
+	}
+	// The recovery cursor is the eviction boundary, not the stream head:
+	// restarting there loses only the genuinely evicted events and
+	// returns everything still retained.
+	next := uint64(out["next"].(float64))
+	if next != 2 {
+		t.Fatalf("recovery cursor = %d, want the eviction boundary 2", next)
+	}
+	ev := getJSON(t, fmt.Sprintf("%s/events?since=%d", ts.URL, next))
+	events := ev["events"].([]any)
+	if len(events) != 2 {
+		t.Fatalf("restarted cursor %d = %v, want the 2 retained events", next, ev)
+	}
+	if seq := events[0].(map[string]any)["seq"].(float64); seq != 2 {
+		t.Fatalf("first retained event seq = %v, want 2", seq)
+	}
+	// The bare form starts at the oldest retained cursor — never 410.
+	bare := getJSON(t, ts.URL+"/events")
+	if len(bare["events"].([]any)) != 2 {
+		t.Fatalf("bare /events after eviction = %v, want the 2 retained", bare)
+	}
+}
+
+// countsCSV builds a small per-cell count history (3 days, 2 slots, 2x2
+// areas) in the ftoa-gen -counts format.
+func countsCSV() string {
+	var sb strings.Builder
+	sb.WriteString("day,slot,area,workers,tasks,weather\n")
+	for day := 0; day < 3; day++ {
+		for slot := 0; slot < 2; slot++ {
+			for area := 0; area < 4; area++ {
+				fmt.Fprintf(&sb, "%d,%d,%d,%d,%d,0.5\n", day, slot, area, 3+area, 3+area)
+			}
 		}
+	}
+	return sb.String()
+}
+
+// TestGuideFromCounts: the offline pipeline (counts -> HP-MSI forecast ->
+// guide) runs end to end from the CSV format ftoa-gen emits.
+func TestGuideFromCounts(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.horizon = 100
+	g, err := guideFromCounts(strings.NewReader(countsCSV()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalWorkers() == 0 || g.TotalTasks() == 0 {
+		t.Fatalf("degenerate guide: %d workers, %d tasks predicted", g.TotalWorkers(), g.TotalTasks())
+	}
+
+	// One day of history is not trainable.
+	oneDay := "day,slot,area,workers,tasks,weather\n"
+	for slot := 0; slot < 2; slot++ {
+		for area := 0; area < 4; area++ {
+			oneDay += fmt.Sprintf("0,%d,%d,1,1,0\n", slot, area)
+		}
+	}
+	if _, err := guideFromCounts(strings.NewReader(oneDay), cfg); err == nil {
+		t.Error("single-day history accepted")
+	}
+	// A non-square area count needs -guide-grid.
+	bad := cfg
+	bad.guideGrid = [2]int{3, 1}
+	if _, err := guideFromCounts(strings.NewReader(countsCSV()), bad); err == nil {
+		t.Error("mismatched -guide-grid accepted")
+	}
+}
+
+// TestServeGuidedAlgorithm boots a sharded guided server from a counts
+// history and requires a live match end to end. Hybrid is the asserted
+// algorithm (its greedy fallback guarantees co-located feasible pairs
+// commit regardless of where the guide's pair layout routed the cells);
+// polar and polarop must at least construct from the same pipeline.
+func TestServeGuidedAlgorithm(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/counts.csv"
+	if err := os.WriteFile(path, []byte(countsCSV()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultTestConfig()
+	cfg.guidePath = path
+	cfg.horizon = 1000
+	cfg.mode = "assume-guide" // guided counting semantics
+	cfg.shards = [2]int{2, 2}
+
+	for _, alg := range []string{"polar", "polarop"} {
+		c := cfg
+		c.algorithm = alg
+		if _, err := newServer(c); err != nil {
+			t.Fatalf("%s server from counts history: %v", alg, err)
+		}
+	}
+
+	cfg.algorithm = "hybrid"
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	for i := 0; i < 8; i++ {
+		postJSON(t, ts.URL+"/workers", `{"x":20,"y":20,"patience":500}`)
+		postJSON(t, ts.URL+"/tasks", `{"x":21,"y":20,"expiry":500}`)
+	}
+	stats := getJSON(t, ts.URL+"/stats")
+	if stats["matches"].(float64) == 0 {
+		t.Fatalf("guided server committed nothing: %v", stats)
 	}
 }

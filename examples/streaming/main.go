@@ -1,7 +1,8 @@
 // Command streaming demonstrates the open-world Matcher API: synthetic
 // workers and tasks are pushed live into a session running POLAR-OP — no
-// pre-materialised instance, no replay engine — and every match is printed
-// the moment it commits, from the OnMatch callback.
+// pre-materialised instance, no replay engine — and every lifecycle event
+// (commits AND the deadline expiries of objects that leave unserved) is
+// printed the moment it fires, from the OnEvent callback.
 //
 // The arrival stream is sampled from the synthetic generator of the
 // paper's Table 4 defaults, scaled down; the offline guide is built from
@@ -36,19 +37,30 @@ func main() {
 	}
 
 	// Online phase: open a session and feed arrivals as they happen. The
-	// OnMatch callback fires synchronously inside the AddWorker/AddTask
-	// call that committed the pair.
+	// OnEvent callback fires synchronously inside the AddWorker/AddTask/
+	// Advance/Finish call that produced the event.
 	committed := 0
 	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
 		Mode:     ftoa.AssumeGuide,
 		Velocity: cfg.Velocity,
 		Bounds:   cfg.Bounds(),
 		Hints:    ftoa.Hints{Horizon: cfg.Horizon},
-		OnMatch: func(match ftoa.Match) {
-			committed++
-			if committed <= 12 || committed%50 == 0 {
-				fmt.Printf("t=%6.1f  match #%d: worker %d ↔ task %d\n",
-					match.Time, committed, match.Worker, match.Task)
+		OnEvent: func(ev ftoa.SessionEvent) {
+			switch ev.Kind {
+			case ftoa.EventMatch:
+				committed++
+				if committed <= 12 || committed%50 == 0 {
+					fmt.Printf("t=%6.1f  match #%d: worker %d ↔ task %d\n",
+						ev.Time, committed, ev.Worker, ev.Task)
+				}
+			case ftoa.EventWorkerExpired:
+				if ev.Worker%100 == 0 {
+					fmt.Printf("t=%6.1f  worker %d left unserved\n", ev.Time, ev.Worker)
+				}
+			case ftoa.EventTaskExpired:
+				if ev.Task%100 == 0 {
+					fmt.Printf("t=%6.1f  task %d expired unserved\n", ev.Time, ev.Task)
+				}
 			}
 		},
 	})
@@ -79,6 +91,8 @@ func main() {
 
 	fmt.Printf("\nday over at t=%.1f: %d workers, %d tasks admitted, %d pairs committed\n",
 		sess.Now(), sess.NumWorkers(), sess.NumTasks(), sess.Matching().Size())
+	fmt.Printf("attrition: %d workers and %d tasks passed their deadline unserved\n",
+		sess.ExpiredWorkers(), sess.ExpiredTasks())
 	stats := sess.Stats()
 	fmt.Printf("mean pickup distance %.2f, mean task wait %.2f\n",
 		stats.MeanPickupDistance(sess.Matching().Size()),

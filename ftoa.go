@@ -15,8 +15,14 @@
 //     SimpleGreedy and GR, and the clairvoyant optimum OPT;
 //   - the open-world streaming surface (NewMatcher/Session): workers and
 //     tasks are admitted at arrival time and matched live, with no
-//     pre-materialised instance — this is what cmd/ftoa-serve exposes
-//     over HTTP;
+//     pre-materialised instance. The session's output is a typed
+//     lifecycle event stream (SessionEvent): commits and the deadline
+//     expiries of objects that leave unserved — the model's two-sided
+//     attrition made observable;
+//   - the sharded serving layer (NewShardRouter): the service area
+//     partitioned into a grid of independent sessions, admissions routed
+//     by location, per-shard event streams merged behind a global cursor
+//     — this is what cmd/ftoa-serve exposes over HTTP;
 //   - the replay engine (NewEngine/Run), a thin driver that feeds a
 //     recorded instance's arrival stream through the same session API,
 //     simulating worker movement and validating matches;
@@ -63,6 +69,7 @@ import (
 	"ftoa/internal/guide"
 	"ftoa/internal/model"
 	"ftoa/internal/predict"
+	"ftoa/internal/shard"
 	"ftoa/internal/sim"
 	"ftoa/internal/timeslot"
 	"ftoa/internal/workload"
@@ -153,10 +160,16 @@ type (
 	// MatcherConfig parameterises a Matcher.
 	MatcherConfig = sim.MatcherConfig
 	// Session is one live open-world matching session: AddWorker/AddTask
-	// admit arrivals, Advance drives timers, Drain returns committed pairs.
+	// admit arrivals, Advance drives timers and expiries, DrainEvents
+	// returns the typed lifecycle stream (Drain the match-only view).
 	Session = sim.Session
 	// Match is one committed worker-task pair (session handles).
 	Match = sim.Match
+	// SessionEvent is one lifecycle event: a commit or a deadline expiry
+	// of an unmatched worker/task.
+	SessionEvent = sim.SessionEvent
+	// SessionEventKind distinguishes lifecycle events.
+	SessionEventKind = sim.SessionEventKind
 	// Hints carries optional closed-world sizing information.
 	Hints = sim.Hints
 	// Engine replays recorded instances through the session API.
@@ -180,6 +193,44 @@ const (
 	// paper's analysis counting.
 	AssumeGuide = sim.AssumeGuide
 )
+
+// Lifecycle event kinds of SessionEvent.
+const (
+	// EventMatch is a committed worker-task pair.
+	EventMatch = sim.EventMatch
+	// EventWorkerExpired is a worker whose deadline passed unmatched —
+	// it left the platform unserved.
+	EventWorkerExpired = sim.EventWorkerExpired
+	// EventTaskExpired is a task whose deadline passed unmatched.
+	EventTaskExpired = sim.EventTaskExpired
+)
+
+// Sharded serving (package shard): one service area as a grid of
+// independent sessions with a merged, cursor-addressed event stream.
+type (
+	// ShardRouter partitions MatcherConfig.Bounds into a grid of
+	// per-region sessions and routes admissions by location.
+	ShardRouter = shard.Router
+	// ShardConfig parameterises a ShardRouter.
+	ShardConfig = shard.Config
+	// ShardEvent is a lifecycle event tagged with its shard and a global
+	// sequence number.
+	ShardEvent = shard.Event
+	// ShardHandle names an object admitted through a router.
+	ShardHandle = shard.Handle
+	// ShardStats snapshots one shard.
+	ShardStats = shard.Stats
+)
+
+// ErrShardCursorEvicted is returned by ShardRouter.Events when the cursor
+// points below the retention boundary.
+var ErrShardCursorEvicted = shard.ErrEvicted
+
+// NewShardRouter builds a sharded serving layer over the streaming
+// session API: cfg.Matcher.Bounds is partitioned into a Cols×Rows grid,
+// one session (and one algorithm instance) per region, admissions routed
+// by location, per-shard event streams merged behind a global cursor.
+func NewShardRouter(cfg ShardConfig) (*ShardRouter, error) { return shard.NewRouter(cfg) }
 
 // NewMatcher validates cfg and returns a factory for open-world streaming
 // sessions: workers and tasks are admitted at arrival time via

@@ -163,3 +163,80 @@ func TestFacadeStreaming(t *testing.T) {
 		t.Error("AddWorker after Finish must fail")
 	}
 }
+
+// TestFacadeLifecycleAndSharding exercises the event-stream and sharded
+// serving surface through the facade: typed lifecycle events (commit and
+// expiry) from a session, and a 2x2 ShardRouter merging per-region
+// streams behind a cursor.
+func TestFacadeLifecycleAndSharding(t *testing.T) {
+	var kinds []ftoa.SessionEventKind
+	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
+		Mode:     ftoa.Strict,
+		Velocity: 1,
+		Bounds:   ftoa.NewRect(0, 0, 100, 100),
+		OnEvent:  func(ev ftoa.SessionEvent) { kinds = append(kinds, ev.Kind) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := m.NewSession(ftoa.NewSimpleGreedy())
+	if _, err := sess.AddWorker(ftoa.Worker{Loc: ftoa.Pt(10, 10), Arrive: 0, Patience: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AddTask(ftoa.Task{Loc: ftoa.Pt(11, 10), Release: 5, Expiry: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AddWorker(ftoa.Worker{Loc: ftoa.Pt(90, 90), Arrive: 6, Patience: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sess.Advance(100)
+	evs := sess.DrainEvents(nil)
+	if len(evs) != 2 || evs[0].Kind != ftoa.EventMatch || evs[1].Kind != ftoa.EventWorkerExpired {
+		t.Fatalf("DrainEvents = %v, want a match then a worker expiry", evs)
+	}
+	if sess.ExpiredWorkers() != 1 {
+		t.Fatalf("ExpiredWorkers = %d, want 1", sess.ExpiredWorkers())
+	}
+	if len(kinds) != 2 {
+		t.Fatalf("OnEvent kinds = %v", kinds)
+	}
+
+	router, err := ftoa.NewShardRouter(ftoa.ShardConfig{
+		Matcher: ftoa.MatcherConfig{
+			Mode:     ftoa.Strict,
+			Velocity: 1,
+			Bounds:   ftoa.NewRect(0, 0, 100, 100),
+		},
+		Cols:         2,
+		Rows:         2,
+		NewAlgorithm: func() ftoa.Algorithm { return ftoa.NewSimpleGreedy() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []ftoa.Point{ftoa.Pt(20, 20), ftoa.Pt(80, 20), ftoa.Pt(20, 80), ftoa.Pt(80, 80)} {
+		if _, _, err := router.AddWorker(ftoa.Worker{Loc: q, Arrive: 0, Patience: 300}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := router.AddTask(ftoa.Task{Loc: q.Add(ftoa.Pt(1, 0)), Release: 1, Expiry: 60}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, next, err := router.Events(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 4 || next != 4 {
+		t.Fatalf("merged = %v next %d, want 4 matches", merged, next)
+	}
+	shards := map[int]bool{}
+	for _, ev := range merged {
+		if ev.Kind != ftoa.EventMatch {
+			t.Fatalf("unexpected event %v", ev)
+		}
+		shards[ev.Shard] = true
+	}
+	if len(shards) != 4 {
+		t.Fatalf("matches on shards %v, want all 4 regions", shards)
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/workload"
+)
+
+// sixAlgorithms returns fresh instances of every online algorithm, bound
+// to a guide built for cfg where one is needed.
+func sixAlgorithms(t *testing.T, cfg workload.Synthetic) []struct {
+	name string
+	mk   func() sim.Algorithm
+} {
+	t.Helper()
+	g := parityGuide(t, cfg)
+	return []struct {
+		name string
+		mk   func() sim.Algorithm
+	}{
+		{"POLAR", func() sim.Algorithm { return NewPOLAR(g) }},
+		{"POLAR-OP", func() sim.Algorithm { return NewPOLAROP(g) }},
+		{"SimpleGreedy", func() sim.Algorithm { return NewSimpleGreedy() }},
+		{"GR", func() sim.Algorithm { return NewGR(cfg.Horizon / 40) }},
+		{"Hybrid", func() sim.Algorithm { return NewHybrid(g) }},
+		{"TGOA", func() sim.Algorithm { return NewTGOA() }},
+	}
+}
+
+func sessionMatcher(t *testing.T, in *model.Instance, mode sim.Mode) *sim.Matcher {
+	t.Helper()
+	m, err := sim.NewMatcher(sim.MatcherConfig{
+		Mode:     mode,
+		Velocity: in.Velocity,
+		Bounds:   in.Bounds,
+		Hints: sim.Hints{
+			ExpectedWorkers: len(in.Workers),
+			ExpectedTasks:   len(in.Tasks),
+			Horizon:         in.Horizon,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func feedInstance(t *testing.T, s *sim.Session, in *model.Instance) {
+	t.Helper()
+	for _, ev := range in.Events() {
+		var err error
+		switch ev.Kind {
+		case model.WorkerArrival:
+			_, err = s.AddWorker(in.Workers[ev.Index])
+		case model.TaskArrival:
+			_, err = s.AddTask(in.Tasks[ev.Index])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionEdgePathsAllAlgorithms drives every online algorithm through
+// the session edge paths a live deployment hits: out-of-order arrivals
+// (clamped monotone, never rejected), admissions after Finish (always
+// ErrFinished), and Reset reuse (a second identical run on the same
+// session matches identically).
+func TestSessionEdgePathsAllAlgorithms(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 120, 120
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range sixAlgorithms(t, cfg) {
+		t.Run(a.name, func(t *testing.T) {
+			m := sessionMatcher(t, in, sim.Strict)
+			s := m.NewSession(a.mk())
+
+			// Out-of-order arrivals: feed the instance in recorded-index
+			// order instead of time order. Every admission must succeed,
+			// with past timestamps clamped to the session clock.
+			for i := range in.Workers {
+				if _, err := s.AddWorker(in.Workers[i]); err != nil {
+					t.Fatalf("unordered worker %d: %v", i, err)
+				}
+			}
+			clockAfterWorkers := s.Now()
+			for i := range in.Tasks {
+				h, err := s.AddTask(in.Tasks[i])
+				if err != nil {
+					t.Fatalf("unordered task %d: %v", i, err)
+				}
+				if got := s.Task(h).Release; got < clockAfterWorkers {
+					t.Fatalf("task %d admitted at %v, before the clock %v it arrived under", i, got, clockAfterWorkers)
+				}
+			}
+			prev := s.Now()
+			for h := 0; h < s.NumWorkers(); h++ {
+				if s.Worker(h).Arrive > prev {
+					t.Fatalf("worker %d carries arrive %v beyond the final clock %v", h, s.Worker(h).Arrive, prev)
+				}
+			}
+
+			// Post-Finish admissions: ErrFinished on both sides.
+			s.Finish()
+			if _, err := s.AddWorker(in.Workers[0]); err != sim.ErrFinished {
+				t.Fatalf("AddWorker after Finish: %v, want ErrFinished", err)
+			}
+			if _, err := s.AddTask(in.Tasks[0]); err != sim.ErrFinished {
+				t.Fatalf("AddTask after Finish: %v, want ErrFinished", err)
+			}
+
+			// Reset reuse: two identical time-ordered runs on the SAME
+			// session (fresh algorithm instances) must match identically.
+			s.Reset(a.mk())
+			feedInstance(t, s, in)
+			s.Finish()
+			first := sortedPairs(s.Matching())
+			firstExpW, firstExpT := s.ExpiredWorkers(), s.ExpiredTasks()
+			if len(first) == 0 {
+				t.Fatal("degenerate: no matches after reset")
+			}
+			s.Reset(a.mk())
+			feedInstance(t, s, in)
+			s.Finish()
+			second := sortedPairs(s.Matching())
+			if len(first) != len(second) {
+				t.Fatalf("reset run matched %d, want %d", len(second), len(first))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("pair %d differs across Reset: %+v vs %+v", i, first[i], second[i])
+				}
+			}
+			if s.ExpiredWorkers() != firstExpW || s.ExpiredTasks() != firstExpT {
+				t.Fatalf("expiries differ across Reset: %d/%d vs %d/%d",
+					s.ExpiredWorkers(), s.ExpiredTasks(), firstExpW, firstExpT)
+			}
+		})
+	}
+}
+
+// expiryKey identifies one expiry event for set comparison.
+type expiryKey struct {
+	kind   sim.SessionEventKind
+	handle int
+	time   float64
+}
+
+// TestExpiryEventsMatchOracle is the acceptance gate for the lifecycle
+// stream: for every algorithm and both validation modes, the expiry
+// events a session emits must exactly equal a brute-force oracle computed
+// from deadlines, commit times and the session end:
+//
+//   - a worker expires iff its deadline D <= end and it was not matched
+//     strictly before D (WorkerAvailable's now < deadline boundary);
+//   - a task expires iff its deadline D <= end and it was not matched at
+//     or before D (TaskAvailable's now <= deadline boundary).
+//
+// The matching itself must be identical to an event-free session's — the
+// expiry machinery is observational only.
+func TestExpiryEventsMatchOracle(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 250, 250
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []sim.Mode{sim.AssumeGuide, sim.Strict} {
+		for _, a := range sixAlgorithms(t, cfg) {
+			t.Run(a.name+"/"+mode.String(), func(t *testing.T) {
+				s := sessionMatcher(t, in, mode).NewSession(a.mk())
+				feedInstance(t, s, in)
+				s.Finish()
+				end := s.Now()
+
+				events := s.DrainEvents(nil)
+				wMatchAt := make(map[int]float64)
+				tMatchAt := make(map[int]float64)
+				var got []expiryKey
+				for _, ev := range events {
+					switch ev.Kind {
+					case sim.EventMatch:
+						wMatchAt[ev.Worker] = ev.Time
+						tMatchAt[ev.Task] = ev.Time
+					case sim.EventWorkerExpired:
+						got = append(got, expiryKey{ev.Kind, ev.Worker, ev.Time})
+					case sim.EventTaskExpired:
+						got = append(got, expiryKey{ev.Kind, ev.Task, ev.Time})
+					}
+				}
+				if len(wMatchAt) != s.Matching().Size() {
+					t.Fatalf("stream has %d matches, session %d", len(wMatchAt), s.Matching().Size())
+				}
+
+				var want []expiryKey
+				for h := 0; h < s.NumWorkers(); h++ {
+					d := s.Worker(h).Deadline()
+					if d > end {
+						continue
+					}
+					if mt, ok := wMatchAt[h]; ok && mt < d {
+						continue
+					}
+					want = append(want, expiryKey{sim.EventWorkerExpired, h, d})
+				}
+				for h := 0; h < s.NumTasks(); h++ {
+					d := s.Task(h).Deadline()
+					if d > end {
+						continue
+					}
+					if mt, ok := tMatchAt[h]; ok && mt <= d {
+						continue
+					}
+					want = append(want, expiryKey{sim.EventTaskExpired, h, d})
+				}
+				sortKeys := func(ks []expiryKey) {
+					sort.Slice(ks, func(i, j int) bool {
+						if ks[i].kind != ks[j].kind {
+							return ks[i].kind < ks[j].kind
+						}
+						return ks[i].handle < ks[j].handle
+					})
+				}
+				sortKeys(got)
+				sortKeys(want)
+				if len(got) != len(want) {
+					t.Fatalf("session emitted %d expiries, oracle says %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("expiry %d = %+v, oracle %+v", i, got[i], want[i])
+					}
+				}
+				if len(want) == 0 {
+					t.Fatal("degenerate oracle: no expiries in the workload")
+				}
+				if s.ExpiredWorkers()+s.ExpiredTasks() != len(want) {
+					t.Fatalf("expiry counters %d+%d != %d events",
+						s.ExpiredWorkers(), s.ExpiredTasks(), len(want))
+				}
+			})
+		}
+	}
+}

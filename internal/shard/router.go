@@ -1,0 +1,431 @@
+// Package shard serves one service area as a grid of independent matching
+// sessions. The Router partitions the configured bounds into Cols×Rows
+// regions, runs one sim.Session per region (each with its own algorithm
+// instance, each single-writer behind its own lock), routes admissions to
+// the region containing their location, and merges the per-shard lifecycle
+// event streams into one globally ordered stream addressed by a `since`
+// sequence cursor.
+//
+// This is the horizontal-scaling story of the serving layer: a session is
+// deliberately single-goroutine (the algorithms' state is lock-free flat
+// slices), so throughput grows by adding regions, not by contending one
+// session. Regions are independent in the hyperlocal sense — a worker is
+// only matched to tasks of its own region — which trades a little global
+// matching quality for linear scalability and bounded tail latency.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+)
+
+// Config parameterises a Router.
+type Config struct {
+	// Matcher is the base session configuration. Bounds is the FULL
+	// service area (it is partitioned into the shard grid); Velocity and
+	// Mode apply to every shard; Hints are divided evenly among shards.
+	// OnEvent/OnMatch must be nil: the router owns event consumption.
+	Matcher sim.MatcherConfig
+	// Cols, Rows shape the shard grid. 1×1 is a valid single-shard
+	// deployment and behaves exactly like one session behind one lock.
+	Cols, Rows int
+	// NewAlgorithm mints one algorithm instance per shard. Instances must
+	// not share mutable state (a shared read-only Guide is fine).
+	NewAlgorithm func() sim.Algorithm
+	// OnEvent, when non-nil, is invoked synchronously for every sequenced
+	// event, from inside the router call that produced it while the
+	// owning shard's lock is held. Callbacks for different shards run
+	// concurrently, so the handler must be safe for concurrent use, and
+	// it must not call back into the Router (taking a lock the handler
+	// also takes from a Router-calling path deadlocks). Unlike the
+	// polled Events stream it is lossless under retention — the hook for
+	// derived views that must not miss events.
+	OnEvent func(Event)
+	// Retention bounds the per-shard merged-event log: each shard keeps
+	// at least its most recent Retention events; older ones are evicted
+	// (in batches of Retention/2, so eviction is O(1) amortized per
+	// event) and cursors pointing below the eviction boundary fail with
+	// ErrEvicted. Zero keeps everything (replay drivers, tests).
+	Retention int
+}
+
+// Handle names an object admitted through a Router: the shard that owns it
+// plus the session-local handle within that shard.
+type Handle struct {
+	Shard int
+	Local int
+}
+
+// Event is one lifecycle event in the merged stream: a shard-local
+// sim.SessionEvent tagged with its owning shard and a globally unique,
+// strictly increasing sequence number. Merged order is Seq order, which is
+// consistent with per-shard fire order (within a shard, Seq and Time are
+// both non-decreasing; across shards only Seq is total).
+type Event struct {
+	Seq   uint64
+	Shard int
+	sim.SessionEvent
+}
+
+// Stats is a point-in-time snapshot of one shard.
+type Stats struct {
+	Shard          int
+	Bounds         geo.Rect
+	Workers        int
+	Tasks          int
+	Matches        int
+	ExpiredWorkers int
+	ExpiredTasks   int
+	Attempted      int
+	Rejected       int
+	Now            float64
+}
+
+// ErrEvicted is returned by Events when the cursor points below the
+// retention boundary: the gap-free-delivery guarantee no longer holds
+// from there, because at least one shard has dropped events at or above
+// the cursor. The caller restarts from OldestCursor, accepting the gap.
+var ErrEvicted = errors.New("shard: cursor below retention boundary")
+
+// Router is a sharded multi-session serving surface; see the package
+// comment. All methods are safe for concurrent use: admissions touch only
+// the target shard's lock, so disjoint regions admit in parallel.
+type Router struct {
+	grid    *geo.Grid
+	shards  []*shardInstance
+	onEvent func(Event)
+	seq     atomic.Uint64 // next sequence number to assign
+	// evicted is the retention boundary: every event with Seq below it
+	// MAY have been dropped from its shard log.
+	evicted atomic.Uint64
+}
+
+// shardInstance is one region's session plus its slice of the merged log.
+type shardInstance struct {
+	id        int
+	mu        sync.Mutex
+	sess      *sim.Session
+	log       []Event
+	scratch   []sim.SessionEvent
+	retention int
+}
+
+// NewRouter validates cfg, partitions the bounds, and starts one session
+// per region (running each algorithm's Init).
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.Cols <= 0 || cfg.Rows <= 0 {
+		return nil, fmt.Errorf("shard: non-positive grid %dx%d", cfg.Cols, cfg.Rows)
+	}
+	if cfg.NewAlgorithm == nil {
+		return nil, errors.New("shard: nil NewAlgorithm")
+	}
+	if cfg.Matcher.OnEvent != nil || cfg.Matcher.OnMatch != nil {
+		return nil, errors.New("shard: Matcher.OnEvent/OnMatch must be nil (the router consumes events)")
+	}
+	if cfg.Retention < 0 {
+		return nil, fmt.Errorf("shard: negative retention %d", cfg.Retention)
+	}
+	// Validate the base config before geo.NewGrid sees the bounds:
+	// degenerate bounds (zero-area, inverted) must surface as the same
+	// clean error a plain Matcher would return, not a grid panic.
+	if _, err := sim.NewMatcher(cfg.Matcher); err != nil {
+		return nil, err
+	}
+	n := cfg.Cols * cfg.Rows
+	grid := geo.NewGrid(cfg.Matcher.Bounds, cfg.Cols, cfg.Rows)
+	r := &Router{grid: grid, shards: make([]*shardInstance, n), onEvent: cfg.OnEvent}
+	for i := 0; i < n; i++ {
+		mcfg := cfg.Matcher
+		mcfg.Bounds = grid.CellRect(i)
+		mcfg.Hints.ExpectedWorkers = divideHint(mcfg.Hints.ExpectedWorkers, n)
+		mcfg.Hints.ExpectedTasks = divideHint(mcfg.Hints.ExpectedTasks, n)
+		m, err := sim.NewMatcher(mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r.shards[i] = &shardInstance{
+			id:        i,
+			sess:      m.NewSession(cfg.NewAlgorithm()),
+			retention: cfg.Retention,
+		}
+	}
+	return r, nil
+}
+
+// divideHint spreads a population hint evenly across n shards, rounding
+// up so per-shard pre-sizing stays sufficient under skew.
+func divideHint(total, n int) int {
+	if total <= 0 {
+		return 0
+	}
+	return (total + n - 1) / n
+}
+
+// NumShards returns the number of regions (Cols×Rows).
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// ShardOf returns the shard that serves location p (clamped to bounds, so
+// out-of-area locations route to the nearest edge region).
+func (r *Router) ShardOf(p geo.Point) int { return r.grid.CellOf(p) }
+
+// ShardBounds returns the region rectangle of shard i.
+func (r *Router) ShardBounds(i int) geo.Rect { return r.grid.CellRect(i) }
+
+// AddWorker routes the worker to the shard containing its location and
+// admits it there; only that shard's lock is taken. admitted is the
+// arrival time the session actually stamped — w.Arrive clamped up to the
+// shard clock — so callers report deadlines consistent with the shard's
+// view even when concurrent admissions raced the clock forward.
+func (r *Router) AddWorker(w model.Worker) (h Handle, admitted float64, err error) {
+	si := r.shards[r.grid.CellOf(w.Loc)]
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	local, err := si.sess.AddWorker(w)
+	if err != nil {
+		return Handle{}, 0, err
+	}
+	si.collectLocked(r)
+	return Handle{Shard: si.id, Local: local}, si.sess.Worker(local).Arrive, nil
+}
+
+// AddTask routes the task to the shard containing its location; see
+// AddWorker for the locking and admitted-time semantics.
+func (r *Router) AddTask(t model.Task) (h Handle, admitted float64, err error) {
+	si := r.shards[r.grid.CellOf(t.Loc)]
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	local, err := si.sess.AddTask(t)
+	if err != nil {
+		return Handle{}, 0, err
+	}
+	si.collectLocked(r)
+	return Handle{Shard: si.id, Local: local}, si.sess.Task(local).Release, nil
+}
+
+// Advance drives every shard's clock to now (shard by shard, so a slow
+// region never blocks admissions to the others), firing timers and
+// expiries. Locks are released via defer so a panicking algorithm or
+// OnEvent hook cannot wedge a shard's mutex.
+func (r *Router) Advance(now float64) {
+	for _, si := range r.shards {
+		func() {
+			si.mu.Lock()
+			defer si.mu.Unlock()
+			si.sess.Advance(now)
+			si.collectLocked(r)
+		}()
+	}
+}
+
+// Finish finishes every shard's session; further admissions return
+// sim.ErrFinished. Events (including the final expiry flush) remain
+// readable.
+func (r *Router) Finish() {
+	for _, si := range r.shards {
+		func() {
+			si.mu.Lock()
+			defer si.mu.Unlock()
+			si.sess.Finish()
+			si.collectLocked(r)
+		}()
+	}
+}
+
+// collectLocked drains the session's new lifecycle events into the shard
+// log, assigning global sequence numbers, then compacts the session arena
+// and applies retention. Callers hold si.mu; sequence numbers within a
+// shard are strictly increasing because assignment happens under the
+// shard lock.
+func (si *shardInstance) collectLocked(r *Router) {
+	si.scratch = si.sess.DrainEvents(si.scratch[:0])
+	if len(si.scratch) == 0 {
+		return
+	}
+	for _, ev := range si.scratch {
+		sev := Event{Seq: r.seq.Add(1) - 1, Shard: si.id, SessionEvent: ev}
+		si.log = append(si.log, sev)
+		if r.onEvent != nil {
+			r.onEvent(sev)
+		}
+	}
+	si.sess.CompactEvents()
+	// Evict in batches: letting the log overshoot retention by 50%
+	// before dropping back down makes eviction O(1) amortized per event
+	// instead of an O(retention) memmove on every admission once full.
+	// ftoa-serve's match window mirrors this arithmetic — keep in sync.
+	if si.retention > 0 && len(si.log) > si.retention+si.retention/2 {
+		drop := len(si.log) - si.retention
+		boundary := si.log[drop-1].Seq + 1
+		n := copy(si.log, si.log[drop:])
+		si.log = si.log[:n]
+		// Raise the global eviction boundary (monotonic max).
+		for {
+			cur := r.evicted.Load()
+			if boundary <= cur || r.evicted.CompareAndSwap(cur, boundary) {
+				break
+			}
+		}
+	}
+}
+
+// Cursor returns a cursor positioned after every event emitted so far —
+// the starting point for a live consumer that only wants new events.
+func (r *Router) Cursor() uint64 { return r.seq.Load() }
+
+// OldestCursor returns the lowest cursor Events still accepts — the
+// retention eviction boundary, i.e. the lowest point from which merged
+// delivery is guaranteed gap-free. A consumer whose cursor got
+// ErrEvicted restarts here. The boundary is global while retention is
+// per-shard, so restarting also skips any below-boundary events a
+// quieter shard happens to still retain: with per-shard logs merged
+// behind one cursor, everything below the hottest shard's eviction
+// point is conservatively treated as gone. Size Retention for the
+// hottest region accordingly.
+func (r *Router) OldestCursor() uint64 { return r.evicted.Load() }
+
+// Events appends to dst every event with since <= Seq < snapshot, where
+// the snapshot is the sequence counter at call entry, merged across
+// shards in Seq order; it returns the extended slice plus the cursor to
+// pass next time (the snapshot). Bounding the walk by the entry snapshot
+// makes the result a consistent prefix even under concurrent admissions:
+// an event sequenced during the walk — which a shard visited earlier
+// might already have missed — is excluded everywhere and delivered by the
+// next poll. If since falls below the retention boundary the result is
+// ErrEvicted: events that old were dropped, restart from OldestCursor.
+func (r *Router) Events(since uint64, dst []Event) ([]Event, uint64, error) {
+	return r.EventsLimit(since, 0, dst)
+}
+
+// EventsLimit is Events bounded to at most limit events per call (zero
+// or negative means unlimited): each shard contributes at most its limit
+// earliest matching events and the merged result keeps the limit lowest
+// sequence numbers, so a cold or recovered cursor pages through a large
+// backlog in bounded batches. When the batch was truncated the returned
+// cursor resumes right after the last returned event instead of at the
+// snapshot, keeping delivery gap-free. One page transiently gathers up
+// to shards x limit events before truncating — bounded by the page size,
+// acceptable for poll serving; a k-way merge would tighten it if page
+// loads ever dominate.
+func (r *Router) EventsLimit(since uint64, limit int, dst []Event) ([]Event, uint64, error) {
+	if since < r.evicted.Load() {
+		return dst, 0, ErrEvicted
+	}
+	hi := r.seq.Load()
+	if since >= hi {
+		return dst, hi, nil
+	}
+	start := len(dst)
+	dst, capped := r.gather(since, hi, limit, dst)
+	// Re-check after the walk: a concurrent eviction during it may have
+	// dropped not-yet-visited events at or above since, leaving a gap.
+	if since < r.evicted.Load() {
+		return dst[:start], 0, ErrEvicted
+	}
+	dst, next := page(since, hi, limit, dst, start, capped)
+	return dst, next, nil
+}
+
+// EventsFromOldest is EventsLimit anchored at the oldest retained cursor,
+// atomically: the retention boundary is re-read after the shard walk and
+// below-boundary events are dropped from the page, so a concurrent
+// eviction can narrow the page but never produce ErrEvicted — this is
+// the primitive behind cursor-less polling ("give me what is retained").
+func (r *Router) EventsFromOldest(limit int, dst []Event) ([]Event, uint64) {
+	since := r.evicted.Load()
+	hi := r.seq.Load()
+	if since >= hi {
+		return dst, hi
+	}
+	start := len(dst)
+	dst, capped := r.gather(since, hi, limit, dst)
+	if e := r.evicted.Load(); e > since {
+		// Eviction raced the walk: events below the new boundary may be
+		// incomplete across shards, but everything at or above it was
+		// retained in every shard we visited. Clamp the page to it.
+		since = e
+		tail := dst[start:]
+		k := 0
+		for _, ev := range tail {
+			if ev.Seq >= e {
+				tail[k] = ev
+				k++
+			}
+		}
+		dst = dst[:start+k]
+	}
+	return page(since, hi, limit, dst, start, capped)
+}
+
+// gather collects, per shard, up to limit events with since <= Seq < hi
+// into dst, reporting whether any shard's contribution was truncated.
+func (r *Router) gather(since, hi uint64, limit int, dst []Event) ([]Event, bool) {
+	capped := false
+	for _, si := range r.shards {
+		si.mu.Lock()
+		log := si.log
+		i := sort.Search(len(log), func(k int) bool { return log[k].Seq >= since })
+		j := i + sort.Search(len(log)-i, func(k int) bool { return log[i+k].Seq >= hi })
+		if limit > 0 && j-i > limit {
+			j = i + limit
+			capped = true
+		}
+		dst = append(dst, log[i:j]...)
+		si.mu.Unlock()
+	}
+	return dst, capped
+}
+
+// page sorts the gathered tail by Seq, truncates it to limit, and
+// computes the resume cursor: the hi snapshot when the page is complete,
+// or one past the last returned event when any truncation (per-shard or
+// merged) may have hidden events below hi.
+func page(since, hi uint64, limit int, dst []Event, start int, capped bool) ([]Event, uint64) {
+	tail := dst[start:]
+	sort.Slice(tail, func(a, b int) bool { return tail[a].Seq < tail[b].Seq })
+	if limit > 0 && len(tail) > limit {
+		dst = dst[:start+limit]
+		tail = dst[start:]
+		capped = true
+	}
+	if !capped {
+		return dst, hi
+	}
+	if len(tail) > 0 {
+		return dst, tail[len(tail)-1].Seq + 1
+	}
+	return dst, since
+}
+
+// ShardStats snapshots shard i.
+func (r *Router) ShardStats(i int) Stats {
+	si := r.shards[i]
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	return Stats{
+		Shard:          si.id,
+		Bounds:         r.grid.CellRect(si.id),
+		Workers:        si.sess.NumWorkers(),
+		Tasks:          si.sess.NumTasks(),
+		Matches:        si.sess.Matching().Size(),
+		ExpiredWorkers: si.sess.ExpiredWorkers(),
+		ExpiredTasks:   si.sess.ExpiredTasks(),
+		Attempted:      si.sess.Attempted(),
+		Rejected:       si.sess.Rejected(),
+		Now:            si.sess.Now(),
+	}
+}
+
+// StatsAll appends a snapshot of every shard to dst and returns it.
+func (r *Router) StatsAll(dst []Stats) []Stats {
+	for i := range r.shards {
+		dst = append(dst, r.ShardStats(i))
+	}
+	return dst
+}

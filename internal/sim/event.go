@@ -1,0 +1,165 @@
+package sim
+
+import "fmt"
+
+// SessionEventKind distinguishes the lifecycle events a session emits.
+type SessionEventKind uint8
+
+const (
+	// EventMatch is a committed worker-task pair.
+	EventMatch SessionEventKind = iota
+	// EventWorkerExpired is a worker whose deadline (Arrive+Patience)
+	// passed while it was unmatched: the paper's "worker leaves the
+	// platform unserved".
+	EventWorkerExpired
+	// EventTaskExpired is a task whose deadline (Release+Expiry) passed
+	// while it was unmatched: the task can no longer be served.
+	EventTaskExpired
+)
+
+func (k SessionEventKind) String() string {
+	switch k {
+	case EventMatch:
+		return "match"
+	case EventWorkerExpired:
+		return "worker-expired"
+	case EventTaskExpired:
+		return "task-expired"
+	default:
+		return fmt.Sprintf("SessionEventKind(%d)", uint8(k))
+	}
+}
+
+// SessionEvent is one entry of a session's lifecycle stream: every commit
+// and every expiry, in fire order with non-decreasing Time. Worker and
+// Task are session handles; the side not involved in an expiry is -1.
+//
+//   - EventMatch: Worker and Task are the committed pair, Time is the
+//     commit time.
+//   - EventWorkerExpired: Worker is the expired handle, Task is -1, Time
+//     is the worker's deadline.
+//   - EventTaskExpired: Task is the expired handle, Worker is -1, Time is
+//     the task's deadline.
+//
+// Expiry semantics are mode-independent and purely observational: an
+// expiry is emitted iff the object's deadline passed while it was
+// unmatched, and emitting it never alters availability or algorithm state
+// (in Strict mode deadlines are already enforced by the availability
+// checks; in AssumeGuide mode an expired object may still be matched
+// later, per the paper's counting assumption, so a worker expiry may be
+// followed by a match of the same handle).
+type SessionEvent struct {
+	Kind   SessionEventKind
+	Worker int
+	Task   int
+	Time   float64
+}
+
+// expiryEntry is one pending platform-side deadline: at is the object's
+// deadline, handle its session index on the queue's side.
+type expiryEntry struct {
+	at     float64
+	handle int32
+}
+
+// entryLess orders entries by deadline, then by handle for determinism.
+func entryLess(a, b expiryEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.handle < b.handle
+}
+
+// expiryQueue is the platform-side deadline queue of one session side.
+// Admission times are clamped monotone, so with the constant per-side
+// windows of the paper's workloads deadlines arrive already sorted: those
+// go into a FIFO with O(1) push and pop. A deadline below the FIFO tail
+// (variable windows) overflows into a small binary min-heap, so arbitrary
+// deadline orders stay correct while the hot path never pays for them.
+type expiryQueue struct {
+	fifo []expiryEntry // non-decreasing .at, consumed from head
+	head int
+	heap []expiryEntry // out-of-order overflow, sift-managed
+}
+
+func (q *expiryQueue) reset() {
+	q.fifo = q.fifo[:0]
+	q.head = 0
+	q.heap = q.heap[:0]
+}
+
+func (q *expiryQueue) push(e expiryEntry) {
+	n := len(q.fifo)
+	if q.head == n {
+		// FIFO drained: restart it from the front, keeping capacity.
+		q.fifo = append(q.fifo[:0], e)
+		q.head = 0
+		return
+	}
+	if q.fifo[n-1].at <= e.at {
+		if q.head >= 4096 && 2*q.head >= n {
+			// Reclaim the consumed prefix so a never-empty long-lived
+			// queue stays proportional to its pending entries.
+			n = copy(q.fifo, q.fifo[q.head:])
+			q.fifo = q.fifo[:n]
+			q.head = 0
+		}
+		q.fifo = append(q.fifo, e)
+		return
+	}
+	// Out-of-order deadline: overflow heap, sift-up.
+	q.heap = append(q.heap, e)
+	for i := len(q.heap) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !entryLess(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// peek returns the earliest pending entry without removing it.
+func (q *expiryQueue) peek() (expiryEntry, bool) {
+	if q.head < len(q.fifo) {
+		if len(q.heap) > 0 && entryLess(q.heap[0], q.fifo[q.head]) {
+			return q.heap[0], true
+		}
+		return q.fifo[q.head], true
+	}
+	if len(q.heap) > 0 {
+		return q.heap[0], true
+	}
+	return expiryEntry{}, false
+}
+
+// pop removes the earliest pending entry; the queue must be non-empty.
+func (q *expiryQueue) pop() expiryEntry {
+	if q.head < len(q.fifo) && !(len(q.heap) > 0 && entryLess(q.heap[0], q.fifo[q.head])) {
+		e := q.fifo[q.head]
+		q.head++
+		return e
+	}
+	h := q.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	q.heap = h[:last]
+	h = q.heap
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < last && entryLess(h[l], h[min]) {
+			min = l
+		}
+		if r < last && entryLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}

@@ -46,13 +46,17 @@ type MatcherConfig struct {
 	Bounds geo.Rect
 	// Hints optionally sizes algorithm state; see Hints.
 	Hints Hints
-	// OnMatch, when non-nil, is invoked synchronously for every committed
-	// pair, from within the AddWorker/AddTask/Advance/Finish call that
-	// committed it — possibly mid-algorithm-callback. The handler must
-	// not call back into the Session (no admissions, Advance, Finish or
-	// Reset): the algorithm's state is mid-update when it fires. Record
-	// the match and return; committed pairs also remain available via
-	// Session.Drain regardless.
+	// OnEvent, when non-nil, is invoked synchronously for every lifecycle
+	// event — commits and expiries — from within the
+	// AddWorker/AddTask/Advance/Finish call that produced it, possibly
+	// mid-algorithm-callback. The handler must not call back into the
+	// Session (no admissions, Advance, Finish or Reset): the algorithm's
+	// state may be mid-update when it fires. Record the event and return;
+	// events also remain available via Session.DrainEvents regardless.
+	OnEvent func(SessionEvent)
+	// OnMatch is the match-only compatibility hook: invoked for every
+	// EventMatch, under the same restrictions as OnEvent. Both hooks may
+	// be set; OnEvent fires first.
 	OnMatch func(Match)
 }
 
@@ -98,6 +102,7 @@ func newSession(cfg MatcherConfig, alg Algorithm) *Session {
 		velocity: cfg.Velocity,
 		bounds:   cfg.Bounds,
 		hints:    cfg.Hints,
+		onEvent:  cfg.OnEvent,
 		onMatch:  cfg.OnMatch,
 	}
 	s.Reset(alg)
@@ -110,6 +115,7 @@ type workerState struct {
 	target     geo.Point // dispatch target, valid while moving
 	origin     geo.Point // admission location, for guided-distance stats
 	anchorTime float64
+	matchedAt  float64 // commit time, valid when matched
 	moving     bool
 	matched    bool
 }
@@ -126,27 +132,49 @@ var ErrFinished = errors.New("sim: session finished")
 //
 // Session time is driven by the caller: each admission carries its arrival
 // time (clamped to be non-decreasing), and Advance moves the clock without
-// admitting anything, firing due timers. A Session is not safe for
-// concurrent use.
+// admitting anything, firing due timers and platform expiries. A Session
+// is not safe for concurrent use.
+//
+// The session's output surface is a typed lifecycle event stream (see
+// SessionEvent): every committed pair and every deadline expiry of an
+// unmatched object is appended to an internal event arena, observable
+// incrementally via DrainEvents (or synchronously via the OnEvent hook).
+// Expiries are detected by a platform-side deadline min-heap driven from
+// the same clock as the algorithm's single Schedule timer, so "object
+// left unserved" is observable without any algorithm cooperation — and
+// without perturbing what the algorithm matches.
 type Session struct {
 	mode     Mode
 	velocity float64
 	bounds   geo.Rect
 	hints    Hints
+	onEvent  func(SessionEvent)
 	onMatch  func(Match)
 
 	alg      Algorithm
 	timerAlg TimerAlgorithm // nil when alg has no OnTimer
 
 	// Append-only arenas; handles index into them.
-	workers []model.Worker
-	tasks   []model.Task
-	wstate  []workerState
-	tMatch  []bool
+	workers  []model.Worker
+	tasks    []model.Task
+	wstate   []workerState
+	tMatch   []bool
+	tMatchAt []float64 // commit time per task, valid when tMatch
 
-	matching  model.Matching
-	committed []Match
-	drained   int
+	matching model.Matching
+	// events is the lifecycle arena: commits and expiries in fire order.
+	// drained is the shared consumption cursor of Drain/DrainEvents;
+	// CompactEvents reclaims the consumed prefix.
+	events  []SessionEvent
+	drained int
+
+	// wExpiry/tExpiry are the platform-side deadline queues (see
+	// event.go): one entry per admitted object, popped lazily as the
+	// clock passes it.
+	wExpiry  expiryQueue
+	tExpiry  expiryQueue
+	expiredW int
+	expiredT int
 
 	now      float64
 	timer    float64 // pending timer or +Inf
@@ -169,11 +197,16 @@ func (s *Session) Reset(alg Algorithm) {
 	s.tasks = s.tasks[:0]
 	s.wstate = s.wstate[:0]
 	s.tMatch = s.tMatch[:0]
+	s.tMatchAt = s.tMatchAt[:0]
 	// The matching escapes to callers via Matching, so it is the one piece
 	// of per-session state that cannot be reused.
 	s.matching = model.Matching{}
-	s.committed = s.committed[:0]
+	s.events = s.events[:0]
 	s.drained = 0
+	s.wExpiry.reset()
+	s.tExpiry.reset()
+	s.expiredW = 0
+	s.expiredT = 0
 	// The clock starts unset (-Inf) so the first admission defines session
 	// time — recorded streams replay with their timestamps intact, even
 	// negative ones; clamping only ever applies to genuinely out-of-order
@@ -209,6 +242,7 @@ func (s *Session) AddWorker(w model.Worker) (int, error) {
 		origin:     w.Loc,
 		anchorTime: w.Arrive,
 	})
+	s.wExpiry.push(expiryEntry{at: w.Deadline(), handle: int32(h)})
 	s.alg.OnWorkerArrival(h, w.Arrive)
 	return h, nil
 }
@@ -226,6 +260,8 @@ func (s *Session) AddTask(t model.Task) (int, error) {
 	h := len(s.tasks)
 	s.tasks = append(s.tasks, t)
 	s.tMatch = append(s.tMatch, false)
+	s.tMatchAt = append(s.tMatchAt, 0)
+	s.tExpiry.push(expiryEntry{at: t.Deadline(), handle: int32(h)})
 	s.alg.OnTaskArrival(h, t.Release)
 	return h, nil
 }
@@ -240,12 +276,38 @@ func (s *Session) Advance(now float64) float64 {
 	return s.now
 }
 
-// advanceTo fires pending timers scheduled at or before t, then moves the
-// clock to t. Timer callbacks observe a monotonic clock: a timer that was
-// scheduled in the past (see Schedule) fires at the current session time.
+// advanceTo fires, in chronological order, the pending algorithm timer
+// and the platform-side deadline expiries that become due at or before t,
+// then moves the clock to t. Timer callbacks observe a monotonic clock: a
+// timer that was scheduled in the past (see Schedule) fires at the
+// current session time. The two timer sources are independent — expiries
+// never consume the algorithm's single Schedule slot and never call into
+// the algorithm.
+//
+// Dueness is one-sided per side: a worker is unavailable AT its deadline
+// (WorkerAvailable requires now < deadline), so its expiry is due once
+// t >= deadline; a task is still matchable AT its deadline (TaskAvailable
+// allows now <= deadline), so its expiry only becomes due once the clock
+// strictly passes it — which also means every commit that could suppress
+// the expiry has already been observed when it fires. On a tie between a
+// task expiry and the algorithm timer the timer fires first for the same
+// reason; match-time-aware suppression in fireExpiry keeps the emitted
+// events exactly the brute-force-oracle set either way.
 func (s *Session) advanceTo(t float64) {
-	if s.timerAlg != nil {
-		for s.timer <= t {
+	for {
+		we, wok := s.wExpiry.peek()
+		te, tok := s.tExpiry.peek()
+		wDue := wok && we.at <= t
+		tDue := tok && te.at < t
+		timerDue := s.timerAlg != nil && s.timer <= t
+		switch {
+		case wDue && (!tDue || we.at <= te.at) && (!timerDue || we.at <= s.timer):
+			s.wExpiry.pop()
+			s.fireWorkerExpiry(we)
+		case tDue && (!timerDue || te.at < s.timer):
+			s.tExpiry.pop()
+			s.fireTaskExpiry(te)
+		case timerDue:
 			at := s.timer
 			s.timer = math.Inf(1)
 			if at < s.now {
@@ -253,10 +315,58 @@ func (s *Session) advanceTo(t float64) {
 			}
 			s.now = at
 			s.timerAlg.OnTimer(at)
+		default:
+			if t > s.now {
+				s.now = t
+			}
+			return
 		}
 	}
-	if t > s.now {
-		s.now = t
+}
+
+// fireWorkerExpiry decides whether a popped worker deadline is a real
+// expiry and emits the event. Suppression is match-time-aware, so the
+// emitted set is independent of when the queue happened to pop the entry:
+// a worker expires unless it was matched strictly before its deadline
+// (mirroring WorkerAvailable's now < deadline boundary). Emission never
+// touches algorithm state.
+func (s *Session) fireWorkerExpiry(e expiryEntry) {
+	if e.at > s.now {
+		s.now = e.at
+	}
+	w := int(e.handle)
+	ws := &s.wstate[w]
+	if ws.matched && ws.matchedAt < e.at {
+		return
+	}
+	s.expiredW++
+	s.emit(SessionEvent{Kind: EventWorkerExpired, Worker: w, Task: -1, Time: e.at})
+}
+
+// fireTaskExpiry is fireWorkerExpiry for the task side: a task expires
+// unless it was matched at or before its deadline (TaskAvailable allows
+// now <= deadline).
+func (s *Session) fireTaskExpiry(e expiryEntry) {
+	if e.at > s.now {
+		s.now = e.at
+	}
+	t := int(e.handle)
+	if s.tMatch[t] && s.tMatchAt[t] <= e.at {
+		return
+	}
+	s.expiredT++
+	s.emit(SessionEvent{Kind: EventTaskExpired, Worker: -1, Task: t, Time: e.at})
+}
+
+// emit appends one lifecycle event to the arena and fires the synchronous
+// hooks (OnEvent first, then the OnMatch compatibility hook for matches).
+func (s *Session) emit(ev SessionEvent) {
+	s.events = append(s.events, ev)
+	if s.onEvent != nil {
+		s.onEvent(ev)
+	}
+	if ev.Kind == EventMatch && s.onMatch != nil {
+		s.onMatch(Match{Worker: ev.Worker, Task: ev.Task, Time: ev.Time})
 	}
 }
 
@@ -280,15 +390,64 @@ func (s *Session) Finish() {
 	s.advanceTo(end)
 	s.finished = true
 	s.alg.OnFinish(end)
+	// The session is over: flush the task deadlines sitting exactly at
+	// the end time — a task whose deadline IS the end had its last
+	// chance in OnFinish just now, and advanceTo(end) above already
+	// fired every worker deadline <= end and every task deadline < end.
+	// Deadlines beyond the end are not expiries: those objects outlive
+	// the session unserved-but-alive.
+	for {
+		te, tok := s.tExpiry.peek()
+		if !tok || te.at > end {
+			return
+		}
+		s.tExpiry.pop()
+		s.fireTaskExpiry(te)
+	}
 }
 
-// Drain appends to dst every match committed since the previous Drain and
-// returns the extended slice. Pair order is commit order.
-func (s *Session) Drain(dst []Match) []Match {
-	dst = append(dst, s.committed[s.drained:]...)
-	s.drained = len(s.committed)
+// DrainEvents appends to dst every lifecycle event emitted since the
+// previous DrainEvents (or Drain — the two share one consumption cursor;
+// Drain is DrainEvents filtered to matches) and returns the extended
+// slice. Event order is fire order, with non-decreasing times.
+func (s *Session) DrainEvents(dst []SessionEvent) []SessionEvent {
+	dst = append(dst, s.events[s.drained:]...)
+	s.drained = len(s.events)
 	return dst
 }
+
+// Drain appends to dst every match committed since the previous Drain
+// (or DrainEvents — see DrainEvents for the shared-cursor semantics) and
+// returns the extended slice. Pair order is commit order.
+func (s *Session) Drain(dst []Match) []Match {
+	for _, ev := range s.events[s.drained:] {
+		if ev.Kind == EventMatch {
+			dst = append(dst, Match{Worker: ev.Worker, Task: ev.Task, Time: ev.Time})
+		}
+	}
+	s.drained = len(s.events)
+	return dst
+}
+
+// CompactEvents reclaims the arena prefix already consumed by
+// Drain/DrainEvents, keeping the backing capacity. Long-lived sessions
+// that drain incrementally call it periodically so the event arena stays
+// proportional to the undrained tail instead of the session's lifetime.
+func (s *Session) CompactEvents() {
+	if s.drained == 0 {
+		return
+	}
+	n := copy(s.events, s.events[s.drained:])
+	s.events = s.events[:n]
+	s.drained = 0
+}
+
+// ExpiredWorkers returns how many workers left the platform unserved
+// (their deadline passed while unmatched).
+func (s *Session) ExpiredWorkers() int { return s.expiredW }
+
+// ExpiredTasks returns how many tasks expired unserved.
+func (s *Session) ExpiredTasks() int { return s.expiredT }
 
 // Now returns the session clock.
 func (s *Session) Now() float64 { return s.now }
@@ -396,7 +555,9 @@ func (s *Session) TryMatch(w, t int, now float64) bool {
 	}
 	pos := s.WorkerPos(w, now)
 	ws.matched = true
+	ws.matchedAt = now
 	s.tMatch[t] = true
+	s.tMatchAt[t] = now
 	s.matching.Add(w, t)
 	s.stats.TotalPickupDistance += pos.Dist(s.tasks[t].Loc)
 	s.stats.TotalGuidedDistance += ws.origin.Dist(pos)
@@ -406,11 +567,7 @@ func (s *Session) TryMatch(w, t int, now float64) bool {
 	if idle := now - s.workers[w].Arrive; idle > 0 {
 		s.stats.TotalWorkerIdle += idle
 	}
-	m := Match{Worker: w, Task: t, Time: now}
-	s.committed = append(s.committed, m)
-	if s.onMatch != nil {
-		s.onMatch(m)
-	}
+	s.emit(SessionEvent{Kind: EventMatch, Worker: w, Task: t, Time: now})
 	return true
 }
 

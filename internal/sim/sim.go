@@ -7,11 +7,16 @@
 //
 // The core abstraction is the open-world Session (see session.go): workers
 // and tasks are *admitted* at arrival time via AddWorker/AddTask, which
-// return stable dense handles, and Advance drives timers. Live
-// deployments (cmd/ftoa-serve) push real traffic straight into a Session;
-// the closed-world Engine in this file is a thin replay driver that feeds
-// a recorded instance's arrival events through the very same Session API,
-// so experiments and benchmarks exercise the production code path.
+// return stable dense handles, and Advance drives timers. The session's
+// output is a typed lifecycle event stream (SessionEvent): commits AND
+// deadline expiries of unmatched objects, the paper's two-sided attrition
+// made observable (DrainEvents / OnEvent; Drain / OnMatch remain as
+// match-only compatibility wrappers). Live deployments (cmd/ftoa-serve)
+// push real traffic straight into a Session — or into a grid of them via
+// package shard; the closed-world Engine in this file is a thin replay
+// driver that feeds a recorded instance's arrival events through the very
+// same Session API, so experiments and benchmarks exercise the production
+// code path.
 //
 // Two validation modes are supported (see DESIGN.md §3.2):
 //
@@ -158,6 +163,15 @@ type Result struct {
 	// assumption hides.
 	Attempted int
 	Rejected  int
+	// ExpiredWorkers and ExpiredTasks count the objects that left the
+	// system unserved — the two-sided attrition the paper's online model
+	// implies but a match list cannot show. They are taken from the
+	// session's lifecycle event stream (EventWorkerExpired /
+	// EventTaskExpired); matched + expired can exceed the population in
+	// AssumeGuide mode, where an expired object may still be matched
+	// later under the paper's counting assumption.
+	ExpiredWorkers int
+	ExpiredTasks   int
 	// Stats aggregates service-quality measures over committed matches.
 	Stats MatchStats
 }
@@ -348,13 +362,15 @@ func (e *Engine) Run(alg Algorithm) Result {
 	}
 
 	return Result{
-		Algorithm:  alg.Name(),
-		Mode:       e.mode,
-		Matching:   matching,
-		Elapsed:    elapsed,
-		AllocBytes: allocBytes,
-		Attempted:  s.Attempted(),
-		Rejected:   s.Rejected(),
-		Stats:      s.Stats(),
+		Algorithm:      alg.Name(),
+		Mode:           e.mode,
+		Matching:       matching,
+		Elapsed:        elapsed,
+		AllocBytes:     allocBytes,
+		Attempted:      s.Attempted(),
+		Rejected:       s.Rejected(),
+		ExpiredWorkers: s.ExpiredWorkers(),
+		ExpiredTasks:   s.ExpiredTasks(),
+		Stats:          s.Stats(),
 	}
 }
