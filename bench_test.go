@@ -330,6 +330,64 @@ func benchStream(b *testing.B, mk func(*ftoa.Guide) ftoa.Algorithm) {
 	b.ReportMetric(float64(matched), "matched")
 }
 
+// benchStreamRetired is benchStream with generational retirement on: the
+// session retires its arenas 24 times per replayed day (the serving-layer
+// cadence), so the reported ns/arrival includes the amortized compaction
+// and remap cost. Gate: must stay within 2x of the plain Stream numbers.
+func benchStreamRetired(b *testing.B, mk func(*ftoa.Guide) ftoa.Algorithm) {
+	in, g := benchSetup(b)
+	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
+		Mode:     ftoa.AssumeGuide,
+		Velocity: in.Velocity,
+		Bounds:   in.Bounds,
+		Hints: ftoa.Hints{
+			ExpectedWorkers: len(in.Workers),
+			ExpectedTasks:   len(in.Tasks),
+			Horizon:         in.Horizon,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := in.Events()
+	every := in.Horizon / 24
+	sess := m.NewSession(mk(g))
+	arrivals := float64(len(events))
+	var evbuf []ftoa.SessionEvent
+	var matched, retired int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Reset(mk(g))
+		lastRetire := 0.0
+		for _, ev := range events {
+			var err error
+			switch ev.Kind {
+			case ftoa.WorkerArrival:
+				_, err = sess.AddWorker(in.Workers[ev.Index])
+			case ftoa.TaskArrival:
+				_, err = sess.AddTask(in.Tasks[ev.Index])
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if now := sess.Now(); now >= lastRetire+every {
+				evbuf = sess.DrainEvents(evbuf[:0])
+				sess.CompactEvents()
+				w, t := sess.Retire(now)
+				retired += w + t
+				lastRetire = now
+			}
+		}
+		sess.Finish()
+		matched = sess.Matches()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arrivals, "ns/arrival")
+	b.ReportMetric(float64(matched), "matched")
+	b.ReportMetric(float64(retired)/float64(b.N), "retired")
+}
+
 func BenchmarkPOLARStream(b *testing.B) {
 	benchStream(b, func(g *ftoa.Guide) ftoa.Algorithm { return ftoa.NewPOLAR(g) })
 }
@@ -340,6 +398,84 @@ func BenchmarkPOLAROPStream(b *testing.B) {
 
 func BenchmarkSimpleGreedyStream(b *testing.B) {
 	benchStream(b, func(*ftoa.Guide) ftoa.Algorithm { return ftoa.NewSimpleGreedy() })
+}
+
+func BenchmarkPOLARStreamRetired(b *testing.B) {
+	benchStreamRetired(b, func(g *ftoa.Guide) ftoa.Algorithm { return ftoa.NewPOLAR(g) })
+}
+
+func BenchmarkPOLAROPStreamRetired(b *testing.B) {
+	benchStreamRetired(b, func(g *ftoa.Guide) ftoa.Algorithm { return ftoa.NewPOLAROP(g) })
+}
+
+// BenchmarkSessionLongLived is the long-lived serving soak: ONE Strict
+// session (never Reset, never Finished) absorbs the same synthetic day
+// per iteration, timestamps shifted by the horizon each round, retiring
+// on the deadline-window cadence. With retirement the per-round cost and
+// the live arenas are flat no matter how many rounds have gone before —
+// the bounded-memory claim as a benchmark; the companion test
+// TestSessionLongLivedSoak asserts the live-arena bound, and allocs/op
+// (reported per round) measures the steady-state allocation rate.
+func BenchmarkSessionLongLived(b *testing.B) {
+	cfg := ftoa.DefaultSynthetic()
+	n := int(20000 * benchScale())
+	if n < 400 {
+		n = 400
+	}
+	cfg.NumWorkers, cfg.NumTasks = n, n
+	in, err := cfg.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := in.Events()
+	window := cfg.WorkerPatience
+	if cfg.TaskExpiry > window {
+		window = cfg.TaskExpiry
+	}
+	m, err := ftoa.NewMatcher(ftoa.MatcherConfig{
+		Mode:     ftoa.Strict,
+		Velocity: in.Velocity,
+		Bounds:   in.Bounds,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := m.NewSession(ftoa.NewSimpleGreedy())
+	arrivals := float64(len(events))
+	var evbuf []ftoa.SessionEvent
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shift := float64(i) * in.Horizon
+		lastRetire := sess.Now()
+		for _, ev := range events {
+			var err error
+			switch ev.Kind {
+			case ftoa.WorkerArrival:
+				w := in.Workers[ev.Index]
+				w.Arrive = ev.Time + shift
+				_, err = sess.AddWorker(w)
+			case ftoa.TaskArrival:
+				t := in.Tasks[ev.Index]
+				t.Release = ev.Time + shift
+				_, err = sess.AddTask(t)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if now := sess.Now(); now >= lastRetire+window {
+				evbuf = sess.DrainEvents(evbuf[:0])
+				sess.CompactEvents()
+				sess.Retire(now)
+				lastRetire = now
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arrivals, "ns/arrival")
+	b.ReportMetric(float64(sess.NumWorkers()+sess.NumTasks()), "live-arena")
+	b.ReportMetric(float64(sess.AdmittedWorkers()+sess.AdmittedTasks()), "admitted")
+	b.ReportMetric(float64(sess.Matches()), "matched")
 }
 
 // benchRouterStream measures the sharded serving layer end to end: one

@@ -27,14 +27,17 @@
 // Times are seconds since the server started; arrivals are stamped on
 // admission. Each shard's session is single-writer behind its own lock,
 // so disjoint regions admit concurrently — sharding, not concurrent
-// writes to one session, is the scaling story.
+// writes to one session, is the scaling story. The match history is kept
+// in per-shard buffers merged at read time, so committing a match never
+// crosses a server-global lock either.
 //
-// Known limitation: -retention bounds the event and match histories, but
-// each shard's session arenas (admitted workers/tasks and algorithm
-// state) are append-only by design — handles are dense indexes — so
-// memory still grows with lifetime admissions. Deployments that run
-// beyond one service day should recycle the process at the day boundary
-// (the guide horizon); in-session object retirement is a ROADMAP item.
+// Memory is bounded for arbitrarily long uptimes: besides the
+// retention-bounded histories, every shard retires its session arenas on
+// the -retire interval (on by default), compacting away matched and
+// expired objects and keeping the per-shard footprint proportional to
+// the live population. Handles reported at admission are therefore only
+// stable until the object dies; the /stats breakdown reports both
+// lifetime (workers/tasks) and live (live_workers/live_tasks) counts.
 package main
 
 import (
@@ -48,7 +51,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +66,7 @@ type config struct {
 	tick      time.Duration
 	shards    [2]int // cols, rows
 	retention int
+	retire    time.Duration // per-shard arena retirement interval; 0 disables
 
 	// Guide pipeline (polar/polarop/hybrid only).
 	guidePath     string // counts CSV; "" = no guide
@@ -89,42 +92,19 @@ type server struct {
 	minAdvance  float64
 	lastAdvance atomic.Uint64
 
-	// mu guards the match-history view: matches holds the most recent
-	// committed pairs (fed synchronously and losslessly by the router's
-	// OnEvent hook, so it never misses a commit even when the polled
-	// event log wraps), matchBase counts the ones evicted before it. The
-	// window is retention-bounded — the fix for the old append-only
-	// history — with ?since cursor semantics preserved: count always
-	// reports matchBase+len(matches), cursors below matchBase get 410.
-	mu        sync.Mutex
-	matches   []matchJSON
-	matchBase int
-	retention int
+	// matchLog is the retention-bounded match-history view behind GET
+	// /matches: fed synchronously and losslessly by the router's OnEvent
+	// hook (so it never misses a commit even when the polled event log
+	// wraps), buffered per shard so recording a match contends only on
+	// the emitting shard — the admission hot path never crosses a
+	// server-global lock. Cursor semantics are count-based as before:
+	// "count" reports the lifetime total, cursors below the eviction
+	// boundary get 410.
+	matchLog *ftoa.MatchLog
 }
 
-// recordEvent is the router's OnEvent hook: fold commits into the bounded
-// match view. It runs while a shard lock is held, so it must not call
-// back into the router.
-func (s *server) recordEvent(ev ftoa.ShardEvent) {
-	if ev.Kind != ftoa.EventMatch {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.matches = append(s.matches, matchJSON{Worker: ev.Worker, Task: ev.Task, Shard: ev.Shard, Time: ev.Time})
-	// Evict in batches (50% slack before dropping back to retention) so
-	// the copy is O(1) amortized per match, and into a fresh array so
-	// snapshots handed to encoders outside the lock keep reading the
-	// old, now-immutable one. The windowing arithmetic mirrors
-	// shard.shardInstance.collectLocked — keep the two in sync.
-	if len(s.matches) > s.retention+s.retention/2 {
-		drop := len(s.matches) - s.retention
-		s.matchBase += drop
-		s.matches = append([]matchJSON(nil), s.matches[drop:]...)
-	}
-}
-
-// maxEventsPage caps one GET /events response; pollers page via "next".
+// maxEventsPage caps one GET /events or GET /matches response; pollers
+// page via "next".
 const maxEventsPage = 10000
 
 type matchJSON struct {
@@ -275,6 +255,9 @@ func newServer(cfg config) (*server, error) {
 	if cfg.horizon <= 0 {
 		return nil, fmt.Errorf("horizon must be positive, got %v", cfg.horizon)
 	}
+	if cfg.retire < 0 {
+		return nil, fmt.Errorf("retire interval must be non-negative, got %v", cfg.retire)
+	}
 	mk, err := buildAlgorithm(cfg)
 	if err != nil {
 		return nil, err
@@ -282,8 +265,8 @@ func newServer(cfg config) (*server, error) {
 	started := time.Now()
 	s := &server{
 		clock:      func() float64 { return time.Since(started).Seconds() },
-		retention:  cfg.retention,
 		minAdvance: cfg.tick.Seconds() / 2,
+		matchLog:   ftoa.NewMatchLog(cfg.shards[0]*cfg.shards[1], cfg.retention),
 	}
 	s.lastAdvance.Store(math.Float64bits(math.Inf(-1)))
 	s.router, err = ftoa.NewShardRouter(ftoa.ShardConfig{
@@ -292,11 +275,12 @@ func newServer(cfg config) (*server, error) {
 			Velocity: cfg.velocity,
 			Bounds:   ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3]),
 		},
-		Cols:         cfg.shards[0],
-		Rows:         cfg.shards[1],
-		NewAlgorithm: mk,
-		Retention:    cfg.retention,
-		OnEvent:      s.recordEvent,
+		Cols:           cfg.shards[0],
+		Rows:           cfg.shards[1],
+		NewAlgorithm:   mk,
+		Retention:      cfg.retention,
+		RetireInterval: cfg.retire.Seconds(),
+		OnEvent:        s.matchLog.Record,
 	})
 	if err != nil {
 		return nil, err
@@ -490,35 +474,53 @@ func (s *server) handleMatches(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Pages are bounded like /events: an uncapped read would copy and
+	// sort the whole retained window (shards x retention entries) per
+	// poll. Clients follow "next"; ?limit=N lowers the cap.
+	limit := maxEventsPage
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
 	s.advance()
-	s.mu.Lock()
-	base, total := s.matchBase, s.matchBase+len(s.matches)
-	if !present {
+	var (
+		entries []ftoa.MatchEntry
+		next    uint64
+		err     error
+	)
+	if present {
+		if total := s.matchLog.Count(); since > total {
+			since = total
+		}
+		entries, next, err = s.matchLog.Matches(since, limit, nil)
+	} else {
 		// The bare snapshot form returns the retained window, never 410.
-		since = uint64(base)
+		entries, next = s.matchLog.MatchesFromOldest(limit, nil)
 	}
-	// O(1) snapshot: the retained window is copy-on-evict, so a
-	// full-capacity reslice is safe to encode outside the lock.
-	out := s.matches[:len(s.matches):len(s.matches)]
-	s.mu.Unlock()
-	if since > uint64(total) {
-		since = uint64(total)
-	}
-	if since < uint64(base) {
+	if err != nil {
 		// Like /events, hand back the oldest still-readable cursor so
 		// the client loses only the genuinely evicted matches.
 		writeJSON(w, http.StatusGone, map[string]any{
-			"error": fmt.Sprintf("matches before %d evicted (retention window)", base),
-			"count": total,
-			"next":  base,
+			"error": fmt.Sprintf("matches before %d evicted (retention window)", s.matchLog.Oldest()),
+			"count": s.matchLog.Count(),
+			"next":  s.matchLog.Oldest(),
 		})
 		return
 	}
-	out = out[since-uint64(base):]
-	if out == nil {
-		out = []matchJSON{} // encode an empty history as [], not null
+	out := make([]matchJSON, len(entries)) // [] (not null) when empty
+	for i, e := range entries {
+		out[i] = matchJSON{Worker: e.Worker, Task: e.Task, Shard: e.Shard, Time: e.Time}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "count": total})
+	// "count" is the lifetime total; "next" is the gap-free poll cursor
+	// (use it rather than count: a match committing concurrently with
+	// this read may be sequenced but not yet merged).
+	writeJSON(w, http.StatusOK, map[string]any{"matches": out, "count": s.matchLog.Count(), "next": next})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -531,6 +533,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shard          int     `json:"shard"`
 		Workers        int     `json:"workers"`
 		Tasks          int     `json:"tasks"`
+		LiveWorkers    int     `json:"live_workers"`
+		LiveTasks      int     `json:"live_tasks"`
 		Matches        int     `json:"matches"`
 		ExpiredWorkers int     `json:"expired_workers"`
 		ExpiredTasks   int     `json:"expired_tasks"`
@@ -539,7 +543,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Now            float64 `json:"now"`
 	}
 	shards := make([]shardJSON, s.router.NumShards())
-	var workers, tasks, matches, expW, expT, attempted, rejected int
+	var workers, tasks, liveW, liveT, matches, expW, expT, attempted, rejected int
 	now := 0.0
 	for i := range shards {
 		st := s.router.ShardStats(i)
@@ -553,6 +557,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shard:          st.Shard,
 			Workers:        st.Workers,
 			Tasks:          st.Tasks,
+			LiveWorkers:    st.LiveWorkers,
+			LiveTasks:      st.LiveTasks,
 			Matches:        st.Matches,
 			ExpiredWorkers: st.ExpiredWorkers,
 			ExpiredTasks:   st.ExpiredTasks,
@@ -562,6 +568,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		workers += st.Workers
 		tasks += st.Tasks
+		liveW += st.LiveWorkers
+		liveT += st.LiveTasks
 		matches += st.Matches
 		expW += st.ExpiredWorkers
 		expT += st.ExpiredTasks
@@ -574,6 +582,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workers":         workers,
 		"tasks":           tasks,
+		"live_workers":    liveW,
+		"live_tasks":      liveT,
 		"matches":         matches,
 		"expired_workers": expW,
 		"expired_tasks":   expT,
@@ -618,7 +628,8 @@ func main() {
 	boundsStr := flag.String("bounds", "0,0,100,100", "service area as x0,y0,x1,y1")
 	tick := flag.Duration("tick", 250*time.Millisecond, "timer advance interval")
 	shards := flag.String("shards", "1x1", "shard grid as NxM (regions served independently)")
-	retention := flag.Int("retention", 1<<16, "events/matches retained per history before eviction")
+	retention := flag.Int("retention", 1<<16, "events/matches retained per shard history before eviction")
+	retire := flag.Duration("retire", time.Minute, "per-shard arena retirement interval; matched and expired objects are compacted away, bounding memory by the live population (0 disables)")
 	guide := flag.String("guide", "", "per-cell count history CSV (ftoa-gen -counts format) for guided algorithms")
 	guideGrid := flag.String("guide-grid", "", "guide grid as CxR (default: infer a square from the history)")
 	guideDow0 := flag.Int("guide-dow0", 0, "weekday (0-6) of the count history's first day, anchoring HP-MSI's weekday feature")
@@ -634,6 +645,7 @@ func main() {
 		velocity:      *velocity,
 		tick:          *tick,
 		retention:     *retention,
+		retire:        *retire,
 		guidePath:     *guide,
 		guideDow0:     ((*guideDow0)%7 + 7) % 7,
 		horizon:       *horizon,
@@ -664,7 +676,7 @@ func main() {
 		log.Fatal(err)
 	}
 	go srv.tickLoop(cfg.tick)
-	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s)",
-		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr, *shards)
+	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s retire=%s)",
+		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr, *shards, cfg.retire)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

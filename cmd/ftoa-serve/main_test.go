@@ -527,3 +527,51 @@ func TestServeGuidedAlgorithm(t *testing.T) {
 		t.Fatalf("guided server committed nothing: %v", stats)
 	}
 }
+
+// TestServeRetirement: with -retire on, a long-lived server's shard
+// arenas stay bounded by the live population while the lifetime stats
+// and the match history keep counting.
+func TestServeRetirement(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.retire = 10 * time.Second
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setNow := manualClock(srv)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	clock := 0.0
+	for wave := 0; wave < 8; wave++ {
+		setNow(clock)
+		// A matching pair plus a worker that will expire unserved.
+		postJSON(t, ts.URL+"/workers", `{"x":10,"y":10,"patience":2}`)
+		postJSON(t, ts.URL+"/tasks", `{"x":10,"y":10,"expiry":2}`)
+		postJSON(t, ts.URL+"/workers", `{"x":90,"y":90,"patience":2}`)
+		clock += 15 // one retire interval per wave
+		setNow(clock)
+		srv.router.Advance(clock)
+	}
+
+	stats := getJSON(t, ts.URL+"/stats")
+	if stats["workers"].(float64) != 16 || stats["tasks"].(float64) != 8 {
+		t.Fatalf("lifetime stats = %v, want 16 workers / 8 tasks", stats)
+	}
+	if live := stats["live_workers"].(float64) + stats["live_tasks"].(float64); live != 0 {
+		t.Fatalf("live arenas = %v, want 0 after every wave died and retired", live)
+	}
+	if stats["matches"].(float64) != 8 || stats["expired_workers"].(float64) != 8 {
+		t.Fatalf("stats = %v, want 8 matches and 8 expired workers", stats)
+	}
+	// The bounded match history still serves the full window.
+	m := getJSON(t, ts.URL+"/matches")
+	if m["count"].(float64) != 8 || len(m["matches"].([]any)) != 8 {
+		t.Fatalf("matches = %v, want all 8 retained", m)
+	}
+	// And the next cursor pages cleanly.
+	tail := getJSON(t, ts.URL+"/matches?since=6")
+	if len(tail["matches"].([]any)) != 2 || tail["next"].(float64) != 8 {
+		t.Fatalf("matches?since=6 = %v, want the last 2 and next=8", tail)
+	}
+}

@@ -153,6 +153,11 @@ func BuildGuide(cfg GuideConfig, workerCounts, taskCounts []int) (*Guide, error)
 type (
 	// Algorithm is an online assignment algorithm driven by a session.
 	Algorithm = sim.Algorithm
+	// RetirableAlgorithm is an Algorithm whose per-object state survives
+	// arena retirement (Session.Retire): its Remap hook rewrites stored
+	// handles through the old→new tables. All algorithms in this package
+	// implement it.
+	RetirableAlgorithm = sim.RetirableAlgorithm
 	// Platform is the session-side API visible to algorithms.
 	Platform = sim.Platform
 	// Matcher is a configured factory for open-world matching sessions.
@@ -161,7 +166,9 @@ type (
 	MatcherConfig = sim.MatcherConfig
 	// Session is one live open-world matching session: AddWorker/AddTask
 	// admit arrivals, Advance drives timers and expiries, DrainEvents
-	// returns the typed lifecycle stream (Drain the match-only view).
+	// returns the typed lifecycle stream (Drain the match-only view), and
+	// Retire compacts away provably dead objects so long-lived sessions
+	// stay bounded by their live population.
 	Session = sim.Session
 	// Match is one committed worker-task pair (session handles).
 	Match = sim.Match
@@ -220,7 +227,23 @@ type (
 	ShardHandle = shard.Handle
 	// ShardStats snapshots one shard.
 	ShardStats = shard.Stats
+	// MatchLog is a retention-bounded, lock-disjoint match view over a
+	// ShardRouter's event stream: per-shard buffers fed by the OnEvent
+	// hook, merged by ordinal at read time.
+	MatchLog = shard.MatchLog
+	// MatchEntry is one committed pair in a MatchLog, tagged with its
+	// dense global match ordinal.
+	MatchEntry = shard.MatchEntry
 )
+
+// RetiredHandle marks a dropped object in the remap tables passed to
+// RetirableAlgorithm.Remap and MatcherConfig.OnRetire.
+const RetiredHandle = sim.RetiredHandle
+
+// NewMatchLog creates a match view over `shards` regions keeping at least
+// the most recent `retention` matches per shard; wire its Record method
+// as (part of) ShardConfig.OnEvent.
+func NewMatchLog(shards, retention int) *MatchLog { return shard.NewMatchLog(shards, retention) }
 
 // ErrShardCursorEvicted is returned by ShardRouter.Events when the cursor
 // points below the retention boundary.

@@ -59,9 +59,29 @@ func (c *runCursor) next(plan *guide.CellPlan) (partnerCell, partnerNode int32, 
 // wraps around the cell's Count).
 func (c *runCursor) reset() { c.runIdx, c.runPos = 0, 0 }
 
+// remapHandles rewrites a waiting-handle list through a retirement table
+// in place, dropping retired handles and preserving the relative order of
+// the survivors. Order preservation is what keeps retirement
+// behaviour-neutral for list-scanning algorithms: the dropped handles are
+// exactly the ones the algorithm's own availability filtering would have
+// compacted away, in the same order, at its next pass.
+func remapHandles(hs []int32, m []int32) []int32 {
+	k := 0
+	for _, h := range hs {
+		if n := m[h]; n >= 0 {
+			hs[k] = n
+			k++
+		}
+	}
+	return hs[:k]
+}
+
+// All six online algorithms support arena retirement.
 var (
-	_ sim.Algorithm = (*POLAR)(nil)
-	_ sim.Algorithm = (*POLAROP)(nil)
-	_ sim.Algorithm = (*SimpleGreedy)(nil)
-	_ sim.Algorithm = (*GR)(nil)
+	_ sim.RetirableAlgorithm = (*POLAR)(nil)
+	_ sim.RetirableAlgorithm = (*POLAROP)(nil)
+	_ sim.RetirableAlgorithm = (*SimpleGreedy)(nil)
+	_ sim.RetirableAlgorithm = (*GR)(nil)
+	_ sim.RetirableAlgorithm = (*Hybrid)(nil)
+	_ sim.RetirableAlgorithm = (*TGOA)(nil)
 )

@@ -78,6 +78,18 @@ func (a *GR) OnFinish(now float64) {
 	a.flush(now)
 }
 
+// Remap implements sim.RetirableAlgorithm: the waiting lists are rebased
+// in place, dropping retired handles. flush compacts the very same
+// entries (a retired object fails its availability check) in the same
+// order, so a window flushed after a retirement commits exactly what it
+// would have without one — including when the retirement lands between
+// Schedule and the pending OnTimer. The batch index is rebuilt from local
+// ids every flush and needs no remapping.
+func (a *GR) Remap(workers, tasks []int32) {
+	a.waitingWorkers = remapHandles(a.waitingWorkers, workers)
+	a.waitingTasks = remapHandles(a.waitingTasks, tasks)
+}
+
 // flush runs a maximum matching over the currently available waiting
 // objects and commits it.
 func (a *GR) flush(now float64) {

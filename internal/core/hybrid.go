@@ -121,6 +121,15 @@ func (a *Hybrid) OnTaskArrival(t int, now float64) {
 // OnFinish implements sim.Algorithm.
 func (a *Hybrid) OnFinish(now float64) { a.op.OnFinish(now) }
 
+// Remap implements sim.RetirableAlgorithm: both halves rebase — the
+// guide-path queues via POLAROP's remap and the fallback waiting indexes
+// via the spatial re-key.
+func (a *Hybrid) Remap(workers, tasks []int32) {
+	a.op.Remap(workers, tasks)
+	a.waitingWorkers.Remap(workers)
+	a.waitingTasks.Remap(tasks)
+}
+
 // workerMatched and taskMatched probe availability at time 0 as a cheap
 // "has a match been committed for this object" signal: at time 0 no
 // deadline has passed, so unavailability can only come from the matched

@@ -60,8 +60,12 @@ func (a *POLAR) OnWorkerArrival(w int, now float64) {
 	tPlan := &a.g.TaskCells[partnerCell]
 	tCell := &a.tCells[partnerCell]
 	if partnerNode < int32(len(tCell.occupants)) {
-		// Partner node already occupied by an actual task: assign.
-		a.p.TryMatch(w, int(tCell.occupants[partnerNode]), now)
+		// Partner node already occupied by an actual task: assign. A
+		// retired occupant (negative after Remap) was matched or dead, so
+		// the TryMatch it stands in for could only ever have been refused.
+		if occ := tCell.occupants[partnerNode]; occ >= 0 {
+			a.p.TryMatch(w, int(occ), now)
+		}
 		return
 	}
 	// Partner task not here yet: dispatch the worker toward its area
@@ -90,7 +94,9 @@ func (a *POLAR) OnTaskArrival(t int, now float64) {
 	}
 	wCell := &a.wCells[partnerCell]
 	if partnerNode < int32(len(wCell.occupants)) {
-		a.p.TryMatch(int(wCell.occupants[partnerNode]), t, now)
+		if occ := wCell.occupants[partnerNode]; occ >= 0 {
+			a.p.TryMatch(int(occ), t, now)
+		}
 	}
 	// Otherwise the paired worker has not arrived yet; the task waits and
 	// will be found by the worker when (if) it arrives.
@@ -98,3 +104,25 @@ func (a *POLAR) OnTaskArrival(t int, now float64) {
 
 // OnFinish implements sim.Algorithm.
 func (a *POLAR) OnFinish(now float64) {}
+
+// Remap implements sim.RetirableAlgorithm. Occupation is positional — a
+// cell's k-th occupant answers for guide node k — so retired occupants
+// must keep their slot: they are replaced by a negative sentinel rather
+// than removed, and the match paths above skip the (always-doomed)
+// TryMatch against them. Occupant lists are bounded by the guide's node
+// counts, so the sentinels cost no growth.
+func (a *POLAR) Remap(workers, tasks []int32) {
+	remapOccupants(a.wCells, workers)
+	remapOccupants(a.tCells, tasks)
+}
+
+func remapOccupants(cells []polarCell, m []int32) {
+	for i := range cells {
+		occ := cells[i].occupants
+		for j, h := range occ {
+			if h >= 0 {
+				occ[j] = m[h]
+			}
+		}
+	}
+}

@@ -34,8 +34,9 @@ type opCell struct {
 	queue   waitQueue // associated objects not yet matched
 }
 
-// waitQueue is a FIFO of object indices. Dead entries (matched elsewhere or
-// expired) are dropped lazily during scans, keeping amortised cost O(1).
+// waitQueue is a FIFO of object indices. Dead entries (matched elsewhere,
+// expired, or retired to a negative sentinel by Remap) are dropped lazily
+// during scans, keeping amortised cost O(1).
 type waitQueue struct {
 	items []int32
 	head  int
@@ -45,10 +46,14 @@ func (q *waitQueue) push(v int32) { q.items = append(q.items, v) }
 
 // scan calls try on each live entry in order until try commits one; dead
 // entries encountered on the way are removed. It reports whether a match
-// was committed.
+// was committed. Negative entries are retired handles: dead by
+// construction, removed with exactly the same head-advance/swap dynamics
+// a live dead entry gets — which is what keeps the surviving entries'
+// order evolution, and therefore the matching, identical to an unretired
+// run.
 func (q *waitQueue) scan(dead func(int32) bool, try func(int32) bool) bool {
 	// Drop dead prefix.
-	for q.head < len(q.items) && dead(q.items[q.head]) {
+	for q.head < len(q.items) && (q.items[q.head] < 0 || dead(q.items[q.head])) {
 		q.head++
 	}
 	if q.head == len(q.items) {
@@ -58,7 +63,7 @@ func (q *waitQueue) scan(dead func(int32) bool, try func(int32) bool) bool {
 	}
 	for i := q.head; i < len(q.items); {
 		cand := q.items[i]
-		if dead(cand) {
+		if cand < 0 || dead(cand) {
 			q.items[i] = q.items[len(q.items)-1]
 			q.items = q.items[:len(q.items)-1]
 			continue
@@ -75,6 +80,26 @@ func (q *waitQueue) scan(dead func(int32) bool, try func(int32) bool) bool {
 		i++
 	}
 	return false
+}
+
+// remap rebases the queue across an arena epoch. The consumed prefix is
+// reclaimed and the leading run of retired entries is dropped (both are
+// order-preserving, mirroring scan's own head advance), bounding the
+// queue by its live window; interior retired entries become negative
+// sentinels so future scans remove them with unchanged swap dynamics.
+func (q *waitQueue) remap(m []int32) {
+	items := q.items[q.head:]
+	for len(items) > 0 && (items[0] < 0 || m[items[0]] < 0) {
+		items = items[1:]
+	}
+	for i, h := range items {
+		if h >= 0 {
+			items[i] = m[h]
+		}
+	}
+	n := copy(q.items, items)
+	q.items = q.items[:n]
+	q.head = 0
 }
 
 // NewPOLAROP creates a POLAR-OP instance bound to an offline guide.
@@ -145,6 +170,18 @@ func (a *POLAROP) OnTaskArrival(t int, now float64) {
 
 // OnFinish implements sim.Algorithm.
 func (a *POLAROP) OnFinish(now float64) {}
+
+// Remap implements sim.RetirableAlgorithm: every cell's waiting queue is
+// rebased into the new handle space. Node indices and cursors are
+// untouched — they track guide positions, not objects.
+func (a *POLAROP) Remap(workers, tasks []int32) {
+	for i := range a.wCells {
+		a.wCells[i].queue.remap(workers)
+	}
+	for i := range a.tCells {
+		a.tCells[i].queue.remap(tasks)
+	}
+}
 
 // peekPartner returns the partner of the cell's current node without
 // consuming the cursor.

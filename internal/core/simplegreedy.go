@@ -131,3 +131,15 @@ func (a *SimpleGreedy) OnTaskArrival(t int, now float64) {
 
 // OnFinish implements sim.Algorithm.
 func (a *SimpleGreedy) OnFinish(now float64) {}
+
+// Remap implements sim.RetirableAlgorithm: the waiting indexes are
+// re-keyed in place. Retired ids drop out of their buckets — the same
+// entries the lazy deadIDs sweep would have removed, since a retired
+// object is unavailable by construction — so the index stays proportional
+// to the live waiting population. maxTaskBudget is a running max over all
+// admitted tasks and deliberately survives retirement: pruning with a
+// too-large radius is lossless.
+func (a *SimpleGreedy) Remap(workers, tasks []int32) {
+	a.waitingWorkers.Remap(workers)
+	a.waitingTasks.Remap(tasks)
+}

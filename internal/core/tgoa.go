@@ -24,13 +24,22 @@ import (
 // total arrival count, which it takes from the session's Hints (a replay
 // supplies the exact population). In a live session with zero hints the
 // split never triggers and TGOA degrades to its greedy phase.
+//
+// The virtual matching is kept in TGOA's own arrival-ordered ghost arenas
+// (a private copy of every admitted object), not in platform handles:
+// the hypothetical optimum ranges over ALL objects ever seen — matched
+// and expired ones included — so it must survive arena retirement intact
+// for retirement to stay behaviour-neutral. This means TGOA's memory
+// grows with lifetime arrivals by design (the price of its competitive
+// analysis); only the greedy-phase waiting indexes compact.
 type TGOA struct {
 	p sim.Platform
 
 	total   int // hinted |W| + |R|, to locate the halfway point; 0 = unknown
 	arrived int
 
-	// Greedy-phase state (same machinery as SimpleGreedy).
+	// Greedy-phase state (same machinery as SimpleGreedy), keyed by
+	// platform handle and rebased by Remap.
 	waitingWorkers *spatial.Index
 	waitingTasks   *spatial.Index
 	// maxTaskBudget is the running max of Dr over admitted tasks; pruning
@@ -38,14 +47,20 @@ type TGOA struct {
 	maxTaskBudget float64
 	deadIDs       []int
 
-	// Virtual maximum matching over all arrived objects, maintained by
-	// incremental augmenting paths on the feasibility graph. All three
-	// tables grow with the handles admitted so far.
-	virtW []int32 // virtual partner task of each worker, -1 if none
-	virtT []int32 // virtual partner worker of each task, -1 if none
-	seenW []int32 // arrived workers
-	seenT []int32 // arrived tasks
-	mark  []bool  // scratch: visited tasks during augmenting search
+	// Ghost arenas: one entry per arrival, in arrival order, never
+	// compacted. Internal ids (indexes into ws/ts) are the nodes of the
+	// virtual matching; i2hW/i2hT translate them to current platform
+	// handles (RetiredHandle once the object is retired).
+	ws   []model.Worker
+	ts   []model.Task
+	i2hW []int32
+	i2hT []int32
+
+	// Virtual maximum matching over the ghost arenas, maintained by
+	// incremental augmenting paths on the feasibility graph.
+	virtW []int32 // virtual partner task (internal id) of each worker, -1 if none
+	virtT []int32 // virtual partner worker (internal id) of each task, -1 if none
+	mark  []bool  // scratch: visited tasks during the worker-rooted search
 	markW []bool  // scratch: visited workers during the task-rooted search
 }
 
@@ -69,10 +84,12 @@ func (a *TGOA) Init(p sim.Platform) {
 	a.waitingWorkers = spatial.NewIndex(p.Bounds(), expectedOr(h.ExpectedWorkers, defaultIndexCapacity))
 	a.waitingTasks = spatial.NewIndex(p.Bounds(), expectedOr(h.ExpectedTasks, defaultIndexCapacity))
 	a.maxTaskBudget = 0
+	a.ws = a.ws[:0]
+	a.ts = a.ts[:0]
+	a.i2hW = a.i2hW[:0]
+	a.i2hT = a.i2hT[:0]
 	a.virtW = a.virtW[:0]
 	a.virtT = a.virtT[:0]
-	a.seenW = a.seenW[:0]
-	a.seenT = a.seenT[:0]
 	a.mark = a.mark[:0]
 	a.markW = a.markW[:0]
 }
@@ -85,12 +102,12 @@ func (a *TGOA) secondHalf() bool { return a.total > 0 && a.arrived*2 > a.total }
 // OnWorkerArrival implements sim.Algorithm.
 func (a *TGOA) OnWorkerArrival(w int, now float64) {
 	a.arrived++
-	a.seenW = append(a.seenW, int32(w))
-	for int(w) >= len(a.virtW) {
-		a.virtW = append(a.virtW, -1)
-		a.markW = append(a.markW, false)
-	}
-	a.augmentFromWorker(int32(w))
+	iw := int32(len(a.ws))
+	a.ws = append(a.ws, *a.p.Worker(w))
+	a.i2hW = append(a.i2hW, int32(w))
+	a.virtW = append(a.virtW, -1)
+	a.markW = append(a.markW, false)
+	a.augmentFromWorker(iw)
 	worker := a.p.Worker(w)
 	velocity := a.p.Velocity()
 
@@ -103,12 +120,15 @@ func (a *TGOA) OnWorkerArrival(w int, now float64) {
 		a.waitingWorkers.Insert(w, worker.Loc)
 		return
 	}
-	// Second half: follow the hypothetical optimal matching.
-	if t := a.virtW[w]; t >= 0 && a.p.TaskAvailable(int(t), now) &&
-		model.FeasibleAt(worker, a.p.Task(int(t)), worker.Loc, now, velocity) {
-		if a.p.TryMatch(w, int(t), now) {
-			a.waitingTasks.Remove(int(t))
-			return
+	// Second half: follow the hypothetical optimal matching. A retired
+	// virtual partner (translation -1) is unavailable by construction.
+	if it := a.virtW[iw]; it >= 0 {
+		if th := a.i2hT[it]; th >= 0 && a.p.TaskAvailable(int(th), now) &&
+			model.FeasibleAt(worker, &a.ts[it], worker.Loc, now, velocity) {
+			if a.p.TryMatch(w, int(th), now) {
+				a.waitingTasks.Remove(int(th))
+				return
+			}
 		}
 	}
 	a.waitingWorkers.Insert(w, worker.Loc)
@@ -117,12 +137,12 @@ func (a *TGOA) OnWorkerArrival(w int, now float64) {
 // OnTaskArrival implements sim.Algorithm.
 func (a *TGOA) OnTaskArrival(t int, now float64) {
 	a.arrived++
-	a.seenT = append(a.seenT, int32(t))
-	for int(t) >= len(a.virtT) {
-		a.virtT = append(a.virtT, -1)
-		a.mark = append(a.mark, false)
-	}
-	a.augmentFromTask(int32(t))
+	it := int32(len(a.ts))
+	a.ts = append(a.ts, *a.p.Task(t))
+	a.i2hT = append(a.i2hT, int32(t))
+	a.virtT = append(a.virtT, -1)
+	a.mark = append(a.mark, false)
+	a.augmentFromTask(it)
 	task := a.p.Task(t)
 	velocity := a.p.Velocity()
 	if task.Expiry > a.maxTaskBudget {
@@ -137,11 +157,13 @@ func (a *TGOA) OnTaskArrival(t int, now float64) {
 		a.waitingTasks.Insert(t, task.Loc)
 		return
 	}
-	if w := a.virtT[t]; w >= 0 && a.p.WorkerAvailable(int(w), now) &&
-		model.FeasibleAt(a.p.Worker(int(w)), task, a.p.Worker(int(w)).Loc, now, velocity) {
-		if a.p.TryMatch(int(w), t, now) {
-			a.waitingWorkers.Remove(int(w))
-			return
+	if iw := a.virtT[it]; iw >= 0 {
+		if wh := a.i2hW[iw]; wh >= 0 && a.p.WorkerAvailable(int(wh), now) &&
+			model.FeasibleAt(&a.ws[iw], task, a.ws[iw].Loc, now, velocity) {
+			if a.p.TryMatch(int(wh), t, now) {
+				a.waitingWorkers.Remove(int(wh))
+				return
+			}
 		}
 	}
 	a.waitingTasks.Insert(t, task.Loc)
@@ -149,6 +171,26 @@ func (a *TGOA) OnTaskArrival(t int, now float64) {
 
 // OnFinish implements sim.Algorithm.
 func (a *TGOA) OnFinish(now float64) {}
+
+// Remap implements sim.RetirableAlgorithm. The ghost arenas and the
+// virtual matching over them are untouched — the hypothetical optimum
+// ranges over all objects ever seen, which is exactly why it lives in
+// internal ids — so only the handle translations and the greedy waiting
+// indexes rebase.
+func (a *TGOA) Remap(workers, tasks []int32) {
+	for i, h := range a.i2hW {
+		if h >= 0 {
+			a.i2hW[i] = workers[h]
+		}
+	}
+	for i, h := range a.i2hT {
+		if h >= 0 {
+			a.i2hT[i] = tasks[h]
+		}
+	}
+	a.waitingWorkers.Remap(workers)
+	a.waitingTasks.Remap(tasks)
+}
 
 // nearestTask / nearestWorker are the greedy-phase searches.
 func (a *TGOA) nearestTask(worker *model.Worker, now float64) int {
@@ -202,24 +244,24 @@ func feasibleWaitInPlace(w *model.Worker, r *model.Task, velocity float64) bool 
 // augmenting-path search rooted at a newly arrived worker. Feasibility uses
 // the wait-in-place predicate of TGOA's model, so the virtual matching
 // approximates the best assignment the algorithm could actually commit.
-func (a *TGOA) augmentFromWorker(w int32) {
+func (a *TGOA) augmentFromWorker(iw int32) {
 	for i := range a.mark {
 		a.mark[i] = false
 	}
-	a.tryAugmentW(w)
+	a.tryAugmentW(iw)
 }
 
-func (a *TGOA) tryAugmentW(w int32) bool {
+func (a *TGOA) tryAugmentW(iw int32) bool {
 	velocity := a.p.Velocity()
-	worker := a.p.Worker(int(w))
-	for _, t := range a.seenT {
-		if a.mark[t] || !feasibleWaitInPlace(worker, a.p.Task(int(t)), velocity) {
+	worker := &a.ws[iw]
+	for it := range a.ts {
+		if a.mark[it] || !feasibleWaitInPlace(worker, &a.ts[it], velocity) {
 			continue
 		}
-		a.mark[t] = true
-		if a.virtT[t] == -1 || a.tryAugmentW(a.virtT[t]) {
-			a.virtT[t] = w
-			a.virtW[w] = t
+		a.mark[it] = true
+		if a.virtT[it] == -1 || a.tryAugmentW(a.virtT[it]) {
+			a.virtT[it] = iw
+			a.virtW[iw] = int32(it)
 			return true
 		}
 	}
@@ -229,24 +271,24 @@ func (a *TGOA) tryAugmentW(w int32) bool {
 // augmentFromTask is the symmetric search rooted at a new task: it walks
 // workers and recurses through their virtual partners, using the reusable
 // markW scratch so the task path is as allocation-free as the worker one.
-func (a *TGOA) augmentFromTask(t int32) {
+func (a *TGOA) augmentFromTask(it int32) {
 	for i := range a.markW {
 		a.markW[i] = false
 	}
-	a.tryAugmentT(t)
+	a.tryAugmentT(it)
 }
 
-func (a *TGOA) tryAugmentT(t int32) bool {
+func (a *TGOA) tryAugmentT(it int32) bool {
 	velocity := a.p.Velocity()
-	task := a.p.Task(int(t))
-	for _, w := range a.seenW {
-		if a.markW[w] || !feasibleWaitInPlace(a.p.Worker(int(w)), task, velocity) {
+	task := &a.ts[it]
+	for iw := range a.ws {
+		if a.markW[iw] || !feasibleWaitInPlace(&a.ws[iw], task, velocity) {
 			continue
 		}
-		a.markW[w] = true
-		if a.virtW[w] == -1 || a.tryAugmentT(a.virtW[w]) {
-			a.virtW[w] = t
-			a.virtT[t] = w
+		a.markW[iw] = true
+		if a.virtW[iw] == -1 || a.tryAugmentT(a.virtW[iw]) {
+			a.virtW[iw] = it
+			a.virtT[it] = int32(iw)
 			return true
 		}
 	}

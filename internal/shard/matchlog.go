@@ -1,0 +1,149 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ftoa/internal/sim"
+)
+
+// MatchEntry is one committed pair in a MatchLog: the event's shard and
+// handles plus Ord, the dense global match ordinal (0, 1, 2, … in commit
+// order). Ordinals double as cursors: the first N matches are exactly
+// those with Ord < N.
+type MatchEntry struct {
+	Ord    uint64
+	Shard  int
+	Worker int
+	Task   int
+	Time   float64
+}
+
+// MatchLog is a retention-bounded, match-only view of a Router's event
+// stream, buffered per shard so that recording a match — which happens
+// inside the emitting shard's single-writer lock, via the OnEvent hook —
+// only ever touches that shard's buffer. Nothing is shared between
+// writers, so the admission hot path stays fully lock-disjoint across
+// regions; readers merge the per-shard buffers by ordinal at read time.
+// This replaces the one-global-mutex match history ftoa-serve used to
+// keep (a serialization point inside every emitting shard's lock).
+//
+// Unlike the router's polled event log, the view is lossless under event
+// retention: it is fed synchronously by the hook, so it never misses a
+// commit even when the event log wraps. Its own retention is per shard
+// (each shard keeps at least its most recent `retention` matches), with
+// the same batched eviction policy as the event log (retain.go).
+type MatchLog struct {
+	retention int
+	count     atomic.Uint64 // next ordinal to assign
+	evicted   atomic.Uint64 // lowest ordinal guaranteed gap-free
+	shards    []matchLogShard
+}
+
+type matchLogShard struct {
+	mu  sync.Mutex
+	buf []MatchEntry // Ord strictly increasing within a shard
+}
+
+// NewMatchLog creates a match view over `shards` regions, keeping at
+// least the most recent `retention` matches per shard (non-positive
+// keeps everything). Wire Record as (part of) the router's OnEvent hook.
+func NewMatchLog(shards, retention int) *MatchLog {
+	return &MatchLog{retention: retention, shards: make([]matchLogShard, shards)}
+}
+
+// Record folds one sequenced event into the view; non-match events are
+// ignored. It is safe for concurrent use and intended to be called from
+// Config.OnEvent — per shard it serializes only on that shard's buffer
+// lock, which readers hold just long enough to copy.
+func (l *MatchLog) Record(ev Event) {
+	if ev.Kind != sim.EventMatch {
+		return
+	}
+	s := &l.shards[ev.Shard]
+	s.mu.Lock()
+	// The ordinal is assigned under the shard's buffer lock so that
+	// within a shard ordinals are appended strictly increasing — the
+	// sorted-buffer invariant Matches' binary search and the eviction
+	// boundary rely on — even when same-shard Records race.
+	ord := l.count.Add(1) - 1
+	s.buf = append(s.buf, MatchEntry{Ord: ord, Shard: ev.Shard, Worker: ev.Worker, Task: ev.Task, Time: ev.Time})
+	if drop := retainDrop(len(s.buf), l.retention); drop > 0 {
+		boundary := s.buf[drop-1].Ord + 1
+		n := copy(s.buf, s.buf[drop:])
+		s.buf = s.buf[:n]
+		raiseBoundary(&l.evicted, boundary)
+	}
+	s.mu.Unlock()
+}
+
+// Count returns how many matches have been recorded over the log's
+// lifetime (the next ordinal to be assigned).
+func (l *MatchLog) Count() uint64 { return l.count.Load() }
+
+// Oldest returns the lowest cursor Matches still serves gap-free — the
+// eviction boundary. Like the router's OldestCursor it is a global
+// maximum over per-shard boundaries: everything below the hottest
+// shard's eviction point counts as gone.
+func (l *MatchLog) Oldest() uint64 { return l.evicted.Load() }
+
+// Matches appends to dst the matches with Ord >= since, merged across
+// shards in ordinal order, and returns the extended slice plus the
+// cursor to pass next time. At most limit matches are returned per call
+// (zero or negative means unlimited). A cursor below the eviction
+// boundary gets ErrEvicted: restart from Oldest, accepting the gap.
+//
+// Delivery is gap-free: ordinals are dense, and the merged page is
+// truncated at the first missing ordinal — which can only be a match
+// whose Record call is mid-flight on another shard — so the returned
+// cursor never skips a commit; the next poll picks it up.
+func (l *MatchLog) Matches(since uint64, limit int, dst []MatchEntry) ([]MatchEntry, uint64, error) {
+	if since < l.evicted.Load() {
+		return dst, 0, ErrEvicted
+	}
+	if since >= l.count.Load() {
+		return dst, since, nil
+	}
+	start := len(dst)
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		buf := s.buf
+		j := sort.Search(len(buf), func(k int) bool { return buf[k].Ord >= since })
+		// A page can hold at most limit entries and ordinals are unique,
+		// so each shard contributes at most its limit lowest candidates —
+		// bounding the transient gather at shards x limit, as the
+		// router's event gather does.
+		if limit > 0 && len(buf)-j > limit {
+			buf = buf[:j+limit]
+		}
+		dst = append(dst, buf[j:]...)
+		s.mu.Unlock()
+	}
+	// Re-check after the walk: an eviction during it may have dropped
+	// matches at or above since from a shard visited before it happened.
+	if since < l.evicted.Load() {
+		return dst[:start], 0, ErrEvicted
+	}
+	tail := dst[start:]
+	sort.Slice(tail, func(a, b int) bool { return tail[a].Ord < tail[b].Ord })
+	k := 0
+	for k < len(tail) && tail[k].Ord == since+uint64(k) && (limit <= 0 || k < limit) {
+		k++
+	}
+	return dst[:start+k], since + uint64(k), nil
+}
+
+// MatchesFromOldest is Matches anchored at the oldest retained cursor,
+// atomically: a concurrent eviction restarts the read at the new
+// boundary instead of surfacing ErrEvicted — the primitive behind
+// cursor-less polling ("give me what is retained").
+func (l *MatchLog) MatchesFromOldest(limit int, dst []MatchEntry) ([]MatchEntry, uint64) {
+	for {
+		out, next, err := l.Matches(l.evicted.Load(), limit, dst)
+		if err == nil {
+			return out, next
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"ftoa/internal/sim"
+)
+
+// matchEvent fabricates a sequenced match event for shard s.
+func matchEvent(seq uint64, shard, w, t int, at float64) Event {
+	return Event{Seq: seq, Shard: shard, SessionEvent: sim.SessionEvent{
+		Kind: sim.EventMatch, Worker: w, Task: t, Time: at,
+	}}
+}
+
+func TestMatchLogMergesByOrdinal(t *testing.T) {
+	l := NewMatchLog(2, 0)
+	// Interleave shards; ordinals are assigned in Record order regardless
+	// of shard.
+	l.Record(matchEvent(0, 0, 1, 1, 1))
+	l.Record(matchEvent(1, 1, 2, 2, 2))
+	l.Record(matchEvent(2, 0, 3, 3, 3))
+	l.Record(Event{Seq: 3, Shard: 1, SessionEvent: sim.SessionEvent{Kind: sim.EventWorkerExpired, Worker: 9, Task: -1}})
+	l.Record(matchEvent(4, 1, 4, 4, 4))
+
+	if l.Count() != 4 {
+		t.Fatalf("Count = %d, want 4 (expiry ignored)", l.Count())
+	}
+	out, next, err := l.Matches(0, 0, nil)
+	if err != nil || len(out) != 4 || next != 4 {
+		t.Fatalf("Matches(0) = %d entries, next %d, err %v", len(out), next, err)
+	}
+	for i, e := range out {
+		if e.Ord != uint64(i) {
+			t.Fatalf("entry %d has ordinal %d: merged order broken: %+v", i, e.Ord, out)
+		}
+	}
+	if out[1].Shard != 1 || out[1].Worker != 2 {
+		t.Fatalf("entry 1 = %+v, want shard 1's first match", out[1])
+	}
+	// Cursor tail.
+	out, next, err = l.Matches(3, 0, nil)
+	if err != nil || len(out) != 1 || out[0].Worker != 4 || next != 4 {
+		t.Fatalf("Matches(3) = %+v next %d err %v", out, next, err)
+	}
+	// Past the end: empty, cursor unchanged.
+	if out, next, err = l.Matches(9, 0, nil); err != nil || len(out) != 0 || next != 9 {
+		t.Fatalf("Matches(9) = %+v next %d err %v", out, next, err)
+	}
+	// Limit paging.
+	out, next, err = l.Matches(0, 2, nil)
+	if err != nil || len(out) != 2 || next != 2 {
+		t.Fatalf("limited page = %+v next %d err %v", out, next, err)
+	}
+}
+
+func TestMatchLogRetention(t *testing.T) {
+	l := NewMatchLog(1, 2)
+	for i := 0; i < 4; i++ {
+		l.Record(matchEvent(uint64(i), 0, i, i, float64(i)))
+	}
+	// 4 > 2+2/2: evicted down to the last 2.
+	if l.Oldest() != 2 {
+		t.Fatalf("Oldest = %d, want 2", l.Oldest())
+	}
+	if _, _, err := l.Matches(1, 0, nil); err != ErrEvicted {
+		t.Fatalf("Matches(1) err = %v, want ErrEvicted", err)
+	}
+	out, next, err := l.Matches(2, 0, nil)
+	if err != nil || len(out) != 2 || next != 4 || out[0].Worker != 2 {
+		t.Fatalf("retained window = %+v next %d err %v", out, next, err)
+	}
+	out, next = l.MatchesFromOldest(0, nil)
+	if len(out) != 2 || next != 4 {
+		t.Fatalf("MatchesFromOldest = %+v next %d", out, next)
+	}
+	if l.Count() != 4 {
+		t.Fatalf("Count = %d, want the lifetime total 4", l.Count())
+	}
+}
+
+// TestMatchLogGapTruncation: an ordinal assigned but not yet buffered (a
+// Record mid-flight on another shard) must truncate the page — delivery
+// stays gap-free and the cursor never skips it.
+func TestMatchLogGapTruncation(t *testing.T) {
+	l := NewMatchLog(2, 0)
+	l.Record(matchEvent(0, 0, 1, 1, 1))
+	// Simulate an in-flight Record on shard 1: ordinal 1 assigned, buffer
+	// append not yet visible.
+	l.count.Add(1)
+	l.Record(matchEvent(2, 0, 3, 3, 3)) // ordinal 2, lands in shard 0
+
+	out, next, err := l.Matches(0, 0, nil)
+	if err != nil || len(out) != 1 || next != 1 {
+		t.Fatalf("page across a gap = %+v next %d err %v (must stop before the in-flight ordinal)", out, next, err)
+	}
+	// The straggler lands; the next poll resumes without loss.
+	l.shards[1].mu.Lock()
+	l.shards[1].buf = append(l.shards[1].buf, MatchEntry{Ord: 1, Shard: 1, Worker: 2, Task: 2, Time: 2})
+	l.shards[1].mu.Unlock()
+	out, next, err = l.Matches(next, 0, nil)
+	if err != nil || len(out) != 2 || next != 3 || out[0].Ord != 1 || out[1].Ord != 2 {
+		t.Fatalf("resumed page = %+v next %d err %v", out, next, err)
+	}
+}
+
+// TestMatchLogConcurrentSmoke hammers Record from per-shard producers
+// against merging readers; run under -race in CI. Every reader page must
+// be gap-free and ordinal-ordered.
+func TestMatchLogConcurrentSmoke(t *testing.T) {
+	const shards, perShard = 4, 500
+	l := NewMatchLog(shards, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				l.Record(matchEvent(0, s, i, i, float64(i)))
+			}
+		}(s)
+	}
+	var readerErr error
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var cursor uint64
+		var buf []MatchEntry
+		for {
+			var err error
+			buf, cursor, err = l.Matches(cursor, 0, buf[:0])
+			if err != nil {
+				readerErr = err
+				return
+			}
+			want := cursor - uint64(len(buf))
+			for i, e := range buf {
+				if e.Ord != want+uint64(i) {
+					readerErr = errOrd{e.Ord, want + uint64(i)}
+					return
+				}
+			}
+			select {
+			case <-stop:
+				if cursor == uint64(shards*perShard) {
+					return
+				}
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if l.Count() != shards*perShard {
+		t.Fatalf("Count = %d, want %d", l.Count(), shards*perShard)
+	}
+}
+
+type errOrd struct{ got, want uint64 }
+
+func (e errOrd) Error() string { return "out-of-order ordinal" }

@@ -1,0 +1,35 @@
+package shard
+
+import "sync/atomic"
+
+// Shared retention-window arithmetic. Every bounded history in the
+// serving layer — the router's per-shard event logs and the MatchLog's
+// per-shard match buffers — evicts with the same policy: let the log
+// overshoot its retention target by 50%, then drop back down to exactly
+// the target in one batch, so eviction is an O(1) amortized copy per
+// append instead of an O(retention) memmove on every append once full.
+// This file is the single home of that policy (it used to be copy-pasted
+// between the router and ftoa-serve's match view, guarded only by
+// cross-referenced comments).
+
+// retainDrop returns how many leading entries to evict from a log of
+// length n under a retention target, per the batching policy above: 0
+// until the log exceeds retention by 50%, then n-retention. A
+// non-positive retention keeps everything.
+func retainDrop(n, retention int) int {
+	if retention <= 0 || n <= retention+retention/2 {
+		return 0
+	}
+	return n - retention
+}
+
+// raiseBoundary lifts a shared eviction boundary to at least b
+// (monotonic max under concurrent raisers).
+func raiseBoundary(bound *atomic.Uint64, b uint64) {
+	for {
+		cur := bound.Load()
+		if b <= cur || bound.CompareAndSwap(cur, b) {
+			return
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"testing"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+)
+
+// retirableGreedy is greedyAlg plus a Remap hook. It stores no handles —
+// every scan walks the platform fresh — so the hook has nothing to
+// rewrite; it exists to satisfy sim.RetirableAlgorithm.
+type retirableGreedy struct{ greedyAlg }
+
+func (a *retirableGreedy) Remap(workers, tasks []int32) {}
+
+func testRetireConfig(cols, rows int, every float64) Config {
+	cfg := testConfig(cols, rows)
+	cfg.NewAlgorithm = func() sim.Algorithm { return &retirableGreedy{} }
+	cfg.RetireInterval = every
+	return cfg
+}
+
+func TestNewRouterValidatesRetirement(t *testing.T) {
+	bad := testConfig(1, 1) // greedyAlg has no Remap hook
+	bad.RetireInterval = 5
+	if _, err := NewRouter(bad); err == nil {
+		t.Error("RetireInterval accepted with a non-retirable algorithm")
+	}
+	bad = testRetireConfig(1, 1, -1)
+	if _, err := NewRouter(bad); err == nil {
+		t.Error("negative RetireInterval accepted")
+	}
+}
+
+// TestRouterScheduledRetirement: with RetireInterval set, a shard's
+// arenas stay bounded by the live population while the lifetime stats
+// keep counting, and the merged event stream is unaffected.
+func TestRouterScheduledRetirement(t *testing.T) {
+	r, err := NewRouter(testRetireConfig(2, 1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := 0.0
+	// 20 waves of short-lived workers/tasks on the left shard; every
+	// wave is one deadline window, every interval boundary a retirement.
+	for wave := 0; wave < 20; wave++ {
+		for i := 0; i < 5; i++ {
+			if _, _, err := r.AddWorker(model.Worker{Loc: geo.Pt(10, 50), Arrive: clock, Patience: 2}); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := r.AddTask(model.Task{Loc: geo.Pt(10, 50), Release: clock, Expiry: 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		clock += 5
+		r.Advance(clock)
+	}
+	st := r.ShardStats(0)
+	if st.Workers != 100 || st.Tasks != 100 {
+		t.Fatalf("lifetime admissions %d/%d, want 100/100", st.Workers, st.Tasks)
+	}
+	if st.LiveWorkers+st.LiveTasks > 20 {
+		t.Fatalf("live arenas %d+%d after 20 retired waves, want bounded by one wave",
+			st.LiveWorkers, st.LiveTasks)
+	}
+	if st.Matches == 0 || st.Matches+st.ExpiredWorkers == 0 {
+		t.Fatalf("degenerate soak: stats %+v", st)
+	}
+	// The right shard saw nothing and stayed empty but healthy.
+	if st1 := r.ShardStats(1); st1.Workers != 0 || st1.LiveWorkers != 0 {
+		t.Fatalf("idle shard stats %+v", st1)
+	}
+	// The merged stream still accounts for every lifecycle event:
+	// matches + worker expiries == 100 admitted workers.
+	evs, _, err := r.Events(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, wexp := 0, 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case sim.EventMatch:
+			matches++
+		case sim.EventWorkerExpired:
+			wexp++
+		}
+	}
+	if matches != st.Matches || matches+wexp != 100 {
+		t.Fatalf("stream has %d matches / %d worker expiries; stats say %d matches over 100 workers",
+			matches, wexp, st.Matches)
+	}
+}
+
+// TestRouterManualRetire: Router.Retire compacts on demand and reports
+// the dropped totals.
+func TestRouterManualRetire(t *testing.T) {
+	r, err := NewRouter(testRetireConfig(2, 2, 0)) // schedule disabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		// One lonely worker per region; all expire at 1.
+		x, y := float64(25+50*(i%2)), float64(25+50*(i/2))
+		if _, _, err := r.AddWorker(model.Worker{Loc: geo.Pt(x, y), Arrive: 0, Patience: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Advance(10)
+	if w, tk := r.Retire(10); w != 4 || tk != 0 {
+		t.Fatalf("Retire dropped %d/%d, want 4/0", w, tk)
+	}
+	for i := 0; i < r.NumShards(); i++ {
+		if st := r.ShardStats(i); st.LiveWorkers != 0 || st.Workers != 1 {
+			t.Fatalf("shard %d stats %+v after manual retire", i, st)
+		}
+	}
+}

@@ -51,13 +51,29 @@ type Config struct {
 	// Retention bounds the per-shard merged-event log: each shard keeps
 	// at least its most recent Retention events; older ones are evicted
 	// (in batches of Retention/2, so eviction is O(1) amortized per
-	// event) and cursors pointing below the eviction boundary fail with
-	// ErrEvicted. Zero keeps everything (replay drivers, tests).
+	// event — see retain.go) and cursors pointing below the eviction
+	// boundary fail with ErrEvicted. Zero keeps everything (replay
+	// drivers, tests).
 	Retention int
+	// RetireInterval, when positive, schedules generational arena
+	// retirement per shard: whenever a write (admission, Advance, Finish)
+	// moves a shard's clock at least RetireInterval past its last
+	// retirement, the shard — still under its own single-writer lock, so
+	// retirement never blocks the other regions — drains its events into
+	// the log and calls Session.Retire with the current clock, compacting
+	// away matched and (in Strict mode) expired objects. This is what
+	// bounds a long-lived router's memory by its live population instead
+	// of its lifetime admissions. Requires an algorithm implementing
+	// sim.RetirableAlgorithm (all of this repo's algorithms do); NewRouter
+	// rejects the config otherwise. Zero disables retirement.
+	RetireInterval float64
 }
 
 // Handle names an object admitted through a Router: the shard that owns it
-// plus the session-local handle within that shard.
+// plus the session-local handle within that shard. With RetireInterval
+// set, Local is only stable until the owning shard's next retirement
+// compacts the object away (which can only happen once it is matched or
+// expired) — treat it as an admission receipt, not a durable key.
 type Handle struct {
 	Shard int
 	Local int
@@ -74,12 +90,17 @@ type Event struct {
 	sim.SessionEvent
 }
 
-// Stats is a point-in-time snapshot of one shard.
+// Stats is a point-in-time snapshot of one shard. Workers/Tasks count
+// lifetime admissions (monotone across retirements); LiveWorkers/
+// LiveTasks are the current arena populations — with retirement on, the
+// gap between the two is the memory the shard has reclaimed.
 type Stats struct {
 	Shard          int
 	Bounds         geo.Rect
 	Workers        int
 	Tasks          int
+	LiveWorkers    int
+	LiveTasks      int
 	Matches        int
 	ExpiredWorkers int
 	ExpiredTasks   int
@@ -115,6 +136,10 @@ type shardInstance struct {
 	log       []Event
 	scratch   []sim.SessionEvent
 	retention int
+	// retireEvery/lastRetire schedule arena retirement on the shard's
+	// session clock; see Config.RetireInterval.
+	retireEvery float64
+	lastRetire  float64
 }
 
 // NewRouter validates cfg, partitions the bounds, and starts one session
@@ -131,6 +156,9 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.Retention < 0 {
 		return nil, fmt.Errorf("shard: negative retention %d", cfg.Retention)
+	}
+	if cfg.RetireInterval < 0 {
+		return nil, fmt.Errorf("shard: negative retire interval %v", cfg.RetireInterval)
 	}
 	// Validate the base config before geo.NewGrid sees the bounds:
 	// degenerate bounds (zero-area, inverted) must surface as the same
@@ -150,10 +178,15 @@ func NewRouter(cfg Config) (*Router, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
+		alg := cfg.NewAlgorithm()
+		if _, ok := alg.(sim.RetirableAlgorithm); cfg.RetireInterval > 0 && !ok {
+			return nil, fmt.Errorf("shard: RetireInterval set but algorithm %q does not implement sim.RetirableAlgorithm", alg.Name())
+		}
 		r.shards[i] = &shardInstance{
-			id:        i,
-			sess:      m.NewSession(cfg.NewAlgorithm()),
-			retention: cfg.Retention,
+			id:          i,
+			sess:        m.NewSession(alg),
+			retention:   cfg.Retention,
+			retireEvery: cfg.RetireInterval,
 		}
 	}
 	return r, nil
@@ -191,8 +224,9 @@ func (r *Router) AddWorker(w model.Worker) (h Handle, admitted float64, err erro
 	if err != nil {
 		return Handle{}, 0, err
 	}
-	si.collectLocked(r)
-	return Handle{Shard: si.id, Local: local}, si.sess.Worker(local).Arrive, nil
+	admitted = si.sess.Worker(local).Arrive
+	si.afterWriteLocked(r)
+	return Handle{Shard: si.id, Local: local}, admitted, nil
 }
 
 // AddTask routes the task to the shard containing its location; see
@@ -205,8 +239,9 @@ func (r *Router) AddTask(t model.Task) (h Handle, admitted float64, err error) {
 	if err != nil {
 		return Handle{}, 0, err
 	}
-	si.collectLocked(r)
-	return Handle{Shard: si.id, Local: local}, si.sess.Task(local).Release, nil
+	admitted = si.sess.Task(local).Release
+	si.afterWriteLocked(r)
+	return Handle{Shard: si.id, Local: local}, admitted, nil
 }
 
 // Advance drives every shard's clock to now (shard by shard, so a slow
@@ -219,7 +254,7 @@ func (r *Router) Advance(now float64) {
 			si.mu.Lock()
 			defer si.mu.Unlock()
 			si.sess.Advance(now)
-			si.collectLocked(r)
+			si.afterWriteLocked(r)
 		}()
 	}
 }
@@ -238,11 +273,19 @@ func (r *Router) Finish() {
 	}
 }
 
+// afterWriteLocked is the post-write tail of every mutating router call:
+// drain and sequence new events, then run scheduled retirement. Callers
+// hold si.mu.
+func (si *shardInstance) afterWriteLocked(r *Router) {
+	si.collectLocked(r)
+	si.maybeRetireLocked()
+}
+
 // collectLocked drains the session's new lifecycle events into the shard
 // log, assigning global sequence numbers, then compacts the session arena
-// and applies retention. Callers hold si.mu; sequence numbers within a
-// shard are strictly increasing because assignment happens under the
-// shard lock.
+// and applies retention (see retain.go for the shared eviction policy).
+// Callers hold si.mu; sequence numbers within a shard are strictly
+// increasing because assignment happens under the shard lock.
 func (si *shardInstance) collectLocked(r *Router) {
 	si.scratch = si.sess.DrainEvents(si.scratch[:0])
 	if len(si.scratch) == 0 {
@@ -256,23 +299,28 @@ func (si *shardInstance) collectLocked(r *Router) {
 		}
 	}
 	si.sess.CompactEvents()
-	// Evict in batches: letting the log overshoot retention by 50%
-	// before dropping back down makes eviction O(1) amortized per event
-	// instead of an O(retention) memmove on every admission once full.
-	// ftoa-serve's match window mirrors this arithmetic — keep in sync.
-	if si.retention > 0 && len(si.log) > si.retention+si.retention/2 {
-		drop := len(si.log) - si.retention
+	if drop := retainDrop(len(si.log), si.retention); drop > 0 {
 		boundary := si.log[drop-1].Seq + 1
 		n := copy(si.log, si.log[drop:])
 		si.log = si.log[:n]
-		// Raise the global eviction boundary (monotonic max).
-		for {
-			cur := r.evicted.Load()
-			if boundary <= cur || r.evicted.CompareAndSwap(cur, boundary) {
-				break
-			}
-		}
+		raiseBoundary(&r.evicted, boundary)
 	}
+}
+
+// maybeRetireLocked runs scheduled arena retirement once the shard clock
+// has moved RetireInterval past the last one. It always runs after
+// collectLocked, so the event arena is fully drained and no handle-bearing
+// event can straddle the epoch boundary. Callers hold si.mu.
+func (si *shardInstance) maybeRetireLocked() {
+	if si.retireEvery <= 0 {
+		return
+	}
+	now := si.sess.Now()
+	if now < si.lastRetire+si.retireEvery {
+		return
+	}
+	si.sess.Retire(now)
+	si.lastRetire = now
 }
 
 // Cursor returns a cursor positioned after every event emitted so far —
@@ -411,15 +459,39 @@ func (r *Router) ShardStats(i int) Stats {
 	return Stats{
 		Shard:          si.id,
 		Bounds:         r.grid.CellRect(si.id),
-		Workers:        si.sess.NumWorkers(),
-		Tasks:          si.sess.NumTasks(),
-		Matches:        si.sess.Matching().Size(),
+		Workers:        si.sess.AdmittedWorkers(),
+		Tasks:          si.sess.AdmittedTasks(),
+		LiveWorkers:    si.sess.NumWorkers(),
+		LiveTasks:      si.sess.NumTasks(),
+		Matches:        si.sess.Matches(),
 		ExpiredWorkers: si.sess.ExpiredWorkers(),
 		ExpiredTasks:   si.sess.ExpiredTasks(),
 		Attempted:      si.sess.Attempted(),
 		Rejected:       si.sess.Rejected(),
 		Now:            si.sess.Now(),
 	}
+}
+
+// Retire compacts every shard's arenas now, regardless of the
+// RetireInterval schedule: each shard, under its own lock, drains its
+// events into the log and retires objects provably dead at or before
+// horizon (clamped per shard to that shard's clock). It returns the total
+// workers and tasks dropped. Callers that only want the scheduled
+// behaviour never need this; it exists for operational "compact now"
+// hooks and tests.
+func (r *Router) Retire(horizon float64) (workers, tasks int) {
+	for _, si := range r.shards {
+		func() {
+			si.mu.Lock()
+			defer si.mu.Unlock()
+			si.collectLocked(r)
+			w, t := si.sess.Retire(horizon)
+			si.lastRetire = si.sess.Now()
+			workers += w
+			tasks += t
+		}()
+	}
+	return workers, tasks
 }
 
 // StatsAll appends a snapshot of every shard to dst and returns it.

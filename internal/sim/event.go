@@ -145,21 +145,56 @@ func (q *expiryQueue) pop() expiryEntry {
 	last := len(h) - 1
 	h[0] = h[last]
 	q.heap = h[:last]
-	h = q.heap
-	for i := 0; ; {
+	siftDown(q.heap, 0)
+	return top
+}
+
+// siftDown restores the min-heap property below index i.
+func siftDown(h []expiryEntry, i int) {
+	n := len(h)
+	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < last && entryLess(h[l], h[min]) {
+		if l < n && entryLess(h[l], h[min]) {
 			min = l
 		}
-		if r < last && entryLess(h[r], h[min]) {
+		if r < n && entryLess(h[r], h[min]) {
 			min = r
 		}
 		if min == i {
-			break
+			return
 		}
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
-	return top
+}
+
+// remap rebases the queue across an arena epoch: entries of retired
+// objects are dropped (a retired object is matched or already past its
+// fired deadline, so its pending entry could only ever have been
+// suppressed — dropping it leaves the emitted event stream unchanged) and
+// surviving entries get their new handles. The FIFO filter preserves its
+// sorted order; the heap is filtered and re-heapified. Everything is in
+// place, reclaiming the consumed FIFO prefix as a side effect.
+func (q *expiryQueue) remap(m []int32) {
+	out := q.fifo[:0]
+	for _, e := range q.fifo[q.head:] {
+		if n := m[e.handle]; n >= 0 {
+			e.handle = n
+			out = append(out, e)
+		}
+	}
+	q.fifo = out
+	q.head = 0
+	hout := q.heap[:0]
+	for _, e := range q.heap {
+		if n := m[e.handle]; n >= 0 {
+			e.handle = n
+			hout = append(hout, e)
+		}
+	}
+	q.heap = hout
+	for i := len(q.heap)/2 - 1; i >= 0; i-- {
+		siftDown(q.heap, i)
+	}
 }

@@ -58,6 +58,14 @@ type MatcherConfig struct {
 	// EventMatch, under the same restrictions as OnEvent. Both hooks may
 	// be set; OnEvent fires first.
 	OnMatch func(Match)
+	// OnRetire, when non-nil, is invoked synchronously from within
+	// Session.Retire after a compaction that dropped at least one object,
+	// with the same old→new handle tables the algorithm's Remap hook
+	// received (RetiredHandle marks dropped objects). External views that
+	// track session handles across epochs rebase themselves here. The
+	// slices are owned by the session and valid only during the call, and
+	// the handler must not call back into the Session.
+	OnRetire func(workers, tasks []int32)
 }
 
 // Matcher is a configured factory for open-world matching sessions. One
@@ -104,6 +112,7 @@ func newSession(cfg MatcherConfig, alg Algorithm) *Session {
 		hints:    cfg.Hints,
 		onEvent:  cfg.OnEvent,
 		onMatch:  cfg.OnMatch,
+		onRetire: cfg.OnRetire,
 	}
 	s.Reset(alg)
 	return s
@@ -126,9 +135,12 @@ var ErrFinished = errors.New("sim: session finished")
 // Session is one live open-world matching session: workers and tasks are
 // admitted at arrival time and handed to the algorithm immediately, with no
 // pre-materialised instance. Handles returned by AddWorker/AddTask are
-// stable dense indexes into append-only arenas (0, 1, 2, …, in admission
+// stable dense indexes into growable arenas (0, 1, 2, …, in admission
 // order per side), so algorithm state and the platform's ground truth stay
-// flat slices with zero steady-state allocations on the hot path.
+// flat slices with zero steady-state allocations on the hot path. The
+// arenas are append-only within an epoch; long-lived sessions bound their
+// memory by calling Retire (see retire.go), which compacts away provably
+// dead objects and remaps the surviving handles.
 //
 // Session time is driven by the caller: each admission carries its arrival
 // time (clamped to be non-decreasing), and Advance moves the clock without
@@ -150,16 +162,26 @@ type Session struct {
 	hints    Hints
 	onEvent  func(SessionEvent)
 	onMatch  func(Match)
+	onRetire func(workers, tasks []int32)
 
 	alg      Algorithm
 	timerAlg TimerAlgorithm // nil when alg has no OnTimer
 
-	// Append-only arenas; handles index into them.
+	// Arenas; handles index into them. Append-only within an epoch;
+	// Retire compacts them across epoch boundaries (see retire.go).
 	workers  []model.Worker
 	tasks    []model.Task
 	wstate   []workerState
 	tMatch   []bool
 	tMatchAt []float64 // commit time per task, valid when tMatch
+
+	// Epoch bookkeeping (retire.go): wRemap/tRemap are the reusable
+	// old→new handle tables, retired* the cumulative drop counts.
+	wRemap   []int32
+	tRemap   []int32
+	retiredW int
+	retiredT int
+	epoch    uint64
 
 	matching model.Matching
 	// events is the lifecycle arena: commits and expiries in fire order.
@@ -180,9 +202,10 @@ type Session struct {
 	timer    float64 // pending timer or +Inf
 	finished bool
 
-	attempted int
-	rejected  int
-	stats     MatchStats
+	attempted  int
+	rejected   int
+	matchCount int // lifetime commits; survives Retire's matching compaction
+	stats      MatchStats
 }
 
 var _ Platform = (*Session)(nil)
@@ -207,6 +230,10 @@ func (s *Session) Reset(alg Algorithm) {
 	s.tExpiry.reset()
 	s.expiredW = 0
 	s.expiredT = 0
+	s.retiredW = 0
+	s.retiredT = 0
+	s.epoch = 0
+	s.matchCount = 0
 	// The clock starts unset (-Inf) so the first admission defines session
 	// time — recorded streams replay with their timestamps intact, even
 	// negative ones; clamping only ever applies to genuinely out-of-order
@@ -452,8 +479,10 @@ func (s *Session) ExpiredTasks() int { return s.expiredT }
 // Now returns the session clock.
 func (s *Session) Now() float64 { return s.now }
 
-// Matching returns the committed matching so far. The caller must not
-// retain it across Reset.
+// Matching returns the committed matching so far, in the current epoch's
+// handle space (pairs whose endpoints retired are compacted away; Matches
+// keeps the lifetime count). The caller must not retain it across Reset
+// or Retire.
 func (s *Session) Matching() model.Matching { return s.matching }
 
 // Stats returns the service-quality aggregates over committed matches.
@@ -469,7 +498,8 @@ func (s *Session) Rejected() int { return s.rejected }
 func (s *Session) Mode() Mode { return s.mode }
 
 // Worker implements Platform. The returned pointer stays valid and
-// immutable for the session's lifetime.
+// immutable for the current arena epoch (for the whole session if Retire
+// is never called).
 func (s *Session) Worker(w int) *model.Worker { return &s.workers[w] }
 
 // Task implements Platform.
@@ -559,6 +589,7 @@ func (s *Session) TryMatch(w, t int, now float64) bool {
 	s.tMatch[t] = true
 	s.tMatchAt[t] = now
 	s.matching.Add(w, t)
+	s.matchCount++
 	s.stats.TotalPickupDistance += pos.Dist(s.tasks[t].Loc)
 	s.stats.TotalGuidedDistance += ws.origin.Dist(pos)
 	if wait := now - s.tasks[t].Release; wait > 0 {

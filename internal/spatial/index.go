@@ -121,6 +121,42 @@ func (ix *Index) Remove(id int) {
 	ix.n--
 }
 
+// Remap rewrites every entry's id through m in place: an entry with id
+// old becomes m[old], and entries mapped to a negative id are removed (the
+// retired-handle convention of sim.Session.Retire). Points are untouched —
+// a remap renames objects, it does not move them — so buckets only
+// compact, never rehash, and no capacity is released. Ids at or beyond
+// len(m) panic: the caller's table must cover every inserted id.
+func (ix *Index) Remap(m []int32) {
+	// Pass 1: clear the id tables for every present entry and compact each
+	// bucket to its survivors. The tables are rebuilt in a second pass
+	// because old and new id ranges overlap numerically.
+	for c, b := range ix.buckets {
+		k := 0
+		for _, e := range b {
+			ix.cell[e.id] = -1
+			nid := m[e.id]
+			if nid < 0 {
+				ix.n--
+				continue
+			}
+			e.id = nid
+			b[k] = e
+			k++
+		}
+		ix.buckets[c] = b[:k]
+	}
+	for c, b := range ix.buckets {
+		for s, e := range b {
+			if int(e.id) >= len(ix.cell) {
+				ix.grow(int(e.id) + 1)
+			}
+			ix.cell[e.id] = int32(c)
+			ix.slot[e.id] = int32(s)
+		}
+	}
+}
+
 // Reset removes every entry while keeping all allocated capacity (buckets,
 // id tables, scratch), so an index can be reused across engine runs or
 // batch windows with zero steady-state allocations.

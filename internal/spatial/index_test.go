@@ -315,3 +315,65 @@ func TestPointsOutsideBounds(t *testing.T) {
 		t.Errorf("Within = %v, want [2]", got)
 	}
 }
+
+// TestRemap: ids are rewritten in place, negatives removed, and the
+// re-keyed index answers queries and O(1) removes exactly as a freshly
+// built one would.
+func TestRemap(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	ix := NewIndex(bounds(), 64)
+	const n = 200
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		ix.Insert(i, pts[i])
+	}
+	// Retire every third id; survivors compact densely in order.
+	m := make([]int32, n)
+	next := int32(0)
+	for i := range m {
+		if i%3 == 0 {
+			m[i] = -1
+			continue
+		}
+		m[i] = next
+		next++
+	}
+	ix.Remap(m)
+	if ix.Len() != int(next) {
+		t.Fatalf("Len = %d after remap, want %d", ix.Len(), next)
+	}
+	// Reference index built directly in the new id space.
+	want := NewIndex(bounds(), 64)
+	for old, nid := range m {
+		if nid >= 0 {
+			want.Insert(int(nid), pts[old])
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		gotID, gotD := ix.Nearest(q, 40, nil)
+		wantID, wantD := want.Nearest(q, 40, nil)
+		if gotID != wantID || math.Abs(gotD-wantD) > 1e-12 {
+			t.Fatalf("Nearest(%v) = (%d, %v), want (%d, %v)", q, gotID, gotD, wantID, wantD)
+		}
+	}
+	// Removes through the rebuilt id tables behave.
+	ix.Remove(0)
+	want.Remove(0)
+	if ix.Len() != want.Len() {
+		t.Fatalf("Len after remove = %d, want %d", ix.Len(), want.Len())
+	}
+	got := sort.IntSlice(ix.Within(geo.Pt(50, 50), 200, nil))
+	exp := sort.IntSlice(want.Within(geo.Pt(50, 50), 200, nil))
+	sort.Sort(got)
+	sort.Sort(exp)
+	if len(got) != len(exp) {
+		t.Fatalf("Within sizes differ: %d vs %d", len(got), len(exp))
+	}
+	for i := range exp {
+		if got[i] != exp[i] {
+			t.Fatalf("Within[%d] = %d, want %d", i, got[i], exp[i])
+		}
+	}
+}
