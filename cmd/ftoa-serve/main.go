@@ -21,15 +21,24 @@
 // Guided algorithms are servable: -alg polar|polarop|hybrid with -guide
 // pointing at a per-cell count history CSV (the format ftoa-gen -counts
 // emits). The server trains HP-MSI (the paper's Table 5 winner) on all
-// days but the last, forecasts the last day, and builds the offline guide
-// for the first -horizon seconds of uptime from those counts.
+// days but the last and builds the offline guide from its forecasts. By
+// default (-guide-anchor wallclock) the guide covers a full week — one
+// forecast per weekday — and slot selection is anchored to the wall-clock
+// day-of-week and time-of-day at boot, wrapping weekly, so multi-day
+// deployments keep loading the right per-slot guide; -guide-anchor
+// uptime restores the legacy single-day guide over the first -horizon
+// seconds of uptime.
 //
 // Times are seconds since the server started; arrivals are stamped on
 // admission. Each shard's session is single-writer behind its own lock,
 // so disjoint regions admit concurrently — sharding, not concurrent
 // writes to one session, is the scaling story. The match history is kept
 // in per-shard buffers merged at read time, so committing a match never
-// crosses a server-global lock either.
+// crosses a server-global lock either. With -halo set, arrivals near a
+// region border are additionally mirrored into the neighboring sessions
+// they could feasibly match in (and retracted the moment their original
+// is spoken for), recovering the cross-border matches disjoint regions
+// lose; /stats breaks the ghost traffic out per shard.
 //
 // Memory is bounded for arbitrarily long uptimes: besides the
 // retention-bounded histories, every shard retires its session arenas on
@@ -67,6 +76,11 @@ type config struct {
 	shards    [2]int // cols, rows
 	retention int
 	retire    time.Duration // per-shard arena retirement interval; 0 disables
+	// halo is the cross-shard matching reach window in seconds: border
+	// arrivals within velocity×halo of a neighboring region are mirrored
+	// into it as ghosts and arbitrated so no object matches twice. Zero
+	// keeps regions disjoint (the pre-halo hyperlocal behavior).
+	halo float64
 
 	// Guide pipeline (polar/polarop/hybrid only).
 	guidePath     string // counts CSV; "" = no guide
@@ -75,6 +89,18 @@ type config struct {
 	horizon       float64
 	guidePatience float64
 	guideExpiry   float64
+	// guideAnchor selects how uptime seconds map into guide slots:
+	// "uptime" (the legacy behavior) assumes the first -horizon seconds
+	// of uptime are the served day, clamping to the last slot forever
+	// after; "wallclock" builds a 7-day week guide (one forecast per
+	// weekday) and anchors slot selection to the wall-clock time of day
+	// at boot, wrapping weekly, so multi-day deployments keep loading the
+	// right per-slot guide.
+	guideAnchor string
+	// anchorOffset is the precomputed seconds-into-week (scaled to the
+	// served day length -horizon) of the boot instant; see
+	// wallclockOffset. Only meaningful with guideAnchor == "wallclock".
+	anchorOffset float64
 }
 
 // server owns the shard router and a bounded match-history view of its
@@ -108,19 +134,26 @@ type server struct {
 const maxEventsPage = 10000
 
 type matchJSON struct {
-	Worker int     `json:"worker"`
-	Task   int     `json:"task"`
-	Shard  int     `json:"shard"`
-	Time   float64 `json:"time"`
+	Worker int `json:"worker"`
+	Task   int `json:"task"`
+	// Shard is the shard whose session committed the pair; worker_shard
+	// and task_shard are the endpoints' owner shards, which differ from
+	// it for cross-border (halo) matches.
+	Shard       int     `json:"shard"`
+	WorkerShard int     `json:"worker_shard"`
+	TaskShard   int     `json:"task_shard"`
+	Time        float64 `json:"time"`
 }
 
 type eventJSON struct {
-	Seq    uint64  `json:"seq"`
-	Shard  int     `json:"shard"`
-	Kind   string  `json:"kind"`
-	Worker int     `json:"worker"`
-	Task   int     `json:"task"`
-	Time   float64 `json:"time"`
+	Seq         uint64  `json:"seq"`
+	Shard       int     `json:"shard"`
+	Kind        string  `json:"kind"`
+	Worker      int     `json:"worker"`
+	Task        int     `json:"task"`
+	WorkerShard int     `json:"worker_shard"`
+	TaskShard   int     `json:"task_shard"`
+	Time        float64 `json:"time"`
 }
 
 type workerReq struct {
@@ -176,8 +209,13 @@ func buildAlgorithm(cfg config) (func() ftoa.Algorithm, error) {
 
 // guideFromCounts runs the paper's offline pipeline over a recorded count
 // history: load the per-(day, slot, area) CSV, train HP-MSI on every day
-// but the last, forecast the last day, and build the guide (Algorithm 1)
-// over the server's bounds and the first -horizon seconds of uptime.
+// but the last, and build the guide (Algorithm 1) over the server's
+// bounds. With -guide-anchor uptime the guide covers one forecast day
+// mapped onto the first -horizon seconds of uptime; with wallclock it
+// covers a full week — one forecast per weekday, each weekday served by
+// the latest history day with that weekday — addressed by an anchored,
+// weekly-wrapping slotting so any uptime instant resolves to the right
+// wall-clock (day-of-week, time-of-day) slot.
 func guideFromCounts(r io.Reader, cfg config) (*ftoa.Guide, error) {
 	days, slots, areas, wCounts, tCounts, weather, err := ftoa.LoadCountsCSV(r)
 	if err != nil {
@@ -204,27 +242,48 @@ func guideFromCounts(r io.Reader, cfg config) (*ftoa.Guide, error) {
 	for i := range dow {
 		dow[i] = (cfg.guideDow0 + i) % 7
 	}
-	forecast := func(counts []int) ([]int, error) {
+	// Fit one predictor per side (training excludes the last day), then
+	// predict whichever history days the anchor mode needs.
+	fit := func(counts []int) (*ftoa.Series, ftoa.Predictor, error) {
 		s, err := ftoa.NewSeries(days, slots, areas, counts, weather, dow)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		p := ftoa.NewHPMSI()
 		if err := p.Fit(s, days-1); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ftoa.ToCounts(ftoa.PredictDay(p, s, days-1)), nil
+		return s, p, nil
 	}
-	wPred, err := forecast(wCounts)
+	wSeries, wPredictor, err := fit(wCounts)
 	if err != nil {
 		return nil, err
 	}
-	tPred, err := forecast(tCounts)
+	tSeries, tPredictor, err := fit(tCounts)
 	if err != nil {
 		return nil, err
+	}
+
+	var wPred, tPred []int
+	var slotting *ftoa.Slotting
+	switch cfg.guideAnchor {
+	case "", "uptime":
+		wPred = ftoa.ToCounts(ftoa.PredictDay(wPredictor, wSeries, days-1))
+		tPred = ftoa.ToCounts(ftoa.PredictDay(tPredictor, tSeries, days-1))
+		slotting = ftoa.NewSlotting(cfg.horizon, slots)
+	case "wallclock":
+		src := weekdaySources(dow)
+		wPred = make([]int, 0, 7*slots*areas)
+		tPred = make([]int, 0, 7*slots*areas)
+		for d := 0; d < 7; d++ {
+			wPred = append(wPred, ftoa.ToCounts(ftoa.PredictDay(wPredictor, wSeries, src[d]))...)
+			tPred = append(tPred, ftoa.ToCounts(ftoa.PredictDay(tPredictor, tSeries, src[d]))...)
+		}
+		slotting = ftoa.NewAnchoredSlotting(7*cfg.horizon, 7*slots, cfg.anchorOffset)
+	default:
+		return nil, fmt.Errorf("unknown -guide-anchor %q (want wallclock or uptime)", cfg.guideAnchor)
 	}
 	bounds := ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3])
-	slotting := ftoa.NewSlotting(cfg.horizon, slots)
 	return ftoa.BuildGuide(ftoa.GuideConfig{
 		Grid:            ftoa.NewGrid(bounds, cols, rows),
 		Slots:           slotting,
@@ -234,6 +293,31 @@ func guideFromCounts(r io.Reader, cfg config) (*ftoa.Guide, error) {
 		MaxEdgesPerCell: 128,
 		RepSlack:        slotting.Width() / 2,
 	}, wPred, tPred)
+}
+
+// weekdaySources maps each weekday 0-6 (Sunday-anchored, like
+// time.Weekday) to the history day whose pattern should serve it: the
+// latest history day with that weekday, falling back to the overall last
+// day for weekdays a short history never saw.
+func weekdaySources(dow []int) [7]int {
+	var src [7]int
+	for d := range src {
+		src[d] = len(dow) - 1
+	}
+	for i, w := range dow {
+		src[w] = i // ascending i: the latest occurrence wins
+	}
+	return src
+}
+
+// wallclockOffset returns the seconds-into-week of t, scaled so one day
+// spans dayLen seconds of the guide timeline (-horizon is the served day
+// length; with the default 86400 the scale is 1:1). The day fraction is
+// read off the wall-clock components — not elapsed-since-midnight, which
+// over- or undershoots by the shifted hour on DST transition days.
+func wallclockOffset(t time.Time, dayLen float64) float64 {
+	secs := float64(t.Hour()*3600+t.Minute()*60+t.Second()) + float64(t.Nanosecond())/1e9
+	return (float64(t.Weekday()) + secs/86400) * dayLen
 }
 
 func newServer(cfg config) (*server, error) {
@@ -258,6 +342,19 @@ func newServer(cfg config) (*server, error) {
 	if cfg.retire < 0 {
 		return nil, fmt.Errorf("retire interval must be non-negative, got %v", cfg.retire)
 	}
+	if cfg.halo < 0 {
+		return nil, fmt.Errorf("halo window must be non-negative, got %v", cfg.halo)
+	}
+	switch cfg.guideAnchor {
+	case "", "uptime":
+	case "wallclock":
+		// The anchor is derived here, next to the validation, so every
+		// construction path — not just flag parsing — maps uptime onto
+		// the boot instant's day-of-week and time-of-day.
+		cfg.anchorOffset = wallclockOffset(time.Now(), cfg.horizon)
+	default:
+		return nil, fmt.Errorf("unknown guide anchor %q (want wallclock or uptime)", cfg.guideAnchor)
+	}
 	mk, err := buildAlgorithm(cfg)
 	if err != nil {
 		return nil, err
@@ -275,8 +372,10 @@ func newServer(cfg config) (*server, error) {
 			Velocity: cfg.velocity,
 			Bounds:   ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3]),
 		},
-		Cols:           cfg.shards[0],
-		Rows:           cfg.shards[1],
+		Cols: cfg.shards[0],
+		Rows: cfg.shards[1],
+		// -halo is a reach window in seconds; the router wants a distance.
+		Halo:           ftoa.HaloForWindow(cfg.velocity, cfg.halo),
 		NewAlgorithm:   mk,
 		Retention:      cfg.retention,
 		RetireInterval: cfg.retire.Seconds(),
@@ -454,12 +553,14 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	out := make([]eventJSON, len(evs))
 	for i, ev := range evs {
 		out[i] = eventJSON{
-			Seq:    ev.Seq,
-			Shard:  ev.Shard,
-			Kind:   ev.Kind.String(),
-			Worker: ev.Worker,
-			Task:   ev.Task,
-			Time:   ev.Time,
+			Seq:         ev.Seq,
+			Shard:       ev.Shard,
+			Kind:        ev.Kind.String(),
+			Worker:      ev.Worker,
+			Task:        ev.Task,
+			WorkerShard: ev.WorkerShard,
+			TaskShard:   ev.TaskShard,
+			Time:        ev.Time,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"events": out, "next": next})
@@ -515,7 +616,14 @@ func (s *server) handleMatches(w http.ResponseWriter, r *http.Request) {
 	}
 	out := make([]matchJSON, len(entries)) // [] (not null) when empty
 	for i, e := range entries {
-		out[i] = matchJSON{Worker: e.Worker, Task: e.Task, Shard: e.Shard, Time: e.Time}
+		out[i] = matchJSON{
+			Worker:      e.Worker,
+			Task:        e.Task,
+			Shard:       e.Shard,
+			WorkerShard: e.WorkerShard,
+			TaskShard:   e.TaskShard,
+			Time:        e.Time,
+		}
 	}
 	// "count" is the lifetime total; "next" is the gap-free poll cursor
 	// (use it rather than count: a match committing concurrently with
@@ -541,9 +649,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Attempted      int     `json:"attempted"`
 		Rejected       int     `json:"rejected"`
 		Now            float64 `json:"now"`
+		// Halo (cross-shard) metrics; all zero with -halo 0. Ghosts are
+		// mirrored copies admitted into this shard; withdrawn counts the
+		// copies retracted after their original matched or expired
+		// elsewhere; claims_lost the commits this shard lost to the
+		// cross-shard arbitration; border_matches the commits won here
+		// involving a mirrored endpoint.
+		GhostWorkers     int `json:"ghost_workers"`
+		GhostTasks       int `json:"ghost_tasks"`
+		WithdrawnWorkers int `json:"withdrawn_workers"`
+		WithdrawnTasks   int `json:"withdrawn_tasks"`
+		ClaimsLost       int `json:"claims_lost"`
+		BorderMatches    int `json:"border_matches"`
 	}
 	shards := make([]shardJSON, s.router.NumShards())
 	var workers, tasks, liveW, liveT, matches, expW, expT, attempted, rejected int
+	var ghostW, ghostT, wdW, wdT, claimsLost, borderMatches int
 	now := 0.0
 	for i := range shards {
 		st := s.router.ShardStats(i)
@@ -554,17 +675,23 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.Now = 0
 		}
 		shards[i] = shardJSON{
-			Shard:          st.Shard,
-			Workers:        st.Workers,
-			Tasks:          st.Tasks,
-			LiveWorkers:    st.LiveWorkers,
-			LiveTasks:      st.LiveTasks,
-			Matches:        st.Matches,
-			ExpiredWorkers: st.ExpiredWorkers,
-			ExpiredTasks:   st.ExpiredTasks,
-			Attempted:      st.Attempted,
-			Rejected:       st.Rejected,
-			Now:            st.Now,
+			Shard:            st.Shard,
+			Workers:          st.Workers,
+			Tasks:            st.Tasks,
+			LiveWorkers:      st.LiveWorkers,
+			LiveTasks:        st.LiveTasks,
+			Matches:          st.Matches,
+			ExpiredWorkers:   st.ExpiredWorkers,
+			ExpiredTasks:     st.ExpiredTasks,
+			Attempted:        st.Attempted,
+			Rejected:         st.Rejected,
+			Now:              st.Now,
+			GhostWorkers:     st.GhostWorkers,
+			GhostTasks:       st.GhostTasks,
+			WithdrawnWorkers: st.WithdrawnWorkers,
+			WithdrawnTasks:   st.WithdrawnTasks,
+			ClaimsLost:       st.ClaimsLost,
+			BorderMatches:    st.BorderMatches,
 		}
 		workers += st.Workers
 		tasks += st.Tasks
@@ -575,22 +702,34 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		expT += st.ExpiredTasks
 		attempted += st.Attempted
 		rejected += st.Rejected
+		ghostW += st.GhostWorkers
+		ghostT += st.GhostTasks
+		wdW += st.WithdrawnWorkers
+		wdT += st.WithdrawnTasks
+		claimsLost += st.ClaimsLost
+		borderMatches += st.BorderMatches
 		if st.Now > now {
 			now = st.Now
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"workers":         workers,
-		"tasks":           tasks,
-		"live_workers":    liveW,
-		"live_tasks":      liveT,
-		"matches":         matches,
-		"expired_workers": expW,
-		"expired_tasks":   expT,
-		"attempted":       attempted,
-		"rejected":        rejected,
-		"now":             now,
-		"shards":          shards,
+		"workers":           workers,
+		"tasks":             tasks,
+		"live_workers":      liveW,
+		"live_tasks":        liveT,
+		"matches":           matches,
+		"expired_workers":   expW,
+		"expired_tasks":     expT,
+		"attempted":         attempted,
+		"rejected":          rejected,
+		"ghost_workers":     ghostW,
+		"ghost_tasks":       ghostT,
+		"withdrawn_workers": wdW,
+		"withdrawn_tasks":   wdT,
+		"claims_lost":       claimsLost,
+		"border_matches":    borderMatches,
+		"now":               now,
+		"shards":            shards,
 	})
 }
 
@@ -628,14 +767,16 @@ func main() {
 	boundsStr := flag.String("bounds", "0,0,100,100", "service area as x0,y0,x1,y1")
 	tick := flag.Duration("tick", 250*time.Millisecond, "timer advance interval")
 	shards := flag.String("shards", "1x1", "shard grid as NxM (regions served independently)")
+	halo := flag.Float64("halo", 0, "cross-shard matching reach window in seconds: border arrivals within velocity*halo of a neighbor region are mirrored there so cross-border pairs match (typically the task expiry window; 0 keeps regions disjoint)")
 	retention := flag.Int("retention", 1<<16, "events/matches retained per shard history before eviction")
 	retire := flag.Duration("retire", time.Minute, "per-shard arena retirement interval; matched and expired objects are compacted away, bounding memory by the live population (0 disables)")
 	guide := flag.String("guide", "", "per-cell count history CSV (ftoa-gen -counts format) for guided algorithms")
 	guideGrid := flag.String("guide-grid", "", "guide grid as CxR (default: infer a square from the history)")
 	guideDow0 := flag.Int("guide-dow0", 0, "weekday (0-6) of the count history's first day, anchoring HP-MSI's weekday feature")
-	horizon := flag.Float64("horizon", 86400, "guide horizon in seconds of uptime (one served day)")
+	horizon := flag.Float64("horizon", 86400, "guide horizon in seconds (the served day length)")
 	guidePatience := flag.Float64("guide-patience", 300, "worker patience Dw assumed by the guide (seconds)")
 	guideExpiry := flag.Float64("guide-expiry", 60, "task expiry Dr assumed by the guide (seconds)")
+	guideAnchor := flag.String("guide-anchor", "wallclock", "guide slot anchoring: wallclock (7-day week guide keyed to wall-clock day-of-week and time-of-day) or uptime (legacy: the first -horizon seconds of uptime are the served day)")
 	flag.Parse()
 
 	cfg := config{
@@ -646,11 +787,13 @@ func main() {
 		tick:          *tick,
 		retention:     *retention,
 		retire:        *retire,
+		halo:          *halo,
 		guidePath:     *guide,
 		guideDow0:     ((*guideDow0)%7 + 7) % 7,
 		horizon:       *horizon,
 		guidePatience: *guidePatience,
 		guideExpiry:   *guideExpiry,
+		guideAnchor:   *guideAnchor,
 	}
 	parts := strings.Split(*boundsStr, ",")
 	if len(parts) != 4 {
@@ -676,7 +819,7 @@ func main() {
 		log.Fatal(err)
 	}
 	go srv.tickLoop(cfg.tick)
-	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s retire=%s)",
-		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr, *shards, cfg.retire)
+	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s halo=%gs retire=%s)",
+		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr, *shards, cfg.halo, cfg.retire)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

@@ -575,3 +575,142 @@ func TestServeRetirement(t *testing.T) {
 		t.Fatalf("matches?since=6 = %v, want the last 2 and next=8", tail)
 	}
 }
+
+// TestServeHaloCrossShardMatch: with -halo set, a worker just left of a
+// region border serves a task just right of it — the match disjoint
+// sharding misses — and /stats reports the ghost traffic.
+func TestServeHaloCrossShardMatch(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.shards = [2]int{2, 1}
+	cfg.halo = 60 // seconds of reach at velocity 1 -> 60 units
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Owner shards differ; the pair is 2 units apart across the border.
+	w := postJSON(t, ts.URL+"/workers", `{"x":49,"y":50,"patience":300}`)
+	if w["shard"].(float64) != 0 {
+		t.Fatalf("worker on shard %v, want 0", w["shard"])
+	}
+	tk := postJSON(t, ts.URL+"/tasks", `{"x":51,"y":50,"expiry":60}`)
+	if tk["shard"].(float64) != 1 {
+		t.Fatalf("task on shard %v, want 1", tk["shard"])
+	}
+
+	stats := getJSON(t, ts.URL+"/stats")
+	if stats["matches"].(float64) != 1 {
+		t.Fatalf("stats = %v, want the cross-border match", stats)
+	}
+	if stats["ghost_workers"].(float64)+stats["ghost_tasks"].(float64) == 0 {
+		t.Fatalf("stats = %v, want ghost admissions", stats)
+	}
+	if stats["border_matches"].(float64) != 1 {
+		t.Fatalf("stats = %v, want 1 border match", stats)
+	}
+
+	// The merged stream reports the pair once, under owner identities.
+	evs := getJSON(t, ts.URL+"/events")
+	events := evs["events"].([]any)
+	if len(events) != 1 {
+		t.Fatalf("events = %v, want exactly one", events)
+	}
+	ev := events[0].(map[string]any)
+	if ev["kind"].(string) != "match" {
+		t.Fatalf("event = %v, want a match", ev)
+	}
+	if ev["worker_shard"].(float64) != 0 || ev["task_shard"].(float64) != 1 {
+		t.Fatalf("event = %v, want worker_shard 0 / task_shard 1", ev)
+	}
+	m := getJSON(t, ts.URL+"/matches")
+	entries := m["matches"].([]any)
+	if len(entries) != 1 {
+		t.Fatalf("matches = %v, want one", m)
+	}
+	me := entries[0].(map[string]any)
+	if me["worker_shard"].(float64) != 0 || me["task_shard"].(float64) != 1 {
+		t.Fatalf("match = %v, want worker_shard 0 / task_shard 1", me)
+	}
+
+	// A disjoint server misses the same pair.
+	cfg.halo = 0
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	postJSON(t, ts2.URL+"/workers", `{"x":49,"y":50,"patience":300}`)
+	postJSON(t, ts2.URL+"/tasks", `{"x":51,"y":50,"expiry":60}`)
+	if st := getJSON(t, ts2.URL+"/stats"); st["matches"].(float64) != 0 {
+		t.Fatalf("disjoint stats = %v, want 0 matches", st)
+	}
+}
+
+// TestGuideFromCountsWallclock: the wall-clock anchor builds a week-long
+// guide (7x the slots) whose slotting wraps by day-of-week and
+// time-of-day from the anchor offset instead of clamping at the horizon.
+func TestGuideFromCountsWallclock(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.horizon = 100 // served day length; 2 slots of 50 per day
+	cfg.guideAnchor = "wallclock"
+	// Boot mid-Wednesday: weekday 3, 60% through the day.
+	cfg.anchorOffset = (3 + 0.6) * cfg.horizon
+	g, err := guideFromCounts(strings.NewReader(countsCSV()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := g.Cfg.Slots
+	if slots.Count != 7*2 || slots.Horizon != 7*cfg.horizon {
+		t.Fatalf("week slotting = %d slots over %v, want 14 over 700", slots.Count, slots.Horizon)
+	}
+	// Uptime 0 is Wednesday 60% -> day 3, second half -> slot 3*2+1.
+	if got := slots.SlotOf(0); got != 7 {
+		t.Fatalf("SlotOf(0) = %d, want 7 (Wednesday afternoon)", got)
+	}
+	// 40 units later the day rolls into Thursday morning.
+	if got := slots.SlotOf(40); got != 8 {
+		t.Fatalf("SlotOf(40) = %d, want 8 (Thursday morning)", got)
+	}
+	// A full week of uptime wraps back to the boot slot instead of
+	// clamping at the last.
+	if got := slots.SlotOf(7 * cfg.horizon); got != 7 {
+		t.Fatalf("SlotOf(one week) = %d, want 7 again", got)
+	}
+	if g.TotalWorkers() == 0 || g.TotalTasks() == 0 {
+		t.Fatalf("degenerate week guide: %d/%d predicted", g.TotalWorkers(), g.TotalTasks())
+	}
+
+	// An unknown anchor is rejected by guide construction and by the
+	// server's own validation.
+	bad := cfg
+	bad.guideAnchor = "lunar"
+	if _, err := guideFromCounts(strings.NewReader(countsCSV()), bad); err == nil {
+		t.Error("unknown guide anchor accepted by guideFromCounts")
+	}
+	srvCfg := defaultTestConfig()
+	srvCfg.guideAnchor = "lunar"
+	if _, err := newServer(srvCfg); err == nil {
+		t.Error("unknown guide anchor accepted by newServer")
+	}
+}
+
+// TestWeekdaySources: every weekday resolves to its latest history day,
+// with the overall last day covering weekdays a short history missed.
+func TestWeekdaySources(t *testing.T) {
+	// 3-day history starting on a Saturday (6): days are 6, 0, 1.
+	src := weekdaySources([]int{6, 0, 1})
+	want := [7]int{1, 2, 2, 2, 2, 2, 0}
+	if src != want {
+		t.Fatalf("weekdaySources = %v, want %v", src, want)
+	}
+	// 9-day history starting Monday wraps: the second Monday (day 7)
+	// shadows the first (day 0).
+	src = weekdaySources([]int{1, 2, 3, 4, 5, 6, 0, 1, 2})
+	want = [7]int{6, 7, 8, 2, 3, 4, 5}
+	if src != want {
+		t.Fatalf("weekdaySources = %v, want %v", src, want)
+	}
+}

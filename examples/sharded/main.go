@@ -4,6 +4,13 @@
 // crowdsourcing frontends), with concurrent producers feeding disjoint
 // regions in parallel and one consumer tailing the merged lifecycle event
 // stream by cursor — matches and expiries alike.
+//
+// The day is served twice: once with disjoint regions (a worker near a
+// border cannot serve a reachable task across it) and once with halo
+// mirroring on, where border arrivals are ghosted into reachable
+// neighbor sessions and cross-shard claims guarantee each object still
+// matches at most once — recovering the border matches the disjoint grid
+// loses.
 package main
 
 import (
@@ -21,6 +28,17 @@ func main() {
 		panic(err)
 	}
 
+	for _, halo := range []float64{0, ftoa.HaloForWindow(cfg.Velocity, cfg.TaskExpiry)} {
+		matched := serveDay(in, cfg, halo)
+		if halo == 0 {
+			fmt.Printf("disjoint 2x2: %d matched\n\n", matched)
+		} else {
+			fmt.Printf("halo %.0f 2x2: %d matched\n", halo, matched)
+		}
+	}
+}
+
+func serveDay(in *ftoa.Instance, cfg ftoa.Synthetic, halo float64) int {
 	router, err := ftoa.NewShardRouter(ftoa.ShardConfig{
 		Matcher: ftoa.MatcherConfig{
 			Mode:     ftoa.Strict,
@@ -34,6 +52,7 @@ func main() {
 		},
 		Cols:         2,
 		Rows:         2,
+		Halo:         halo,
 		NewAlgorithm: func() ftoa.Algorithm { return ftoa.NewSimpleGreedy() },
 	})
 	if err != nil {
@@ -41,10 +60,12 @@ func main() {
 	}
 
 	// Producers: the recorded day split across goroutines. Each admission
-	// takes only its target region's lock, so disjoint regions run truly
-	// in parallel. (Splitting a time-ordered stream across goroutines
-	// reorders arrivals slightly; the session clamps them monotone per
-	// shard, exactly as a live multi-frontend deployment would.)
+	// takes only its target region's lock (plus, for border objects with
+	// a halo, the reachable neighbors' locks one at a time), so disjoint
+	// regions run truly in parallel. (Splitting a time-ordered stream
+	// across goroutines reorders arrivals slightly; the session clamps
+	// them monotone per shard, exactly as a live multi-frontend
+	// deployment would.)
 	events := in.Events()
 	var wg sync.WaitGroup
 	const producers = 4
@@ -70,22 +91,32 @@ func main() {
 	wg.Wait()
 	router.Finish()
 
-	// Consumer: tail the merged stream from the start.
+	// Consumer: tail the merged stream from the start. Cross-border
+	// matches appear exactly once, under each endpoint's owner identity.
 	var merged []ftoa.ShardEvent
 	merged, next, err := router.Events(0, merged)
 	if err != nil {
 		panic(err)
 	}
 	counts := map[ftoa.SessionEventKind]int{}
+	crossShard := 0
 	for _, ev := range merged {
 		counts[ev.Kind]++
+		if ev.Kind == ftoa.EventMatch && ev.WorkerShard != ev.TaskShard {
+			crossShard++
+		}
 	}
-	fmt.Printf("merged stream: %d events (cursor %d): %d matches, %d worker expiries, %d task expiries\n",
-		len(merged), next, counts[ftoa.EventMatch], counts[ftoa.EventWorkerExpired], counts[ftoa.EventTaskExpired])
+	fmt.Printf("merged stream: %d events (cursor %d): %d matches (%d cross-shard), %d worker expiries, %d task expiries\n",
+		len(merged), next, counts[ftoa.EventMatch], crossShard, counts[ftoa.EventWorkerExpired], counts[ftoa.EventTaskExpired])
 
+	matched := 0
 	for i := 0; i < router.NumShards(); i++ {
 		st := router.ShardStats(i)
-		fmt.Printf("shard %d %v: %d workers, %d tasks -> %d matched, %d+%d expired\n",
-			st.Shard, st.Bounds, st.Workers, st.Tasks, st.Matches, st.ExpiredWorkers, st.ExpiredTasks)
+		matched += st.Matches
+		fmt.Printf("shard %d %v: %d workers (%d ghosts), %d tasks (%d ghosts) -> %d matched (%d border), %d+%d expired, %d withdrawn\n",
+			st.Shard, st.Bounds, st.Workers, st.GhostWorkers, st.Tasks, st.GhostTasks,
+			st.Matches, st.BorderMatches, st.ExpiredWorkers, st.ExpiredTasks,
+			st.WithdrawnWorkers+st.WithdrawnTasks)
 	}
+	return matched
 }

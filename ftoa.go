@@ -101,6 +101,14 @@ func NewGrid(bounds Rect, cols, rows int) *Grid { return geo.NewGrid(bounds, col
 // NewSlotting partitions [0, horizon) into count slots.
 func NewSlotting(horizon float64, count int) *Slotting { return timeslot.New(horizon, count) }
 
+// NewAnchoredSlotting partitions a periodic timeline: SlotOf(t) resolves
+// mod(t+offset, horizon), so an ever-growing clock (server uptime) keeps
+// mapping to the right recurring slot — the primitive behind wall-clock
+// anchored guide slotting in long-lived deployments.
+func NewAnchoredSlotting(horizon float64, count int, offset float64) *Slotting {
+	return timeslot.NewAnchored(horizon, count, offset)
+}
+
 // Problem model (Section 2 of the paper).
 type (
 	// Worker is a crowdsourcing worker: w = <Lw, Sw, Dw>.
@@ -158,6 +166,13 @@ type (
 	// handles through the old→new tables. All algorithms in this package
 	// implement it.
 	RetirableAlgorithm = sim.RetirableAlgorithm
+	// WithdrawAwareAlgorithm is an Algorithm that eagerly drops its
+	// per-object state when the platform withdraws a handle
+	// (Session.WithdrawWorker/WithdrawTask — the retraction behind the
+	// shard router's halo ghosts). The hook is an optimisation; platform
+	// availability checks already report withdrawn objects dead. All
+	// algorithms in this package implement it.
+	WithdrawAwareAlgorithm = sim.WithdrawAwareAlgorithm
 	// Platform is the session-side API visible to algorithms.
 	Platform = sim.Platform
 	// Matcher is a configured factory for open-world matching sessions.
@@ -214,6 +229,9 @@ const (
 
 // Sharded serving (package shard): one service area as a grid of
 // independent sessions with a merged, cursor-addressed event stream.
+// With ShardConfig.Halo set, border admissions are mirrored into
+// reachable neighbor sessions and arbitrated so cross-border pairs match
+// without any object ever committing twice.
 type (
 	// ShardRouter partitions MatcherConfig.Bounds into a grid of
 	// per-region sessions and routes admissions by location.
@@ -227,6 +245,9 @@ type (
 	ShardHandle = shard.Handle
 	// ShardStats snapshots one shard.
 	ShardStats = shard.Stats
+	// ShardPlacement maps a location to its owner region plus the
+	// neighbor regions within the halo that must receive ghost copies.
+	ShardPlacement = shard.Placement
 	// MatchLog is a retention-bounded, lock-disjoint match view over a
 	// ShardRouter's event stream: per-shard buffers fed by the OnEvent
 	// hook, merged by ordinal at read time.
@@ -254,6 +275,12 @@ var ErrShardCursorEvicted = shard.ErrEvicted
 // one session (and one algorithm instance) per region, admissions routed
 // by location, per-shard event streams merged behind a global cursor.
 func NewShardRouter(cfg ShardConfig) (*ShardRouter, error) { return shard.NewRouter(cfg) }
+
+// HaloForWindow derives the natural ShardConfig.Halo width from the
+// shared worker velocity and the workload's deadline window (typically
+// the task expiry Dr): objects farther apart can never form a feasible
+// pair, so a wider halo only adds mirroring cost.
+func HaloForWindow(velocity, window float64) float64 { return shard.HaloForWindow(velocity, window) }
 
 // NewMatcher validates cfg and returns a factory for open-world streaming
 // sessions: workers and tasks are admitted at arrival time via

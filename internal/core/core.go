@@ -76,7 +76,8 @@ func remapHandles(hs []int32, m []int32) []int32 {
 	return hs[:k]
 }
 
-// All six online algorithms support arena retirement.
+// All six online algorithms support arena retirement and cross-shard
+// withdrawal (the halo router's retraction primitive).
 var (
 	_ sim.RetirableAlgorithm = (*POLAR)(nil)
 	_ sim.RetirableAlgorithm = (*POLAROP)(nil)
@@ -84,4 +85,11 @@ var (
 	_ sim.RetirableAlgorithm = (*GR)(nil)
 	_ sim.RetirableAlgorithm = (*Hybrid)(nil)
 	_ sim.RetirableAlgorithm = (*TGOA)(nil)
+
+	_ sim.WithdrawAwareAlgorithm = (*POLAR)(nil)
+	_ sim.WithdrawAwareAlgorithm = (*POLAROP)(nil)
+	_ sim.WithdrawAwareAlgorithm = (*SimpleGreedy)(nil)
+	_ sim.WithdrawAwareAlgorithm = (*GR)(nil)
+	_ sim.WithdrawAwareAlgorithm = (*Hybrid)(nil)
+	_ sim.WithdrawAwareAlgorithm = (*TGOA)(nil)
 )

@@ -116,6 +116,35 @@ func (a *POLAR) Remap(workers, tasks []int32) {
 	remapOccupants(a.tCells, tasks)
 }
 
+// OnWorkerWithdraw implements sim.WithdrawAwareAlgorithm: the withdrawn
+// worker's occupied guide node (if any — it occupies at most one, in its
+// own (slot, area) cell) gets the same negative sentinel a retirement
+// would install, so the partner path skips it without a doomed TryMatch.
+func (a *POLAR) OnWorkerWithdraw(w int, now float64) {
+	if cid := a.g.WorkerCellID(locateWorker(a.g, a.p.Worker(w))); cid >= 0 {
+		withdrawOccupant(&a.wCells[cid], int32(w))
+	}
+}
+
+// OnTaskWithdraw is OnWorkerWithdraw for the task side.
+func (a *POLAR) OnTaskWithdraw(t int, now float64) {
+	if cid := a.g.TaskCellID(locateTask(a.g, a.p.Task(t))); cid >= 0 {
+		withdrawOccupant(&a.tCells[cid], int32(t))
+	}
+}
+
+// withdrawOccupant sentinels the handle's node slot in one cell. The scan
+// is bounded by the cell's node count; absence is fine (the object never
+// occupied a node — its type was full or unpredicted).
+func withdrawOccupant(cell *polarCell, h int32) {
+	for i, occ := range cell.occupants {
+		if occ == h {
+			cell.occupants[i] = -1
+			return
+		}
+	}
+}
+
 func remapOccupants(cells []polarCell, m []int32) {
 	for i := range cells {
 		occ := cells[i].occupants

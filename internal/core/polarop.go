@@ -82,6 +82,18 @@ func (q *waitQueue) scan(dead func(int32) bool, try func(int32) bool) bool {
 	return false
 }
 
+// withdraw sentinels one handle's entry in place (if present), so a
+// retracted object stops being a match candidate without waiting for a
+// scan to probe its availability.
+func (q *waitQueue) withdraw(h int32) {
+	for i := q.head; i < len(q.items); i++ {
+		if q.items[i] == h {
+			q.items[i] = -1
+			return
+		}
+	}
+}
+
 // remap rebases the queue across an arena epoch. The consumed prefix is
 // reclaimed and the leading run of retired entries is dropped (both are
 // order-preserving, mirroring scan's own head advance), bounding the
@@ -180,6 +192,24 @@ func (a *POLAROP) Remap(workers, tasks []int32) {
 	}
 	for i := range a.tCells {
 		a.tCells[i].queue.remap(tasks)
+	}
+}
+
+// OnWorkerWithdraw implements sim.WithdrawAwareAlgorithm: the withdrawn
+// worker's waiting-queue entry (it waits in at most its own cell's queue)
+// becomes a negative sentinel, which future scans remove with exactly the
+// swap dynamics a lazily discovered dead entry gets. Sentineling instead
+// of splicing keeps scan's order evolution untouched.
+func (a *POLAROP) OnWorkerWithdraw(w int, now float64) {
+	if cid := a.g.WorkerCellID(locateWorker(a.g, a.p.Worker(w))); cid >= 0 {
+		a.wCells[cid].queue.withdraw(int32(w))
+	}
+}
+
+// OnTaskWithdraw is OnWorkerWithdraw for the task side.
+func (a *POLAROP) OnTaskWithdraw(t int, now float64) {
+	if cid := a.g.TaskCellID(locateTask(a.g, a.p.Task(t))); cid >= 0 {
+		a.tCells[cid].queue.withdraw(int32(t))
 	}
 }
 

@@ -143,3 +143,11 @@ func (a *SimpleGreedy) Remap(workers, tasks []int32) {
 	a.waitingWorkers.Remap(workers)
 	a.waitingTasks.Remap(tasks)
 }
+
+// OnWorkerWithdraw implements sim.WithdrawAwareAlgorithm: the withdrawn
+// worker leaves the waiting index immediately (Remove tolerates absence —
+// the worker may already have been swept or never waited).
+func (a *SimpleGreedy) OnWorkerWithdraw(w int, now float64) { a.waitingWorkers.Remove(w) }
+
+// OnTaskWithdraw is OnWorkerWithdraw for the task side.
+func (a *SimpleGreedy) OnTaskWithdraw(t int, now float64) { a.waitingTasks.Remove(t) }

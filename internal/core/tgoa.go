@@ -192,6 +192,17 @@ func (a *TGOA) Remap(workers, tasks []int32) {
 	a.waitingTasks.Remap(tasks)
 }
 
+// OnWorkerWithdraw implements sim.WithdrawAwareAlgorithm: the greedy-phase
+// waiting index drops the worker. Its ghost copy stays in the virtual
+// matching on purpose — the hypothetical optimum ranges over every object
+// ever seen, withdrawn ones included, exactly as it keeps matched and
+// expired ones — and the second-half commit path re-checks availability
+// through the platform, which now reports the worker dead.
+func (a *TGOA) OnWorkerWithdraw(w int, now float64) { a.waitingWorkers.Remove(w) }
+
+// OnTaskWithdraw is OnWorkerWithdraw for the task side.
+func (a *TGOA) OnTaskWithdraw(t int, now float64) { a.waitingTasks.Remove(t) }
+
 // nearestTask / nearestWorker are the greedy-phase searches.
 func (a *TGOA) nearestTask(worker *model.Worker, now float64) int {
 	velocity := a.p.Velocity()

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/workload"
+)
+
+// TestWithdrawThroughAlgorithms feeds a recorded stream through every
+// algorithm while withdrawing a spread of freshly admitted objects, the
+// way the halo router retracts ghost copies. Invariants, for all six
+// algorithms and both modes:
+//
+//   - no successfully withdrawn handle ever appears in a commit after its
+//     withdrawal (TryMatch refuses it, whatever state the algorithm kept);
+//   - no withdrawn handle appears in an expiry event (its lifecycle is
+//     owned elsewhere);
+//   - the session survives Finish with a consistent matching.
+func TestWithdrawThroughAlgorithms(t *testing.T) {
+	cfg := workload.DefaultSynthetic()
+	cfg.NumWorkers, cfg.NumTasks = 300, 300
+	in, err := cfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := parityGuide(t, cfg)
+
+	algs := []struct {
+		name string
+		mk   func() sim.Algorithm
+	}{
+		{"POLAR", func() sim.Algorithm { return NewPOLAR(g) }},
+		{"POLAR-OP", func() sim.Algorithm { return NewPOLAROP(g) }},
+		{"SimpleGreedy", func() sim.Algorithm { return NewSimpleGreedy() }},
+		{"GR", func() sim.Algorithm { return NewGR(cfg.Horizon / 40) }},
+		{"Hybrid", func() sim.Algorithm { return NewHybrid(g) }},
+		{"TGOA", func() sim.Algorithm { return NewTGOA() }},
+	}
+	for _, mode := range []sim.Mode{sim.AssumeGuide, sim.Strict} {
+		for _, a := range algs {
+			t.Run(a.name+"/"+mode.String(), func(t *testing.T) {
+				m, err := sim.NewMatcher(sim.MatcherConfig{
+					Mode:     mode,
+					Velocity: in.Velocity,
+					Bounds:   in.Bounds,
+					Hints: sim.Hints{
+						ExpectedWorkers: len(in.Workers),
+						ExpectedTasks:   len(in.Tasks),
+						Horizon:         in.Horizon,
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess := m.NewSession(a.mk())
+				withdrawnW := map[int]bool{}
+				withdrawnT := map[int]bool{}
+				i := 0
+				for _, ev := range in.Events() {
+					i++
+					switch ev.Kind {
+					case model.WorkerArrival:
+						h, err := sess.AddWorker(in.Workers[ev.Index])
+						if err != nil {
+							t.Fatal(err)
+						}
+						// Withdraw every 5th worker right after admission —
+						// the tightest race a ghost retraction can lose.
+						if i%5 == 0 && sess.WithdrawWorker(h) {
+							withdrawnW[h] = true
+						}
+					case model.TaskArrival:
+						h, err := sess.AddTask(in.Tasks[ev.Index])
+						if err != nil {
+							t.Fatal(err)
+						}
+						if i%7 == 0 && sess.WithdrawTask(h) {
+							withdrawnT[h] = true
+						}
+					}
+				}
+				sess.Finish()
+				if len(withdrawnW) == 0 || len(withdrawnT) == 0 {
+					t.Fatal("test withdrew nothing; not exercising the path")
+				}
+				for _, ev := range sess.DrainEvents(nil) {
+					switch ev.Kind {
+					case sim.EventMatch:
+						if withdrawnW[ev.Worker] {
+							t.Fatalf("withdrawn worker %d committed at %v", ev.Worker, ev.Time)
+						}
+						if withdrawnT[ev.Task] {
+							t.Fatalf("withdrawn task %d committed at %v", ev.Task, ev.Time)
+						}
+					case sim.EventWorkerExpired:
+						if withdrawnW[ev.Worker] {
+							t.Fatalf("withdrawn worker %d expired at %v", ev.Worker, ev.Time)
+						}
+					case sim.EventTaskExpired:
+						if withdrawnT[ev.Task] {
+							t.Fatalf("withdrawn task %d expired at %v", ev.Task, ev.Time)
+						}
+					}
+				}
+				if sess.Matches() == 0 {
+					t.Fatal("no matches at all; instance too sparse to prove anything")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Halo arbitration — the machinery that lets border objects exist in
+// several shard sessions at once without ever being matched twice.
+//
+// A border admission (see Placement) is admitted to its owner shard and
+// mirrored as a *ghost* into every reachable neighbor session. All copies
+// of one logical object share a single immutable mirror record carrying
+// an atomic claim word; whichever session wants to commit a match (or, in
+// Strict mode, report the owner copy's expiry) must win the claim first:
+//
+//   - every shard session runs with a sim CommitGate: a TryMatch whose
+//     endpoints include mirrored objects only commits after
+//     claim-CASing each of their records free→matched. Losing any CAS
+//     vetoes the commit — the session never records the pair, the
+//     algorithm sees an ordinary platform refusal, and whatever copy won
+//     elsewhere stands. The protocol is owner-commits-wins in the
+//     deterministic single-writer order: claims are resolved in commit
+//     order, and an owner-side commit permanently bars every ghost.
+//   - the winning shard's event collection then rewrites the committed
+//     match to the endpoints' owner identities (see Event.WorkerShard /
+//     TaskShard) — so the merged stream reports each logical match
+//     exactly once, under its home addresses — and enqueues a retraction
+//     of every losing copy.
+//
+// Retractions ride a per-shard pending queue (its own leaf mutex, so the
+// winner never takes another shard's session lock while holding its own)
+// and are applied under the target shard's lock via Session.Withdraw*,
+// which silences the copy's expiry and hands it to the next retirement.
+// Ghost handle tables (gid → current session handle) are remapped through
+// retirement by the session's OnRetire hook, so retractions stay
+// addressable across arena epochs.
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Claim states of a mirror record. claimPending is transient: it exists
+// only for the instruction window in which a gate holds one endpoint
+// while CASing the other, and every reader spins past it (settle).
+const (
+	claimFree uint32 = iota
+	claimPending
+	claimMatched
+	claimExpired
+)
+
+// mirror is the shared arbitration record of one halo-mirrored object.
+// Everything except the claim word (and commitAt, published through it)
+// is immutable after construction, which is what makes the record safe to
+// read from any shard without locks.
+type mirror struct {
+	state atomic.Uint32
+	// commitAt is the winning commit's session time, written before state
+	// becomes claimMatched and read only after observing that state.
+	commitAt float64
+	gid      uint64
+	task     bool  // which side the object is on
+	owner    int32 // owning shard
+	// ownerLocal is the owner session's handle at admission — the same
+	// receipt Handle.Local reports, used as the object's home identity in
+	// merged events. Like any receipt it is only epoch-stable; with
+	// retirement on it names the admission, not a live arena slot.
+	ownerLocal int32
+	// copies lists every shard holding a copy, owner first.
+	copies []int32
+}
+
+// tryClaim attempts to take the record for a commit in flight.
+func (m *mirror) tryClaim() bool { return m.state.CompareAndSwap(claimFree, claimPending) }
+
+// release returns a pending claim after the paired endpoint was lost.
+func (m *mirror) release() { m.state.Store(claimFree) }
+
+// commit settles a pending claim as matched at session time `at`.
+func (m *mirror) commit(at float64) {
+	m.commitAt = at
+	m.state.Store(claimMatched)
+}
+
+// settle returns the record's stable claim state, spinning past the
+// transient pending window (a handful of lock-free instructions on the
+// claiming shard's goroutine).
+func (m *mirror) settle() uint32 {
+	for {
+		s := m.state.Load()
+		if s != claimPending {
+			return s
+		}
+		runtime.Gosched()
+	}
+}
+
+// claimExpiry resolves the owner copy's deadline against the claim word:
+// it returns claimExpired if this expiry now owns the object (no copy
+// matched it first), or claimMatched if a commit won the race.
+func (m *mirror) claimExpiry() uint32 {
+	for {
+		switch s := m.settle(); s {
+		case claimFree:
+			if m.state.CompareAndSwap(claimFree, claimExpired) {
+				return claimExpired
+			}
+		default:
+			return s
+		}
+	}
+}
+
+// pendingWithdraw is one queued retraction: the copy of the object with
+// this gid held by the queue's shard must be withdrawn.
+type pendingWithdraw struct {
+	gid  uint64
+	task bool
+}
+
+// haloState is the per-shard half of the arbitration: dense handle→record
+// tables for every mirrored copy this shard holds, the gid→handle
+// resolution maps retractions address copies by, and the pending
+// retraction queue. The tables and maps are guarded by the shard's
+// session lock; the queue by its own leaf mutex so other shards can feed
+// it without ordering against session locks.
+type haloState struct {
+	wRef   []*mirror // by current worker handle; nil = unmirrored
+	tRef   []*mirror
+	wByGid map[uint64]int32
+	tByGid map[uint64]int32
+
+	pwMu       sync.Mutex
+	pending    []pendingWithdraw
+	pendingApp []pendingWithdraw // drain scratch, swapped under pwMu
+	hasPending atomic.Bool
+
+	// Stats, owned by the shard lock. ghost* count mirrored copies
+	// admitted here; suppressed* count expiry events dropped because the
+	// object's lifecycle concluded elsewhere (they correct the session's
+	// own expiry counters); claimsLost counts commits vetoed by the
+	// arbitration; borderMatches counts commits involving >=1 mirrored
+	// endpoint.
+	ghostW, ghostT                 int
+	suppressedExpW, suppressedExpT int
+	claimsLost                     int
+	borderMatches                  int
+}
+
+// refAt returns the mirror record behind a handle, nil when the handle is
+// unmirrored (or beyond the table, which only grows for mirrored copies).
+func refAt(refs []*mirror, h int) *mirror {
+	if h >= 0 && h < len(refs) {
+		return refs[h]
+	}
+	return nil
+}
+
+// putRef installs a record at a handle, growing the dense table. Callers
+// hold the shard lock.
+func putRef(refs []*mirror, h int, rec *mirror) []*mirror {
+	for len(refs) <= h {
+		refs = append(refs, nil)
+	}
+	refs[h] = rec
+	return refs
+}
+
+// putWorker/putTask register a mirrored copy under the shard lock.
+func (si *shardInstance) putWorker(h int, rec *mirror) {
+	si.halo.wRef = putRef(si.halo.wRef, h, rec)
+	si.halo.wByGid[rec.gid] = int32(h)
+}
+
+func (si *shardInstance) putTask(h int, rec *mirror) {
+	si.halo.tRef = putRef(si.halo.tRef, h, rec)
+	si.halo.tByGid[rec.gid] = int32(h)
+}
+
+// dropWorker/dropTask unregister a copy (withdrawal applied, or admission
+// rolled back). Callers hold the shard lock.
+func (si *shardInstance) dropWorker(h int, rec *mirror) {
+	si.halo.wRef[h] = nil
+	delete(si.halo.wByGid, rec.gid)
+}
+
+func (si *shardInstance) dropTask(h int, rec *mirror) {
+	si.halo.tRef[h] = nil
+	delete(si.halo.tByGid, rec.gid)
+}
+
+// enqueueWithdraw queues a retraction for this shard. Safe to call from
+// any goroutine, including ones holding other shards' session locks: the
+// pending queue's mutex is a leaf.
+func (si *shardInstance) enqueueWithdraw(pw pendingWithdraw) {
+	si.halo.pwMu.Lock()
+	si.halo.pending = append(si.halo.pending, pw)
+	si.halo.hasPending.Store(true)
+	si.halo.pwMu.Unlock()
+}
+
+// drainPendingLocked applies every queued retraction to this shard's
+// session. Callers hold the shard lock. Retractions are idempotent and
+// tolerate missing copies: a gid absent from the maps was never admitted
+// here (the claim settled before the ghost admission) or already left
+// through withdrawal or retirement.
+func (si *shardInstance) drainPendingLocked() {
+	if !si.halo.hasPending.Load() {
+		return
+	}
+	si.halo.pwMu.Lock()
+	si.halo.pending, si.halo.pendingApp = si.halo.pendingApp[:0], si.halo.pending
+	si.halo.hasPending.Store(false)
+	si.halo.pwMu.Unlock()
+	for _, pw := range si.halo.pendingApp {
+		si.applyWithdrawLocked(pw)
+	}
+}
+
+// applyWithdrawLocked retracts one copy by gid under the shard lock. The
+// ref and gid entries are dropped only when the session accepted the
+// withdrawal: a refusal means this copy is the one that MATCHED — the
+// claim's winner, which can receive a (redundant) retraction from
+// admitGhostLocked's post-admission re-check — and its ref must survive
+// so collectLocked keeps recognising the copy's later deadline as a
+// ghost/mirrored expiry. Matched copies' entries are reclaimed by
+// retirement instead.
+func (si *shardInstance) applyWithdrawLocked(pw pendingWithdraw) {
+	if pw.task {
+		if h, ok := si.halo.tByGid[pw.gid]; ok {
+			if rec := si.halo.tRef[h]; si.sess.WithdrawTask(int(h)) {
+				si.dropTask(int(h), rec)
+			}
+		}
+		return
+	}
+	if h, ok := si.halo.wByGid[pw.gid]; ok {
+		if rec := si.halo.wRef[h]; si.sess.WithdrawWorker(int(h)) {
+			si.dropWorker(int(h), rec)
+		}
+	}
+}
+
+// retractLosers queues the retraction of every copy of rec except the
+// winner shard's own (its copy is the matched or expired one).
+func (r *Router) retractLosers(rec *mirror, winner int) {
+	for _, cs := range rec.copies {
+		if int(cs) == winner {
+			continue
+		}
+		r.shards[cs].enqueueWithdraw(pendingWithdraw{gid: rec.gid, task: rec.task})
+	}
+}
+
+// applyPending drains the retraction queues of every shard flagged as
+// having one, taking each shard's lock in turn (never nested). Mutating
+// router calls run it after releasing their own locks so a retraction
+// issued by a cross-shard commit lands "the moment" the winning call
+// returns rather than at the loser's next organic write.
+func (r *Router) applyPending() {
+	if !r.haloOn {
+		return
+	}
+	for _, si := range r.shards {
+		if !si.halo.hasPending.Load() {
+			continue
+		}
+		si.mu.Lock()
+		si.drainPendingLocked()
+		si.mu.Unlock()
+	}
+}
+
+// gate is the sim CommitGate of one shard session: it arbitrates commits
+// whose endpoints are mirrored. Runs inside TryMatch under the shard's
+// session lock; it takes no locks itself, so claim resolution can never
+// deadlock with another shard's gate.
+func (si *shardInstance) gate(w, t int, now float64) bool {
+	rw := refAt(si.halo.wRef, w)
+	rt := refAt(si.halo.tRef, t)
+	if rw == nil && rt == nil {
+		return true // both endpoints purely local: nothing to arbitrate
+	}
+	if rw != nil && !rw.tryClaim() {
+		si.halo.claimsLost++
+		return false
+	}
+	if rt != nil && !rt.tryClaim() {
+		if rw != nil {
+			rw.release()
+		}
+		si.halo.claimsLost++
+		return false
+	}
+	if rw != nil {
+		rw.commit(now)
+	}
+	if rt != nil {
+		rt.commit(now)
+	}
+	return true
+}
+
+// onRetire is the session OnRetire hook of one shard: it pushes the
+// retirement's old→new handle tables through the halo's dense ref tables
+// and gid maps, dropping retired copies, so retractions and gates keep
+// resolving across arena epochs. Runs inside Session.Retire under the
+// shard lock.
+func (si *shardInstance) onRetire(wmap, tmap []int32) {
+	si.halo.wRef = remapRefs(si.halo.wRef, wmap, si.halo.wByGid)
+	si.halo.tRef = remapRefs(si.halo.tRef, tmap, si.halo.tByGid)
+}
+
+// remapRefs rewrites a dense ref table in place through a retirement
+// table. Survivor handles only move left (retirement left-compacts), so
+// the ascending pass never overwrites an unprocessed slot.
+func remapRefs(refs []*mirror, m []int32, byGid map[uint64]int32) []*mirror {
+	for old, rec := range refs {
+		if rec == nil {
+			continue
+		}
+		refs[old] = nil
+		n := m[old]
+		if n < 0 {
+			delete(byGid, rec.gid)
+			continue
+		}
+		refs[n] = rec
+		byGid[rec.gid] = n
+	}
+	return refs
+}

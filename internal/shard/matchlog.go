@@ -11,13 +11,18 @@ import (
 // MatchEntry is one committed pair in a MatchLog: the event's shard and
 // handles plus Ord, the dense global match ordinal (0, 1, 2, … in commit
 // order). Ordinals double as cursors: the first N matches are exactly
-// those with Ord < N.
+// those with Ord < N. WorkerShard/TaskShard carry the endpoints' owner
+// shards (see Event): under halo mirroring a cross-border pair is
+// committed by one session but reported under each endpoint's home
+// identity.
 type MatchEntry struct {
-	Ord    uint64
-	Shard  int
-	Worker int
-	Task   int
-	Time   float64
+	Ord         uint64
+	Shard       int
+	Worker      int
+	Task        int
+	WorkerShard int
+	TaskShard   int
+	Time        float64
 }
 
 // MatchLog is a retention-bounded, match-only view of a Router's event
@@ -68,7 +73,15 @@ func (l *MatchLog) Record(ev Event) {
 	// sorted-buffer invariant Matches' binary search and the eviction
 	// boundary rely on — even when same-shard Records race.
 	ord := l.count.Add(1) - 1
-	s.buf = append(s.buf, MatchEntry{Ord: ord, Shard: ev.Shard, Worker: ev.Worker, Task: ev.Task, Time: ev.Time})
+	s.buf = append(s.buf, MatchEntry{
+		Ord:         ord,
+		Shard:       ev.Shard,
+		Worker:      ev.Worker,
+		Task:        ev.Task,
+		WorkerShard: ev.WorkerShard,
+		TaskShard:   ev.TaskShard,
+		Time:        ev.Time,
+	})
 	if drop := retainDrop(len(s.buf), l.retention); drop > 0 {
 		boundary := s.buf[drop-1].Ord + 1
 		n := copy(s.buf, s.buf[drop:])

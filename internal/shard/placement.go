@@ -1,0 +1,148 @@
+// Placement — the region-geometry layer of the shard router, extracted so
+// that region shape is a first-class, tunable concern rather than an
+// implicit property of grid routing. A Placement answers two questions
+// about any location:
+//
+//   - which region OWNS it (every location has exactly one owner — the
+//     grid cell containing it, clamped at the service-area edges); and
+//   - which neighbor regions must ALSO see it: the regions whose area lies
+//     within the reach radius ("halo") of the location, i.e. the regions
+//     whose objects the location could feasibly be matched with under the
+//     workload's deadline windows.
+//
+// The halo width is the knob: the natural setting is Velocity × the
+// deadline window (how far a worker can travel before the pair's deadline
+// cuts the match off — see HaloForWindow), but it is an explicit distance
+// so operators can trade border-matching quality against mirroring cost.
+// Zero disables mirroring entirely and reduces the placement to the
+// disjoint partitioning of the original grid router.
+package shard
+
+import (
+	"ftoa/internal/geo"
+)
+
+// Placement maps locations to an owner region plus the set of reachable
+// neighbor regions under a halo width. It is immutable after construction
+// and safe for concurrent use.
+type Placement struct {
+	grid *geo.Grid
+	halo float64
+	// candidates[cell] holds the neighbor cells whose region lies within
+	// halo of cell's region — the superset Mirrors filters per point. For
+	// halos below a cell size this is the 8-neighborhood or less, so the
+	// per-admission filter touches a handful of rectangles.
+	candidates [][]int32
+}
+
+// NewPlacement partitions bounds into a cols×rows region grid with the
+// given halo width. Halo must be non-negative; the grid arguments follow
+// geo.NewGrid's rules.
+func NewPlacement(bounds geo.Rect, cols, rows int, halo float64) *Placement {
+	if halo < 0 {
+		panic("shard: negative halo")
+	}
+	p := &Placement{grid: geo.NewGrid(bounds, cols, rows), halo: halo}
+	if halo > 0 {
+		n := p.grid.NumCells()
+		p.candidates = make([][]int32, n)
+		for c := 0; c < n; c++ {
+			rc := p.grid.CellRect(c)
+			for o := 0; o < n; o++ {
+				if o == c {
+					continue
+				}
+				if rectDistSq(rc, p.grid.CellRect(o)) <= halo*halo {
+					p.candidates[c] = append(p.candidates[c], int32(o))
+				}
+			}
+		}
+	}
+	return p
+}
+
+// HaloForWindow derives the natural halo width from the shared worker
+// velocity and a deadline window (typically the task expiry Dr, the time
+// a worker has to reach a task): an object farther than velocity×window
+// from a region can never participate in a feasible pair with it.
+func HaloForWindow(velocity, window float64) float64 {
+	if velocity <= 0 || window <= 0 {
+		return 0
+	}
+	return velocity * window
+}
+
+// NumRegions returns the number of regions in the grid.
+func (p *Placement) NumRegions() int { return p.grid.NumCells() }
+
+// Halo returns the configured halo width.
+func (p *Placement) Halo() float64 { return p.halo }
+
+// Owner returns the region owning location pt (clamped to the grid, so
+// out-of-area locations are owned by the nearest edge region).
+func (p *Placement) Owner(pt geo.Point) int { return p.grid.CellOf(pt) }
+
+// Region returns the rectangle of region i.
+func (p *Placement) Region(i int) geo.Rect { return p.grid.CellRect(i) }
+
+// Mirrors appends to dst the regions other than owner — pt's owning
+// region, which the caller has already resolved via Owner — whose area
+// lies within the halo of pt: the regions that must receive a ghost copy
+// of an object admitted at pt. With a zero halo, or for interior
+// locations farther than the halo from every region edge, it returns dst
+// unchanged without touching the candidate lists, so the interior
+// admission fast path stays allocation-free.
+func (p *Placement) Mirrors(pt geo.Point, owner int, dst []int) []int {
+	if p.halo == 0 {
+		return dst
+	}
+	rect := p.grid.CellRect(owner)
+	// Interior fast path: strictly farther than halo from the owner's
+	// boundary means strictly farther than halo from every other region.
+	if pt.X-rect.MinX > p.halo && rect.MaxX-pt.X > p.halo &&
+		pt.Y-rect.MinY > p.halo && rect.MaxY-pt.Y > p.halo {
+		return dst
+	}
+	h2 := p.halo * p.halo
+	for _, c := range p.candidates[owner] {
+		if pointRectDistSq(pt, p.grid.CellRect(int(c))) <= h2 {
+			dst = append(dst, int(c))
+		}
+	}
+	return dst
+}
+
+// HintShare returns the fraction of total traffic region i should size
+// for: its own area share plus the expected halo fraction — the share of
+// the full service area whose admissions are mirrored into i because they
+// fall within the halo band around its region. Geometrically this is the
+// area of region i grown by the halo on every side, clipped to the
+// service bounds, over the total area. Shares across regions sum to more
+// than 1 exactly because halo admissions are duplicated.
+func (p *Placement) HintShare(i int) float64 {
+	b := p.grid.Bounds
+	r := p.grid.CellRect(i)
+	grown := geo.Rect{
+		MinX: max(r.MinX-p.halo, b.MinX),
+		MinY: max(r.MinY-p.halo, b.MinY),
+		MaxX: min(r.MaxX+p.halo, b.MaxX),
+		MaxY: min(r.MaxY+p.halo, b.MaxY),
+	}
+	return (grown.Width() * grown.Height()) / (b.Width() * b.Height())
+}
+
+// pointRectDistSq returns the squared distance from pt to the nearest
+// point of r (zero when pt lies inside r).
+func pointRectDistSq(pt geo.Point, r geo.Rect) float64 {
+	dx := max(max(r.MinX-pt.X, 0), pt.X-r.MaxX)
+	dy := max(max(r.MinY-pt.Y, 0), pt.Y-r.MaxY)
+	return dx*dx + dy*dy
+}
+
+// rectDistSq returns the squared distance between the nearest points of
+// two rectangles (zero when they touch or overlap).
+func rectDistSq(a, b geo.Rect) float64 {
+	dx := max(max(b.MinX-a.MaxX, 0), a.MinX-b.MaxX)
+	dy := max(max(b.MinY-a.MaxY, 0), a.MinY-b.MaxY)
+	return dx*dx + dy*dy
+}

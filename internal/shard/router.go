@@ -9,14 +9,20 @@
 // This is the horizontal-scaling story of the serving layer: a session is
 // deliberately single-goroutine (the algorithms' state is lock-free flat
 // slices), so throughput grows by adding regions, not by contending one
-// session. Regions are independent in the hyperlocal sense — a worker is
-// only matched to tasks of its own region — which trades a little global
-// matching quality for linear scalability and bounded tail latency.
+// session. With a zero halo, regions are independent in the hyperlocal
+// sense — a worker is only matched to tasks of its own region — which
+// trades border matching quality for linear scalability. With a positive
+// Config.Halo the router recovers that quality: region geometry becomes a
+// Placement (owner region plus reachable neighbors), border admissions
+// are mirrored as ghosts into the neighbor sessions they could feasibly
+// match in, and a lock-free claim protocol guarantees each logical object
+// commits in at most one session (see halo.go).
 package shard
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,12 +36,24 @@ import (
 type Config struct {
 	// Matcher is the base session configuration. Bounds is the FULL
 	// service area (it is partitioned into the shard grid); Velocity and
-	// Mode apply to every shard; Hints are divided evenly among shards.
-	// OnEvent/OnMatch must be nil: the router owns event consumption.
+	// Mode apply to every shard; Hints are sized per shard by region area
+	// share plus, with a halo, the expected ghost fraction of the halo
+	// band around it (Placement.HintShare). OnEvent/OnMatch/OnRetire/
+	// CommitGate must be nil: the router owns event consumption and the
+	// retirement and arbitration hooks.
 	Matcher sim.MatcherConfig
 	// Cols, Rows shape the shard grid. 1×1 is a valid single-shard
 	// deployment and behaves exactly like one session behind one lock.
 	Cols, Rows int
+	// Halo, when positive, enables cross-shard border matching: an
+	// admission within Halo (a distance) of a neighboring region is
+	// mirrored into that region's session as a ghost, and ghost matches
+	// are arbitrated by the claim protocol of halo.go so no object ever
+	// commits twice. The natural width is Velocity × the workload's
+	// deadline window (HaloForWindow); wider halos only add mirroring
+	// cost, narrower ones recover less border quality. Zero keeps the
+	// disjoint hyperlocal behavior.
+	Halo float64
 	// NewAlgorithm mints one algorithm instance per shard. Instances must
 	// not share mutable state (a shared read-only Guide is fine).
 	NewAlgorithm func() sim.Algorithm
@@ -80,20 +98,35 @@ type Handle struct {
 }
 
 // Event is one lifecycle event in the merged stream: a shard-local
-// sim.SessionEvent tagged with its owning shard and a globally unique,
-// strictly increasing sequence number. Merged order is Seq order, which is
-// consistent with per-shard fire order (within a shard, Seq and Time are
-// both non-decreasing; across shards only Seq is total).
+// sim.SessionEvent tagged with the shard that emitted it and a globally
+// unique, strictly increasing sequence number. Merged order is Seq order,
+// which is consistent with per-shard fire order (within a shard, Seq and
+// Time are both non-decreasing; across shards only Seq is total).
+//
+// WorkerShard and TaskShard are the OWNER shards of the endpoints (-1 for
+// the side an expiry does not involve). Without halo mirroring they
+// always equal Shard and the handles are the emitting session's. With
+// mirroring, a match may be committed by a session that only holds a
+// ghost copy: the event still appears exactly once, with each mirrored
+// endpoint rewritten to its home identity — the owner shard plus the
+// admission receipt Handle.Local reported — so consumers can correlate
+// matches with admissions regardless of which border session won.
 type Event struct {
 	Seq   uint64
 	Shard int
 	sim.SessionEvent
+	WorkerShard int
+	TaskShard   int
 }
 
 // Stats is a point-in-time snapshot of one shard. Workers/Tasks count
-// lifetime admissions (monotone across retirements); LiveWorkers/
-// LiveTasks are the current arena populations — with retirement on, the
-// gap between the two is the memory the shard has reclaimed.
+// lifetime admissions (monotone across retirements) — with halo mirroring
+// these include ghost copies, broken out in GhostWorkers/GhostTasks;
+// LiveWorkers/LiveTasks are the current arena populations — with
+// retirement on, the gap between the two is the memory the shard has
+// reclaimed. ExpiredWorkers/ExpiredTasks count only lifecycle-owning
+// expiries: deadlines of ghost copies (reported by their owner shard) and
+// of objects that matched elsewhere are excluded.
 type Stats struct {
 	Shard          int
 	Bounds         geo.Rect
@@ -107,6 +140,20 @@ type Stats struct {
 	Attempted      int
 	Rejected       int
 	Now            float64
+
+	// Halo metrics; all zero with Halo disabled. GhostWorkers/GhostTasks
+	// count mirrored copies admitted into this shard; WithdrawnWorkers/
+	// WithdrawnTasks the copies retracted from it after their original
+	// matched or expired elsewhere; ClaimsLost the commits this shard's
+	// algorithm attempted but lost to cross-shard arbitration; and
+	// BorderMatches the commits won here involving at least one mirrored
+	// endpoint — the matches disjoint sharding would have missed.
+	GhostWorkers     int
+	GhostTasks       int
+	WithdrawnWorkers int
+	WithdrawnTasks   int
+	ClaimsLost       int
+	BorderMatches    int
 }
 
 // ErrEvicted is returned by Events when the cursor points below the
@@ -119,16 +166,20 @@ var ErrEvicted = errors.New("shard: cursor below retention boundary")
 // comment. All methods are safe for concurrent use: admissions touch only
 // the target shard's lock, so disjoint regions admit in parallel.
 type Router struct {
-	grid    *geo.Grid
-	shards  []*shardInstance
-	onEvent func(Event)
-	seq     atomic.Uint64 // next sequence number to assign
+	placement *Placement
+	mode      sim.Mode
+	haloOn    bool
+	shards    []*shardInstance
+	onEvent   func(Event)
+	seq       atomic.Uint64 // next sequence number to assign
+	gids      atomic.Uint64 // next mirror-group id (halo.go)
 	// evicted is the retention boundary: every event with Seq below it
 	// MAY have been dropped from its shard log.
 	evicted atomic.Uint64
 }
 
-// shardInstance is one region's session plus its slice of the merged log.
+// shardInstance is one region's session plus its slice of the merged log
+// and its half of the halo arbitration state (halo.go).
 type shardInstance struct {
 	id        int
 	mu        sync.Mutex
@@ -140,6 +191,7 @@ type shardInstance struct {
 	// session clock; see Config.RetireInterval.
 	retireEvery float64
 	lastRetire  float64
+	halo        haloState
 }
 
 // NewRouter validates cfg, partitions the bounds, and starts one session
@@ -154,11 +206,17 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.Matcher.OnEvent != nil || cfg.Matcher.OnMatch != nil {
 		return nil, errors.New("shard: Matcher.OnEvent/OnMatch must be nil (the router consumes events)")
 	}
+	if cfg.Matcher.OnRetire != nil || cfg.Matcher.CommitGate != nil {
+		return nil, errors.New("shard: Matcher.OnRetire/CommitGate must be nil (the router owns both hooks)")
+	}
 	if cfg.Retention < 0 {
 		return nil, fmt.Errorf("shard: negative retention %d", cfg.Retention)
 	}
 	if cfg.RetireInterval < 0 {
 		return nil, fmt.Errorf("shard: negative retire interval %v", cfg.RetireInterval)
+	}
+	if cfg.Halo < 0 {
+		return nil, fmt.Errorf("shard: negative halo %v", cfg.Halo)
 	}
 	// Validate the base config before geo.NewGrid sees the bounds:
 	// degenerate bounds (zero-area, inverted) must surface as the same
@@ -167,13 +225,34 @@ func NewRouter(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	n := cfg.Cols * cfg.Rows
-	grid := geo.NewGrid(cfg.Matcher.Bounds, cfg.Cols, cfg.Rows)
-	r := &Router{grid: grid, shards: make([]*shardInstance, n), onEvent: cfg.OnEvent}
+	placement := NewPlacement(cfg.Matcher.Bounds, cfg.Cols, cfg.Rows, cfg.Halo)
+	r := &Router{
+		placement: placement,
+		mode:      cfg.Matcher.Mode,
+		haloOn:    cfg.Halo > 0 && n > 1,
+		shards:    make([]*shardInstance, n),
+		onEvent:   cfg.OnEvent,
+	}
 	for i := 0; i < n; i++ {
+		si := &shardInstance{
+			id:          i,
+			retention:   cfg.Retention,
+			retireEvery: cfg.RetireInterval,
+		}
 		mcfg := cfg.Matcher
-		mcfg.Bounds = grid.CellRect(i)
-		mcfg.Hints.ExpectedWorkers = divideHint(mcfg.Hints.ExpectedWorkers, n)
-		mcfg.Hints.ExpectedTasks = divideHint(mcfg.Hints.ExpectedTasks, n)
+		mcfg.Bounds = placement.Region(i)
+		// Hints are sized by region area share plus the expected halo
+		// fraction: border shards absorb mirrored admissions from the halo
+		// band around their region, so with mirroring on, shares sum to
+		// more than 1 by exactly the expected ghost traffic.
+		mcfg.Hints.ExpectedWorkers = scaleHint(mcfg.Hints.ExpectedWorkers, placement.HintShare(i))
+		mcfg.Hints.ExpectedTasks = scaleHint(mcfg.Hints.ExpectedTasks, placement.HintShare(i))
+		if r.haloOn {
+			mcfg.CommitGate = si.gate
+			mcfg.OnRetire = si.onRetire
+			si.halo.wByGid = make(map[uint64]int32)
+			si.halo.tByGid = make(map[uint64]int32)
+		}
 		m, err := sim.NewMatcher(mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -182,66 +261,235 @@ func NewRouter(cfg Config) (*Router, error) {
 		if _, ok := alg.(sim.RetirableAlgorithm); cfg.RetireInterval > 0 && !ok {
 			return nil, fmt.Errorf("shard: RetireInterval set but algorithm %q does not implement sim.RetirableAlgorithm", alg.Name())
 		}
-		r.shards[i] = &shardInstance{
-			id:          i,
-			sess:        m.NewSession(alg),
-			retention:   cfg.Retention,
-			retireEvery: cfg.RetireInterval,
-		}
+		si.sess = m.NewSession(alg)
+		r.shards[i] = si
 	}
 	return r, nil
 }
 
-// divideHint spreads a population hint evenly across n shards, rounding
+// scaleHint sizes a population hint to a shard's traffic share, rounding
 // up so per-shard pre-sizing stays sufficient under skew.
-func divideHint(total, n int) int {
+func scaleHint(total int, share float64) int {
 	if total <= 0 {
 		return 0
 	}
-	return (total + n - 1) / n
+	return int(math.Ceil(float64(total) * share))
 }
 
 // NumShards returns the number of regions (Cols×Rows).
 func (r *Router) NumShards() int { return len(r.shards) }
 
-// ShardOf returns the shard that serves location p (clamped to bounds, so
+// ShardOf returns the shard that owns location p (clamped to bounds, so
 // out-of-area locations route to the nearest edge region).
-func (r *Router) ShardOf(p geo.Point) int { return r.grid.CellOf(p) }
+func (r *Router) ShardOf(p geo.Point) int { return r.placement.Owner(p) }
 
 // ShardBounds returns the region rectangle of shard i.
-func (r *Router) ShardBounds(i int) geo.Rect { return r.grid.CellRect(i) }
+func (r *Router) ShardBounds(i int) geo.Rect { return r.placement.Region(i) }
 
-// AddWorker routes the worker to the shard containing its location and
-// admits it there; only that shard's lock is taken. admitted is the
-// arrival time the session actually stamped — w.Arrive clamped up to the
-// shard clock — so callers report deadlines consistent with the shard's
-// view even when concurrent admissions raced the clock forward.
+// Placement returns the router's region geometry (owner and halo-mirror
+// resolution). It is immutable and safe for concurrent use.
+func (r *Router) Placement() *Placement { return r.placement }
+
+// AddWorker routes the worker to the shard owning its location and admits
+// it there; only that shard's lock is taken on the interior fast path.
+// With a halo configured, a border worker is additionally mirrored as a
+// ghost into every reachable neighbor session (each under its own lock,
+// never nested) so cross-border pairs become matchable; the returned
+// Handle always names the owner copy. admitted is the arrival time the
+// owner session stamped — w.Arrive clamped up to the shard clock — so
+// callers report deadlines consistent with the shard's view even when
+// concurrent admissions raced the clock forward.
 func (r *Router) AddWorker(w model.Worker) (h Handle, admitted float64, err error) {
-	si := r.shards[r.grid.CellOf(w.Loc)]
+	ad := admission{w: w}
+	owner := r.placement.Owner(w.Loc)
+	if r.haloOn {
+		if mirrors := r.placement.Mirrors(w.Loc, owner, nil); len(mirrors) > 0 {
+			return r.addMirrored(owner, mirrors, &ad)
+		}
+	}
+	h, admitted, err = r.admitOwner(owner, nil, &ad)
+	r.applyPending()
+	return h, admitted, err
+}
+
+// AddTask routes the task to the shard owning its location; see AddWorker
+// for the locking, mirroring and admitted-time semantics.
+func (r *Router) AddTask(t model.Task) (h Handle, admitted float64, err error) {
+	ad := admission{task: true, t: t}
+	owner := r.placement.Owner(t.Loc)
+	if r.haloOn {
+		if mirrors := r.placement.Mirrors(t.Loc, owner, nil); len(mirrors) > 0 {
+			return r.addMirrored(owner, mirrors, &ad)
+		}
+	}
+	h, admitted, err = r.admitOwner(owner, nil, &ad)
+	r.applyPending()
+	return h, admitted, err
+}
+
+// admission carries one side's pending admission so the owner/ghost flows
+// are written once; task selects which object is live. A plain value (no
+// closures) so the interior fast path stays allocation-free.
+type admission struct {
+	task bool
+	w    model.Worker
+	t    model.Task
+}
+
+// admit pushes the object into a session and returns its handle plus the
+// arrival time the session stamped.
+func (ad *admission) admit(s *sim.Session) (int, float64, error) {
+	if ad.task {
+		h, err := s.AddTask(ad.t)
+		if err != nil {
+			return -1, 0, err
+		}
+		return h, s.Task(h).Release, nil
+	}
+	h, err := s.AddWorker(ad.w)
+	if err != nil {
+		return -1, 0, err
+	}
+	return h, s.Worker(h).Arrive, nil
+}
+
+// admitOwner admits the object into its owner shard. When rec is non-nil
+// the object is halo-mirrored: its ref is registered BEFORE the session
+// admission, because the algorithm may commit the object within the
+// AddWorker/AddTask call itself and that commit must already pass through
+// the claim gate. Handles are dense, so the about-to-be-assigned handle
+// is the session's current count.
+func (r *Router) admitOwner(owner int, rec *mirror, ad *admission) (Handle, float64, error) {
+	si := r.shards[owner]
 	si.mu.Lock()
 	defer si.mu.Unlock()
-	local, err := si.sess.AddWorker(w)
+	si.drainPendingLocked()
+	var next int
+	if rec != nil {
+		if ad.task {
+			next = si.sess.NumTasks()
+			rec.ownerLocal = int32(next)
+			si.putTask(next, rec)
+		} else {
+			next = si.sess.NumWorkers()
+			rec.ownerLocal = int32(next)
+			si.putWorker(next, rec)
+		}
+	}
+	local, admitted, err := ad.admit(si.sess)
 	if err != nil {
+		if rec != nil {
+			if ad.task {
+				si.dropTask(next, rec)
+			} else {
+				si.dropWorker(next, rec)
+			}
+		}
 		return Handle{}, 0, err
 	}
-	admitted = si.sess.Worker(local).Arrive
 	si.afterWriteLocked(r)
 	return Handle{Shard: si.id, Local: local}, admitted, nil
 }
 
-// AddTask routes the task to the shard containing its location; see
-// AddWorker for the locking and admitted-time semantics.
-func (r *Router) AddTask(t model.Task) (h Handle, admitted float64, err error) {
-	si := r.shards[r.grid.CellOf(t.Loc)]
-	si.mu.Lock()
-	defer si.mu.Unlock()
-	local, err := si.sess.AddTask(t)
+// addMirrored is the border admission flow: owner first, then one ghost
+// per reachable neighbor, each shard under its own lock only. A ghost is
+// skipped (or immediately retracted) once the object's claim settled —
+// e.g. the owner session matched it on arrival — so ghosts never outlive
+// a decided object by more than the admission call that raced it.
+func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, float64, error) {
+	rec := &mirror{
+		gid:    r.gids.Add(1),
+		task:   ad.task,
+		owner:  int32(owner),
+		copies: make([]int32, 0, len(mirrors)+1),
+	}
+	rec.copies = append(rec.copies, int32(owner))
+	for _, m := range mirrors {
+		rec.copies = append(rec.copies, int32(m))
+	}
+	h, admitted, err := r.admitOwner(owner, rec, ad)
 	if err != nil {
 		return Handle{}, 0, err
 	}
-	admitted = si.sess.Task(local).Release
-	si.afterWriteLocked(r)
-	return Handle{Shard: si.id, Local: local}, admitted, nil
+	// The owner session's clamped arrival defines the logical object's
+	// deadline; rebase the admission on it so every ghost copy is pinned
+	// to the same window (admitGhostLocked preserves the deadline through
+	// the ghost session's own clamping).
+	if ad.task {
+		ad.t.Release = admitted
+	} else {
+		ad.w.Arrive = admitted
+	}
+	for _, m := range mirrors {
+		gi := r.shards[m]
+		gi.mu.Lock()
+		gi.drainPendingLocked()
+		if rec.settle() == claimFree {
+			r.admitGhostLocked(gi, rec, ad)
+		}
+		gi.mu.Unlock()
+	}
+	r.applyPending()
+	return h, admitted, nil
+}
+
+// admitGhostLocked admits one ghost copy into a neighbor session. Callers
+// hold gi.mu. After the admission (which may itself commit matches and
+// retire arenas) the claim is re-checked: a claim that settled during the
+// admission was enqueued against the pre-admission gid tables and may
+// have missed the fresh copy, so the retraction is applied here.
+//
+// The copy's deadline is pinned to the logical object's: the ghost
+// session clamps the arrival up to its own clock, which would otherwise
+// extend Arrive+Patience (resp. Release+Expiry) past the owner-stamped
+// deadline under shard clock skew — and let a Strict-mode session commit
+// a cross-border match after the object's true window. The window is
+// shrunk by the clamp delta instead; a copy whose window has already
+// closed on this shard's clock is not admitted at all.
+func (r *Router) admitGhostLocked(gi *shardInstance, rec *mirror, ad *admission) {
+	gad := *ad
+	now := gi.sess.Now() // stable: nothing below moves the clock before admit
+	if gad.task {
+		deadline := gad.t.Deadline()
+		if start := math.Max(gad.t.Release, now); start <= deadline {
+			gad.t.Expiry = deadline - start
+		} else {
+			return
+		}
+	} else {
+		deadline := gad.w.Deadline()
+		if start := math.Max(gad.w.Arrive, now); start <= deadline {
+			gad.w.Patience = deadline - start
+		} else {
+			return
+		}
+	}
+	ad = &gad
+	var next int
+	if ad.task {
+		next = gi.sess.NumTasks()
+		gi.putTask(next, rec)
+	} else {
+		next = gi.sess.NumWorkers()
+		gi.putWorker(next, rec)
+	}
+	if _, _, err := ad.admit(gi.sess); err != nil {
+		if ad.task {
+			gi.dropTask(next, rec)
+		} else {
+			gi.dropWorker(next, rec)
+		}
+		return
+	}
+	if ad.task {
+		gi.halo.ghostT++
+	} else {
+		gi.halo.ghostW++
+	}
+	gi.afterWriteLocked(r)
+	if rec.settle() != claimFree {
+		gi.applyWithdrawLocked(pendingWithdraw{gid: rec.gid, task: ad.task})
+	}
 }
 
 // Advance drives every shard's clock to now (shard by shard, so a slow
@@ -253,24 +501,30 @@ func (r *Router) Advance(now float64) {
 		func() {
 			si.mu.Lock()
 			defer si.mu.Unlock()
+			si.drainPendingLocked()
 			si.sess.Advance(now)
 			si.afterWriteLocked(r)
 		}()
 	}
+	r.applyPending()
 }
 
 // Finish finishes every shard's session; further admissions return
 // sim.ErrFinished. Events (including the final expiry flush) remain
-// readable.
+// readable. Cross-shard retractions raised by the final expiry flush are
+// applied afterwards — on already-finished sessions they are inert, every
+// deadline having fired, but they keep the halo tables tidy.
 func (r *Router) Finish() {
 	for _, si := range r.shards {
 		func() {
 			si.mu.Lock()
 			defer si.mu.Unlock()
+			si.drainPendingLocked()
 			si.sess.Finish()
 			si.collectLocked(r)
 		}()
 	}
+	r.applyPending()
 }
 
 // afterWriteLocked is the post-write tail of every mutating router call:
@@ -286,13 +540,54 @@ func (si *shardInstance) afterWriteLocked(r *Router) {
 // and applies retention (see retain.go for the shared eviction policy).
 // Callers hold si.mu; sequence numbers within a shard are strictly
 // increasing because assignment happens under the shard lock.
+//
+// This is also where halo arbitration surfaces in the stream: mirrored
+// match endpoints are rewritten to their owner identities and the losing
+// copies' retractions enqueued; expiry events of ghost copies — and of
+// owners whose object matched elsewhere first — are dropped, so the
+// merged stream reports each logical object's lifecycle exactly once.
 func (si *shardInstance) collectLocked(r *Router) {
 	si.scratch = si.sess.DrainEvents(si.scratch[:0])
 	if len(si.scratch) == 0 {
 		return
 	}
 	for _, ev := range si.scratch {
-		sev := Event{Seq: r.seq.Add(1) - 1, Shard: si.id, SessionEvent: ev}
+		sev := Event{Shard: si.id, SessionEvent: ev, WorkerShard: -1, TaskShard: -1}
+		switch ev.Kind {
+		case sim.EventMatch:
+			sev.WorkerShard, sev.TaskShard = si.id, si.id
+			border := false
+			if rw := refAt(si.halo.wRef, ev.Worker); rw != nil {
+				sev.WorkerShard = int(rw.owner)
+				sev.Worker = int(rw.ownerLocal)
+				r.retractLosers(rw, si.id)
+				border = true
+			}
+			if rt := refAt(si.halo.tRef, ev.Task); rt != nil {
+				sev.TaskShard = int(rt.owner)
+				sev.Task = int(rt.ownerLocal)
+				r.retractLosers(rt, si.id)
+				border = true
+			}
+			if border {
+				si.halo.borderMatches++
+			}
+		case sim.EventWorkerExpired:
+			sev.WorkerShard = si.id
+			if rw := refAt(si.halo.wRef, ev.Worker); rw != nil {
+				if !si.ownerExpiryLocked(r, rw, &sev, false) {
+					continue
+				}
+			}
+		case sim.EventTaskExpired:
+			sev.TaskShard = si.id
+			if rt := refAt(si.halo.tRef, ev.Task); rt != nil {
+				if !si.ownerExpiryLocked(r, rt, &sev, true) {
+					continue
+				}
+			}
+		}
+		sev.Seq = r.seq.Add(1) - 1
 		si.log = append(si.log, sev)
 		if r.onEvent != nil {
 			r.onEvent(sev)
@@ -305,6 +600,61 @@ func (si *shardInstance) collectLocked(r *Router) {
 		si.log = si.log[:n]
 		raiseBoundary(&r.evicted, boundary)
 	}
+}
+
+// ownerExpiryLocked arbitrates one mirrored object's expiry event and
+// reports whether it should be emitted. Ghost-copy expiries never emit —
+// the owner reports the object's real lifecycle. An owner expiry is
+// matched against the claim word: in Strict mode it claims the object
+// (permanently barring ghost commits — an expired object is gone) and, on
+// winning, retracts every ghost; losing to a commit suppresses the expiry
+// exactly when a single session would have (match-time-aware, per side's
+// deadline boundary). In AssumeGuide mode expiries never bar later
+// matches, mirroring single-session semantics, so the claim is only read.
+func (si *shardInstance) ownerExpiryLocked(r *Router, rec *mirror, sev *Event, task bool) bool {
+	if int(rec.owner) != si.id {
+		// A ghost copy's deadline: the owner emits the real expiry.
+		if task {
+			si.halo.suppressedExpT++
+		} else {
+			si.halo.suppressedExpW++
+		}
+		return false
+	}
+	if task {
+		sev.Task = int(rec.ownerLocal)
+	} else {
+		sev.Worker = int(rec.ownerLocal)
+	}
+	var state uint32
+	if r.mode == sim.Strict {
+		state = rec.claimExpiry()
+		if state == claimExpired {
+			r.retractLosers(rec, si.id)
+			return true
+		}
+	} else {
+		state = rec.settle()
+	}
+	if state == claimMatched && matchSuppressesExpiry(rec.commitAt, sev.Time, task) {
+		if task {
+			si.halo.suppressedExpT++
+		} else {
+			si.halo.suppressedExpW++
+		}
+		return false
+	}
+	return true
+}
+
+// matchSuppressesExpiry mirrors the session's match-time-aware expiry
+// suppression across shards: a worker expiry is suppressed by a commit
+// strictly before its deadline, a task expiry by a commit at or before it.
+func matchSuppressesExpiry(commitAt, deadline float64, task bool) bool {
+	if task {
+		return commitAt <= deadline
+	}
+	return commitAt < deadline
 }
 
 // maybeRetireLocked runs scheduled arena retirement once the shard clock
@@ -457,18 +807,28 @@ func (r *Router) ShardStats(i int) Stats {
 	si.mu.Lock()
 	defer si.mu.Unlock()
 	return Stats{
-		Shard:          si.id,
-		Bounds:         r.grid.CellRect(si.id),
-		Workers:        si.sess.AdmittedWorkers(),
-		Tasks:          si.sess.AdmittedTasks(),
-		LiveWorkers:    si.sess.NumWorkers(),
-		LiveTasks:      si.sess.NumTasks(),
-		Matches:        si.sess.Matches(),
-		ExpiredWorkers: si.sess.ExpiredWorkers(),
-		ExpiredTasks:   si.sess.ExpiredTasks(),
-		Attempted:      si.sess.Attempted(),
-		Rejected:       si.sess.Rejected(),
-		Now:            si.sess.Now(),
+		Shard:       si.id,
+		Bounds:      r.placement.Region(si.id),
+		Workers:     si.sess.AdmittedWorkers(),
+		Tasks:       si.sess.AdmittedTasks(),
+		LiveWorkers: si.sess.NumWorkers(),
+		LiveTasks:   si.sess.NumTasks(),
+		Matches:     si.sess.Matches(),
+		// The session counts every deadline it fires; deadlines of copies
+		// whose lifecycle concluded elsewhere were dropped from the stream
+		// (ownerExpiryLocked) and are subtracted here so the snapshot
+		// counts each logical expiry exactly once, on its owner shard.
+		ExpiredWorkers:   si.sess.ExpiredWorkers() - si.halo.suppressedExpW,
+		ExpiredTasks:     si.sess.ExpiredTasks() - si.halo.suppressedExpT,
+		Attempted:        si.sess.Attempted(),
+		Rejected:         si.sess.Rejected(),
+		Now:              si.sess.Now(),
+		GhostWorkers:     si.halo.ghostW,
+		GhostTasks:       si.halo.ghostT,
+		WithdrawnWorkers: si.sess.WithdrawnWorkers(),
+		WithdrawnTasks:   si.sess.WithdrawnTasks(),
+		ClaimsLost:       si.halo.claimsLost,
+		BorderMatches:    si.halo.borderMatches,
 	}
 }
 
@@ -484,6 +844,7 @@ func (r *Router) Retire(horizon float64) (workers, tasks int) {
 		func() {
 			si.mu.Lock()
 			defer si.mu.Unlock()
+			si.drainPendingLocked()
 			si.collectLocked(r)
 			w, t := si.sess.Retire(horizon)
 			si.lastRetire = si.sess.Now()

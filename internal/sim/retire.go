@@ -19,7 +19,8 @@ import "ftoa/internal/model"
 // "Provably dead" is mode-aware, mirroring the availability boundaries:
 //
 //   - a matched object is dead the instant its pair commits (TryMatch
-//     refuses rematches in both modes);
+//     refuses rematches in both modes), and a withdrawn object (see
+//     withdraw.go) is dead the instant it is retracted;
 //   - in Strict mode an unmatched worker is dead once the clock reaches
 //     its deadline (WorkerAvailable requires now < deadline) and an
 //     unmatched task once the clock strictly passes its deadline
@@ -118,6 +119,7 @@ func (s *Session) Retire(horizon float64) (workers, tasks int) {
 			s.tasks[keep] = s.tasks[h]
 			s.tMatch[keep] = s.tMatch[h]
 			s.tMatchAt[keep] = s.tMatchAt[h]
+			s.tWithdrawn[keep] = s.tWithdrawn[h]
 		}
 		keep++
 	}
@@ -125,6 +127,7 @@ func (s *Session) Retire(horizon float64) (workers, tasks int) {
 	s.tasks = s.tasks[:keep]
 	s.tMatch = s.tMatch[:keep]
 	s.tMatchAt = s.tMatchAt[:keep]
+	s.tWithdrawn = s.tWithdrawn[:keep]
 
 	if workers == 0 && tasks == 0 {
 		return 0, 0
@@ -177,6 +180,12 @@ func (s *Session) Retire(horizon float64) (workers, tasks int) {
 // death instants must fall at or before horizon.
 func (s *Session) workerDead(h int, horizon float64) bool {
 	ws := &s.wstate[h]
+	if ws.withdrawn {
+		// Withdrawn in either mode: TryMatch refuses it forever and its
+		// expiry is suppressed, so no grace window is needed — the arbiter
+		// that withdrew it has already dropped its own references.
+		return true
+	}
 	if ws.matched {
 		return ws.matchedAt <= horizon
 	}
@@ -187,6 +196,9 @@ func (s *Session) workerDead(h int, horizon float64) bool {
 // a task is assignable AT its deadline (now <= deadline), so an unmatched
 // one is only dead once the horizon strictly passes it.
 func (s *Session) taskDead(h int, horizon float64) bool {
+	if s.tWithdrawn[h] {
+		return true
+	}
 	if s.tMatch[h] {
 		return s.tMatchAt[h] <= horizon
 	}

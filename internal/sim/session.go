@@ -66,6 +66,15 @@ type MatcherConfig struct {
 	// slices are owned by the session and valid only during the call, and
 	// the handler must not call back into the Session.
 	OnRetire func(workers, tasks []int32)
+	// CommitGate, when non-nil, is consulted by TryMatch after every
+	// platform validity check has passed, immediately before the pair
+	// commits; returning false vetoes the commit (TryMatch reports false
+	// and the attempt counts as rejected). The shard router uses it to
+	// arbitrate cross-shard claims on halo-mirrored objects — a vetoed
+	// commit means another session's copy already matched or expired. The
+	// gate runs mid-algorithm-callback and must not call back into the
+	// Session.
+	CommitGate func(w, t int, now float64) bool
 }
 
 // Matcher is a configured factory for open-world matching sessions. One
@@ -113,6 +122,7 @@ func newSession(cfg MatcherConfig, alg Algorithm) *Session {
 		onEvent:  cfg.OnEvent,
 		onMatch:  cfg.OnMatch,
 		onRetire: cfg.OnRetire,
+		gate:     cfg.CommitGate,
 	}
 	s.Reset(alg)
 	return s
@@ -127,6 +137,7 @@ type workerState struct {
 	matchedAt  float64 // commit time, valid when matched
 	moving     bool
 	matched    bool
+	withdrawn  bool // retracted via WithdrawWorker; see withdraw.go
 }
 
 // ErrFinished is returned by AddWorker/AddTask after Finish.
@@ -163,17 +174,20 @@ type Session struct {
 	onEvent  func(SessionEvent)
 	onMatch  func(Match)
 	onRetire func(workers, tasks []int32)
+	gate     func(w, t int, now float64) bool
 
-	alg      Algorithm
-	timerAlg TimerAlgorithm // nil when alg has no OnTimer
+	alg         Algorithm
+	timerAlg    TimerAlgorithm         // nil when alg has no OnTimer
+	withdrawAlg WithdrawAwareAlgorithm // nil when alg has no OnWithdraw hooks
 
 	// Arenas; handles index into them. Append-only within an epoch;
 	// Retire compacts them across epoch boundaries (see retire.go).
-	workers  []model.Worker
-	tasks    []model.Task
-	wstate   []workerState
-	tMatch   []bool
-	tMatchAt []float64 // commit time per task, valid when tMatch
+	workers    []model.Worker
+	tasks      []model.Task
+	wstate     []workerState
+	tMatch     []bool
+	tMatchAt   []float64 // commit time per task, valid when tMatch
+	tWithdrawn []bool    // retracted via WithdrawTask; see withdraw.go
 
 	// Epoch bookkeeping (retire.go): wRemap/tRemap are the reusable
 	// old→new handle tables, retired* the cumulative drop counts.
@@ -198,6 +212,10 @@ type Session struct {
 	expiredW int
 	expiredT int
 
+	// Lifetime withdrawal counts (withdraw.go); survive Retire.
+	withdrawnW int
+	withdrawnT int
+
 	now      float64
 	timer    float64 // pending timer or +Inf
 	finished bool
@@ -221,6 +239,7 @@ func (s *Session) Reset(alg Algorithm) {
 	s.wstate = s.wstate[:0]
 	s.tMatch = s.tMatch[:0]
 	s.tMatchAt = s.tMatchAt[:0]
+	s.tWithdrawn = s.tWithdrawn[:0]
 	// The matching escapes to callers via Matching, so it is the one piece
 	// of per-session state that cannot be reused.
 	s.matching = model.Matching{}
@@ -230,6 +249,8 @@ func (s *Session) Reset(alg Algorithm) {
 	s.tExpiry.reset()
 	s.expiredW = 0
 	s.expiredT = 0
+	s.withdrawnW = 0
+	s.withdrawnT = 0
 	s.retiredW = 0
 	s.retiredT = 0
 	s.epoch = 0
@@ -246,6 +267,7 @@ func (s *Session) Reset(alg Algorithm) {
 	s.stats = MatchStats{}
 	s.alg = alg
 	s.timerAlg, _ = alg.(TimerAlgorithm)
+	s.withdrawAlg, _ = alg.(WithdrawAwareAlgorithm)
 	alg.Init(s)
 }
 
@@ -288,6 +310,7 @@ func (s *Session) AddTask(t model.Task) (int, error) {
 	s.tasks = append(s.tasks, t)
 	s.tMatch = append(s.tMatch, false)
 	s.tMatchAt = append(s.tMatchAt, 0)
+	s.tWithdrawn = append(s.tWithdrawn, false)
 	s.tExpiry.push(expiryEntry{at: t.Deadline(), handle: int32(h)})
 	s.alg.OnTaskArrival(h, t.Release)
 	return h, nil
@@ -363,6 +386,11 @@ func (s *Session) fireWorkerExpiry(e expiryEntry) {
 	}
 	w := int(e.handle)
 	ws := &s.wstate[w]
+	if ws.withdrawn {
+		// Retracted copies have no lifecycle here: whichever session
+		// committed or expired the original reports it.
+		return
+	}
 	if ws.matched && ws.matchedAt < e.at {
 		return
 	}
@@ -378,6 +406,9 @@ func (s *Session) fireTaskExpiry(e expiryEntry) {
 		s.now = e.at
 	}
 	t := int(e.handle)
+	if s.tWithdrawn[t] {
+		return
+	}
 	if s.tMatch[t] && s.tMatchAt[t] <= e.at {
 		return
 	}
@@ -547,7 +578,8 @@ func (s *Session) WorkerPos(w int, now float64) geo.Point {
 // an unmatched worker stays assignable; in Strict mode a task released at
 // `now` must satisfy Sr < Sw + Dw.
 func (s *Session) WorkerAvailable(w int, now float64) bool {
-	if s.wstate[w].matched {
+	ws := &s.wstate[w]
+	if ws.matched || ws.withdrawn {
 		return false
 	}
 	if s.mode == AssumeGuide {
@@ -560,7 +592,7 @@ func (s *Session) WorkerAvailable(w int, now float64) bool {
 // semantics; in Strict mode a worker departing at `now` needs non-negative
 // travel budget.
 func (s *Session) TaskAvailable(t int, now float64) bool {
-	if s.tMatch[t] {
+	if s.tMatch[t] || s.tWithdrawn[t] {
 		return false
 	}
 	if s.mode == AssumeGuide {
@@ -573,7 +605,7 @@ func (s *Session) TaskAvailable(t int, now float64) bool {
 func (s *Session) TryMatch(w, t int, now float64) bool {
 	s.attempted++
 	ws := &s.wstate[w]
-	if ws.matched || s.tMatch[t] {
+	if ws.matched || ws.withdrawn || s.tMatch[t] || s.tWithdrawn[t] {
 		s.rejected++
 		return false
 	}
@@ -582,6 +614,13 @@ func (s *Session) TryMatch(w, t int, now float64) bool {
 			s.rejected++
 			return false
 		}
+	}
+	// The commit gate runs last, once the pair is otherwise committable:
+	// a veto means an external arbiter (the shard router's cross-shard
+	// claim protocol) knows one endpoint is spoken for elsewhere.
+	if s.gate != nil && !s.gate(w, t, now) {
+		s.rejected++
+		return false
 	}
 	pos := s.WorkerPos(w, now)
 	ws.matched = true

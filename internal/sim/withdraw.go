@@ -1,0 +1,76 @@
+package sim
+
+// Withdrawal — the retraction primitive behind cross-shard halo matching
+// (package shard). A border object mirrored into several sessions must be
+// retracted everywhere else the moment one copy is committed or the owner
+// copy expires; WithdrawWorker/WithdrawTask are that retraction. A
+// withdrawn object:
+//
+//   - is unavailable: WorkerAvailable/TaskAvailable report false in both
+//     modes (unlike deadlines, which AssumeGuide ignores) and TryMatch
+//     refuses any pair involving it;
+//   - never expires here: its pending deadline entry is suppressed when it
+//     pops, emitting no event and counting no expiry — the object's
+//     lifecycle is owned by whichever session committed or expired it;
+//   - is provably dead for Retire in both modes, so the next retirement
+//     compacts it away.
+//
+// Withdrawal is silent (no lifecycle event) and does not advance the
+// session clock: it removes an object from consideration, it does not
+// report on it.
+
+// WithdrawAwareAlgorithm is implemented by algorithms that want to drop
+// their per-object state for a withdrawn handle eagerly. The hook is an
+// optimisation, never a correctness requirement: the platform's
+// availability checks already report a withdrawn object dead, so
+// algorithms that filter lazily (the same paths that absorb expiries)
+// stay correct without it. The hook runs synchronously from within
+// WithdrawWorker/WithdrawTask and must not call back into the platform's
+// mutating surface (TryMatch, Dispatch, Schedule); read-only accessors
+// are safe.
+type WithdrawAwareAlgorithm interface {
+	Algorithm
+	// OnWorkerWithdraw is invoked after worker w became withdrawn.
+	OnWorkerWithdraw(w int, now float64)
+	// OnTaskWithdraw is invoked after task t became withdrawn.
+	OnTaskWithdraw(t int, now float64)
+}
+
+// WithdrawWorker retracts worker h from matching consideration (see the
+// package comment above). It reports whether the worker was live — an
+// already matched or already withdrawn worker is left untouched and the
+// call is a no-op, which makes double retraction (a race two arbiters can
+// lose) harmless. Withdrawing after Finish is likewise a silent no-op in
+// effect: every deadline has already fired.
+func (s *Session) WithdrawWorker(h int) bool {
+	ws := &s.wstate[h]
+	if ws.matched || ws.withdrawn {
+		return false
+	}
+	ws.withdrawn = true
+	s.withdrawnW++
+	if s.withdrawAlg != nil {
+		s.withdrawAlg.OnWorkerWithdraw(h, s.now)
+	}
+	return true
+}
+
+// WithdrawTask retracts task h; see WithdrawWorker.
+func (s *Session) WithdrawTask(h int) bool {
+	if s.tMatch[h] || s.tWithdrawn[h] {
+		return false
+	}
+	s.tWithdrawn[h] = true
+	s.withdrawnT++
+	if s.withdrawAlg != nil {
+		s.withdrawAlg.OnTaskWithdraw(h, s.now)
+	}
+	return true
+}
+
+// WithdrawnWorkers returns how many workers have been withdrawn over the
+// session's lifetime (the count survives retirement).
+func (s *Session) WithdrawnWorkers() int { return s.withdrawnW }
+
+// WithdrawnTasks is WithdrawnWorkers for the task side.
+func (s *Session) WithdrawnTasks() int { return s.withdrawnT }

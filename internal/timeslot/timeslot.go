@@ -8,14 +8,25 @@
 // worker velocity).
 package timeslot
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Slotting describes a partition of [0, Horizon) into Count equal slots.
+//
+// A Slotting built with NewAnchored additionally treats the timeline as
+// periodic: SlotOf first shifts the query by an anchor offset and wraps
+// it modulo the horizon, so an ever-growing clock (a server's uptime
+// seconds) keeps resolving to the right recurring slot (the wall-clock
+// time of day, or day of week) instead of saturating at the last slot.
 type Slotting struct {
 	Horizon float64 // total duration of the timeline
 	Count   int     // number of slots (t in the paper)
 
-	width float64
+	width  float64
+	offset float64 // added to queries before slot resolution
+	wrap   bool    // wrap shifted queries modulo Horizon
 }
 
 // New builds a Slotting. It panics on non-positive horizon or count, which
@@ -30,13 +41,34 @@ func New(horizon float64, count int) *Slotting {
 	return &Slotting{Horizon: horizon, Count: count, width: horizon / float64(count)}
 }
 
+// NewAnchored builds a periodic Slotting: SlotOf(t) resolves the slot
+// containing mod(t+offset, horizon). offset anchors time zero of the
+// query clock to a point of the recurring timeline — e.g. a server that
+// boots at 14:00 on a Wednesday passes the seconds-into-week of that
+// instant, so uptime second 0 lands mid-Wednesday and uptime keeps
+// cycling through the week forever.
+func NewAnchored(horizon float64, count int, offset float64) *Slotting {
+	s := New(horizon, count)
+	s.offset = offset
+	s.wrap = true
+	return s
+}
+
 // Width returns the duration of one slot.
 func (s *Slotting) Width() float64 { return s.width }
 
-// SlotOf returns the index of the slot containing time tm. Times before 0
-// clamp to slot 0 and times at or beyond the horizon clamp to the last
-// slot, mirroring geo.Grid.CellOf so that every event maps somewhere.
+// SlotOf returns the index of the slot containing time tm. For a plain
+// Slotting, times before 0 clamp to slot 0 and times at or beyond the
+// horizon clamp to the last slot, mirroring geo.Grid.CellOf so that every
+// event maps somewhere. An anchored Slotting shifts and wraps first, so
+// no query clamps (every instant belongs to a recurring slot).
 func (s *Slotting) SlotOf(tm float64) int {
+	if s.wrap {
+		tm = math.Mod(tm+s.offset, s.Horizon)
+		if tm < 0 {
+			tm += s.Horizon
+		}
+	}
 	i := int(tm / s.width)
 	if i < 0 {
 		return 0

@@ -5,6 +5,42 @@ import (
 	"testing/quick"
 )
 
+func TestAnchoredSlotOf(t *testing.T) {
+	// A day of 100 units split into 4 slots, anchored at 30 units into
+	// the day: query time 0 lands in slot 1, and the mapping wraps
+	// forever instead of clamping at the horizon.
+	s := NewAnchored(100, 4, 30)
+	cases := []struct {
+		tm   float64
+		want int
+	}{
+		{0, 1},     // 30 into the day
+		{19, 1},    // 49
+		{20, 2},    // 50
+		{69, 3},    // 99
+		{70, 0},    // wraps to 0
+		{170, 0},   // a full day later: same slot
+		{100, 1},   // one day of uptime: back to the boot slot
+		{1030, 2},  // ten days plus 30: (1030+30) mod 100 = 60 -> slot 2
+		{-30, 0},   // negative query shifts below zero and wraps up
+		{-130, 0},  // and again a day earlier
+		{99999, 1}, // far future still resolves: (99999+30) mod 100 = 29 -> slot 1
+	}
+	for _, c := range cases {
+		if got := s.SlotOf(c.tm); got != c.want {
+			t.Errorf("anchored SlotOf(%v) = %d, want %d", c.tm, got, c.want)
+		}
+	}
+	// A plain Slotting still clamps.
+	p := New(100, 4)
+	if got := p.SlotOf(1000); got != 3 {
+		t.Errorf("plain SlotOf(1000) = %d, want clamp to 3", got)
+	}
+	if p.SlotOf(-5) != 0 {
+		t.Error("plain SlotOf(-5) != 0")
+	}
+}
+
 func TestSlotOf(t *testing.T) {
 	s := New(48, 48) // 48 slots of width 1
 	tests := []struct {
