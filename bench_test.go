@@ -11,6 +11,7 @@ package ftoa_test
 
 import (
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 
@@ -488,12 +489,30 @@ func BenchmarkSessionLongLived(b *testing.B) {
 // claim arbitration), recovering the cross-border matched size the
 // disjoint grid loses — the matched metric quantifies the trade.
 func benchRouterStream(b *testing.B, cols, rows int, halo float64) {
+	benchRouterStreamWAL(b, cols, rows, halo, nil)
+}
+
+// benchRouterStreamWAL is benchRouterStream with an optional per-
+// iteration WAL factory (generations are write-once, so every
+// iteration logs into a fresh directory). The ns/arrival delta against
+// the nil-WAL twin is the durability overhead; CI gates the buffered-
+// mode delta at 2x.
+func benchRouterStreamWAL(b *testing.B, cols, rows int, halo float64, mkWAL func(i int) *ftoa.WALOptions) {
 	in, _ := benchSetup(b)
 	events := in.Events()
 	arrivals := float64(len(events))
 	var matched int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Construction and final close are untimed in both the WAL'd and
+		// plain variants: the gated number is per-arrival serving cost,
+		// not the one-off cost of creating (or fsyncing shut) a
+		// generation's segment files.
+		b.StopTimer()
+		var walOpts *ftoa.WALOptions
+		if mkWAL != nil {
+			walOpts = mkWAL(i)
+		}
 		router, err := ftoa.NewShardRouter(ftoa.ShardConfig{
 			Matcher: ftoa.MatcherConfig{
 				Mode:     ftoa.AssumeGuide,
@@ -509,10 +528,12 @@ func benchRouterStream(b *testing.B, cols, rows int, halo float64) {
 			Rows:         rows,
 			Halo:         halo,
 			NewAlgorithm: func() ftoa.Algorithm { return ftoa.NewSimpleGreedy() },
+			WAL:          walOpts,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		for _, ev := range events {
 			switch ev.Kind {
 			case ftoa.WorkerArrival:
@@ -525,10 +546,17 @@ func benchRouterStream(b *testing.B, cols, rows int, halo float64) {
 			}
 		}
 		router.Finish()
+		b.StopTimer()
 		matched = 0
 		for _, st := range router.StatsAll(nil) {
 			matched += st.Matches
 		}
+		if walOpts != nil {
+			if err := router.WALClose(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arrivals, "ns/arrival")
@@ -550,4 +578,97 @@ func BenchmarkShardRouter4x4Stream(b *testing.B) { benchRouterStream(b, 4, 4, 0)
 func BenchmarkShardRouterHalo4x4(b *testing.B) {
 	cfg := ftoa.DefaultSynthetic()
 	benchRouterStream(b, 4, 4, ftoa.HaloForWindow(cfg.Velocity, cfg.TaskExpiry)/4)
+}
+
+// benchWAL builds a fresh per-iteration WAL directory factory at the
+// given fsync policy.
+func benchWAL(b *testing.B, policy ftoa.WALSyncPolicy) func(i int) *ftoa.WALOptions {
+	b.Helper()
+	root := b.TempDir()
+	return func(i int) *ftoa.WALOptions {
+		return &ftoa.WALOptions{Dir: filepath.Join(root, strconv.Itoa(i)), Policy: policy}
+	}
+}
+
+// The WAL'd twins of the router stream benches: buffered group commit
+// (the default SyncInterval policy — what a durable deployment runs) on
+// real files. CI gates BenchmarkShardRouter4x4WALStream at 2x the
+// ns/arrival of BenchmarkShardRouter4x4Stream; SyncAlways prices a full
+// fsync per arrival and is reported for reference, not gated.
+func BenchmarkShardRouter1x1WALStream(b *testing.B) {
+	benchRouterStreamWAL(b, 1, 1, 0, benchWAL(b, ftoa.WALSyncInterval))
+}
+
+func BenchmarkShardRouter4x4WALStream(b *testing.B) {
+	benchRouterStreamWAL(b, 4, 4, 0, benchWAL(b, ftoa.WALSyncInterval))
+}
+
+func BenchmarkShardRouterHalo4x4WALStream(b *testing.B) {
+	cfg := ftoa.DefaultSynthetic()
+	benchRouterStreamWAL(b, 4, 4, ftoa.HaloForWindow(cfg.Velocity, cfg.TaskExpiry)/4,
+		benchWAL(b, ftoa.WALSyncInterval))
+}
+
+func BenchmarkShardRouter4x4WALSyncAlways(b *testing.B) {
+	benchRouterStreamWAL(b, 4, 4, 0, benchWAL(b, ftoa.WALSyncAlways))
+}
+
+// BenchmarkWALRecover measures boot-time replay: one logged day (4x4,
+// buffered) recovered back into a router, reporting per-event replay
+// latency — the price of a crash restart.
+func BenchmarkWALRecover(b *testing.B) {
+	in, _ := benchSetup(b)
+	events := in.Events()
+	cfg := ftoa.ShardConfig{
+		Matcher: ftoa.MatcherConfig{
+			Mode:     ftoa.AssumeGuide,
+			Velocity: in.Velocity,
+			Bounds:   in.Bounds,
+			Hints: ftoa.Hints{
+				ExpectedWorkers: len(in.Workers),
+				ExpectedTasks:   len(in.Tasks),
+				Horizon:         in.Horizon,
+			},
+		},
+		Cols:         4,
+		Rows:         4,
+		NewAlgorithm: func() ftoa.Algorithm { return ftoa.NewSimpleGreedy() },
+		WAL:          &ftoa.WALOptions{Dir: filepath.Join(b.TempDir(), "wal")},
+	}
+	router, err := ftoa.NewShardRouter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case ftoa.WorkerArrival:
+			_, _, err = router.AddWorker(in.Workers[ev.Index])
+		case ftoa.TaskArrival:
+			_, _, err = router.AddTask(in.Tasks[ev.Index])
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := router.WALClose(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, info, err := ftoa.RecoverShardRouter(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !info.Recovered || info.Events == 0 {
+			b.Fatalf("recovered nothing: %+v", info)
+		}
+		b.StopTimer()
+		// Each recovery opens (and must discard) a next-generation log.
+		if err := rec.WALClose(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/arrival")
 }

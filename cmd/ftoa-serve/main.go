@@ -47,20 +47,35 @@
 // the live population. Handles reported at admission are therefore only
 // stable until the object dies; the /stats breakdown reports both
 // lifetime (workers/tasks) and live (live_workers/live_tasks) counts.
+//
+// With -wal set the server is durable: every shard appends its
+// admissions, withdrawals and match outcomes to a per-shard
+// write-ahead log (fsync policy per -wal-sync) and replays it at boot,
+// reconstructing the exact pre-crash state — same matched set, same
+// event stream, same deadlines. While replay runs the port is already
+// bound but every request (including /healthz) answers 503
+// "recovering"; SIGTERM/SIGINT drains in-flight requests and flushes
+// the log before exiting. -admit-queue bounds each shard's admission
+// backlog, shedding excess arrivals with 503 + Retry-After; /stats
+// reports the shed counts and the WAL status.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ftoa"
@@ -89,6 +104,20 @@ type config struct {
 	horizon       float64
 	guidePatience float64
 	guideExpiry   float64
+	// Durability (off unless walDir is set): every shard records its
+	// admissions, withdrawals and match outcomes in an append-only log
+	// under walDir and replays it at boot, so a crashed or killed server
+	// restarts with its matched set, event stream and deadlines intact.
+	walDir          string
+	walSync         string        // always, interval or none
+	walSyncInterval time.Duration // group-commit window for walSync=interval; 0 = default
+
+	// admitQueue bounds the per-shard admission backlog: when more than
+	// this many POSTs are simultaneously in flight against one shard,
+	// further arrivals to it are shed with 503 + Retry-After instead of
+	// convoying on the shard lock. 0 disables shedding.
+	admitQueue int
+
 	// guideAnchor selects how uptime seconds map into guide slots:
 	// "uptime" (the legacy behavior) assumes the first -horizon seconds
 	// of uptime are the served day, clamping to the last slot forever
@@ -127,6 +156,19 @@ type server struct {
 	// "count" reports the lifetime total, cursors below the eviction
 	// boundary get 410.
 	matchLog *ftoa.MatchLog
+
+	// Overload shedding: inflight counts the POSTs currently holding (or
+	// queued on) each shard's admission path; arrivals beyond admitLimit
+	// are shed with 503 + Retry-After and counted in shed for /stats.
+	// admitLimit 0 disables shedding.
+	admitLimit int
+	inflight   []atomic.Int32
+	shed       []atomic.Uint64
+
+	// walled reports whether the router is WAL-backed; recovery holds
+	// the boot replay summary (nil when walled is false).
+	walled   bool
+	recovery *ftoa.ShardRecoveryInfo
 }
 
 // maxEventsPage caps one GET /events or GET /matches response; pollers
@@ -355,6 +397,20 @@ func newServer(cfg config) (*server, error) {
 	default:
 		return nil, fmt.Errorf("unknown guide anchor %q (want wallclock or uptime)", cfg.guideAnchor)
 	}
+	if cfg.admitQueue < 0 {
+		return nil, fmt.Errorf("admit queue bound must be non-negative, got %d", cfg.admitQueue)
+	}
+	var walPolicy ftoa.WALSyncPolicy
+	switch cfg.walSync {
+	case "", "interval":
+		walPolicy = ftoa.WALSyncInterval
+	case "always":
+		walPolicy = ftoa.WALSyncAlways
+	case "none":
+		walPolicy = ftoa.WALSyncNone
+	default:
+		return nil, fmt.Errorf("unknown WAL sync policy %q (want always, interval or none)", cfg.walSync)
+	}
 	mk, err := buildAlgorithm(cfg)
 	if err != nil {
 		return nil, err
@@ -364,9 +420,12 @@ func newServer(cfg config) (*server, error) {
 		clock:      func() float64 { return time.Since(started).Seconds() },
 		minAdvance: cfg.tick.Seconds() / 2,
 		matchLog:   ftoa.NewMatchLog(cfg.shards[0]*cfg.shards[1], cfg.retention),
+		admitLimit: cfg.admitQueue,
+		inflight:   make([]atomic.Int32, cfg.shards[0]*cfg.shards[1]),
+		shed:       make([]atomic.Uint64, cfg.shards[0]*cfg.shards[1]),
 	}
 	s.lastAdvance.Store(math.Float64bits(math.Inf(-1)))
-	s.router, err = ftoa.NewShardRouter(ftoa.ShardConfig{
+	shardCfg := ftoa.ShardConfig{
 		Matcher: ftoa.MatcherConfig{
 			Mode:     mode,
 			Velocity: cfg.velocity,
@@ -380,9 +439,28 @@ func newServer(cfg config) (*server, error) {
 		Retention:      cfg.retention,
 		RetireInterval: cfg.retire.Seconds(),
 		OnEvent:        s.matchLog.Record,
-	})
+	}
+	if cfg.walDir == "" {
+		s.router, err = ftoa.NewShardRouter(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	shardCfg.WAL = &ftoa.WALOptions{Dir: cfg.walDir, Policy: walPolicy, Interval: cfg.walSyncInterval}
+	// Replaying the log re-fires the OnEvent hook for every recovered
+	// commit, so the /matches history comes back along with the router.
+	s.router, s.recovery, err = ftoa.RecoverShardRouter(shardCfg)
 	if err != nil {
 		return nil, err
+	}
+	s.walled = true
+	if off := s.recovery.MaxClock; off > 0 && !math.IsInf(off, 0) {
+		// Session time must stay monotone across the restart: resume the
+		// clock where the dead process left it, so recovered deadlines
+		// (admission time + patience/expiry) keep their meaning instead
+		// of all expiring relative to a rewound zero.
+		s.clock = func() float64 { return off + time.Since(started).Seconds() }
 	}
 	return s, nil
 }
@@ -442,6 +520,29 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// admitSlot reserves an admission slot against shard's bounded queue;
+// the caller must release it with s.inflight[shard].Add(-1) once the
+// router call returns. A false return means the shard is over its
+// backlog bound and the arrival was counted as shed.
+func (s *server) admitSlot(shard int) bool {
+	n := s.inflight[shard].Add(1)
+	if s.admitLimit > 0 && int(n) > s.admitLimit {
+		s.inflight[shard].Add(-1)
+		s.shed[shard].Add(1)
+		return false
+	}
+	return true
+}
+
+// shedReply is the overload response: 503 with a Retry-After hint of
+// one tick — by then the convoyed shard has drained or the client
+// should back off further.
+func (s *server) shedReply(w http.ResponseWriter, shard int) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("shard %d admission queue full, retry later", shard))
+}
+
 func (s *server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -455,6 +556,12 @@ func (s *server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "patience must be positive")
 		return
 	}
+	shard := s.router.ShardOf(ftoa.Pt(req.X, req.Y))
+	if !s.admitSlot(shard) {
+		s.shedReply(w, shard)
+		return
+	}
+	defer s.inflight[shard].Add(-1)
 	// The router reports the admission time the shard session actually
 	// stamped (the clock read here, clamped monotone under the shard
 	// lock), so the response always agrees with the session's deadlines
@@ -480,6 +587,12 @@ func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "expiry must be positive")
 		return
 	}
+	shard := s.router.ShardOf(ftoa.Pt(req.X, req.Y))
+	if !s.admitSlot(shard) {
+		s.shedReply(w, shard)
+		return
+	}
+	defer s.inflight[shard].Add(-1)
 	h, admitted, err := s.router.AddTask(ftoa.Task{Loc: ftoa.Pt(req.X, req.Y), Release: s.now(), Expiry: req.Expiry})
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
@@ -661,10 +774,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WithdrawnTasks   int `json:"withdrawn_tasks"`
 		ClaimsLost       int `json:"claims_lost"`
 		BorderMatches    int `json:"border_matches"`
+		// Shed counts the arrivals this shard rejected with 503 because
+		// its bounded admission queue (-admit-queue) was full.
+		Shed uint64 `json:"shed"`
 	}
 	shards := make([]shardJSON, s.router.NumShards())
 	var workers, tasks, liveW, liveT, matches, expW, expT, attempted, rejected int
 	var ghostW, ghostT, wdW, wdT, claimsLost, borderMatches int
+	var shedTotal uint64
 	now := 0.0
 	for i := range shards {
 		st := s.router.ShardStats(i)
@@ -692,6 +809,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			WithdrawnTasks:   st.WithdrawnTasks,
 			ClaimsLost:       st.ClaimsLost,
 			BorderMatches:    st.BorderMatches,
+			Shed:             s.shed[i].Load(),
 		}
 		workers += st.Workers
 		tasks += st.Tasks
@@ -708,8 +826,23 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		wdT += st.WithdrawnTasks
 		claimsLost += st.ClaimsLost
 		borderMatches += st.BorderMatches
+		shedTotal += shards[i].Shed
 		if st.Now > now {
 			now = st.Now
+		}
+	}
+	// WAL status: sticky append errors surface here (and only here) so an
+	// operator polling /stats notices a durability failure while the
+	// in-memory router keeps serving.
+	walStatus := map[string]any{"enabled": s.walled}
+	if s.walled {
+		walStatus["generation"] = s.router.WALGeneration()
+		walStatus["recovered"] = s.recovery.Recovered
+		walStatus["recovered_events"] = s.recovery.Events
+		walStatus["recovered_matches"] = s.recovery.Matches
+		walStatus["torn_bytes"] = s.recovery.TornBytes
+		if err := s.router.WALErr(); err != nil {
+			walStatus["error"] = err.Error()
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -728,17 +861,61 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"withdrawn_tasks":   wdT,
 		"claims_lost":       claimsLost,
 		"border_matches":    borderMatches,
+		"shed":              shedTotal,
+		"wal":               walStatus,
 		"now":               now,
 		"shards":            shards,
 	})
 }
 
 // tickLoop advances the shard clocks periodically so timer-driven
-// algorithms make progress — and deadlines expire — during arrival lulls.
-func (s *server) tickLoop(interval time.Duration) {
-	for range time.Tick(interval) {
-		s.advance()
+// algorithms make progress — and deadlines expire — during arrival
+// lulls; stop ends it so shutdown doesn't race a final advance against
+// the WAL close.
+func (s *server) tickLoop(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.advance()
+		case <-stop:
+			return
+		}
 	}
+}
+
+// bootGate is what the listener serves while the process is still
+// replaying its WAL: the port is bound (and /healthz answering) the
+// moment the process starts, but every request gets 503 until ready
+// swaps in the real handler. Readiness is therefore observable — a
+// deployment can distinguish "recovering" from "dead" — without
+// delaying the bind past a long replay.
+type bootGate struct {
+	h atomic.Value // holds handlerBox (atomic.Value wants one concrete type)
+}
+
+type handlerBox struct{ h http.Handler }
+
+func newBootGate() *bootGate {
+	g := &bootGate{}
+	g.h.Store(handlerBox{http.HandlerFunc(recovering)})
+	return g
+}
+
+func (g *bootGate) ready(h http.Handler) { g.h.Store(handlerBox{h}) }
+
+func (g *bootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.h.Load().(handlerBox).h.ServeHTTP(w, r)
+}
+
+func recovering(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	if r.URL.Path == "/healthz" {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "recovering: WAL replay in progress")
 }
 
 // parsePair parses "NxM" into two positive integers.
@@ -777,23 +954,31 @@ func main() {
 	guidePatience := flag.Float64("guide-patience", 300, "worker patience Dw assumed by the guide (seconds)")
 	guideExpiry := flag.Float64("guide-expiry", 60, "task expiry Dr assumed by the guide (seconds)")
 	guideAnchor := flag.String("guide-anchor", "wallclock", "guide slot anchoring: wallclock (7-day week guide keyed to wall-clock day-of-week and time-of-day) or uptime (legacy: the first -horizon seconds of uptime are the served day)")
+	walDir := flag.String("wal", "", "write-ahead log directory; arrivals and match outcomes are made durable per shard and replayed at boot, so a killed server restarts with its state intact (empty disables durability)")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always (fsync per operation), interval (group commit on -wal-sync-interval) or none (OS page cache only)")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "group-commit window for -wal-sync interval (0 = 50ms default)")
+	admitQueue := flag.Int("admit-queue", 0, "per-shard admission backlog bound; arrivals beyond it are shed with 503 + Retry-After (0 disables shedding)")
 	flag.Parse()
 
 	cfg := config{
-		algorithm:     *alg,
-		window:        *window,
-		mode:          *mode,
-		velocity:      *velocity,
-		tick:          *tick,
-		retention:     *retention,
-		retire:        *retire,
-		halo:          *halo,
-		guidePath:     *guide,
-		guideDow0:     ((*guideDow0)%7 + 7) % 7,
-		horizon:       *horizon,
-		guidePatience: *guidePatience,
-		guideExpiry:   *guideExpiry,
-		guideAnchor:   *guideAnchor,
+		algorithm:       *alg,
+		window:          *window,
+		mode:            *mode,
+		velocity:        *velocity,
+		tick:            *tick,
+		retention:       *retention,
+		retire:          *retire,
+		halo:            *halo,
+		walDir:          *walDir,
+		walSync:         *walSync,
+		walSyncInterval: *walSyncInterval,
+		admitQueue:      *admitQueue,
+		guidePath:       *guide,
+		guideDow0:       ((*guideDow0)%7 + 7) % 7,
+		horizon:         *horizon,
+		guidePatience:   *guidePatience,
+		guideExpiry:     *guideExpiry,
+		guideAnchor:     *guideAnchor,
 	}
 	parts := strings.Split(*boundsStr, ",")
 	if len(parts) != 4 {
@@ -814,12 +999,51 @@ func main() {
 		}
 	}
 
+	// Bind before building the server: WAL replay can take a while on a
+	// long history, and the gate makes that visible as 503 "recovering"
+	// instead of a connection refused.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gate := newBootGate()
+	hs := &http.Server{Handler: gate}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
 	srv, err := newServer(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv.tickLoop(cfg.tick)
-	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s halo=%gs retire=%s)",
-		cfg.algorithm, *addr, cfg.mode, cfg.velocity, *boundsStr, *shards, cfg.halo, cfg.retire)
-	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+	if ri := srv.recovery; ri != nil && ri.Recovered {
+		log.Printf("ftoa-serve: recovered %d events (%d matches) from %d WAL segment(s), %d torn byte(s) truncated; resuming at t=%.3f generation %d",
+			ri.Events, ri.Matches, ri.Segments, ri.TornBytes, ri.MaxClock, ri.Generation)
+	}
+	stopTick := make(chan struct{})
+	go srv.tickLoop(cfg.tick, stopTick)
+	gate.ready(srv.handler())
+	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s halo=%gs retire=%s wal=%q)",
+		cfg.algorithm, ln.Addr(), cfg.mode, cfg.velocity, *boundsStr, *shards, cfg.halo, cfg.retire, cfg.walDir)
+
+	// Graceful shutdown: stop admitting, drain in-flight requests, then
+	// flush and close the WAL so the final acknowledged operations are
+	// durable before the process exits.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("ftoa-serve: %v: draining", got)
+	}
+	close(stopTick)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("ftoa-serve: shutdown: %v", err)
+	}
+	if err := srv.router.WALClose(); err != nil {
+		log.Fatalf("ftoa-serve: WAL close: %v", err)
+	}
+	log.Print("ftoa-serve: drained, WAL closed")
 }

@@ -714,3 +714,219 @@ func TestWeekdaySources(t *testing.T) {
 		t.Fatalf("weekdaySources = %v, want %v", src, want)
 	}
 }
+
+// TestServeWALRestart: a WAL-backed server killed without ceremony (the
+// handles simply abandoned) restarts with its matched set, match
+// history and clock intact, and keeps serving.
+func TestServeWALRestart(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.shards = [2]int{2, 1}
+	cfg.walDir = t.TempDir() + "/wal"
+	cfg.walSync = "always"
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	postJSON(t, ts.URL+"/workers", `{"x":10,"y":10,"patience":300}`)
+	postJSON(t, ts.URL+"/tasks", `{"x":11,"y":10,"expiry":60}`)
+	postJSON(t, ts.URL+"/workers", `{"x":90,"y":10,"patience":300}`) // unmatched, survives
+	before := getJSON(t, ts.URL+"/stats")
+	if before["matches"].(float64) != 1 {
+		t.Fatalf("pre-crash stats = %v, want 1 match", before)
+	}
+	if wal := before["wal"].(map[string]any); wal["enabled"] != true || wal["recovered"] != false {
+		t.Fatalf("pre-crash wal status = %v", wal)
+	}
+	ts.Close()
+	// Kill: no WALClose, no flush. -wal-sync always made every
+	// acknowledged admission durable already.
+
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.router.WALClose()
+	if !srv2.recovery.Recovered || srv2.recovery.Matches != 1 {
+		t.Fatalf("recovery = %+v, want a recovered match", srv2.recovery)
+	}
+	if now := srv2.now(); now < srv2.recovery.MaxClock {
+		t.Fatalf("recovered clock %v rewound below the replayed %v", now, srv2.recovery.MaxClock)
+	}
+	ts2 := httptest.NewServer(srv2.handler())
+	defer ts2.Close()
+	after := getJSON(t, ts2.URL+"/stats")
+	if after["matches"].(float64) != 1 || after["workers"].(float64) != 2 {
+		t.Fatalf("post-recovery stats = %v, want the pre-crash population", after)
+	}
+	wal := after["wal"].(map[string]any)
+	if wal["recovered"] != true || wal["generation"].(float64) != 2 || wal["recovered_matches"].(float64) != 1 {
+		t.Fatalf("post-recovery wal status = %v", wal)
+	}
+	// The match history view was rebuilt from the replay, not lost.
+	m := getJSON(t, ts2.URL+"/matches")
+	if m["count"].(float64) != 1 {
+		t.Fatalf("post-recovery matches = %v, want the recovered commit", m)
+	}
+	// And the recovered server still matches: the surviving worker at
+	// (90,10) serves a new task.
+	postJSON(t, ts2.URL+"/tasks", `{"x":89,"y":10,"expiry":60}`)
+	if st := getJSON(t, ts2.URL+"/stats"); st["matches"].(float64) != 2 {
+		t.Fatalf("recovered server won't match: %v", st)
+	}
+}
+
+// TestServeWALConfigValidation: bad durability flags are rejected up
+// front, and a fresh server refuses a foreign WAL fingerprint.
+func TestServeWALConfigValidation(t *testing.T) {
+	bad := defaultTestConfig()
+	bad.walSync = "eventually"
+	if _, err := newServer(bad); err == nil {
+		t.Error("unknown -wal-sync accepted")
+	}
+	bad = defaultTestConfig()
+	bad.admitQueue = -1
+	if _, err := newServer(bad); err == nil {
+		t.Error("negative -admit-queue accepted")
+	}
+
+	// A log written under one topology must not replay under another.
+	cfg := defaultTestConfig()
+	cfg.walDir = t.TempDir() + "/wal"
+	cfg.walSync = "always"
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.router.WALClose()
+	cfg.shards = [2]int{2, 2}
+	if _, err := newServer(cfg); err == nil {
+		t.Error("recovery across a shard-topology change accepted")
+	}
+}
+
+// TestServeShedding: with -admit-queue set, a shard over its inflight
+// bound sheds arrivals with 503 + Retry-After, counts them in /stats,
+// and recovers once the backlog drains.
+func TestServeShedding(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.shards = [2]int{2, 1}
+	cfg.admitQueue = 1
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Saturate shard 0's queue (as a stuck in-flight admission would).
+	srv.inflight[0].Add(1)
+	resp, err := http.Post(ts.URL+"/workers", "application/json",
+		strings.NewReader(`{"x":10,"y":50,"patience":300}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated shard: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// The other shard is unaffected.
+	postJSON(t, ts.URL+"/workers", `{"x":90,"y":50,"patience":300}`)
+	stats := getJSON(t, ts.URL+"/stats")
+	if stats["shed"].(float64) != 1 {
+		t.Fatalf("stats = %v, want 1 shed", stats)
+	}
+	if sh := stats["shards"].([]any)[0].(map[string]any); sh["shed"].(float64) != 1 {
+		t.Fatalf("shard 0 stats = %v, want the shed there", sh)
+	}
+	// Drain the backlog: admissions flow again.
+	srv.inflight[0].Add(-1)
+	postJSON(t, ts.URL+"/workers", `{"x":10,"y":50,"patience":300}`)
+	if st := getJSON(t, ts.URL+"/stats"); st["workers"].(float64) != 2 {
+		t.Fatalf("post-drain stats = %v, want 2 admitted workers", st)
+	}
+}
+
+// TestServeBootGate: the gate answers 503 "recovering" (on /healthz
+// too) until the real handler is swapped in.
+func TestServeBootGate(t *testing.T) {
+	gate := newBootGate()
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("gated /healthz: status %d, want 503 with Retry-After", resp.StatusCode)
+	}
+	if out, status := getJSONStatus(t, ts.URL+"/stats"); status != http.StatusServiceUnavailable {
+		t.Fatalf("gated /stats: status %d (%v), want 503", status, out)
+	}
+
+	srv, err := newServer(defaultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate.ready(srv.handler())
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeCrashRestartSoak (env-gated; CI's crash-recovery soak job
+// sets FTOA_SOAK=1) kills and restarts a WAL-backed server repeatedly,
+// checking every generation recovers the previous one's full state.
+func TestServeCrashRestartSoak(t *testing.T) {
+	if os.Getenv("FTOA_SOAK") == "" {
+		t.Skip("set FTOA_SOAK=1 to run the crash/restart soak")
+	}
+	cfg := defaultTestConfig()
+	cfg.shards = [2]int{2, 2}
+	cfg.halo = 30
+	cfg.walDir = t.TempDir() + "/wal"
+	cfg.walSync = "always"
+
+	prevMatches, prevWorkers := 0.0, 0.0
+	for round := 0; round < 6; round++ {
+		srv, err := newServer(cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if round > 0 && !srv.recovery.Recovered {
+			t.Fatalf("round %d recovered nothing", round)
+		}
+		ts := httptest.NewServer(srv.handler())
+		st := getJSON(t, ts.URL+"/stats")
+		if st["matches"].(float64) != prevMatches || st["workers"].(float64) != prevWorkers {
+			t.Fatalf("round %d recovered %v matches / %v workers, want %v / %v",
+				round, st["matches"], st["workers"], prevMatches, prevWorkers)
+		}
+		// A wave of arrivals, some crossing the halo border at x=50.
+		for i := 0; i < 8; i++ {
+			x := 44 + (i*7)%13
+			postJSON(t, ts.URL+"/workers", fmt.Sprintf(`{"x":%d,"y":%d,"patience":600}`, x, 20+i*7))
+			postJSON(t, ts.URL+"/tasks", fmt.Sprintf(`{"x":%d,"y":%d,"expiry":600}`, x+2, 20+i*7))
+		}
+		st = getJSON(t, ts.URL+"/stats")
+		if wal := st["wal"].(map[string]any); wal["error"] != nil {
+			t.Fatalf("round %d WAL error: %v", round, wal["error"])
+		}
+		prevMatches, prevWorkers = st["matches"].(float64), st["workers"].(float64)
+		ts.Close() // kill: the router and its WAL handles are abandoned
+	}
+	if prevMatches == 0 {
+		t.Fatal("soak committed nothing")
+	}
+}

@@ -70,6 +70,7 @@ import (
 	"ftoa/internal/model"
 	"ftoa/internal/predict"
 	"ftoa/internal/shard"
+	"ftoa/internal/shard/wal"
 	"ftoa/internal/sim"
 	"ftoa/internal/timeslot"
 	"ftoa/internal/workload"
@@ -255,7 +256,40 @@ type (
 	// MatchEntry is one committed pair in a MatchLog, tagged with its
 	// dense global match ordinal.
 	MatchEntry = shard.MatchEntry
+	// WALOptions parameterises the per-shard write-ahead log: set it as
+	// ShardConfig.WAL to make a router durable, and boot through
+	// RecoverShardRouter to replay an existing log directory.
+	WALOptions = wal.Options
+	// WALSyncPolicy selects when appended WAL groups become durable.
+	WALSyncPolicy = wal.SyncPolicy
+	// ShardRecoveryInfo summarises one RecoverShardRouter call: segment
+	// and record counts, torn/dangling bytes truncated from crashed
+	// tails, the replayed event and match totals, the highest recovered
+	// shard clock, and the log generation the recovered router writes.
+	ShardRecoveryInfo = shard.RecoveryInfo
 )
+
+// WAL sync policies (see WALOptions.Policy).
+const (
+	// WALSyncInterval (the default) group-commits on a background flush
+	// period: a crash loses at most one interval of acknowledged work.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncAlways fsyncs every operation group before acknowledging.
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncNone only fsyncs on flush/close.
+	WALSyncNone = wal.SyncNone
+)
+
+// RecoverShardRouter reconstructs a durable ShardRouter from the
+// write-ahead log under cfg.WAL.Dir — replaying each shard's admissions,
+// withdrawals and recorded arbitration outcomes into a bit-identical
+// merged event stream and matched set — and opens a fresh log generation
+// for it. An empty directory starts a fresh router. Corrupt tails from a
+// crash are truncated, reported in ShardRecoveryInfo, and never refuse
+// the boot; a config that does not fingerprint-match the log does.
+func RecoverShardRouter(cfg ShardConfig) (*ShardRouter, *ShardRecoveryInfo, error) {
+	return shard.Recover(cfg)
+}
 
 // RetiredHandle marks a dropped object in the remap tables passed to
 // RetirableAlgorithm.Remap and MatcherConfig.OnRetire.

@@ -1,0 +1,234 @@
+// Package faultfs is an in-memory filesystem with crash semantics, built
+// to fault-inject the shard WAL (package internal/shard/wal): every file
+// tracks its bytes in two bands — durable (survives a crash) and volatile
+// (written but not yet fsynced) — and the harness can tear writes, cut
+// fsyncs short, and crash the world at any byte boundary.
+//
+// The model mirrors what a real OS guarantees an append-only writer:
+//
+//   - Write appends to the volatile band (a torn write appends only a
+//     prefix and then fails, like a crash mid-write);
+//   - Sync promotes the volatile band to durable (a partial sync promotes
+//     only a prefix and then fails, like power loss mid-fsync);
+//   - Crash discards every file's volatile band — the post-crash disk
+//     image is exactly the durable bytes;
+//   - reads see durable+volatile, the live view an uncrashed process has.
+//
+// faultfs implements wal.FS (the dependency points from the harness to the
+// log, so the wal package itself stays free of test-only machinery).
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"ftoa/internal/shard/wal"
+)
+
+// FS is the in-memory fault-injecting filesystem. The zero value is not
+// usable; call New.
+type FS struct {
+	mu    sync.Mutex
+	files map[string]*file
+	dirs  map[string]bool
+
+	// Pending injected faults, keyed by file name; consumed by the next
+	// matching operation.
+	tearWrite   map[string]int
+	partialSync map[string]int
+}
+
+type file struct {
+	durable  []byte
+	volatile []byte
+	closed   bool
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{
+		files:       make(map[string]*file),
+		dirs:        make(map[string]bool),
+		tearWrite:   make(map[string]int),
+		partialSync: make(map[string]int),
+	}
+}
+
+// errInjected is the failure surfaced by a consumed fault.
+var errInjected = fmt.Errorf("faultfs: injected fault")
+
+// ErrInjected reports whether err came from an injected fault.
+func ErrInjected(err error) bool { return err == errInjected }
+
+// MkdirAll records dir (and its parents) as existing.
+func (fs *FS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d := path.Clean(dir)
+	for d != "." && d != "/" && d != "" {
+		fs.dirs[d] = true
+		d = path.Dir(d)
+	}
+	return nil
+}
+
+// Create creates name for appending; it fails if the file exists, matching
+// the write-once segment discipline of the WAL.
+func (fs *FS) Create(name string) (wal.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = path.Clean(name)
+	if _, ok := fs.files[name]; ok {
+		return nil, &os.PathError{Op: "create", Path: name, Err: os.ErrExist}
+	}
+	f := &file{}
+	fs.files[name] = f
+	return &handle{fs: fs, name: name, f: f}, nil
+}
+
+// ReadFile returns the live view of name: durable plus volatile bytes.
+func (fs *FS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: name, Err: os.ErrNotExist}
+	}
+	out := make([]byte, 0, len(f.durable)+len(f.volatile))
+	out = append(out, f.durable...)
+	return append(out, f.volatile...), nil
+}
+
+// ReadDir lists the base names of files directly under dir.
+func (fs *FS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	prefix := path.Clean(dir)
+	var names []string
+	for name := range fs.files {
+		if path.Dir(name) == prefix {
+			names = append(names, strings.TrimPrefix(name, prefix+"/"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Crash discards every file's volatile band: the filesystem afterwards
+// holds exactly what a machine reset would have preserved. Open handles
+// keep working (the process that crashed is gone; the handles a test still
+// holds belong to it and must not resurrect bytes), so a typical harness
+// drops its writer references after Crash.
+func (fs *FS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		f.volatile = f.volatile[:0]
+	}
+}
+
+// TearNextWrite makes the next Write to name append only its first keep
+// bytes and fail — a crash mid-write.
+func (fs *FS) TearNextWrite(name string, keep int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.tearWrite[path.Clean(name)] = keep
+}
+
+// PartialNextSync makes the next Sync of name promote only keep volatile
+// bytes to durable and fail — power loss mid-fsync.
+func (fs *FS) PartialNextSync(name string, keep int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.partialSync[path.Clean(name)] = keep
+}
+
+// Durable returns a copy of name's durable band — the post-crash image.
+func (fs *FS) Durable(name string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), f.durable...)
+}
+
+// SetFile installs data as name's durable contents, replacing whatever was
+// there (creating the file if needed) and clearing its volatile band. The
+// crash-point sweep uses it to replay recovery from an arbitrary durable
+// prefix of a recorded run.
+func (fs *FS) SetFile(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name = path.Clean(name)
+	f, ok := fs.files[name]
+	if !ok {
+		f = &file{}
+		fs.files[name] = f
+	}
+	f.durable = append(f.durable[:0], data...)
+	f.volatile = f.volatile[:0]
+}
+
+// Remove deletes name.
+func (fs *FS) Remove(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, path.Clean(name))
+}
+
+type handle struct {
+	fs   *FS
+	name string
+	f    *file
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.f.closed {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: os.ErrClosed}
+	}
+	if keep, ok := h.fs.tearWrite[h.name]; ok {
+		delete(h.fs.tearWrite, h.name)
+		if keep > len(p) {
+			keep = len(p)
+		}
+		h.f.volatile = append(h.f.volatile, p[:keep]...)
+		return keep, errInjected
+	}
+	h.f.volatile = append(h.f.volatile, p...)
+	return len(p), nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.f.closed {
+		return &os.PathError{Op: "sync", Path: h.name, Err: os.ErrClosed}
+	}
+	if keep, ok := h.fs.partialSync[h.name]; ok {
+		delete(h.fs.partialSync, h.name)
+		if keep > len(h.f.volatile) {
+			keep = len(h.f.volatile)
+		}
+		h.f.durable = append(h.f.durable, h.f.volatile[:keep]...)
+		h.f.volatile = h.f.volatile[keep:]
+		return errInjected
+	}
+	h.f.durable = append(h.f.durable, h.f.volatile...)
+	h.f.volatile = h.f.volatile[:0]
+	return nil
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.closed = true
+	return nil
+}

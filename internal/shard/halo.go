@@ -223,6 +223,13 @@ func (si *shardInstance) drainPendingLocked() {
 // ghost/mirrored expiry. Matched copies' entries are reclaimed by
 // retirement instead.
 func (si *shardInstance) applyWithdrawLocked(pw pendingWithdraw) {
+	// Recorded unconditionally (whether the copy is found and whether the
+	// session accepts are both deterministic given the shard's op stream,
+	// so replay resolves them identically) — and before the mutation, as
+	// its own single-record group.
+	if si.wal != nil {
+		si.wal.opWithdraw(pw)
+	}
 	if pw.task {
 		if h, ok := si.halo.tByGid[pw.gid]; ok {
 			if rec := si.halo.tRef[h]; si.sess.WithdrawTask(int(h)) {
@@ -278,6 +285,19 @@ func (si *shardInstance) gate(w, t int, now float64) bool {
 	if rw == nil && rt == nil {
 		return true // both endpoints purely local: nothing to arbitrate
 	}
+	if si.rep != nil {
+		return si.replayGate(rw, rt, now)
+	}
+	ok := si.gateLive(rw, rt, now)
+	if si.wal != nil {
+		si.wal.recGate(ok)
+	}
+	return ok
+}
+
+// gateLive is the runtime claim arbitration behind gate; the verdict is
+// recorded so replay can stand in for the race (replayGate).
+func (si *shardInstance) gateLive(rw, rt *mirror, now float64) bool {
 	if rw != nil && !rw.tryClaim() {
 		si.halo.claimsLost++
 		return false

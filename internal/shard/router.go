@@ -29,6 +29,7 @@ import (
 
 	"ftoa/internal/geo"
 	"ftoa/internal/model"
+	"ftoa/internal/shard/wal"
 	"ftoa/internal/sim"
 )
 
@@ -85,6 +86,13 @@ type Config struct {
 	// sim.RetirableAlgorithm (all of this repo's algorithms do); NewRouter
 	// rejects the config otherwise. Zero disables retirement.
 	RetireInterval float64
+	// WAL, when non-nil, makes the router durable: every shard records its
+	// admissions, withdrawals, arbitration outcomes and event sequencing to
+	// an append-only per-shard log under WAL.Dir (see walhook.go), and
+	// Recover rebuilds an equivalent router from those logs at boot.
+	// NewRouter refuses a directory that already holds segments — recovery
+	// over existing history must go through Recover.
+	WAL *wal.Options
 }
 
 // Handle names an object admitted through a Router: the shard that owns it
@@ -176,6 +184,10 @@ type Router struct {
 	// evicted is the retention boundary: every event with Seq below it
 	// MAY have been dropped from its shard log.
 	evicted atomic.Uint64
+	// walSet, when non-nil, owns the per-shard write-ahead logs
+	// (walhook.go); each shard records through its own si.wal under its
+	// single-writer lock.
+	walSet *wal.Set
 }
 
 // shardInstance is one region's session plus its slice of the merged log
@@ -192,6 +204,11 @@ type shardInstance struct {
 	retireEvery float64
 	lastRetire  float64
 	halo        haloState
+	// wal records this shard's operations and decisions (nil without a
+	// WAL); rep is non-nil only while this shard's log replays during
+	// Recover and redirects the decision hooks to the recorded outcomes.
+	wal *shardWAL
+	rep *shardReplay
 }
 
 // NewRouter validates cfg, partitions the bounds, and starts one session
@@ -263,6 +280,11 @@ func NewRouter(cfg Config) (*Router, error) {
 		}
 		si.sess = m.NewSession(alg)
 		r.shards[i] = si
+	}
+	if cfg.WAL != nil {
+		if err := r.attachFreshWAL(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }
@@ -385,9 +407,17 @@ func (r *Router) admitOwner(owner int, rec *mirror, ad *admission) (Handle, floa
 				si.dropWorker(next, rec)
 			}
 		}
+		if si.wal != nil {
+			si.wal.dropGroup()
+		}
 		return Handle{}, 0, err
 	}
 	si.afterWriteLocked(r)
+	if si.wal != nil {
+		// Recorded pre-clamp: replay re-admits the original values and the
+		// session clamps them identically.
+		si.wal.opAdmission(ad, rec, false)
+	}
 	return Handle{Shard: si.id, Local: local}, admitted, nil
 }
 
@@ -479,6 +509,9 @@ func (r *Router) admitGhostLocked(gi *shardInstance, rec *mirror, ad *admission)
 		} else {
 			gi.dropWorker(next, rec)
 		}
+		if gi.wal != nil {
+			gi.wal.dropGroup()
+		}
 		return
 	}
 	if ad.task {
@@ -487,6 +520,12 @@ func (r *Router) admitGhostLocked(gi *shardInstance, rec *mirror, ad *admission)
 		gi.halo.ghostW++
 	}
 	gi.afterWriteLocked(r)
+	if gi.wal != nil {
+		// Ghosts record post-rebase, post-shrink values: the window clamp
+		// above depends on the owner shard's stamped arrival, which this
+		// shard's own log cannot reproduce.
+		gi.wal.opAdmission(ad, rec, true)
+	}
 	if rec.settle() != claimFree {
 		gi.applyWithdrawLocked(pendingWithdraw{gid: rec.gid, task: ad.task})
 	}
@@ -504,6 +543,9 @@ func (r *Router) Advance(now float64) {
 			si.drainPendingLocked()
 			si.sess.Advance(now)
 			si.afterWriteLocked(r)
+			if si.wal != nil {
+				si.wal.opAdvance(now)
+			}
 		}()
 	}
 	r.applyPending()
@@ -522,6 +564,9 @@ func (r *Router) Finish() {
 			si.drainPendingLocked()
 			si.sess.Finish()
 			si.collectLocked(r)
+			if si.wal != nil {
+				si.wal.opFinish()
+			}
 		}()
 	}
 	r.applyPending()
@@ -557,16 +602,23 @@ func (si *shardInstance) collectLocked(r *Router) {
 		case sim.EventMatch:
 			sev.WorkerShard, sev.TaskShard = si.id, si.id
 			border := false
+			// During replay retraction fan-out is suppressed: each shard's
+			// log already carries the withdrawals it applied, at the
+			// position it applied them.
 			if rw := refAt(si.halo.wRef, ev.Worker); rw != nil {
 				sev.WorkerShard = int(rw.owner)
 				sev.Worker = int(rw.ownerLocal)
-				r.retractLosers(rw, si.id)
+				if si.rep == nil {
+					r.retractLosers(rw, si.id)
+				}
 				border = true
 			}
 			if rt := refAt(si.halo.tRef, ev.Task); rt != nil {
 				sev.TaskShard = int(rt.owner)
 				sev.Task = int(rt.ownerLocal)
-				r.retractLosers(rt, si.id)
+				if si.rep == nil {
+					r.retractLosers(rt, si.id)
+				}
 				border = true
 			}
 			if border {
@@ -587,7 +639,14 @@ func (si *shardInstance) collectLocked(r *Router) {
 				}
 			}
 		}
-		sev.Seq = r.seq.Add(1) - 1
+		if si.rep != nil {
+			sev.Seq = si.rep.popSeq()
+		} else {
+			sev.Seq = r.seq.Add(1) - 1
+			if si.wal != nil {
+				si.wal.recSeq(sev.Seq)
+			}
+		}
 		si.log = append(si.log, sev)
 		if r.onEvent != nil {
 			r.onEvent(sev)
@@ -626,17 +685,21 @@ func (si *shardInstance) ownerExpiryLocked(r *Router, rec *mirror, sev *Event, t
 	} else {
 		sev.Worker = int(rec.ownerLocal)
 	}
-	var state uint32
-	if r.mode == sim.Strict {
-		state = rec.claimExpiry()
-		if state == claimExpired {
-			r.retractLosers(rec, si.id)
-			return true
+	var outcome byte
+	if si.rep != nil {
+		// Replay: the recorded arbitration stands in for the claim race;
+		// a winning Strict expiry reconstructs the claim word it won.
+		outcome = si.rep.popExpiry()
+		if outcome == expiryClaimed {
+			rec.state.Store(claimExpired)
 		}
 	} else {
-		state = rec.settle()
+		outcome = si.ownerExpiryOutcome(r, rec, sev, task)
+		if si.wal != nil {
+			si.wal.recExpiry(outcome)
+		}
 	}
-	if state == claimMatched && matchSuppressesExpiry(rec.commitAt, sev.Time, task) {
+	if outcome == expirySuppressed {
 		if task {
 			si.halo.suppressedExpT++
 		} else {
@@ -645,6 +708,24 @@ func (si *shardInstance) ownerExpiryLocked(r *Router, rec *mirror, sev *Event, t
 		return false
 	}
 	return true
+}
+
+// ownerExpiryOutcome is the live arbitration ownerExpiryLocked records.
+func (si *shardInstance) ownerExpiryOutcome(r *Router, rec *mirror, sev *Event, task bool) byte {
+	var state uint32
+	if r.mode == sim.Strict {
+		state = rec.claimExpiry()
+		if state == claimExpired {
+			r.retractLosers(rec, si.id)
+			return expiryClaimed
+		}
+	} else {
+		state = rec.settle()
+	}
+	if state == claimMatched && matchSuppressesExpiry(rec.commitAt, sev.Time, task) {
+		return expirySuppressed
+	}
+	return expiryEmitted
 }
 
 // matchSuppressesExpiry mirrors the session's match-time-aware expiry
@@ -848,6 +929,9 @@ func (r *Router) Retire(horizon float64) (workers, tasks int) {
 			si.collectLocked(r)
 			w, t := si.sess.Retire(horizon)
 			si.lastRetire = si.sess.Now()
+			if si.wal != nil {
+				si.wal.opRetire(horizon)
+			}
 			workers += w
 			tasks += t
 		}()

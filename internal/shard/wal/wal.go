@@ -1,0 +1,247 @@
+// Package wal is the per-shard write-ahead log behind shard.Router
+// durability: an append-only sequence of length+CRC-framed binary records,
+// one log file per shard per process generation, written under the shard's
+// single-writer lock and replayed at boot to reconstruct the router.
+//
+// # Framing
+//
+// A record on disk is
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// little-endian, with the payload's first byte naming the record type. The
+// package does not interpret payloads beyond one framing convention: types
+// with InterimBit set are *interim* records — they belong to the next
+// terminal record (the shard package uses them for arbitration decisions
+// and sequence assignments gathered while an operation runs, closed by the
+// operation record itself). A reader drops a trailing run of interim
+// records with no closing terminal record: the group's operation never
+// became durable, so its decisions must not survive either.
+//
+// # Durability
+//
+// Appends are grouped: the writer hands the log one byte slice per
+// operation group and the sync policy decides when bytes become durable —
+// SyncAlways pays one write+fsync per group, SyncInterval (the default)
+// buffers groups and a background flusher syncs on a period, SyncNone
+// leaves syncing to Close. A torn tail — a crash mid-write or mid-fsync —
+// is expected and handled at read time: the first frame that fails its
+// length or CRC check logically truncates the segment there, and the
+// reader reports how many bytes it dropped. Recovery never appends to an
+// old segment; it opens a new generation, so a truncated tail stays
+// truncated identically on every subsequent boot.
+//
+// File access goes through the FS interface so a fault-injection
+// filesystem (package faultfs) can simulate crashes, torn writes and
+// partial fsyncs; the zero value of Options uses the real OS filesystem.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// InterimBit marks record types that are non-terminal: an interim record
+// belongs to the next terminal record appended after it, and a trailing
+// run of interim records with no terminal close is dropped at read time.
+const InterimBit byte = 0x80
+
+// frameHeader is the per-record framing overhead: u32 length + u32 CRC.
+const frameHeader = 8
+
+// maxRecordLen bounds a single payload; a length field beyond it is
+// treated as tail corruption. Real records are tens of bytes.
+const maxRecordLen = 1 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one framed record to dst and returns the extended
+// slice. The payload must be non-empty and its first byte is the record
+// type.
+func AppendFrame(dst, payload []byte) []byte {
+	var h [frameHeader]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// parseFrames splits data into payloads, stopping at the first frame that
+// fails a length or CRC check — the logical truncation point. It returns
+// the payloads (sub-slices of data) and how many tail bytes were dropped.
+func parseFrames(data []byte) (payloads [][]byte, torn int64) {
+	off := 0
+	for off+frameHeader <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n == 0 || n > maxRecordLen || off+frameHeader+n > len(data) {
+			break
+		}
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			break
+		}
+		payloads = append(payloads, payload)
+		off += frameHeader + n
+	}
+	return payloads, int64(len(data) - off)
+}
+
+// FS abstracts the filesystem the log lives on. Implementations must allow
+// concurrent calls on distinct files; the OS implementation is the default
+// and faultfs provides the fault-injecting one.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create creates name for appending. It fails if the file already
+	// exists: segments are written once per generation, never reopened.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names (base names, any order) in dir. A
+	// missing dir returns an empty listing, not an error.
+	ReadDir(dir string) ([]string, error)
+}
+
+// File is an append-only log file.
+type File interface {
+	io.Writer
+	// Sync makes previously written bytes durable.
+	Sync() error
+	Close() error
+}
+
+// osFS is the real-filesystem FS.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// OSFS returns the real-filesystem FS implementation.
+func OSFS() FS { return osFS{} }
+
+// segmentName is the on-disk name of one shard's log for one generation.
+func segmentName(shard int, gen uint64) string {
+	return fmt.Sprintf("s%03d-g%06d.wal", shard, gen)
+}
+
+// parseSegmentName inverts segmentName; ok is false for foreign files.
+func parseSegmentName(name string) (shard int, gen uint64, ok bool) {
+	var s int
+	var g uint64
+	if n, err := fmt.Sscanf(name, "s%d-g%d.wal", &s, &g); err != nil || n != 2 {
+		return 0, 0, false
+	}
+	return s, g, true
+}
+
+// segment is one discovered log file.
+type segment struct {
+	name string
+	gen  uint64
+}
+
+// ScanDir lists the WAL segments under dir grouped by shard, each shard's
+// slice ordered by ascending generation, plus the highest generation seen
+// anywhere (0 when the directory is empty or absent). Foreign files are
+// ignored.
+func ScanDir(fs FS, dir string) (byShard map[int][]string, maxGen uint64, err error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	segs := make(map[int][]segment)
+	for _, name := range names {
+		shard, gen, ok := parseSegmentName(name)
+		if !ok {
+			continue
+		}
+		segs[shard] = append(segs[shard], segment{name: name, gen: gen})
+		if gen > maxGen {
+			maxGen = gen
+		}
+	}
+	if len(segs) == 0 {
+		return nil, 0, nil
+	}
+	byShard = make(map[int][]string, len(segs))
+	for shard, ss := range segs {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].gen < ss[j].gen })
+		ordered := make([]string, len(ss))
+		for i, s := range ss {
+			ordered[i] = filepath.Join(dir, s.name)
+		}
+		byShard[shard] = ordered
+	}
+	return byShard, maxGen, nil
+}
+
+// ShardLog is the readable history of one shard: every durable payload
+// across its generations in append order, with per-segment torn tails and
+// dangling interim groups already dropped.
+type ShardLog struct {
+	// Payloads are the record payloads in order; sub-slices of the
+	// segments' read buffers.
+	Payloads [][]byte
+	// Segments is how many generation files contributed.
+	Segments int
+	// TornBytes counts bytes dropped to length/CRC tail truncation,
+	// summed across segments.
+	TornBytes int64
+	// DanglingRecords counts interim records dropped because their
+	// closing terminal record never became durable.
+	DanglingRecords int
+}
+
+// ReadShard reads and logically truncates every segment of one shard, in
+// generation order. Each segment independently drops its torn tail and any
+// trailing interim run: a group that lost its terminal record before the
+// crash must not leak decisions into replay, and a new generation starts
+// at a group boundary by construction.
+func ReadShard(fs FS, paths []string) (*ShardLog, error) {
+	out := &ShardLog{}
+	for _, path := range paths {
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading %s: %w", path, err)
+		}
+		payloads, torn := parseFrames(data)
+		out.TornBytes += torn
+		// Drop the trailing interim run: its terminal record is gone.
+		n := len(payloads)
+		for n > 0 && len(payloads[n-1]) > 0 && payloads[n-1][0]&InterimBit != 0 {
+			n--
+		}
+		out.DanglingRecords += len(payloads) - n
+		out.Payloads = append(out.Payloads, payloads[:n]...)
+		out.Segments++
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func frames(payloads ...[]byte) []byte {
+	var data []byte
+	for _, p := range payloads {
+		data = AppendFrame(data, p)
+	}
+	return data
+}
+
+func TestParseFramesRoundtrip(t *testing.T) {
+	in := [][]byte{{0x10, 1, 2, 3}, {0x80}, {0x20}, bytes.Repeat([]byte{7}, 300)}
+	got, torn := parseFrames(frames(in...))
+	if torn != 0 {
+		t.Fatalf("torn = %d on clean data", torn)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("parsed %d payloads, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(got[i], in[i]) {
+			t.Fatalf("payload %d = %x, want %x", i, got[i], in[i])
+		}
+	}
+}
+
+// TestParseFramesTornTail cuts a clean stream at every byte offset: the
+// parse must recover exactly the whole frames before the cut and report
+// the rest as torn — never a partial or corrupted record.
+func TestParseFramesTornTail(t *testing.T) {
+	in := [][]byte{{0x10, 1, 2}, {0x81, 9}, {0x20, 4, 5, 6, 7}}
+	data := frames(in...)
+	// Frame boundaries in the byte stream.
+	bounds := []int{0}
+	for _, p := range in {
+		bounds = append(bounds, bounds[len(bounds)-1]+frameHeader+len(p))
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		got, torn := parseFrames(data[:cut])
+		whole := 0
+		for whole+1 < len(bounds) && bounds[whole+1] <= cut {
+			whole++
+		}
+		if len(got) != whole {
+			t.Fatalf("cut %d: parsed %d payloads, want %d", cut, len(got), whole)
+		}
+		if want := int64(cut - bounds[whole]); torn != want {
+			t.Fatalf("cut %d: torn = %d, want %d", cut, torn, want)
+		}
+	}
+}
+
+// TestParseFramesCorruptMiddle flips one payload byte mid-stream: parsing
+// must logically truncate at the corrupt frame, keeping only the clean
+// prefix.
+func TestParseFramesCorruptMiddle(t *testing.T) {
+	in := [][]byte{{0x10, 1}, {0x11, 2}, {0x12, 3}}
+	data := frames(in...)
+	data[frameHeader+2+frameHeader+1] ^= 0xFF // second frame's payload
+	got, torn := parseFrames(data)
+	if len(got) != 1 || !bytes.Equal(got[0], in[0]) {
+		t.Fatalf("parsed %d payloads after corruption, want just the first", len(got))
+	}
+	if torn == 0 {
+		t.Fatal("corruption reported no torn bytes")
+	}
+}
+
+func TestParseFramesRejectsWildLength(t *testing.T) {
+	data := frames([]byte{0x10, 1})
+	bad := append(append([]byte(nil), data...), 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0)
+	got, torn := parseFrames(bad)
+	if len(got) != 1 {
+		t.Fatalf("parsed %d payloads, want 1", len(got))
+	}
+	if torn != 8 {
+		t.Fatalf("torn = %d, want 8", torn)
+	}
+}
+
+func TestSegmentNameRoundtrip(t *testing.T) {
+	for _, c := range []struct {
+		shard int
+		gen   uint64
+	}{{0, 1}, {7, 3}, {123, 4000000}} {
+		name := segmentName(c.shard, c.gen)
+		s, g, ok := parseSegmentName(name)
+		if !ok || s != c.shard || g != c.gen {
+			t.Fatalf("roundtrip of %q: (%d,%d,%v)", name, s, g, ok)
+		}
+	}
+	for _, junk := range []string{"notes.txt", "s001.wal", "g12-s01.wal", "s01-g02.tmp"} {
+		if _, _, ok := parseSegmentName(junk); ok {
+			t.Errorf("foreign name %q parsed as a segment", junk)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// WAL record payloads — the binary vocabulary of the per-shard write-ahead
+// log (see wal.go in package wal for framing and walhook.go for when each
+// record is written and how it replays).
+//
+// A shard's log is a sequence of operation groups. The terminal record of
+// a group is the *operation* that mutated the shard's session (an
+// admission, an accepted withdrawal, a clock advance, a finish, a manual
+// retirement); interim records carry the decisions made while that
+// operation ran whose outcomes depend on other shards and are therefore
+// not reproducible from this shard's inputs alone: commit-gate verdicts on
+// mirrored endpoints, owner-expiry arbitration outcomes, and the global
+// sequence number assigned to each emitted event. Everything else a shard
+// does — algorithm behavior, expiry firing, scheduled retirement — is a
+// deterministic function of the operation stream and is deliberately not
+// recorded.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ftoa/internal/model"
+	"ftoa/internal/shard/wal"
+)
+
+// Record types. Interim types carry wal.InterimBit so the reader can drop
+// a dangling decision tail whose operation never became durable.
+const (
+	recHeader byte = 0x01
+
+	opWorker      byte = 0x10 // owner admission of a worker
+	opTask        byte = 0x11 // owner admission of a task
+	opGhostWorker byte = 0x12 // mirrored ghost-copy admission
+	opGhostTask   byte = 0x13
+	opAdvance     byte = 0x20 // clock advance
+	opFinish      byte = 0x21 // session finish
+	opRetire      byte = 0x22 // manual Router.Retire
+	opWithdraw    byte = 0x23 // cross-shard retraction applied here
+
+	decGate   = 0x00 | wal.InterimBit // commit-gate verdict on a mirrored pair
+	decExpiry = 0x01 | wal.InterimBit // owner-expiry arbitration outcome
+	decSeq    = 0x02 | wal.InterimBit // global sequence number of one event
+)
+
+// Owner-expiry arbitration outcomes (decExpiry payload).
+const (
+	expirySuppressed byte = 0 // a commit elsewhere owns the lifecycle
+	expiryClaimed    byte = 1 // Strict: this expiry won the claim word
+	expiryEmitted    byte = 2 // emitted without a claim transition
+)
+
+// walMagic anchors header records; bump the version on any payload change.
+const walMagic = "FTWALv1\x00"
+
+// mirrorInfo is the decoded halo identity of a mirrored admission.
+type mirrorInfo struct {
+	gid        uint64
+	owner      int32
+	ownerLocal int32
+	copies     []int32 // owner record only; empty on ghost records
+}
+
+// --- encoding ---------------------------------------------------------
+
+func appendU16(dst []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(dst, v)
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+// encodeFingerprint canonically encodes every Config field that replay
+// determinism depends on. Recovery refuses a log whose fingerprint differs
+// from the booting config: replaying admissions into a differently shaped
+// router would silently diverge. The algorithm itself is not encodable —
+// the operator must supply the same NewAlgorithm (and, for guided
+// algorithms, the same guide); this is documented at Recover.
+func encodeFingerprint(cfg *Config) []byte {
+	fp := make([]byte, 0, 96)
+	fp = append(fp, byte(cfg.Matcher.Mode))
+	fp = appendU32(fp, uint32(cfg.Cols))
+	fp = appendU32(fp, uint32(cfg.Rows))
+	fp = appendF64(fp, cfg.Halo)
+	fp = appendF64(fp, cfg.Matcher.Velocity)
+	b := cfg.Matcher.Bounds
+	fp = appendF64(fp, b.MinX)
+	fp = appendF64(fp, b.MinY)
+	fp = appendF64(fp, b.MaxX)
+	fp = appendF64(fp, b.MaxY)
+	fp = appendU64(fp, uint64(cfg.Retention))
+	fp = appendF64(fp, cfg.RetireInterval)
+	fp = appendU64(fp, uint64(cfg.Matcher.Hints.ExpectedWorkers))
+	fp = appendU64(fp, uint64(cfg.Matcher.Hints.ExpectedTasks))
+	fp = appendF64(fp, cfg.Matcher.Hints.Horizon)
+	return fp
+}
+
+// encodeHeader builds one shard's framed header record.
+func encodeHeader(shard int, gen uint64, fp []byte) []byte {
+	p := make([]byte, 0, 1+len(walMagic)+4+8+2+len(fp))
+	p = append(p, recHeader)
+	p = append(p, walMagic...)
+	p = appendU32(p, uint32(shard))
+	p = appendU64(p, gen)
+	p = appendU16(p, uint16(len(fp)))
+	p = append(p, fp...)
+	return wal.AppendFrame(nil, p)
+}
+
+// appendWorkerBody encodes the model.Worker fields shared by owner and
+// ghost records.
+func appendWorkerBody(dst []byte, w *model.Worker) []byte {
+	dst = appendU64(dst, uint64(w.ID))
+	dst = appendF64(dst, w.Loc.X)
+	dst = appendF64(dst, w.Loc.Y)
+	dst = appendF64(dst, w.Arrive)
+	return appendF64(dst, w.Patience)
+}
+
+func appendTaskBody(dst []byte, t *model.Task) []byte {
+	dst = appendU64(dst, uint64(t.ID))
+	dst = appendF64(dst, t.Loc.X)
+	dst = appendF64(dst, t.Loc.Y)
+	dst = appendF64(dst, t.Release)
+	return appendF64(dst, t.Expiry)
+}
+
+// appendMirrorInfo encodes a mirrored admission's halo identity. withCopies
+// is set on owner records (the authoritative copy list) and clear on ghost
+// records (the ghost's shard never drives retractions of its siblings).
+func appendMirrorInfo(dst []byte, rec *mirror, withCopies bool) []byte {
+	dst = appendU64(dst, rec.gid)
+	dst = appendU32(dst, uint32(rec.owner))
+	dst = appendU32(dst, uint32(rec.ownerLocal))
+	if !withCopies {
+		return appendU16(dst, 0)
+	}
+	dst = appendU16(dst, uint16(len(rec.copies)))
+	for _, c := range rec.copies {
+		dst = appendU32(dst, uint32(c))
+	}
+	return dst
+}
+
+// encodeAdmission encodes an owner or ghost admission payload into dst.
+// For owner admissions rec may be nil (unmirrored interior admission).
+func encodeAdmission(dst []byte, ad *admission, rec *mirror, ghost bool) []byte {
+	var typ byte
+	switch {
+	case ghost && ad.task:
+		typ = opGhostTask
+	case ghost:
+		typ = opGhostWorker
+	case ad.task:
+		typ = opTask
+	default:
+		typ = opWorker
+	}
+	dst = append(dst, typ)
+	var flags byte
+	if rec != nil {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	if ad.task {
+		dst = appendTaskBody(dst, &ad.t)
+	} else {
+		dst = appendWorkerBody(dst, &ad.w)
+	}
+	if rec != nil {
+		dst = appendMirrorInfo(dst, rec, !ghost)
+	}
+	return dst
+}
+
+// --- decoding ---------------------------------------------------------
+
+// decoder is a little-endian payload cursor with a sticky error.
+type decoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wal: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8(what string) byte {
+	if d.err != nil || d.off+1 > len(d.p) {
+		d.fail(what)
+		return 0
+	}
+	v := d.p[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16(what string) uint16 {
+	if d.err != nil || d.off+2 > len(d.p) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.p[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32(what string) uint32 {
+	if d.err != nil || d.off+4 > len(d.p) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64(what string) uint64 {
+	if d.err != nil || d.off+8 > len(d.p) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) f64(what string) float64 { return math.Float64frombits(d.u64(what)) }
+
+func (d *decoder) bytes(n int, what string) []byte {
+	if d.err != nil || d.off+n > len(d.p) {
+		d.fail(what)
+		return nil
+	}
+	v := d.p[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+// decodeHeader validates one shard's header record against the booting
+// config's fingerprint.
+func decodeHeader(payload []byte, shard int, fp []byte) (gen uint64, err error) {
+	d := decoder{p: payload, off: 1} // type byte already dispatched
+	magic := d.bytes(len(walMagic), "magic")
+	if d.err == nil && string(magic) != walMagic {
+		return 0, fmt.Errorf("wal: bad magic (version mismatch or foreign file)")
+	}
+	gotShard := int(int32(d.u32("shard")))
+	gen = d.u64("generation")
+	fpLen := int(d.u16("fingerprint length"))
+	gotFP := d.bytes(fpLen, "fingerprint")
+	if d.err != nil {
+		return 0, d.err
+	}
+	if gotShard != shard {
+		return 0, fmt.Errorf("wal: segment header names shard %d, expected %d", gotShard, shard)
+	}
+	if string(gotFP) != string(fp) {
+		return 0, fmt.Errorf("wal: config fingerprint mismatch: the log was written under a different router configuration (mode/grid/halo/bounds/velocity/retention/retire/hints must match)")
+	}
+	return gen, nil
+}
+
+// decodeAdmission decodes an owner or ghost admission payload (type byte
+// already dispatched by the caller).
+func decodeAdmission(payload []byte, task bool) (ad admission, mi mirrorInfo, mirrored bool, err error) {
+	d := decoder{p: payload, off: 1}
+	flags := d.u8("flags")
+	ad.task = task
+	if task {
+		ad.t.ID = int(int64(d.u64("task id")))
+		ad.t.Loc.X = d.f64("task x")
+		ad.t.Loc.Y = d.f64("task y")
+		ad.t.Release = d.f64("task release")
+		ad.t.Expiry = d.f64("task expiry")
+	} else {
+		ad.w.ID = int(int64(d.u64("worker id")))
+		ad.w.Loc.X = d.f64("worker x")
+		ad.w.Loc.Y = d.f64("worker y")
+		ad.w.Arrive = d.f64("worker arrive")
+		ad.w.Patience = d.f64("worker patience")
+	}
+	if flags&1 != 0 {
+		mirrored = true
+		mi.gid = d.u64("gid")
+		mi.owner = int32(d.u32("owner"))
+		mi.ownerLocal = int32(d.u32("owner local"))
+		n := int(d.u16("copy count"))
+		for i := 0; i < n && d.err == nil; i++ {
+			mi.copies = append(mi.copies, int32(d.u32("copy")))
+		}
+	}
+	return ad, mi, mirrored, d.err
+}

@@ -1,0 +1,384 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ftoa/internal/faultfs"
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+	"ftoa/internal/shard/wal"
+	"ftoa/internal/sim"
+)
+
+// walTestConfig is testConfig with retirement on (retirableGreedy is
+// defined in retire_test.go) and a WAL over fs.
+func walTestConfig(cols, rows int, halo float64, fs *faultfs.FS) Config {
+	cfg := testConfig(cols, rows)
+	cfg.Halo = halo
+	cfg.RetireInterval = 40
+	cfg.NewAlgorithm = func() sim.Algorithm { return &retirableGreedy{} }
+	if fs != nil {
+		cfg.WAL = &wal.Options{Dir: "wal", Policy: wal.SyncAlways, FS: fs}
+	}
+	return cfg
+}
+
+// walOp is one step of a deterministic driver script, applied identically
+// to control and recorded routers.
+type walOp struct {
+	kind    byte // 'w', 't', 'a' (advance), 'r' (retire), 'f' (finish)
+	w       model.Worker
+	t       model.Task
+	now     float64
+	horizon float64
+}
+
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+func (g *lcg) f() float64 { return float64(g.next()>>11) / (1 << 53) }
+
+// genWalOps produces a deterministic mixed stream over the 100×100 test
+// bounds: admissions everywhere (borders included, so halo mirroring and
+// arbitration fire), periodic clock advances, and an occasional manual
+// retirement.
+func genWalOps(n int, seed uint64) []walOp {
+	g := lcg(seed)
+	ops := make([]walOp, 0, n)
+	clock := 0.0
+	for i := 0; i < n; i++ {
+		switch r := g.f(); {
+		case r < 0.40:
+			ops = append(ops, walOp{kind: 'w', w: model.Worker{
+				ID:       i,
+				Loc:      geo.Point{X: g.f() * 100, Y: g.f() * 100},
+				Arrive:   clock,
+				Patience: 5 + g.f()*20,
+			}})
+		case r < 0.80:
+			ops = append(ops, walOp{kind: 't', t: model.Task{
+				ID:      i,
+				Loc:     geo.Point{X: g.f() * 100, Y: g.f() * 100},
+				Release: clock,
+				Expiry:  5 + g.f()*20,
+			}})
+		case r < 0.97:
+			clock += g.f() * 4
+			ops = append(ops, walOp{kind: 'a', now: clock})
+		default:
+			ops = append(ops, walOp{kind: 'r', horizon: clock})
+		}
+	}
+	return ops
+}
+
+func applyWalOps(t *testing.T, r *Router, ops []walOp) {
+	t.Helper()
+	for i, op := range ops {
+		var err error
+		switch op.kind {
+		case 'w':
+			_, _, err = r.AddWorker(op.w)
+		case 't':
+			_, _, err = r.AddTask(op.t)
+		case 'a':
+			r.Advance(op.now)
+		case 'r':
+			r.Retire(op.horizon)
+		case 'f':
+			r.Finish()
+		}
+		if err != nil {
+			t.Fatalf("op %d (%c): %v", i, op.kind, err)
+		}
+	}
+}
+
+func allEvents(t *testing.T, r *Router) []Event {
+	t.Helper()
+	evs, _, err := r.Events(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// expectParity asserts two routers carry bit-identical merged streams and
+// per-shard stats.
+func expectParity(t *testing.T, got, want *Router, label string) {
+	t.Helper()
+	ge, we := allEvents(t, got), allEvents(t, want)
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d events, want %d", label, len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("%s: event %d = %+v, want %+v", label, i, ge[i], we[i])
+		}
+	}
+	gs, ws := got.StatsAll(nil), want.StatsAll(nil)
+	if !reflect.DeepEqual(gs, ws) {
+		t.Fatalf("%s: stats diverge:\n got %+v\nwant %+v", label, gs, ws)
+	}
+	if got.Cursor() != want.Cursor() {
+		t.Fatalf("%s: cursor %d, want %d", label, got.Cursor(), want.Cursor())
+	}
+}
+
+func TestRecoverFreshDir(t *testing.T) {
+	fs := faultfs.New()
+	r, info, err := Recover(walTestConfig(2, 2, 10, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Recovered || info.Generation != 1 || info.Shards != 4 {
+		t.Fatalf("fresh info = %+v", info)
+	}
+	if _, _, err := r.AddWorker(model.Worker{Loc: geo.Point{X: 1, Y: 1}, Patience: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRouterRefusesExistingWAL(t *testing.T) {
+	fs := faultfs.New()
+	cfg := walTestConfig(1, 1, 0, fs)
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.WALClose()
+	if _, err := NewRouter(cfg); err == nil {
+		t.Fatal("NewRouter accepted a directory with existing segments")
+	}
+}
+
+func TestRecoverRefusesFingerprintMismatch(t *testing.T) {
+	fs := faultfs.New()
+	cfg := walTestConfig(2, 2, 10, fs)
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWalOps(t, r, genWalOps(20, 7))
+	r.WALClose()
+	bad := cfg
+	bad.Halo = 25 // same grid, different arbitration geometry
+	if _, _, err := Recover(bad); err == nil {
+		t.Fatal("Recover accepted a config with a different fingerprint")
+	}
+	worse := cfg
+	worse.Cols, worse.Rows = 4, 4
+	if _, _, err := Recover(worse); err == nil {
+		t.Fatal("Recover accepted a different grid")
+	}
+}
+
+// TestRecoverCleanShutdownParity is the recovery acceptance gate at the
+// unit level: drive a control router (no WAL) and a logged router with the
+// same sequential stream, shut the log down cleanly mid-stream, recover,
+// and require the recovered router to be bit-identical — merged events,
+// per-shard stats, cursor — both at the crash point and after both
+// continue with the rest of the stream.
+func TestRecoverCleanShutdownParity(t *testing.T) {
+	grids := []struct {
+		name       string
+		cols, rows int
+		halo       float64
+	}{
+		{"1x1", 1, 1, 0},
+		{"2x2-disjoint", 2, 2, 0},
+		{"2x2-halo", 2, 2, 12},
+		{"3x2-halo", 3, 2, 9},
+	}
+	for _, gr := range grids {
+		for _, mode := range []sim.Mode{sim.Strict, sim.AssumeGuide} {
+			t.Run(fmt.Sprintf("%s/%s", gr.name, mode), func(t *testing.T) {
+				ops := genWalOps(400, 42)
+				cut := len(ops) * 3 / 5
+
+				plain := walTestConfig(gr.cols, gr.rows, gr.halo, nil)
+				plain.Matcher.Mode = mode
+				control, err := NewRouter(plain)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				fs := faultfs.New()
+				logged := walTestConfig(gr.cols, gr.rows, gr.halo, fs)
+				logged.Matcher.Mode = mode
+				walled, err := NewRouter(logged)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				applyWalOps(t, control, ops[:cut])
+				applyWalOps(t, walled, ops[:cut])
+				if err := walled.WALClose(); err != nil {
+					t.Fatal(err)
+				}
+				fs.Crash() // clean shutdown: flushed, so the crash is lossless
+
+				rec, info, err := Recover(logged)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !info.Recovered || info.Generation != 2 {
+					t.Fatalf("info = %+v", info)
+				}
+				if info.TornBytes != 0 || info.DanglingRecords != 0 {
+					t.Fatalf("clean shutdown reported torn=%d dangling=%d", info.TornBytes, info.DanglingRecords)
+				}
+				expectParity(t, rec, control, "at recovery")
+				if want := len(allEvents(t, control)); info.Events != want {
+					t.Fatalf("info.Events = %d, want %d", info.Events, want)
+				}
+
+				// Both continue; the recovered router must stay in lockstep
+				// (and its new generation keeps recording durably).
+				applyWalOps(t, rec, ops[cut:])
+				applyWalOps(t, control, ops[cut:])
+				rec.Finish()
+				control.Finish()
+				expectParity(t, rec, control, "after continuation")
+				if err := rec.WALErr(); err != nil {
+					t.Fatalf("WAL error after continuation: %v", err)
+				}
+				if err := rec.WALClose(); err != nil {
+					t.Fatal(err)
+				}
+
+				// And a second recovery over both generations reproduces the
+				// final state.
+				rec2, info2, err := Recover(logged)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info2.Generation != 3 {
+					t.Fatalf("second recovery generation = %d", info2.Generation)
+				}
+				expectParity(t, rec2, control, "second recovery")
+				rec2.WALClose()
+			})
+		}
+	}
+}
+
+// frameBoundaries returns the byte offsets of every frame boundary in a
+// segment image (0, after frame 1, ..., len(data)).
+func frameBoundaries(data []byte) []int {
+	bounds := []int{0}
+	off := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if off+8+n > len(data) {
+			break
+		}
+		off += 8 + n
+		bounds = append(bounds, off)
+	}
+	return bounds
+}
+
+// TestCrashPointSweep is the fault-injection acceptance gate: record one
+// run durably, then for EVERY record boundary of every shard's segment,
+// boot from a disk image truncated at that point. Recovery must always
+// succeed, the truncated shard's stream must be a prefix of its full
+// stream, and the untouched shards must replay their full streams — i.e.
+// a crash at any boundary loses only the tail of the shard that lost
+// bytes, never corrupts state. A few mid-frame cuts per shard check torn
+// tails ride the same path.
+func TestCrashPointSweep(t *testing.T) {
+	cfg := walTestConfig(2, 2, 12, faultfs.New())
+	recorder, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyWalOps(t, recorder, genWalOps(160, 99))
+	if err := recorder.WALClose(); err != nil {
+		t.Fatal(err)
+	}
+	fullByShard := make(map[int][]Event)
+	for _, ev := range allEvents(t, recorder) {
+		fullByShard[ev.Shard] = append(fullByShard[ev.Shard], ev)
+	}
+
+	shards := recorder.NumShards()
+	images := make([][]byte, shards)
+	names := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		names[s] = fmt.Sprintf("wal/s%03d-g%06d.wal", s, 1)
+		images[s] = cfg.WAL.FS.(*faultfs.FS).Durable(names[s])
+		if len(images[s]) == 0 {
+			t.Fatalf("shard %d wrote no durable bytes", s)
+		}
+	}
+
+	cuts := 0
+	tryCut := func(s, cut int, expectTorn bool) {
+		fs := faultfs.New()
+		for o := 0; o < shards; o++ {
+			img := images[o]
+			if o == s {
+				img = img[:cut]
+			}
+			fs.SetFile(names[o], img)
+		}
+		c := cfg
+		c.WAL = &wal.Options{Dir: "wal", Policy: wal.SyncAlways, FS: fs}
+		rec, info, err := Recover(c)
+		if err != nil {
+			t.Fatalf("shard %d cut %d: Recover: %v", s, cut, err)
+		}
+		defer rec.WALClose()
+		if expectTorn && info.TornBytes == 0 {
+			t.Fatalf("shard %d cut %d: mid-frame cut reported no torn bytes", s, cut)
+		}
+		recByShard := make(map[int][]Event)
+		for _, ev := range allEvents(t, rec) {
+			recByShard[ev.Shard] = append(recByShard[ev.Shard], ev)
+		}
+		for o := 0; o < shards; o++ {
+			got, want := recByShard[o], fullByShard[o]
+			if o != s && len(got) != len(want) {
+				t.Fatalf("shard %d cut %d: untouched shard %d has %d events, want %d", s, cut, o, len(got), len(want))
+			}
+			if len(got) > len(want) {
+				t.Fatalf("shard %d cut %d: shard %d has %d events, full run had %d", s, cut, o, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shard %d cut %d: shard %d event %d = %+v, want %+v", s, cut, o, i, got[i], want[i])
+				}
+			}
+		}
+		// The recovered router still serves.
+		if _, _, err := rec.AddWorker(model.Worker{Loc: geo.Point{X: 50, Y: 50}, Patience: 5}); err != nil {
+			t.Fatalf("shard %d cut %d: post-recovery admission: %v", s, cut, err)
+		}
+		cuts++
+	}
+
+	for s := 0; s < shards; s++ {
+		bounds := frameBoundaries(images[s])
+		for _, cut := range bounds {
+			tryCut(s, cut, false)
+		}
+		// Mid-frame cuts: a handful spread across the file.
+		for k := 1; k < len(bounds); k += len(bounds)/5 + 1 {
+			if mid := (bounds[k-1] + bounds[k]) / 2; mid > bounds[k-1] {
+				tryCut(s, mid, true)
+			}
+		}
+	}
+	t.Logf("swept %d crash points across %d shards", cuts, shards)
+}
