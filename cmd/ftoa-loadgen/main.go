@@ -1,0 +1,340 @@
+// Command ftoa-loadgen drives an ftoa-serve wire listener (-listen-wire)
+// with batched admissions over TCP and reports an honest end-to-end
+// number: how many admissions per second the server actually
+// acknowledged, and how long acknowledgment took (p50/p90/p99 batch
+// round-trip), measured from the client side of a real socket.
+//
+// Arrivals are synthesized (-pattern uniform or hotspot, deterministic
+// under -seed) or replayed from an ftoa-gen instance CSV (-trace): the
+// trace supplies locations and windows, the server stamps arrival times
+// with its own clock — replaying yesterday's timestamps into a live
+// clock would violate admission monotonicity.
+//
+// The report is machine-readable JSON on stdout (or -out). "rps" counts
+// every acknowledged request — including BUSY rejections, which are the
+// server's backpressure working as designed — while "admitted_rps"
+// counts only successful admissions; CI gates on proto_errors == 0 and
+// an rps floor. Latency percentiles are over batch round-trips: with
+// batching, that IS the admission latency every request in the batch
+// experienced.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ftoa"
+	"ftoa/internal/wire"
+)
+
+type genConfig struct {
+	addr        string
+	conns       int
+	rate        float64 // total admissions/sec across conns; 0 = unthrottled
+	duration    time.Duration
+	batch       int
+	pattern     string // uniform or hotspot
+	bounds      [4]float64
+	seed        int64
+	workersFrac float64
+	patience    float64
+	expiry      float64
+	trace       []ftoa.Event // replay instead of synthesis when non-empty
+	traceIn     *ftoa.Instance
+}
+
+type report struct {
+	Addr        string  `json:"addr"`
+	Pattern     string  `json:"pattern"`
+	Conns       int     `json:"conns"`
+	Batch       int     `json:"batch"`
+	TargetRate  float64 `json:"target_rate"`
+	DurationS   float64 `json:"duration_s"`
+	Requests    uint64  `json:"requests"`
+	Admitted    uint64  `json:"admitted"`
+	Busy        uint64  `json:"busy"`
+	Errors      uint64  `json:"errors"`
+	ProtoErrors uint64  `json:"proto_errors"`
+	RPS         float64 `json:"rps"`
+	AdmittedRPS float64 `json:"admitted_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// connTally is one connection's contribution, merged after the run.
+type connTally struct {
+	requests uint64
+	admitted uint64
+	busy     uint64
+	errors   uint64
+	protoErr uint64
+	rttMs    []float64 // one sample per batch round-trip
+}
+
+// synthesize fills reqs with n fresh arrivals from the configured
+// pattern. Hotspot sends 80% of arrivals into a central square covering
+// 10% of each dimension — the skew that makes one shard's ring the
+// bottleneck while its neighbors idle.
+func synthesize(cfg *genConfig, rng *rand.Rand, reqs []wire.Request, n int) []wire.Request {
+	x0, y0, x1, y1 := cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3]
+	w, h := x1-x0, y1-y0
+	for i := 0; i < n; i++ {
+		var x, y float64
+		if cfg.pattern == "hotspot" && rng.Float64() < 0.8 {
+			cx, cy := x0+w/2, y0+h/2
+			x = cx + (rng.Float64()-0.5)*w*0.1
+			y = cy + (rng.Float64()-0.5)*h*0.1
+		} else {
+			x = x0 + rng.Float64()*w
+			y = y0 + rng.Float64()*h
+		}
+		rq := wire.Request{X: x, Y: y, At: math.NaN()}
+		if rng.Float64() < cfg.workersFrac {
+			rq.Kind = wire.ReqAddWorker
+			rq.Window = cfg.patience
+		} else {
+			rq.Kind = wire.ReqAddTask
+			rq.Window = cfg.expiry
+		}
+		reqs = append(reqs, rq)
+	}
+	return reqs
+}
+
+// traceBatch converts trace events [lo, hi) into admission requests;
+// locations and windows come from the instance, arrival stamping is the
+// server's (see the package comment).
+func traceBatch(in *ftoa.Instance, evs []ftoa.Event, reqs []wire.Request) []wire.Request {
+	for _, ev := range evs {
+		rq := wire.Request{At: math.NaN()}
+		if ev.Kind == ftoa.WorkerArrival {
+			w := &in.Workers[ev.Index]
+			rq.Kind = wire.ReqAddWorker
+			rq.X, rq.Y, rq.Window = w.Loc.X, w.Loc.Y, w.Patience
+		} else {
+			t := &in.Tasks[ev.Index]
+			rq.Kind = wire.ReqAddTask
+			rq.X, rq.Y, rq.Window = t.Loc.X, t.Loc.Y, t.Expiry
+		}
+		reqs = append(reqs, rq)
+	}
+	return reqs
+}
+
+// runConn is one connection's send loop: build a batch, send, tally the
+// acknowledged results, pace to the per-connection rate. Trace mode
+// walks this connection's stride of the event list to exhaustion;
+// synthesis runs until the deadline.
+func runConn(cfg *genConfig, id int, deadline time.Time, tally *connTally) {
+	cl, err := wire.Dial(cfg.addr)
+	if err != nil {
+		tally.protoErr++
+		return
+	}
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+	var interval time.Duration
+	if cfg.rate > 0 {
+		perConn := cfg.rate / float64(cfg.conns)
+		interval = time.Duration(float64(cfg.batch) / perConn * float64(time.Second))
+	}
+	next := time.Now()
+
+	// This connection's stride of the trace (empty in synthesis mode).
+	var mine []ftoa.Event
+	for i := id; i < len(cfg.trace); i += cfg.conns {
+		mine = append(mine, cfg.trace[i])
+	}
+	traceAt := 0
+
+	reqs := make([]wire.Request, 0, cfg.batch)
+	for {
+		reqs = reqs[:0]
+		if cfg.trace != nil {
+			if traceAt >= len(mine) {
+				return
+			}
+			hi := traceAt + cfg.batch
+			if hi > len(mine) {
+				hi = len(mine)
+			}
+			reqs = traceBatch(cfg.traceIn, mine[traceAt:hi], reqs)
+			traceAt = hi
+		} else {
+			if !time.Now().Before(deadline) {
+				return
+			}
+			reqs = synthesize(cfg, rng, reqs, cfg.batch)
+		}
+
+		t0 := time.Now()
+		res, err := cl.Do(reqs)
+		if err != nil {
+			tally.protoErr++
+			return
+		}
+		tally.rttMs = append(tally.rttMs, float64(time.Since(t0))/float64(time.Millisecond))
+		tally.requests += uint64(len(res))
+		for i := range res {
+			switch res[i].Status {
+			case wire.StatusOK:
+				tally.admitted++
+			case wire.StatusBusy:
+				tally.busy++
+			default:
+				tally.errors++
+			}
+		}
+
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+}
+
+// run executes the load and assembles the report.
+func run(cfg *genConfig) *report {
+	tallies := make([]connTally, cfg.conns)
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runConn(cfg, i, deadline, &tallies[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := &report{
+		Addr:       cfg.addr,
+		Pattern:    cfg.pattern,
+		Conns:      cfg.conns,
+		Batch:      cfg.batch,
+		TargetRate: cfg.rate,
+		DurationS:  elapsed,
+	}
+	var rtts []float64
+	for i := range tallies {
+		t := &tallies[i]
+		rep.Requests += t.requests
+		rep.Admitted += t.admitted
+		rep.Busy += t.busy
+		rep.Errors += t.errors
+		rep.ProtoErrors += t.protoErr
+		rtts = append(rtts, t.rttMs...)
+	}
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed
+		rep.AdmittedRPS = float64(rep.Admitted) / elapsed
+	}
+	sort.Float64s(rtts)
+	rep.P50Ms = percentile(rtts, 0.50)
+	rep.P90Ms = percentile(rtts, 0.90)
+	rep.P99Ms = percentile(rtts, 0.99)
+	return rep
+}
+
+// percentile over a sorted sample (nearest-rank); zero when empty.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "ftoa-serve wire address (-listen-wire)")
+	conns := flag.Int("conns", 4, "concurrent wire connections")
+	rate := flag.Float64("rate", 0, "target total admissions per second across all connections (0 = unthrottled)")
+	duration := flag.Duration("duration", 10*time.Second, "synthesis run length (-trace runs to exhaustion instead)")
+	batch := flag.Int("batch", 64, "admissions per wire batch")
+	pattern := flag.String("pattern", "uniform", "synthetic arrival pattern: uniform or hotspot (80% of arrivals in a central square covering 10% of each dimension)")
+	boundsStr := flag.String("bounds", "0,0,100,100", "service area as x0,y0,x1,y1 (must match the server's)")
+	seed := flag.Int64("seed", 1, "synthesis seed; runs are deterministic per (seed, conns, batch)")
+	workersFrac := flag.Float64("workers-frac", 0.5, "fraction of synthetic arrivals that are workers")
+	patience := flag.Float64("patience", 300, "synthetic worker patience (seconds)")
+	expiry := flag.Float64("expiry", 60, "synthetic task expiry (seconds)")
+	velocity := flag.Float64("velocity", 1, "worker velocity for -trace parsing")
+	tracePath := flag.String("trace", "", "replay this ftoa-gen instance CSV instead of synthesizing")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	cfg := &genConfig{
+		addr:        *addr,
+		conns:       *conns,
+		rate:        *rate,
+		duration:    *duration,
+		batch:       *batch,
+		pattern:     *pattern,
+		seed:        *seed,
+		workersFrac: *workersFrac,
+		patience:    *patience,
+		expiry:      *expiry,
+	}
+	if cfg.conns <= 0 || cfg.batch <= 0 || cfg.batch > wire.MaxBatch {
+		log.Fatalf("ftoa-loadgen: need conns > 0 and 0 < batch <= %d", wire.MaxBatch)
+	}
+	if cfg.pattern != "uniform" && cfg.pattern != "hotspot" {
+		log.Fatalf("ftoa-loadgen: unknown -pattern %q", cfg.pattern)
+	}
+	parts := strings.Split(*boundsStr, ",")
+	if len(parts) != 4 {
+		log.Fatalf("ftoa-loadgen: bad -bounds %q: want x0,y0,x1,y1", *boundsStr)
+	}
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &cfg.bounds[i]); err != nil {
+			log.Fatalf("ftoa-loadgen: bad -bounds component %q: %v", p, err)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, err := ftoa.LoadInstanceCSV(f, *velocity)
+		f.Close()
+		if err != nil {
+			log.Fatalf("ftoa-loadgen: %s: %v", *tracePath, err)
+		}
+		cfg.traceIn = in
+		cfg.trace = in.Events()
+	}
+
+	rep := run(cfg)
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if rep.ProtoErrors > 0 {
+		log.Fatalf("ftoa-loadgen: %d connection(s) died on protocol errors", rep.ProtoErrors)
+	}
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ftoa"
+	"ftoa/internal/wire"
+)
+
+// makeInstance builds a trivial instance for trace-replay tests.
+func makeInstance(nw, nt int) *ftoa.Instance {
+	in := &ftoa.Instance{Velocity: 1}
+	for i := 0; i < nw; i++ {
+		in.Workers = append(in.Workers,
+			ftoa.Worker{ID: i, Loc: ftoa.Pt(float64(i%90), 50), Arrive: float64(i), Patience: 300})
+	}
+	for i := 0; i < nt; i++ {
+		in.Tasks = append(in.Tasks,
+			ftoa.Task{ID: i, Loc: ftoa.Pt(float64(i%90), 51), Release: float64(i), Expiry: 60})
+	}
+	return in
+}
+
+// stubServer answers every batch over real TCP: admissions get OK except
+// every busyEvery-th request (1-indexed) which gets BUSY, so tally
+// accounting is checkable exactly.
+func stubServer(t *testing.T, busyEvery int) (addr string, served *atomic.Uint64, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served = new(atomic.Uint64)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				cn := wire.NewConn(c)
+				if err := wire.ServerHandshake(cn, 1, 0); err != nil {
+					return
+				}
+				var reqs []wire.Request
+				for {
+					p, err := cn.ReadFrame()
+					if err != nil || len(p) == 0 || p[0] != wire.MsgBatch {
+						return
+					}
+					id, rs, err := wire.DecodeBatch(p, reqs[:0])
+					if err != nil {
+						return
+					}
+					reqs = rs
+					results := make([]wire.Result, len(rs))
+					for i, rq := range rs {
+						n := int(served.Add(1))
+						results[i] = wire.Result{Kind: rq.Kind, Status: wire.StatusOK}
+						if busyEvery > 0 && n%busyEvery == 0 {
+							results[i] = wire.Result{Kind: rq.Kind, Status: wire.StatusBusy, RetryAfter: 0.1}
+						}
+					}
+					if cn.WriteFrame(wire.AppendBatchReply(nil, id, results)) != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), served, func() { ln.Close() }
+}
+
+func TestRunReportAccounting(t *testing.T) {
+	addr, served, stop := stubServer(t, 5)
+	defer stop()
+	cfg := &genConfig{
+		addr:        addr,
+		conns:       3,
+		duration:    300 * time.Millisecond,
+		batch:       16,
+		pattern:     "uniform",
+		bounds:      [4]float64{0, 0, 100, 100},
+		seed:        7,
+		workersFrac: 0.5,
+		patience:    300,
+		expiry:      60,
+	}
+	rep := run(cfg)
+	if rep.ProtoErrors != 0 {
+		t.Fatalf("proto errors = %d: %+v", rep.ProtoErrors, rep)
+	}
+	if rep.Requests == 0 || rep.Requests != served.Load() {
+		t.Fatalf("requests = %d, server served %d", rep.Requests, served.Load())
+	}
+	if rep.Admitted+rep.Busy != rep.Requests || rep.Errors != 0 {
+		t.Fatalf("tallies don't add up: %+v", rep)
+	}
+	// The stub marks exactly every 5th request BUSY.
+	if want := rep.Requests / 5; rep.Busy != want {
+		t.Fatalf("busy = %d, want %d of %d", rep.Busy, want, rep.Requests)
+	}
+	if rep.RPS <= 0 || rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("degenerate rates/latencies: %+v", rep)
+	}
+}
+
+func TestRunTraceReplayExact(t *testing.T) {
+	addr, served, stop := stubServer(t, 0)
+	defer stop()
+	cfg := &genConfig{
+		addr:   addr,
+		conns:  2,
+		batch:  8,
+		bounds: [4]float64{0, 0, 100, 100},
+	}
+	// A tiny instance: every arrival must be sent exactly once even when
+	// the count doesn't divide evenly across conns and batches.
+	in := makeInstance(37, 23)
+	cfg.traceIn = in
+	cfg.trace = in.Events()
+	rep := run(cfg)
+	if want := uint64(37 + 23); rep.Requests != want || served.Load() != want {
+		t.Fatalf("requests = %d (server %d), want %d", rep.Requests, served.Load(), want)
+	}
+	if rep.ProtoErrors != 0 || rep.Admitted != rep.Requests {
+		t.Fatalf("trace replay tallies: %+v", rep)
+	}
+}
+
+func TestSynthesizePatterns(t *testing.T) {
+	cfg := &genConfig{
+		pattern:     "uniform",
+		bounds:      [4]float64{10, 20, 110, 220},
+		workersFrac: 0.5,
+		patience:    300,
+		expiry:      60,
+	}
+	const n = 4000
+	rng := rand.New(rand.NewSource(1))
+	reqs := synthesize(cfg, rng, nil, n)
+	var workers int
+	for _, rq := range reqs {
+		if rq.X < 10 || rq.X > 110 || rq.Y < 20 || rq.Y > 220 {
+			t.Fatalf("arrival outside bounds: %+v", rq)
+		}
+		if !math.IsNaN(rq.At) {
+			t.Fatalf("synthetic arrival not server-stamped: %+v", rq)
+		}
+		switch rq.Kind {
+		case wire.ReqAddWorker:
+			workers++
+			if rq.Window != 300 {
+				t.Fatalf("worker window = %g", rq.Window)
+			}
+		case wire.ReqAddTask:
+			if rq.Window != 60 {
+				t.Fatalf("task window = %g", rq.Window)
+			}
+		default:
+			t.Fatalf("unexpected kind %d", rq.Kind)
+		}
+	}
+	if workers < n/3 || workers > 2*n/3 {
+		t.Fatalf("workers = %d of %d, want near half", workers, n)
+	}
+
+	// Hotspot: the central 10%x10% square holds ~80% of arrivals (vs ~1%
+	// under uniform).
+	cfg.pattern = "hotspot"
+	reqs = synthesize(cfg, rand.New(rand.NewSource(2)), nil, n)
+	var hot int
+	for _, rq := range reqs {
+		if rq.X >= 55 && rq.X <= 65 && rq.Y >= 109 && rq.Y <= 131 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / n; frac < 0.7 {
+		t.Fatalf("hotspot fraction = %.2f, want ~0.8", frac)
+	}
+
+	// Determinism: same seed, same stream.
+	a := synthesize(cfg, rand.New(rand.NewSource(3)), nil, 100)
+	b := synthesize(cfg, rand.New(rand.NewSource(3)), nil, 100)
+	for i := range a {
+		if a[i].X != b[i].X || a[i].Y != b[i].Y || a[i].Kind != b[i].Kind {
+			t.Fatalf("seeded synthesis diverged at %d", i)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(s, 0.5); p != 5 {
+		t.Fatalf("p50 = %g", p)
+	}
+	if p := percentile(s, 0.99); p != 10 {
+		t.Fatalf("p99 = %g", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %g", p)
+	}
+}

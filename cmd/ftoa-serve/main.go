@@ -79,6 +79,7 @@ import (
 	"time"
 
 	"ftoa"
+	"ftoa/internal/wire"
 )
 
 type config struct {
@@ -169,6 +170,10 @@ type server struct {
 	// the boot replay summary (nil when walled is false).
 	walled   bool
 	recovery *ftoa.ShardRecoveryInfo
+
+	// wire is the binary-protocol listener (-listen-wire), nil when
+	// disabled; kept here so /stats can report its counters.
+	wire *wireServer
 }
 
 // maxEventsPage caps one GET /events or GET /matches response; pollers
@@ -845,6 +850,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			walStatus["error"] = err.Error()
 		}
 	}
+	wireStatus := map[string]any{"enabled": false}
+	if s.wire != nil {
+		wireStatus = s.wire.statsJSON()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workers":           workers,
 		"tasks":             tasks,
@@ -863,6 +872,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"border_matches":    borderMatches,
 		"shed":              shedTotal,
 		"wal":               walStatus,
+		"wire":              wireStatus,
 		"now":               now,
 		"shards":            shards,
 	})
@@ -883,6 +893,48 @@ func (s *server) tickLoop(interval time.Duration, stop <-chan struct{}) {
 			return
 		}
 	}
+}
+
+// haloBootReport renders the boot-time halo geometry summary: one line
+// per shard with its region size and effective halo fraction — the
+// ghost admissions mirrored in from the halo band around the region,
+// relative to the region's own traffic share — preceded by a warning
+// for every shard whose region the halo reach window rivals. At
+// 2*halo >= the region's smaller dimension the halo bands cover the
+// entire region: every admission there is mirrored somewhere, and
+// sharding degenerates toward replicated broadcast.
+func haloBootReport(p *ftoa.ShardPlacement) []string {
+	n := p.NumRegions()
+	halo := p.Halo()
+	if halo <= 0 || n <= 1 {
+		return nil
+	}
+	var lines []string
+	var total float64
+	for i := 0; i < n; i++ {
+		r := p.Region(i)
+		total += r.Width() * r.Height()
+	}
+	for i := 0; i < n; i++ {
+		r := p.Region(i)
+		if 2*halo >= min(r.Width(), r.Height()) {
+			lines = append(lines, fmt.Sprintf(
+				"ftoa-serve: WARNING: halo reach %g rivals shard %d region %gx%g (2*halo >= min dimension): the halo bands cover the whole region, so nearly every admission is mirrored; use fewer shards or a smaller -halo",
+				halo, i, r.Width(), r.Height()))
+		}
+	}
+	for i := 0; i < n; i++ {
+		r := p.Region(i)
+		area := r.Width() * r.Height()
+		ghost := 0.0
+		if area > 0 {
+			ghost = p.HintShare(i)*total/area - 1
+		}
+		lines = append(lines, fmt.Sprintf(
+			"ftoa-serve: shard %d region %gx%g halo reach %g: effective halo fraction %.1f%% (ghost admissions over own share)",
+			i, r.Width(), r.Height(), halo, 100*ghost))
+	}
+	return lines
 }
 
 // bootGate is what the listener serves while the process is still
@@ -958,6 +1010,9 @@ func main() {
 	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always (fsync per operation), interval (group commit on -wal-sync-interval) or none (OS page cache only)")
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "group-commit window for -wal-sync interval (0 = 50ms default)")
 	admitQueue := flag.Int("admit-queue", 0, "per-shard admission backlog bound; arrivals beyond it are shed with 503 + Retry-After (0 disables shedding)")
+	listenWire := flag.String("listen-wire", "", "binary wire-protocol listen address for batched admission over TCP (empty disables); see docs/wire.md")
+	wireRing := flag.Int("wire-ring", 1024, "per-shard wire admission ring capacity; a full ring answers BUSY (backpressure bound)")
+	wireBatch := flag.Int("wire-batch", 256, "max wire admissions drained per shard lock acquisition")
 	flag.Parse()
 
 	cfg := config{
@@ -1019,6 +1074,21 @@ func main() {
 		log.Printf("ftoa-serve: recovered %d events (%d matches) from %d WAL segment(s), %d torn byte(s) truncated; resuming at t=%.3f generation %d",
 			ri.Events, ri.Matches, ri.Segments, ri.TornBytes, ri.MaxClock, ri.Generation)
 	}
+	for _, line := range haloBootReport(srv.router.Placement()) {
+		log.Print(line)
+	}
+	// Start the wire listener before the gate opens so /stats never races
+	// the field write; recovery already completed in newServer, so ring
+	// admissions observe the replayed state.
+	if *listenWire != "" {
+		wln, err := net.Listen("tcp", *listenWire)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.wire = newWireServer(srv, wln, *wireRing, *wireBatch, cfg.tick)
+		log.Printf("ftoa-serve: wire protocol v%d on %s (ring=%d batch=%d)",
+			wire.Version, wln.Addr(), *wireRing, *wireBatch)
+	}
 	stopTick := make(chan struct{})
 	go srv.tickLoop(cfg.tick, stopTick)
 	gate.ready(srv.handler())
@@ -1037,6 +1107,12 @@ func main() {
 		log.Printf("ftoa-serve: %v: draining", got)
 	}
 	close(stopTick)
+	// Wire first: dropping its connections stops the ring producers, and
+	// close drains the rings so every acknowledged admission reaches the
+	// WAL before it closes below.
+	if srv.wire != nil {
+		srv.wire.close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {

@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -928,5 +930,122 @@ func TestServeCrashRestartSoak(t *testing.T) {
 	}
 	if prevMatches == 0 {
 		t.Fatal("soak committed nothing")
+	}
+}
+
+// TestServeSheddingExactAccounting is the overload-shedding regression
+// guard: under a concurrent burst against a saturated shard, every
+// rejection carries a well-formed Retry-After (RFC 7231 delta-seconds)
+// and the /stats shed counters equal the number of 503s the clients
+// actually observed — no lost or double counts.
+func TestServeSheddingExactAccounting(t *testing.T) {
+	cfg := defaultTestConfig()
+	cfg.admitQueue = 1
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// Hold the only admission slot so the burst below is shed in full.
+	srv.inflight[0].Add(1)
+	const burst = 24
+	var wg sync.WaitGroup
+	var rejected atomic.Uint64
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/workers", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"x":%d,"y":50,"patience":300}`, i%90)))
+			if err != nil {
+				t.Errorf("post %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("post %d: status %d, want 503", i, resp.StatusCode)
+				return
+			}
+			ra := resp.Header.Get("Retry-After")
+			if secs, err := strconv.Atoi(ra); err != nil || secs < 0 {
+				t.Errorf("post %d: malformed Retry-After %q", i, ra)
+				return
+			}
+			rejected.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	if rejected.Load() != burst {
+		t.Fatalf("rejected %d of %d (errors above)", rejected.Load(), burst)
+	}
+	st := getJSON(t, ts.URL+"/stats")
+	if got := st["shed"].(float64); got != burst {
+		t.Fatalf("stats shed = %v, want exactly %d", got, burst)
+	}
+	if sh := st["shards"].([]any)[0].(map[string]any); sh["shed"].(float64) != burst {
+		t.Fatalf("shard shed = %v, want exactly %d", sh["shed"], burst)
+	}
+	if st["workers"].(float64) != 0 {
+		t.Fatalf("workers = %v, want 0 (everything shed)", st["workers"])
+	}
+	// Release the slot: accounting stays frozen while admissions resume.
+	srv.inflight[0].Add(-1)
+	postJSON(t, ts.URL+"/workers", `{"x":10,"y":50,"patience":300}`)
+	st = getJSON(t, ts.URL+"/stats")
+	if st["shed"].(float64) != burst || st["workers"].(float64) != 1 {
+		t.Fatalf("post-drain stats = shed %v workers %v, want %d / 1",
+			st["shed"], st["workers"], burst)
+	}
+}
+
+// TestHaloBootReport: the boot summary warns exactly when the halo reach
+// window rivals the shard region size, and always reports the effective
+// halo fraction per shard.
+func TestHaloBootReport(t *testing.T) {
+	build := func(haloSecs float64) *server {
+		cfg := defaultTestConfig()
+		cfg.shards = [2]int{2, 2} // 50x50 regions over 100x100
+		cfg.halo = haloSecs       // velocity 1: reach == seconds
+		srv, err := newServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+
+	if lines := haloBootReport(build(0).router.Placement()); lines != nil {
+		t.Fatalf("halo 0 reported %v, want nothing", lines)
+	}
+
+	// Modest halo: 2*5 < 50, so fractions only, no warning.
+	lines := haloBootReport(build(5).router.Placement())
+	if len(lines) != 4 {
+		t.Fatalf("halo 5: %d lines, want 4 per-shard fractions: %v", len(lines), lines)
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "WARNING") {
+			t.Fatalf("halo 5 warned: %q", l)
+		}
+		if !strings.Contains(l, "effective halo fraction") {
+			t.Fatalf("missing fraction in %q", l)
+		}
+	}
+
+	// Oversized halo: 2*30 >= 50 — every shard warned, fractions still
+	// reported.
+	lines = haloBootReport(build(30).router.Placement())
+	var warns, fracs int
+	for _, l := range lines {
+		if strings.Contains(l, "WARNING") {
+			warns++
+		}
+		if strings.Contains(l, "effective halo fraction") {
+			fracs++
+		}
+	}
+	if warns != 4 || fracs != 4 {
+		t.Fatalf("halo 30: %d warnings / %d fractions, want 4 / 4: %v", warns, fracs, lines)
 	}
 }

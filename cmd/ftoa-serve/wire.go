@@ -1,0 +1,377 @@
+// Wire listener: the binary serving surface behind -listen-wire. Batches
+// of arrivals come in as framed wire messages (internal/wire), are fed
+// through the router's per-shard MPSC admission rings (shard.Admitter) —
+// so decoding connections never touch a shard lock — and each batch is
+// answered after all of its admissions drained, so an acknowledged
+// arrival is in its shard (and, on a durable server, WAL-recorded).
+// Subscribed connections get the merged event stream pushed as it grows.
+//
+// Backpressure is end-to-end: a full ring surfaces as a per-entry BUSY
+// result with a retry-after hint (counted in /stats under "wire"), never
+// as blocking the decode loop.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftoa"
+	"ftoa/internal/wire"
+)
+
+// wireEventPage bounds one Events push frame; a subscriber behind a large
+// backlog pages through it in consecutive frames.
+const wireEventPage = 1024
+
+// wireServer owns the wire listener, its connections, and the shared
+// admission rings. One goroutine accepts; each connection gets a reader
+// goroutine (batches on a connection are processed in order — pipelining
+// is across connections) plus, once subscribed, an event pusher.
+type wireServer struct {
+	s     *server
+	ln    net.Listener
+	adm   *ftoa.ShardAdmitter
+	retry float64       // BUSY retry-after hint, seconds (one tick)
+	push  time.Duration // event pusher poll interval
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	batches  atomic.Uint64
+	requests atomic.Uint64
+	busy     atomic.Uint64 // BUSY results returned (ring backpressure)
+	protoErr atomic.Uint64 // framing/decode violations that dropped a conn
+	subs     atomic.Int64  // live event subscriptions
+}
+
+func newWireServer(s *server, ln net.Listener, ring, batch int, tick time.Duration) *wireServer {
+	ws := &wireServer{
+		s:     s,
+		ln:    ln,
+		adm:   ftoa.NewShardAdmitter(s.router, ftoa.ShardAdmitterConfig{Ring: ring, Batch: batch}),
+		retry: tick.Seconds(),
+		push:  tick / 4,
+		conns: make(map[net.Conn]struct{}),
+	}
+	if ws.push <= 0 {
+		ws.push = 50 * time.Millisecond
+	}
+	ws.wg.Add(1)
+	go ws.acceptLoop()
+	return ws
+}
+
+// close stops accepting, drops every connection, waits the handlers out,
+// then drains and stops the admission rings. Call before the router's
+// WAL closes so ring-buffered admissions become durable.
+func (ws *wireServer) close() {
+	ws.mu.Lock()
+	ws.closed = true
+	conns := make([]net.Conn, 0, len(ws.conns))
+	for c := range ws.conns {
+		conns = append(conns, c)
+	}
+	ws.mu.Unlock()
+	ws.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	ws.wg.Wait()
+	ws.adm.Close()
+}
+
+func (ws *wireServer) acceptLoop() {
+	defer ws.wg.Done()
+	for {
+		c, err := ws.ln.Accept()
+		if err != nil {
+			ws.mu.Lock()
+			closed := ws.closed
+			ws.mu.Unlock()
+			if closed {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			log.Printf("ftoa-serve: wire accept: %v", err)
+			return
+		}
+		ws.mu.Lock()
+		if ws.closed {
+			ws.mu.Unlock()
+			c.Close()
+			return
+		}
+		ws.conns[c] = struct{}{}
+		ws.wg.Add(1)
+		ws.mu.Unlock()
+		go ws.handleConn(c)
+	}
+}
+
+func (ws *wireServer) dropConn(c net.Conn) {
+	ws.mu.Lock()
+	delete(ws.conns, c)
+	ws.mu.Unlock()
+	c.Close()
+}
+
+func (ws *wireServer) handleConn(c net.Conn) {
+	defer ws.wg.Done()
+	defer ws.dropConn(c)
+	cn := wire.NewConn(c)
+	if err := wire.ServerHandshake(cn, uint32(ws.s.router.NumShards()), ws.s.now()); err != nil {
+		ws.noteProtoErr(err)
+		return
+	}
+	var pushStop chan struct{}
+	defer func() {
+		if pushStop != nil {
+			close(pushStop)
+		}
+	}()
+	var reqs []wire.Request
+	for {
+		p, err := cn.ReadFrame()
+		if err != nil {
+			ws.noteProtoErr(err)
+			return
+		}
+		switch {
+		case len(p) == 0:
+			ws.protoFail(cn, "empty frame")
+			return
+		case p[0] == wire.MsgBatch:
+			if reqs, err = ws.handleBatch(cn, p, reqs[:0]); err != nil {
+				ws.protoFail(cn, err.Error())
+				return
+			}
+		case p[0] == wire.MsgSubscribe:
+			since, err := wire.DecodeSubscribe(p)
+			if err != nil {
+				ws.protoFail(cn, err.Error())
+				return
+			}
+			if pushStop != nil {
+				ws.protoFail(cn, "duplicate Subscribe")
+				return
+			}
+			pushStop = make(chan struct{})
+			ws.subs.Add(1)
+			ws.wg.Add(1)
+			go ws.pushEvents(cn, since, pushStop)
+		default:
+			ws.protoFail(cn, fmt.Sprintf("unexpected message 0x%02x", p[0]))
+			return
+		}
+	}
+}
+
+// noteProtoErr counts protocol violations; clean disconnects and the
+// server tearing the socket down are not errors.
+func (ws *wireServer) noteProtoErr(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	ws.mu.Lock()
+	closed := ws.closed
+	ws.mu.Unlock()
+	if closed {
+		return
+	}
+	ws.protoErr.Add(1)
+}
+
+// protoFail counts the violation and sends the fatal Error frame.
+func (ws *wireServer) protoFail(cn *wire.Conn, msg string) {
+	ws.protoErr.Add(1)
+	cn.WriteError(msg)
+}
+
+// handleBatch decodes one batch, runs it in two phases — admissions
+// enqueued to the rings and awaited, then advances and withdrawals in
+// batch order — and writes the positional reply. The returned slice is
+// the request scratch buffer, recycled across batches.
+func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Request) ([]wire.Request, error) {
+	id, reqs, err := wire.DecodeBatch(p, scratch)
+	if err != nil {
+		return reqs, err
+	}
+	ws.batches.Add(1)
+	ws.requests.Add(uint64(len(reqs)))
+	results := make([]wire.Result, len(reqs))
+	admRes := make([]ftoa.ShardAdmitResult, len(reqs))
+	pending := make([]bool, len(reqs))
+	var wg sync.WaitGroup
+	now := ws.s.now()
+
+	// Phase 1: enqueue every admission. The loop never blocks on a shard
+	// lock — a full ring is an immediate BUSY result.
+	for i := range reqs {
+		rq := &reqs[i]
+		results[i].Kind = rq.Kind
+		switch rq.Kind {
+		case wire.ReqAddWorker, wire.ReqAddTask:
+			if rq.Window <= 0 || math.IsNaN(rq.Window) {
+				results[i].Status = wire.StatusErr
+				results[i].Msg = "window (patience/expiry) must be positive"
+				continue
+			}
+			at := rq.At
+			if math.IsNaN(at) {
+				at = now // client asked for server-stamped arrival
+			}
+			var ok bool
+			if rq.Kind == wire.ReqAddWorker {
+				ok = ws.adm.AddWorker(ftoa.Worker{Loc: ftoa.Pt(rq.X, rq.Y), Arrive: at, Patience: rq.Window}, &admRes[i], &wg)
+			} else {
+				ok = ws.adm.AddTask(ftoa.Task{Loc: ftoa.Pt(rq.X, rq.Y), Release: at, Expiry: rq.Window}, &admRes[i], &wg)
+			}
+			if !ok {
+				ws.busy.Add(1)
+				results[i].Status = wire.StatusBusy
+				results[i].RetryAfter = ws.retry
+				continue
+			}
+			pending[i] = true
+		case wire.ReqAdvance, wire.ReqWithdrawWorker, wire.ReqWithdrawTask:
+			// Phase 2.
+		default:
+			return reqs, fmt.Errorf("unknown request kind 0x%02x", rq.Kind)
+		}
+	}
+	wg.Wait()
+
+	// Phase 2: collect admission outcomes, then apply clock advances and
+	// withdrawals in batch order — after the admissions, so a batch that
+	// admits and immediately withdraws observes its own admissions.
+	for i := range reqs {
+		rq := &reqs[i]
+		switch rq.Kind {
+		case wire.ReqAddWorker, wire.ReqAddTask:
+			if !pending[i] {
+				continue
+			}
+			if err := admRes[i].Err; err != nil {
+				results[i].Status = wire.StatusErr
+				results[i].Msg = err.Error()
+				continue
+			}
+			results[i].Status = wire.StatusOK
+			results[i].Shard = uint32(admRes[i].H.Shard)
+			results[i].Local = uint32(admRes[i].H.Local)
+			results[i].Epoch = admRes[i].Epoch
+			results[i].Time = admRes[i].Admitted
+		case wire.ReqAdvance:
+			// The server advances to its OWN clock: wire clients cannot
+			// move time (and so cannot expire other clients' objects).
+			ws.s.advance()
+			results[i].Status = wire.StatusOK
+			results[i].Time = ws.s.now()
+		case wire.ReqWithdrawWorker, wire.ReqWithdrawTask:
+			h := ftoa.ShardHandle{Shard: int(rq.Shard), Local: int(rq.Local)}
+			var applied bool
+			var err error
+			if rq.Kind == wire.ReqWithdrawWorker {
+				applied, err = ws.s.router.WithdrawWorker(h, rq.Epoch)
+			} else {
+				applied, err = ws.s.router.WithdrawTask(h, rq.Epoch)
+			}
+			if err != nil {
+				results[i].Status = wire.StatusErr
+				results[i].Msg = err.Error()
+				continue
+			}
+			results[i].Status = wire.StatusOK
+			results[i].Applied = applied
+		}
+	}
+	return reqs, cn.WriteFrame(wire.AppendBatchReply(nil, id, results))
+}
+
+// pushEvents streams the merged event log to one subscribed connection:
+// poll the cursor API on a short interval, page through any backlog, and
+// translate retention overruns into EventsGone (the client restarts from
+// the reported cursor, losing only genuinely evicted events).
+func (ws *wireServer) pushEvents(cn *wire.Conn, cursor uint64, stop <-chan struct{}) {
+	defer ws.wg.Done()
+	defer ws.subs.Add(-1)
+	if cursor == wire.SinceNow {
+		cursor = ws.s.router.Cursor()
+	}
+	var buf []ftoa.ShardEvent
+	evs := make([]wire.Event, 0, wireEventPage)
+	var frame []byte
+	t := time.NewTicker(ws.push)
+	defer t.Stop()
+	for {
+		for {
+			var next uint64
+			var err error
+			buf, next, err = ws.s.router.EventsLimit(cursor, wireEventPage, buf[:0])
+			if err != nil {
+				oldest := ws.s.router.OldestCursor()
+				if cn.WriteFrame(wire.AppendEventsGone(frame[:0], oldest)) != nil {
+					return
+				}
+				cursor = oldest
+				continue
+			}
+			if len(buf) == 0 {
+				cursor = next
+				break
+			}
+			evs = evs[:0]
+			for i := range buf {
+				ev := &buf[i]
+				evs = append(evs, wire.Event{
+					Seq:         ev.Seq,
+					Shard:       int32(ev.Shard),
+					Kind:        byte(ev.Kind),
+					Worker:      int32(ev.Worker),
+					Task:        int32(ev.Task),
+					Time:        ev.Time,
+					WorkerShard: int32(ev.WorkerShard),
+					TaskShard:   int32(ev.TaskShard),
+				})
+			}
+			frame = wire.AppendEvents(frame[:0], next, evs)
+			if cn.WriteFrame(frame) != nil {
+				return
+			}
+			cursor = next
+			if len(evs) < wireEventPage {
+				break
+			}
+		}
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// statsJSON is the "wire" section of GET /stats.
+func (ws *wireServer) statsJSON() map[string]any {
+	return map[string]any{
+		"enabled":         true,
+		"batches":         ws.batches.Load(),
+		"requests":        ws.requests.Load(),
+		"busy":            ws.busy.Load(),
+		"ring_refusals":   ws.adm.BusyTotal(),
+		"protocol_errors": ws.protoErr.Load(),
+		"subscriptions":   ws.subs.Load(),
+	}
+}

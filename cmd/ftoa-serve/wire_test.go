@@ -1,0 +1,192 @@
+package main
+
+import (
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftoa/internal/wire"
+)
+
+// nan marks an admission as "server-stamped" on the wire.
+func nan() float64 { return math.NaN() }
+
+// bootWire starts a server with the wire listener on a loopback port and
+// returns it plus the dialed client.
+func bootWire(t *testing.T, cfg config) (*server, *wireServer, *wire.Client, func(float64)) {
+	t.Helper()
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := manualClock(srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := newWireServer(srv, ln, 1024, 256, 100*time.Millisecond)
+	srv.wire = ws
+	t.Cleanup(ws.close)
+	cl, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, ws, cl, set
+}
+
+// TestWireEndToEnd drives the whole wire surface over a real TCP
+// connection: handshake, batched admissions (server-stamped and
+// validated), clock advance, withdrawal receipts, and event push.
+func TestWireEndToEnd(t *testing.T) {
+	_, ws, cl, set := bootWire(t, defaultTestConfig())
+	set(0)
+
+	if ack := cl.Hello(); ack.Shards != 1 {
+		t.Fatalf("hello ack = %+v, want 1 shard", ack)
+	}
+	var evMu sync.Mutex
+	var pushed []wire.Event
+	if err := cl.Subscribe(0, func(next uint64, evs []wire.Event) {
+		evMu.Lock()
+		pushed = append(pushed, evs...)
+		evMu.Unlock()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// One batch: a worker, a matching task (both server-stamped via NaN),
+	// and an invalid admission that must fail positionally without
+	// touching its neighbors.
+	res, err := cl.Do([]wire.Request{
+		{Kind: wire.ReqAddWorker, X: 10, Y: 10, At: nan(), Window: 300},
+		{Kind: wire.ReqAddTask, X: 11, Y: 10, At: nan(), Window: 60},
+		{Kind: wire.ReqAddWorker, X: 20, Y: 20, At: nan(), Window: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Status != wire.StatusOK || res[0].Time != 0 {
+		t.Fatalf("worker result = %+v", res[0])
+	}
+	if res[1].Status != wire.StatusOK {
+		t.Fatalf("task result = %+v", res[1])
+	}
+	if res[2].Status != wire.StatusErr || !strings.Contains(res[2].Msg, "positive") {
+		t.Fatalf("invalid admission result = %+v, want StatusErr", res[2])
+	}
+
+	// Advance runs against the server's own clock, never the client's.
+	set(5)
+	res, err = cl.Do([]wire.Request{{Kind: wire.ReqAdvance}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Status != wire.StatusOK || res[0].Time != 5 {
+		t.Fatalf("advance result = %+v, want time 5", res[0])
+	}
+
+	// Withdrawal: admit a lone worker, withdraw by receipt, and check the
+	// receipt is single-use and epoch-checked.
+	res, err = cl.Do([]wire.Request{{Kind: wire.ReqAddWorker, X: 90, Y: 50, At: nan(), Window: 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res[0]
+	res, err = cl.Do([]wire.Request{
+		{Kind: wire.ReqWithdrawWorker, Shard: h.Shard, Local: h.Local, Epoch: h.Epoch},
+		{Kind: wire.ReqWithdrawWorker, Shard: h.Shard, Local: h.Local, Epoch: h.Epoch},
+		{Kind: wire.ReqWithdrawWorker, Shard: h.Shard, Local: h.Local, Epoch: h.Epoch + 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Status != wire.StatusOK || !res[0].Applied {
+		t.Fatalf("withdraw = %+v, want applied", res[0])
+	}
+	if res[1].Status != wire.StatusOK || res[1].Applied {
+		t.Fatalf("re-withdraw = %+v, want not applied", res[1])
+	}
+	if res[2].Status != wire.StatusErr || !strings.Contains(res[2].Msg, "epoch") {
+		t.Fatalf("stale-epoch withdraw = %+v, want stale-handle error", res[2])
+	}
+
+	// The match from the first batch must arrive on the subscription.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evMu.Lock()
+		got := len(pushed) > 0 && pushed[0].Worker == 0 && pushed[0].Task == 0
+		evMu.Unlock()
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			evMu.Lock()
+			t.Fatalf("no match event pushed; got %+v", pushed)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if b := ws.batches.Load(); b != 4 {
+		t.Fatalf("batches = %d, want 4", b)
+	}
+	if ws.protoErr.Load() != 0 {
+		t.Fatalf("protocol errors = %d, want 0", ws.protoErr.Load())
+	}
+}
+
+// TestWireBusyReply: a refused ring enqueue surfaces to the client as a
+// per-entry BUSY result with a retry hint, counted in the wire stats —
+// never as an error or a dropped batch.
+func TestWireBusyReply(t *testing.T) {
+	_, ws, cl, set := bootWire(t, defaultTestConfig())
+	set(0)
+	// Closing the admitter makes every enqueue refuse, which is the same
+	// surface a full ring produces.
+	ws.adm.Close()
+	res, err := cl.Do([]wire.Request{
+		{Kind: wire.ReqAddWorker, X: 10, Y: 10, At: nan(), Window: 300},
+		{Kind: wire.ReqAdvance},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Status != wire.StatusBusy || res[0].RetryAfter <= 0 {
+		t.Fatalf("refused admission = %+v, want BUSY with retry hint", res[0])
+	}
+	if res[1].Status != wire.StatusOK {
+		t.Fatalf("advance alongside BUSY = %+v, want OK", res[1])
+	}
+	if got := ws.statsJSON()["busy"].(uint64); got != 1 {
+		t.Fatalf("wire busy stat = %d, want 1", got)
+	}
+}
+
+// TestWireRejectsGarbage: a non-protocol byte stream is counted as a
+// protocol error and the connection dropped; the listener survives.
+func TestWireRejectsGarbage(t *testing.T) {
+	_, ws, cl, _ := bootWire(t, defaultTestConfig())
+	raw, err := net.Dial("tcp", ws.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	buf := make([]byte, 256)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		if _, err := raw.Read(buf); err != nil {
+			break // server hung up on the garbage
+		}
+	}
+	raw.Close()
+	if ws.protoErr.Load() == 0 {
+		t.Fatal("garbage stream not counted as protocol error")
+	}
+	// The real client still works.
+	if _, err := cl.Do([]wire.Request{{Kind: wire.ReqAdvance}}); err != nil {
+		t.Fatalf("healthy connection broken by garbage peer: %v", err)
+	}
+}

@@ -267,6 +267,19 @@ type (
 	// tails, the replayed event and match totals, the highest recovered
 	// shard clock, and the log generation the recovered router writes.
 	ShardRecoveryInfo = shard.RecoveryInfo
+	// ShardAdmitter is the batched MPSC admission front of a
+	// ShardRouter: producers enqueue arrivals into per-shard lock-free
+	// rings and each shard's single drainer admits timestamp-sorted
+	// batches under one lock acquisition, with explicit backpressure
+	// (a full ring refuses immediately). The concurrency engine behind
+	// ftoa-serve's wire listener.
+	ShardAdmitter = shard.Admitter
+	// ShardAdmitterConfig sizes a ShardAdmitter (ring capacity and
+	// max batch per lock acquisition).
+	ShardAdmitterConfig = shard.AdmitterConfig
+	// ShardAdmitResult is one ring admission's outcome; H and Epoch
+	// form the receipt ShardRouter.WithdrawWorker/WithdrawTask accepts.
+	ShardAdmitResult = shard.AdmitResult
 )
 
 // WAL sync policies (see WALOptions.Policy).
@@ -303,6 +316,18 @@ func NewMatchLog(shards, retention int) *MatchLog { return shard.NewMatchLog(sha
 // ErrShardCursorEvicted is returned by ShardRouter.Events when the cursor
 // points below the retention boundary.
 var ErrShardCursorEvicted = shard.ErrEvicted
+
+// ErrStaleShardHandle is returned by ShardRouter.WithdrawWorker and
+// WithdrawTask when the receipt's epoch predates the shard's arena epoch
+// (a retirement may have remapped the handle).
+var ErrStaleShardHandle = shard.ErrStaleHandle
+
+// NewShardAdmitter starts one ring and one drainer goroutine per shard
+// of r; Close it before closing the router's WAL so ring-buffered
+// admissions become durable.
+func NewShardAdmitter(r *ShardRouter, cfg ShardAdmitterConfig) *ShardAdmitter {
+	return shard.NewAdmitter(r, cfg)
+}
 
 // NewShardRouter builds a sharded serving layer over the streaming
 // session API: cfg.Matcher.Bounds is partitioned into a Cols×Rows grid,

@@ -326,10 +326,11 @@ func (r *Router) AddWorker(w model.Worker) (h Handle, admitted float64, err erro
 	owner := r.placement.Owner(w.Loc)
 	if r.haloOn {
 		if mirrors := r.placement.Mirrors(w.Loc, owner, nil); len(mirrors) > 0 {
-			return r.addMirrored(owner, mirrors, &ad)
+			h, admitted, _, err = r.addMirrored(owner, mirrors, &ad)
+			return h, admitted, err
 		}
 	}
-	h, admitted, err = r.admitOwner(owner, nil, &ad)
+	h, admitted, _, err = r.admitOwner(owner, nil, &ad)
 	r.applyPending()
 	return h, admitted, err
 }
@@ -341,10 +342,11 @@ func (r *Router) AddTask(t model.Task) (h Handle, admitted float64, err error) {
 	owner := r.placement.Owner(t.Loc)
 	if r.haloOn {
 		if mirrors := r.placement.Mirrors(t.Loc, owner, nil); len(mirrors) > 0 {
-			return r.addMirrored(owner, mirrors, &ad)
+			h, admitted, _, err = r.addMirrored(owner, mirrors, &ad)
+			return h, admitted, err
 		}
 	}
-	h, admitted, err = r.admitOwner(owner, nil, &ad)
+	h, admitted, _, err = r.admitOwner(owner, nil, &ad)
 	r.applyPending()
 	return h, admitted, err
 }
@@ -356,6 +358,22 @@ type admission struct {
 	task bool
 	w    model.Worker
 	t    model.Task
+}
+
+// loc returns the live object's location; time its arrival timestamp (the
+// sort key of batched ring admission, ring.go).
+func (ad *admission) loc() geo.Point {
+	if ad.task {
+		return ad.t.Loc
+	}
+	return ad.w.Loc
+}
+
+func (ad *admission) time() float64 {
+	if ad.task {
+		return ad.t.Release
+	}
+	return ad.w.Arrive
 }
 
 // admit pushes the object into a session and returns its handle plus the
@@ -380,12 +398,22 @@ func (ad *admission) admit(s *sim.Session) (int, float64, error) {
 // admission, because the algorithm may commit the object within the
 // AddWorker/AddTask call itself and that commit must already pass through
 // the claim gate. Handles are dense, so the about-to-be-assigned handle
-// is the session's current count.
-func (r *Router) admitOwner(owner int, rec *mirror, ad *admission) (Handle, float64, error) {
+// is the session's current count. The returned epoch is the owner
+// session's arena epoch at admission — the receipt's validity window for
+// WithdrawWorker/WithdrawTask (withdraw.go).
+func (r *Router) admitOwner(owner int, rec *mirror, ad *admission) (Handle, float64, uint64, error) {
 	si := r.shards[owner]
 	si.mu.Lock()
 	defer si.mu.Unlock()
 	si.drainPendingLocked()
+	return si.admitOwnerLocked(r, rec, ad)
+}
+
+// admitOwnerLocked is the owner-admission body shared by the per-call path
+// above and the batched ring path (ring.go, admitRun), which amortizes one
+// lock acquisition over a run of admissions. Callers hold si.mu and have
+// drained pending withdrawals.
+func (si *shardInstance) admitOwnerLocked(r *Router, rec *mirror, ad *admission) (Handle, float64, uint64, error) {
 	var next int
 	if rec != nil {
 		if ad.task {
@@ -410,15 +438,20 @@ func (r *Router) admitOwner(owner int, rec *mirror, ad *admission) (Handle, floa
 		if si.wal != nil {
 			si.wal.dropGroup()
 		}
-		return Handle{}, 0, err
+		return Handle{}, 0, 0, err
 	}
+	// Epoch read BEFORE afterWriteLocked: the admission may itself trigger
+	// a scheduled retirement, which remaps arena handles — the receipt is
+	// (handle, epoch-it-was-issued-in), and a same-call retirement must
+	// invalidate it rather than leave it pointing at a remapped slot.
+	epoch := si.sess.Epoch()
 	si.afterWriteLocked(r)
 	if si.wal != nil {
 		// Recorded pre-clamp: replay re-admits the original values and the
 		// session clamps them identically.
 		si.wal.opAdmission(ad, rec, false)
 	}
-	return Handle{Shard: si.id, Local: local}, admitted, nil
+	return Handle{Shard: si.id, Local: local}, admitted, epoch, nil
 }
 
 // addMirrored is the border admission flow: owner first, then one ghost
@@ -426,7 +459,7 @@ func (r *Router) admitOwner(owner int, rec *mirror, ad *admission) (Handle, floa
 // skipped (or immediately retracted) once the object's claim settled —
 // e.g. the owner session matched it on arrival — so ghosts never outlive
 // a decided object by more than the admission call that raced it.
-func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, float64, error) {
+func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, float64, uint64, error) {
 	rec := &mirror{
 		gid:    r.gids.Add(1),
 		task:   ad.task,
@@ -437,9 +470,9 @@ func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, f
 	for _, m := range mirrors {
 		rec.copies = append(rec.copies, int32(m))
 	}
-	h, admitted, err := r.admitOwner(owner, rec, ad)
+	h, admitted, epoch, err := r.admitOwner(owner, rec, ad)
 	if err != nil {
-		return Handle{}, 0, err
+		return Handle{}, 0, 0, err
 	}
 	// The owner session's clamped arrival defines the logical object's
 	// deadline; rebase the admission on it so every ghost copy is pinned
@@ -460,7 +493,7 @@ func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, f
 		gi.mu.Unlock()
 	}
 	r.applyPending()
-	return h, admitted, nil
+	return h, admitted, epoch, nil
 }
 
 // admitGhostLocked admits one ghost copy into a neighbor session. Callers

@@ -37,6 +37,12 @@ const (
 	opFinish      byte = 0x21 // session finish
 	opRetire      byte = 0x22 // manual Router.Retire
 	opWithdraw    byte = 0x23 // cross-shard retraction applied here
+	// opWithdrawLocal is a platform-initiated withdrawal of an owner
+	// receipt (withdraw.go). Payload: flags (bit 0 task, bit 1 claim word
+	// won, bit 2 session accepted), u32 local handle. Additive: logs
+	// written before this type existed never contain it and replay
+	// unchanged.
+	opWithdrawLocal byte = 0x24
 
 	decGate   = 0x00 | wal.InterimBit // commit-gate verdict on a mirrored pair
 	decExpiry = 0x01 | wal.InterimBit // owner-expiry arbitration outcome

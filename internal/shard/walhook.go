@@ -118,6 +118,21 @@ func (sw *shardWAL) opWithdraw(pw pendingWithdraw) {
 	sw.op(binary.LittleEndian.AppendUint64(p, pw.gid))
 }
 
+func (sw *shardWAL) opWithdrawLocal(local int, task, claimed, applied bool) {
+	var flags byte
+	if task {
+		flags |= 1
+	}
+	if claimed {
+		flags |= 2
+	}
+	if applied {
+		flags |= 4
+	}
+	p := append(sw.scratch[:0], opWithdrawLocal, flags)
+	sw.op(appendU32(p, uint32(local)))
+}
+
 // replayState is the cross-shard recovery context: the shared mirror
 // records keyed by gid (shards are replayed one after another; whichever
 // record mentions a gid first materialises it, the owner record fills in
@@ -470,6 +485,14 @@ func (r *Router) replayOp(si *shardInstance, typ byte, p []byte) error {
 			return d.err
 		}
 		si.applyWithdrawLocked(pendingWithdraw{gid: gid, task: flags&1 != 0})
+	case opWithdrawLocal:
+		d := decoder{p: p, off: 1}
+		flags := d.u8("local withdraw flags")
+		local := int(int32(d.u32("local withdraw handle")))
+		if d.err != nil {
+			return d.err
+		}
+		return si.replayWithdrawLocal(local, flags&1 != 0, flags&2 != 0, flags&4 != 0)
 	default:
 		return fmt.Errorf("wal: unknown record type 0x%02x", typ)
 	}

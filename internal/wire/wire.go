@@ -1,0 +1,635 @@
+// Package wire is the binary serving protocol of ftoa-serve: a compact,
+// length-prefixed, CRC-framed message format for batched admission
+// (AddWorker/AddTask), clock advance, receipt withdrawal, and lifecycle
+// event push over a single TCP connection.
+//
+// # Framing
+//
+// Every message travels as one frame using the WAL codec's convention
+// (package internal/shard/wal):
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// little-endian throughout. The payload's first byte is the message type.
+// A frame that fails its length bound or CRC check is a protocol error:
+// unlike the WAL — where a torn tail is expected and truncates — a
+// corrupt frame on a live connection has no recovery point, so both ends
+// drop the connection.
+//
+// # Conversation
+//
+// The client opens with Hello (magic + version); the server answers
+// HelloAck (version, shard count, server clock) or Error. After the
+// handshake the client sends Batch frames — each carrying up to MaxBatch
+// requests — and, optionally, one Subscribe frame. The server answers
+// every Batch with exactly one BatchReply carrying one result per request
+// in order, and pushes Events frames to subscribed connections as the
+// merged stream grows. Replies to concurrent batches may interleave with
+// event pushes; BatchReply.ID correlates.
+//
+// # Batch semantics
+//
+// Admissions in one batch are enqueued into the server's per-shard
+// admission rings (shard.Admitter) and the reply waits for all of them to
+// drain — so a reply in hand means every admitted object is in its shard
+// (and, on a durable server, WAL-recorded). Advance and Withdraw entries
+// apply after the batch's admissions, in batch order. Advance carries no
+// timestamp: the server advances to its own clock, so a remote client can
+// never yank time forward and expire other clients' objects.
+//
+// # Backpressure
+//
+// A full admission ring refuses the enqueue immediately and the entry's
+// result is StatusBusy with a retry-after hint in seconds; the rest of
+// the batch is unaffected. BUSY is per-entry and retryable; Error frames
+// are fatal (the connection closes after one).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// Magic opens every Hello; Version is the protocol version this package
+// speaks. A server refuses other versions with an Error frame, so the
+// version byte is the compatibility gate for any future payload change.
+const (
+	Magic   = "FTWIRE\x00"
+	Version = 1
+)
+
+// MaxPayload bounds one frame's payload; MaxBatch bounds requests per
+// Batch frame (fits comfortably under MaxPayload at 41 bytes/request).
+const (
+	MaxPayload = 1 << 20
+	MaxBatch   = 4096
+)
+
+// Message types (first payload byte).
+const (
+	MsgHello      byte = 0x01 // c→s: magic, version
+	MsgHelloAck   byte = 0x02 // s→c: version, u32 shards, f64 now
+	MsgBatch      byte = 0x10 // c→s: u64 id, u16 count, requests
+	MsgBatchReply byte = 0x11 // s→c: u64 id, u16 count, results
+	MsgSubscribe  byte = 0x20 // c→s: u64 since (SinceNow = from now)
+	MsgEvents     byte = 0x21 // s→c: u64 next cursor, u16 count, events
+	MsgEventsGone byte = 0x22 // s→c: u64 oldest (retention overran cursor)
+	MsgError      byte = 0x7F // either: u16 len, utf8 message; fatal
+)
+
+// Request kinds within a Batch.
+const (
+	ReqAddWorker      byte = 0x01 // f64 x, y, arrive, patience
+	ReqAddTask        byte = 0x02 // f64 x, y, release, expiry
+	ReqAdvance        byte = 0x03 // empty
+	ReqWithdrawWorker byte = 0x04 // u32 shard, u32 local, u64 epoch
+	ReqWithdrawTask   byte = 0x05
+)
+
+// Result statuses.
+const (
+	StatusOK   byte = 0
+	StatusBusy byte = 1 // admission ring full; retry after RetryAfter
+	StatusErr  byte = 2 // request refused; Msg explains
+)
+
+// SinceNow as Subscribe.Since requests events from the stream head.
+const SinceNow = ^uint64(0)
+
+// Request is one entry of a Batch. The populated fields depend on Kind:
+// admissions use X/Y/At/Window (At is the arrival/release time — NaN asks
+// the server to stamp its own clock; Window is patience/expiry),
+// withdrawals use Shard/Local/Epoch (the receipt a prior admission
+// returned), Advance uses nothing.
+type Request struct {
+	Kind   byte
+	X, Y   float64
+	At     float64
+	Window float64
+	Shard  uint32
+	Local  uint32
+	Epoch  uint64
+}
+
+// Result is one entry of a BatchReply, positionally matching the batch's
+// requests. For OK admissions Shard/Local/Epoch are the withdrawal
+// receipt and Time the server-stamped arrival; for OK advances Time is
+// the server clock after the advance; for OK withdrawals Applied reports
+// whether the object was still live. BUSY carries RetryAfter (seconds);
+// ERR carries Msg.
+type Result struct {
+	Kind       byte
+	Status     byte
+	Shard      uint32
+	Local      uint32
+	Epoch      uint64
+	Time       float64
+	Applied    bool
+	RetryAfter float64
+	Msg        string
+}
+
+// Event is one merged-stream lifecycle event (see shard.Event; handles
+// are owner-shard admission receipts, -1 for the side an expiry does not
+// involve).
+type Event struct {
+	Seq         uint64
+	Shard       int32
+	Kind        byte // sim.SessionEventKind
+	Worker      int32
+	Task        int32
+	Time        float64
+	WorkerShard int32
+	TaskShard   int32
+}
+
+// HelloAck is the server's handshake answer.
+type HelloAck struct {
+	Version byte
+	Shards  uint32
+	Now     float64
+}
+
+var (
+	// ErrCRC reports a frame whose payload failed its checksum.
+	ErrCRC = errors.New("wire: frame CRC mismatch")
+	// ErrTooLarge reports a frame length outside (0, MaxPayload].
+	ErrTooLarge = errors.New("wire: frame length out of bounds")
+)
+
+// RemoteError is an Error frame received from the peer; it is fatal to
+// the connection.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "wire: remote error: " + e.Msg }
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// --- encoding ---------------------------------------------------------
+
+func appendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+// AppendHello encodes a Hello payload.
+func AppendHello(dst []byte) []byte {
+	dst = append(dst, MsgHello)
+	dst = append(dst, Magic...)
+	return append(dst, Version)
+}
+
+// AppendHelloAck encodes a HelloAck payload.
+func AppendHelloAck(dst []byte, shards uint32, now float64) []byte {
+	dst = append(dst, MsgHelloAck, Version)
+	dst = appendU32(dst, shards)
+	return appendF64(dst, now)
+}
+
+// AppendError encodes an Error payload.
+func AppendError(dst []byte, msg string) []byte {
+	if len(msg) > 1<<10 {
+		msg = msg[:1<<10]
+	}
+	dst = append(dst, MsgError)
+	dst = appendU16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// AppendBatch encodes a Batch payload. len(reqs) must be in [1, MaxBatch].
+func AppendBatch(dst []byte, id uint64, reqs []Request) ([]byte, error) {
+	if len(reqs) == 0 || len(reqs) > MaxBatch {
+		return dst, fmt.Errorf("wire: batch of %d requests (want 1..%d)", len(reqs), MaxBatch)
+	}
+	dst = append(dst, MsgBatch)
+	dst = appendU64(dst, id)
+	dst = appendU16(dst, uint16(len(reqs)))
+	for i := range reqs {
+		r := &reqs[i]
+		dst = append(dst, r.Kind)
+		switch r.Kind {
+		case ReqAddWorker, ReqAddTask:
+			dst = appendF64(dst, r.X)
+			dst = appendF64(dst, r.Y)
+			dst = appendF64(dst, r.At)
+			dst = appendF64(dst, r.Window)
+		case ReqAdvance:
+		case ReqWithdrawWorker, ReqWithdrawTask:
+			dst = appendU32(dst, r.Shard)
+			dst = appendU32(dst, r.Local)
+			dst = appendU64(dst, r.Epoch)
+		default:
+			return dst, fmt.Errorf("wire: unknown request kind 0x%02x", r.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// AppendBatchReply encodes a BatchReply payload for results.
+func AppendBatchReply(dst []byte, id uint64, results []Result) []byte {
+	dst = append(dst, MsgBatchReply)
+	dst = appendU64(dst, id)
+	dst = appendU16(dst, uint16(len(results)))
+	for i := range results {
+		r := &results[i]
+		dst = append(dst, r.Kind, r.Status)
+		switch r.Status {
+		case StatusOK:
+			switch r.Kind {
+			case ReqAddWorker, ReqAddTask:
+				dst = appendU32(dst, r.Shard)
+				dst = appendU32(dst, r.Local)
+				dst = appendU64(dst, r.Epoch)
+				dst = appendF64(dst, r.Time)
+			case ReqAdvance:
+				dst = appendF64(dst, r.Time)
+			case ReqWithdrawWorker, ReqWithdrawTask:
+				if r.Applied {
+					dst = append(dst, 1)
+				} else {
+					dst = append(dst, 0)
+				}
+			}
+		case StatusBusy:
+			dst = appendF64(dst, r.RetryAfter)
+		default:
+			msg := r.Msg
+			if len(msg) > 1<<10 {
+				msg = msg[:1<<10]
+			}
+			dst = appendU16(dst, uint16(len(msg)))
+			dst = append(dst, msg...)
+		}
+	}
+	return dst
+}
+
+// AppendSubscribe encodes a Subscribe payload.
+func AppendSubscribe(dst []byte, since uint64) []byte {
+	dst = append(dst, MsgSubscribe)
+	return appendU64(dst, since)
+}
+
+// AppendEvents encodes an Events payload: the cursor to resume from plus
+// the batch. len(evs) must fit a u16.
+func AppendEvents(dst []byte, next uint64, evs []Event) []byte {
+	dst = append(dst, MsgEvents)
+	dst = appendU64(dst, next)
+	dst = appendU16(dst, uint16(len(evs)))
+	for i := range evs {
+		e := &evs[i]
+		dst = appendU64(dst, e.Seq)
+		dst = appendU32(dst, uint32(e.Shard))
+		dst = append(dst, e.Kind)
+		dst = appendU32(dst, uint32(e.Worker))
+		dst = appendU32(dst, uint32(e.Task))
+		dst = appendF64(dst, e.Time)
+		dst = appendU32(dst, uint32(e.WorkerShard))
+		dst = appendU32(dst, uint32(e.TaskShard))
+	}
+	return dst
+}
+
+// AppendEventsGone encodes an EventsGone payload.
+func AppendEventsGone(dst []byte, oldest uint64) []byte {
+	dst = append(dst, MsgEventsGone)
+	return appendU64(dst, oldest)
+}
+
+// --- decoding ---------------------------------------------------------
+
+// cursor is a little-endian payload reader with a sticky error.
+type cursor struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(what string) {
+	if c.err == nil {
+		c.err = fmt.Errorf("wire: truncated %s at offset %d", what, c.off)
+	}
+}
+
+func (c *cursor) u8(what string) byte {
+	if c.err != nil || c.off+1 > len(c.p) {
+		c.fail(what)
+		return 0
+	}
+	v := c.p[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16(what string) uint16 {
+	if c.err != nil || c.off+2 > len(c.p) {
+		c.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.p[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32(what string) uint32 {
+	if c.err != nil || c.off+4 > len(c.p) {
+		c.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.p[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64(what string) uint64 {
+	if c.err != nil || c.off+8 > len(c.p) {
+		c.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.p[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) f64(what string) float64 { return math.Float64frombits(c.u64(what)) }
+
+func (c *cursor) str(n int, what string) string {
+	if c.err != nil || c.off+n > len(c.p) {
+		c.fail(what)
+		return ""
+	}
+	v := string(c.p[c.off : c.off+n])
+	c.off += n
+	return v
+}
+
+func (c *cursor) done(msg string) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.p) {
+		return fmt.Errorf("wire: %d trailing bytes after %s", len(c.p)-c.off, msg)
+	}
+	return nil
+}
+
+// DecodeHello validates a Hello payload (type byte included).
+func DecodeHello(p []byte) (version byte, err error) {
+	c := cursor{p: p, off: 1}
+	magic := c.str(len(Magic), "magic")
+	version = c.u8("version")
+	if err := c.done("hello"); err != nil {
+		return 0, err
+	}
+	if magic != Magic {
+		return 0, errors.New("wire: bad magic (not an ftoa wire client)")
+	}
+	return version, nil
+}
+
+// DecodeHelloAck decodes a HelloAck payload.
+func DecodeHelloAck(p []byte) (HelloAck, error) {
+	c := cursor{p: p, off: 1}
+	ack := HelloAck{
+		Version: c.u8("version"),
+		Shards:  c.u32("shards"),
+		Now:     c.f64("now"),
+	}
+	return ack, c.done("helloack")
+}
+
+// DecodeError decodes an Error payload into a RemoteError.
+func DecodeError(p []byte) error {
+	c := cursor{p: p, off: 1}
+	n := int(c.u16("error length"))
+	msg := c.str(n, "error message")
+	if err := c.done("error"); err != nil {
+		return err
+	}
+	return &RemoteError{Msg: msg}
+}
+
+// DecodeBatch decodes a Batch payload, appending requests to dst.
+func DecodeBatch(p []byte, dst []Request) (id uint64, reqs []Request, err error) {
+	c := cursor{p: p, off: 1}
+	id = c.u64("batch id")
+	n := int(c.u16("batch count"))
+	if n == 0 || n > MaxBatch {
+		return 0, dst, fmt.Errorf("wire: batch count %d out of bounds", n)
+	}
+	reqs = dst
+	for i := 0; i < n && c.err == nil; i++ {
+		var r Request
+		r.Kind = c.u8("request kind")
+		switch r.Kind {
+		case ReqAddWorker, ReqAddTask:
+			r.X = c.f64("x")
+			r.Y = c.f64("y")
+			r.At = c.f64("at")
+			r.Window = c.f64("window")
+		case ReqAdvance:
+		case ReqWithdrawWorker, ReqWithdrawTask:
+			r.Shard = c.u32("shard")
+			r.Local = c.u32("local")
+			r.Epoch = c.u64("epoch")
+		default:
+			return 0, reqs, fmt.Errorf("wire: unknown request kind 0x%02x at entry %d", r.Kind, i)
+		}
+		reqs = append(reqs, r)
+	}
+	return id, reqs, c.done("batch")
+}
+
+// DecodeBatchReply decodes a BatchReply payload.
+func DecodeBatchReply(p []byte) (id uint64, results []Result, err error) {
+	c := cursor{p: p, off: 1}
+	id = c.u64("reply id")
+	n := int(c.u16("reply count"))
+	results = make([]Result, 0, n)
+	for i := 0; i < n && c.err == nil; i++ {
+		var r Result
+		r.Kind = c.u8("result kind")
+		r.Status = c.u8("result status")
+		switch r.Status {
+		case StatusOK:
+			switch r.Kind {
+			case ReqAddWorker, ReqAddTask:
+				r.Shard = c.u32("shard")
+				r.Local = c.u32("local")
+				r.Epoch = c.u64("epoch")
+				r.Time = c.f64("time")
+			case ReqAdvance:
+				r.Time = c.f64("now")
+			case ReqWithdrawWorker, ReqWithdrawTask:
+				r.Applied = c.u8("applied") != 0
+			default:
+				return 0, results, fmt.Errorf("wire: unknown result kind 0x%02x", r.Kind)
+			}
+		case StatusBusy:
+			r.RetryAfter = c.f64("retry after")
+		case StatusErr:
+			r.Msg = c.str(int(c.u16("message length")), "message")
+		default:
+			return 0, results, fmt.Errorf("wire: unknown status 0x%02x", r.Status)
+		}
+		results = append(results, r)
+	}
+	return id, results, c.done("batch reply")
+}
+
+// DecodeSubscribe decodes a Subscribe payload.
+func DecodeSubscribe(p []byte) (since uint64, err error) {
+	c := cursor{p: p, off: 1}
+	since = c.u64("since")
+	return since, c.done("subscribe")
+}
+
+// DecodeEvents decodes an Events payload.
+func DecodeEvents(p []byte) (next uint64, evs []Event, err error) {
+	c := cursor{p: p, off: 1}
+	next = c.u64("next cursor")
+	n := int(c.u16("event count"))
+	evs = make([]Event, 0, n)
+	for i := 0; i < n && c.err == nil; i++ {
+		evs = append(evs, Event{
+			Seq:         c.u64("seq"),
+			Shard:       int32(c.u32("shard")),
+			Kind:        c.u8("kind"),
+			Worker:      int32(c.u32("worker")),
+			Task:        int32(c.u32("task")),
+			Time:        c.f64("time"),
+			WorkerShard: int32(c.u32("worker shard")),
+			TaskShard:   int32(c.u32("task shard")),
+		})
+	}
+	return next, evs, c.done("events")
+}
+
+// DecodeEventsGone decodes an EventsGone payload.
+func DecodeEventsGone(p []byte) (oldest uint64, err error) {
+	c := cursor{p: p, off: 1}
+	oldest = c.u64("oldest")
+	return oldest, c.done("events gone")
+}
+
+// --- framed connection ------------------------------------------------
+
+// Conn frames messages over a byte stream. ReadFrame is single-reader;
+// WriteFrame is safe for concurrent use (serialized by an internal
+// mutex), so a client's batcher and subscriber never interleave bytes.
+type Conn struct {
+	c    net.Conn
+	rhdr [8]byte
+	rbuf []byte
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+// NewConn wraps an established byte stream.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// ReadFrame reads one frame and returns its payload, which is only valid
+// until the next ReadFrame. Framing violations (bad length, bad CRC)
+// return ErrTooLarge/ErrCRC; the caller must drop the connection.
+func (cn *Conn) ReadFrame() ([]byte, error) {
+	if _, err := io.ReadFull(cn.c, cn.rhdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(cn.rhdr[0:4])
+	sum := binary.LittleEndian.Uint32(cn.rhdr[4:8])
+	if n == 0 || n > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	if cap(cn.rbuf) < int(n) {
+		cn.rbuf = make([]byte, n)
+	}
+	cn.rbuf = cn.rbuf[:n]
+	if _, err := io.ReadFull(cn.c, cn.rbuf); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(cn.rbuf, castagnoli) != sum {
+		return nil, ErrCRC
+	}
+	return cn.rbuf, nil
+}
+
+// WriteFrame frames and writes one payload.
+func (cn *Conn) WriteFrame(payload []byte) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	var h [8]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[4:8], crc32.Checksum(payload, castagnoli))
+	cn.wbuf = append(cn.wbuf[:0], h[:]...)
+	cn.wbuf = append(cn.wbuf, payload...)
+	_, err := cn.c.Write(cn.wbuf)
+	return err
+}
+
+// WriteError sends an Error frame; the connection should close after.
+func (cn *Conn) WriteError(msg string) error {
+	return cn.WriteFrame(AppendError(nil, msg))
+}
+
+// Close closes the underlying stream.
+func (cn *Conn) Close() error { return cn.c.Close() }
+
+// ServerHandshake performs the server side: read Hello, verify magic and
+// version, answer HelloAck. On version mismatch it sends an Error frame
+// and returns the reason.
+func ServerHandshake(cn *Conn, shards uint32, now float64) error {
+	p, err := cn.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if len(p) == 0 || p[0] != MsgHello {
+		cn.WriteError("expected Hello")
+		return errors.New("wire: expected Hello")
+	}
+	v, err := DecodeHello(p)
+	if err != nil {
+		cn.WriteError(err.Error())
+		return err
+	}
+	if v != Version {
+		err := fmt.Errorf("wire: version %d not supported (server speaks %d)", v, Version)
+		cn.WriteError(err.Error())
+		return err
+	}
+	return cn.WriteFrame(AppendHelloAck(nil, shards, now))
+}
+
+// ClientHandshake performs the client side: send Hello, read HelloAck.
+func ClientHandshake(cn *Conn) (HelloAck, error) {
+	if err := cn.WriteFrame(AppendHello(nil)); err != nil {
+		return HelloAck{}, err
+	}
+	p, err := cn.ReadFrame()
+	if err != nil {
+		return HelloAck{}, err
+	}
+	switch {
+	case len(p) == 0:
+		return HelloAck{}, errors.New("wire: empty handshake reply")
+	case p[0] == MsgError:
+		return HelloAck{}, DecodeError(p)
+	case p[0] != MsgHelloAck:
+		return HelloAck{}, fmt.Errorf("wire: unexpected handshake reply 0x%02x", p[0])
+	}
+	ack, err := DecodeHelloAck(p)
+	if err != nil {
+		return HelloAck{}, err
+	}
+	if ack.Version != Version {
+		return HelloAck{}, fmt.Errorf("wire: server version %d, client speaks %d", ack.Version, Version)
+	}
+	return ack, nil
+}

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Kind: ReqAddWorker, X: 1.5, Y: 2.25, At: 3, Window: 4},
+		{Kind: ReqAddTask, X: 9, Y: 8, At: math.NaN(), Window: 6},
+		{Kind: ReqAdvance},
+		{Kind: ReqWithdrawWorker, Shard: 3, Local: 17, Epoch: 5},
+		{Kind: ReqWithdrawTask, Shard: 0, Local: 2, Epoch: 0},
+	}
+	p, err := AppendBatch(nil, 42, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, got, err := DecodeBatch(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 42 || len(got) != len(reqs) {
+		t.Fatalf("id=%d n=%d, want 42/%d", id, len(got), len(reqs))
+	}
+	for i := range reqs {
+		w, g := reqs[i], got[i]
+		// NaN != NaN; compare bit patterns for the At field.
+		if math.Float64bits(w.At) != math.Float64bits(g.At) {
+			t.Fatalf("req %d At bits differ", i)
+		}
+		w.At, g.At = 0, 0
+		if w != g {
+			t.Fatalf("req %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestBatchReplyRoundTrip(t *testing.T) {
+	results := []Result{
+		{Kind: ReqAddWorker, Status: StatusOK, Shard: 1, Local: 9, Epoch: 2, Time: 7.5},
+		{Kind: ReqAddTask, Status: StatusBusy, RetryAfter: 0.25},
+		{Kind: ReqAdvance, Status: StatusOK, Time: 11},
+		{Kind: ReqWithdrawWorker, Status: StatusOK, Applied: true},
+		{Kind: ReqWithdrawTask, Status: StatusErr, Msg: "stale handle"},
+	}
+	p := AppendBatchReply(nil, 7, results)
+	id, got, err := DecodeBatchReply(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 || !reflect.DeepEqual(got, results) {
+		t.Fatalf("id=%d got %+v, want %+v", id, got, results)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Seq: 0, Shard: 2, Kind: 0, Worker: 3, Task: 4, Time: 1.5, WorkerShard: 2, TaskShard: 1},
+		{Seq: 9, Shard: 0, Kind: 1, Worker: 5, Task: -1, Time: 2.5, WorkerShard: 0, TaskShard: -1},
+	}
+	p := AppendEvents(nil, 10, evs)
+	next, got, err := DecodeEvents(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 10 || !reflect.DeepEqual(got, evs) {
+		t.Fatalf("next=%d got %+v, want %+v", next, got, evs)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	p, err := AppendBatch(nil, 1, []Request{{Kind: ReqAddWorker, X: 1, Y: 2, At: 3, Window: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(p); cut++ {
+		if _, _, err := DecodeBatch(p[:cut], nil); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, _, err := DecodeBatch(append(p, 0xFF), nil); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestFrameCRC(t *testing.T) {
+	server, client := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	sc, cc := NewConn(server), NewConn(client)
+	go sc.WriteFrame([]byte{MsgHello, 1, 2, 3})
+	p, err := cc.ReadFrame()
+	if err != nil || len(p) != 4 {
+		t.Fatalf("ReadFrame = %v, %v", p, err)
+	}
+
+	// Corrupt one payload byte behind a valid header: the reader must
+	// refuse with ErrCRC.
+	raw := AppendHello(nil)
+	framed := make([]byte, 8, 8+len(raw))
+	binary.LittleEndian.PutUint32(framed[0:4], uint32(len(raw)))
+	binary.LittleEndian.PutUint32(framed[4:8], crc32.Checksum(raw, castagnoli))
+	framed = append(framed, raw...)
+	framed[8] ^= 0xFF
+	go server.Write(framed)
+	if _, err := cc.ReadFrame(); err != ErrCRC {
+		t.Fatalf("corrupt frame: err = %v, want ErrCRC", err)
+	}
+
+	// An absurd length field refuses before allocating.
+	oversize := make([]byte, 8)
+	binary.LittleEndian.PutUint32(oversize[0:4], MaxPayload+1)
+	go server.Write(oversize)
+	if _, err := cc.ReadFrame(); err != ErrTooLarge {
+		t.Fatalf("oversize frame: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	server, client := net.Pipe()
+	sc, cc := NewConn(server), NewConn(client)
+	go func() {
+		// A client speaking a future version.
+		p := AppendHello(nil)
+		p[len(p)-1] = Version + 1
+		cc.WriteFrame(p)
+		cc.ReadFrame() // drain the Error frame
+		client.Close()
+	}()
+	if err := ServerHandshake(sc, 4, 0); err == nil {
+		t.Fatal("future version accepted")
+	}
+	server.Close()
+}
+
+func TestHandshakeRejectsForeignClient(t *testing.T) {
+	server, client := net.Pipe()
+	sc := NewConn(server)
+	go func() {
+		// An HTTP client that dialed the wrong port.
+		client.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+		client.Close()
+	}()
+	if err := ServerHandshake(sc, 1, 0); err == nil {
+		t.Fatal("foreign byte stream accepted")
+	}
+	server.Close()
+}
+
+// TestClientPipelines: a stub server answering out of order still gets
+// every reply to the right Do call, and event pushes reach the handler.
+func TestClientPipelines(t *testing.T) {
+	server, client := net.Pipe()
+	sc := NewConn(server)
+	go func() {
+		if err := ServerHandshake(sc, 2, 5); err != nil {
+			t.Error(err)
+			return
+		}
+		// Collect two batches, then reply in reverse order with an event
+		// push between them.
+		type b struct {
+			id   uint64
+			reqs []Request
+		}
+		var batches []b
+		for len(batches) < 2 {
+			p, err := sc.ReadFrame()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if p[0] != MsgBatch {
+				continue
+			}
+			id, reqs, err := DecodeBatch(p, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			batches = append(batches, b{id, reqs})
+		}
+		reply := func(bt b) {
+			results := make([]Result, len(bt.reqs))
+			for i, r := range bt.reqs {
+				results[i] = Result{Kind: r.Kind, Status: StatusOK, Time: r.X}
+			}
+			sc.WriteFrame(AppendBatchReply(nil, bt.id, results))
+		}
+		reply(batches[1])
+		sc.WriteFrame(AppendEvents(nil, 3, []Event{{Seq: 2, Kind: 1, Worker: 1, Task: -1}}))
+		reply(batches[0])
+	}()
+
+	cl, err := NewClient(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := cl.Hello(); ack.Shards != 2 || ack.Now != 5 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	var evMu sync.Mutex
+	var pushed []Event
+	if err := cl.Subscribe(SinceNow, func(next uint64, evs []Event) {
+		evMu.Lock()
+		pushed = append(pushed, evs...)
+		evMu.Unlock()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			res, err := cl.Do([]Request{{Kind: ReqAddWorker, X: x, Window: 1}})
+			if err != nil {
+				t.Errorf("Do(%v): %v", x, err)
+				return
+			}
+			if len(res) != 1 || res[0].Time != x {
+				t.Errorf("Do(%v) = %+v, want echo", x, res)
+			}
+		}(float64(i + 1))
+	}
+	wg.Wait()
+	cl.Close()
+	server.Close()
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(pushed) != 1 || pushed[0].Seq != 2 {
+		t.Fatalf("pushed events = %+v, want the one push", pushed)
+	}
+}
