@@ -42,7 +42,9 @@ type genConfig struct {
 	rate        float64 // total admissions/sec across conns; 0 = unthrottled
 	duration    time.Duration
 	batch       int
-	pattern     string // uniform or hotspot
+	pattern     string        // uniform or hotspot
+	drift       time.Duration // hotspot relocation interval; 0 = fixed center
+	start       time.Time     // run start, the drift phase clock's zero
 	bounds      [4]float64
 	seed        int64
 	workersFrac float64
@@ -55,6 +57,7 @@ type genConfig struct {
 type report struct {
 	Addr        string  `json:"addr"`
 	Pattern     string  `json:"pattern"`
+	DriftS      float64 `json:"hotspot_drift_s,omitempty"`
 	Conns       int     `json:"conns"`
 	Batch       int     `json:"batch"`
 	TargetRate  float64 `json:"target_rate"`
@@ -81,17 +84,40 @@ type connTally struct {
 	rttMs    []float64 // one sample per batch round-trip
 }
 
+// hotspotCenter returns the hotspot's center for one drift phase: a
+// deterministic function of (seed, phase) alone, so every connection —
+// and every rerun with the same -seed — sees the same relocation
+// schedule, placed so the ±5% square stays inside the bounds. Phase -1
+// (drift disabled) is the historical fixed central hotspot.
+func hotspotCenter(cfg *genConfig, phase int) (cx, cy float64) {
+	x0, y0 := cfg.bounds[0], cfg.bounds[1]
+	w, h := cfg.bounds[2]-x0, cfg.bounds[3]-y0
+	if phase < 0 {
+		return x0 + w/2, y0 + h/2
+	}
+	// A dedicated generator per phase keeps the schedule independent of
+	// the per-connection request streams.
+	rng := rand.New(rand.NewSource(cfg.seed*1000003 + int64(phase)))
+	return x0 + w*(0.05+0.9*rng.Float64()), y0 + h*(0.05+0.9*rng.Float64())
+}
+
 // synthesize fills reqs with n fresh arrivals from the configured
-// pattern. Hotspot sends 80% of arrivals into a central square covering
-// 10% of each dimension — the skew that makes one shard's ring the
-// bottleneck while its neighbors idle.
+// pattern. Hotspot sends 80% of arrivals into a square covering 10% of
+// each dimension — the skew that makes one shard's ring the bottleneck
+// while its neighbors idle. With -hotspot-drift the square relocates to
+// a new deterministic spot every drift interval, the moving rush an
+// adaptive topology has to chase.
 func synthesize(cfg *genConfig, rng *rand.Rand, reqs []wire.Request, n int) []wire.Request {
 	x0, y0, x1, y1 := cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3]
 	w, h := x1-x0, y1-y0
+	phase := -1
+	if cfg.drift > 0 {
+		phase = int(time.Since(cfg.start) / cfg.drift)
+	}
+	cx, cy := hotspotCenter(cfg, phase)
 	for i := 0; i < n; i++ {
 		var x, y float64
 		if cfg.pattern == "hotspot" && rng.Float64() < 0.8 {
-			cx, cy := x0+w/2, y0+h/2
 			x = cx + (rng.Float64()-0.5)*w*0.1
 			y = cy + (rng.Float64()-0.5)*h*0.1
 		} else {
@@ -210,6 +236,7 @@ func run(cfg *genConfig) *report {
 	tallies := make([]connTally, cfg.conns)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
+	cfg.start = start
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.conns; i++ {
 		wg.Add(1)
@@ -224,6 +251,7 @@ func run(cfg *genConfig) *report {
 	rep := &report{
 		Addr:       cfg.addr,
 		Pattern:    cfg.pattern,
+		DriftS:     cfg.drift.Seconds(),
 		Conns:      cfg.conns,
 		Batch:      cfg.batch,
 		TargetRate: cfg.rate,
@@ -271,7 +299,8 @@ func main() {
 	rate := flag.Float64("rate", 0, "target total admissions per second across all connections (0 = unthrottled)")
 	duration := flag.Duration("duration", 10*time.Second, "synthesis run length (-trace runs to exhaustion instead)")
 	batch := flag.Int("batch", 64, "admissions per wire batch")
-	pattern := flag.String("pattern", "uniform", "synthetic arrival pattern: uniform or hotspot (80% of arrivals in a central square covering 10% of each dimension)")
+	pattern := flag.String("pattern", "uniform", "synthetic arrival pattern: uniform or hotspot (80% of arrivals in a square covering 10% of each dimension)")
+	hotspotDrift := flag.Duration("hotspot-drift", 0, "relocate the hotspot to a new spot every interval (0 = fixed central hotspot); the schedule is a deterministic function of -seed alone")
 	boundsStr := flag.String("bounds", "0,0,100,100", "service area as x0,y0,x1,y1 (must match the server's)")
 	seed := flag.Int64("seed", 1, "synthesis seed; runs are deterministic per (seed, conns, batch)")
 	workersFrac := flag.Float64("workers-frac", 0.5, "fraction of synthetic arrivals that are workers")
@@ -289,6 +318,7 @@ func main() {
 		duration:    *duration,
 		batch:       *batch,
 		pattern:     *pattern,
+		drift:       *hotspotDrift,
 		seed:        *seed,
 		workersFrac: *workersFrac,
 		patience:    *patience,
@@ -299,6 +329,9 @@ func main() {
 	}
 	if cfg.pattern != "uniform" && cfg.pattern != "hotspot" {
 		log.Fatalf("ftoa-loadgen: unknown -pattern %q", cfg.pattern)
+	}
+	if cfg.drift < 0 || (cfg.drift > 0 && cfg.pattern != "hotspot") {
+		log.Fatalf("ftoa-loadgen: -hotspot-drift needs -pattern hotspot and a non-negative interval")
 	}
 	parts := strings.Split(*boundsStr, ",")
 	if len(parts) != 4 {

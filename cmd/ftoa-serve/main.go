@@ -74,6 +74,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -119,6 +120,26 @@ type config struct {
 	// convoying on the shard lock. 0 disables shedding.
 	admitQueue int
 
+	// ring and batch size the shared per-shard admission rings every
+	// arrival — HTTP POST or wire batch — goes through (shard.Admitter).
+	// Zero picks the admitter defaults (1024 / 256).
+	ring, batch int
+
+	// Adaptive topology (-rebalance): when enabled a supervisor watches
+	// per-region arrival-rate EWMAs and splits hot regions into a finer
+	// sub-grid / merges cold sibling quads back, migrating live state and
+	// WAL-logging each change as a topology epoch (docs/rebalance.md).
+	rebalance     bool
+	rebalSplit    float64       // split threshold, arrivals/sec per region
+	rebalMerge    float64       // merge floor, combined arrivals/sec per sibling quad
+	rebalDepth    int           // max quarterings per base cell
+	rebalCooldown time.Duration // min time between topology changes
+	rebalTau      time.Duration // arrival-rate EWMA time constant
+	// rebalForecast feeds the supervisor an HP-MSI demand forecast built
+	// from the -guide count history, so it can split ahead of a predicted
+	// rush instead of trailing the measured EWMA.
+	rebalForecast bool
+
 	// guideAnchor selects how uptime seconds map into guide slots:
 	// "uptime" (the legacy behavior) assumes the first -horizon seconds
 	// of uptime are the served day, clamping to the last slot forever
@@ -158,10 +179,26 @@ type server struct {
 	// boundary get 410.
 	matchLog *ftoa.MatchLog
 
+	// admitter is the shared batched admission front: every arrival —
+	// HTTP POST or wire batch entry — is enqueued to a per-shard MPSC
+	// ring and admitted by that ring's single drainer, so producers never
+	// touch a shard lock and backpressure (a full ring, or a router
+	// mid-rebalance) is an immediate BUSY refusal. The server owns its
+	// lifecycle: main closes it after the listeners drain and before the
+	// WAL closes.
+	admitter *ftoa.ShardAdmitter
+
+	// rebal, when non-nil, is the adaptive-topology supervisor; it is
+	// ticked only from tickLoop (it is single-goroutine).
+	rebal *ftoa.RebalanceSupervisor
+
 	// Overload shedding: inflight counts the POSTs currently holding (or
-	// queued on) each shard's admission path; arrivals beyond admitLimit
+	// queued on) each lane's admission path; arrivals beyond admitLimit
 	// are shed with 503 + Retry-After and counted in shed for /stats.
-	// admitLimit 0 disables shedding.
+	// admitLimit 0 disables shedding. Both arrays are indexed by LANE —
+	// shard id modulo the initial region count — because a rebalance can
+	// grow the region count while these arrays (like the admitter's
+	// rings) stay fixed; on a static topology lane == shard.
 	admitLimit int
 	inflight   []atomic.Int32
 	shed       []atomic.Uint64
@@ -357,6 +394,130 @@ func weekdaySources(dow []int) [7]int {
 	return src
 }
 
+// forecastFromCounts builds the rebalance supervisor's demand forecaster
+// from the -guide count history: train HP-MSI exactly as the guide
+// pipeline does, convert the predicted per-(slot, area) worker+task
+// counts into arrival rates, and answer a per-region demand query by
+// overlapping the region rect with the forecast grid at the slot the
+// queried instant falls into (same -guide-anchor rules as the guide).
+// The supervisor takes max(measured EWMA, forecast), so a predicted rush
+// can trigger a split before the measured rate catches up.
+func forecastFromCounts(r io.Reader, cfg config) (func(ftoa.Rect, float64) float64, error) {
+	days, slots, areas, wCounts, tCounts, weather, err := ftoa.LoadCountsCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	if days < 3 {
+		return nil, fmt.Errorf("count history has %d day(s); need >= 3 (HP-MSI trains on all but the last, forecasts the last)", days)
+	}
+	cols, rows := cfg.guideGrid[0], cfg.guideGrid[1]
+	if cols == 0 && rows == 0 {
+		side := int(math.Round(math.Sqrt(float64(areas))))
+		if side*side != areas {
+			return nil, fmt.Errorf("%d areas is not square; pass -guide-grid CxR", areas)
+		}
+		cols, rows = side, side
+	}
+	if cols*rows != areas {
+		return nil, fmt.Errorf("-guide-grid %dx%d does not match the history's %d areas", cols, rows, areas)
+	}
+	dow := make([]int, days)
+	for i := range dow {
+		dow[i] = (cfg.guideDow0 + i) % 7
+	}
+	fit := func(counts []int) (*ftoa.Series, ftoa.Predictor, error) {
+		s, err := ftoa.NewSeries(days, slots, areas, counts, weather, dow)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := ftoa.NewHPMSI()
+		if err := p.Fit(s, days-1); err != nil {
+			return nil, nil, err
+		}
+		return s, p, nil
+	}
+	wSeries, wPredictor, err := fit(wCounts)
+	if err != nil {
+		return nil, err
+	}
+	tSeries, tPredictor, err := fit(tCounts)
+	if err != nil {
+		return nil, err
+	}
+
+	var wPred, tPred []int
+	var period float64
+	var nslots int
+	var offset float64
+	wallclock := false
+	switch cfg.guideAnchor {
+	case "", "uptime":
+		wPred = ftoa.ToCounts(ftoa.PredictDay(wPredictor, wSeries, days-1))
+		tPred = ftoa.ToCounts(ftoa.PredictDay(tPredictor, tSeries, days-1))
+		period, nslots = cfg.horizon, slots
+	case "wallclock":
+		src := weekdaySources(dow)
+		wPred = make([]int, 0, 7*slots*areas)
+		tPred = make([]int, 0, 7*slots*areas)
+		for d := 0; d < 7; d++ {
+			wPred = append(wPred, ftoa.ToCounts(ftoa.PredictDay(wPredictor, wSeries, src[d]))...)
+			tPred = append(tPred, ftoa.ToCounts(ftoa.PredictDay(tPredictor, tSeries, src[d]))...)
+		}
+		period, nslots = 7*cfg.horizon, 7*slots
+		offset, wallclock = cfg.anchorOffset, true
+	default:
+		return nil, fmt.Errorf("unknown -guide-anchor %q (want wallclock or uptime)", cfg.guideAnchor)
+	}
+	width := period / float64(nslots)
+	// Per-(slot, cell) arrival rate: counts are per slot, so rate is
+	// count over slot width, workers and tasks combined — the same
+	// arrivals-per-second unit as the router's EWMA.
+	rate := make([]float64, nslots*areas)
+	for i := range rate {
+		rate[i] = float64(wPred[i]+tPred[i]) / width
+	}
+	bounds := ftoa.NewRect(cfg.bounds[0], cfg.bounds[1], cfg.bounds[2], cfg.bounds[3])
+	grid := ftoa.NewGrid(bounds, cols, rows)
+	return func(region ftoa.Rect, now float64) float64 {
+		t := now + offset
+		if wallclock {
+			t = math.Mod(t, period)
+			if t < 0 {
+				t += period
+			}
+		}
+		idx := int(t / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nslots {
+			idx = nslots - 1 // uptime anchoring clamps to the last slot
+		}
+		var sum float64
+		for c := 0; c < areas; c++ {
+			cr := grid.CellRect(c)
+			ov := rectOverlap(region, cr)
+			if ov <= 0 {
+				continue
+			}
+			if a := cr.Width() * cr.Height(); a > 0 {
+				sum += rate[idx*areas+c] * ov / a
+			}
+		}
+		return sum
+	}, nil
+}
+
+// rectOverlap is the intersection area of two rects.
+func rectOverlap(a, b ftoa.Rect) float64 {
+	w := min(a.MaxX, b.MaxX) - max(a.MinX, b.MinX)
+	h := min(a.MaxY, b.MaxY) - max(a.MinY, b.MinY)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
 // wallclockOffset returns the seconds-into-week of t, scaled so one day
 // spans dayLen seconds of the guide timeline (-horizon is the served day
 // length; with the default 86400 the scale is 1:1). The day fraction is
@@ -450,25 +611,59 @@ func newServer(cfg config) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s, nil
+	} else {
+		shardCfg.WAL = &ftoa.WALOptions{Dir: cfg.walDir, Policy: walPolicy, Interval: cfg.walSyncInterval}
+		// Replaying the log re-fires the OnEvent hook for every recovered
+		// commit, so the /matches history comes back along with the router.
+		s.router, s.recovery, err = ftoa.RecoverShardRouter(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.walled = true
+		if off := s.recovery.MaxClock; off > 0 && !math.IsInf(off, 0) {
+			// Session time must stay monotone across the restart: resume the
+			// clock where the dead process left it, so recovered deadlines
+			// (admission time + patience/expiry) keep their meaning instead
+			// of all expiring relative to a rewound zero.
+			s.clock = func() float64 { return off + time.Since(started).Seconds() }
+		}
 	}
-	shardCfg.WAL = &ftoa.WALOptions{Dir: cfg.walDir, Policy: walPolicy, Interval: cfg.walSyncInterval}
-	// Replaying the log re-fires the OnEvent hook for every recovered
-	// commit, so the /matches history comes back along with the router.
-	s.router, s.recovery, err = ftoa.RecoverShardRouter(shardCfg)
-	if err != nil {
-		return nil, err
-	}
-	s.walled = true
-	if off := s.recovery.MaxClock; off > 0 && !math.IsInf(off, 0) {
-		// Session time must stay monotone across the restart: resume the
-		// clock where the dead process left it, so recovered deadlines
-		// (admission time + patience/expiry) keep their meaning instead
-		// of all expiring relative to a rewound zero.
-		s.clock = func() float64 { return off + time.Since(started).Seconds() }
+	s.admitter = ftoa.NewShardAdmitter(s.router, ftoa.ShardAdmitterConfig{Ring: cfg.ring, Batch: cfg.batch})
+	if cfg.rebalance {
+		rcfg := ftoa.RebalanceConfig{
+			SplitRate: cfg.rebalSplit,
+			MergeRate: cfg.rebalMerge,
+			MaxDepth:  cfg.rebalDepth,
+			Cooldown:  cfg.rebalCooldown.Seconds(),
+			Tau:       cfg.rebalTau.Seconds(),
+		}
+		if cfg.rebalForecast {
+			if cfg.guidePath == "" {
+				return nil, fmt.Errorf("-rebalance-forecast needs -guide counts.csv to train the demand predictor")
+			}
+			f, err := os.Open(cfg.guidePath)
+			if err != nil {
+				return nil, err
+			}
+			rcfg.Forecast, err = forecastFromCounts(f, cfg)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("building demand forecast from %s: %w", cfg.guidePath, err)
+			}
+		}
+		if s.rebal, err = ftoa.NewRebalanceSupervisor(s.router, rcfg); err != nil {
+			return nil, err
+		}
+	} else if cfg.rebalForecast {
+		return nil, fmt.Errorf("-rebalance-forecast needs -rebalance")
 	}
 	return s, nil
 }
+
+// close stops the admission drainers, draining their rings; producers
+// (the HTTP and wire listeners) must be stopped first, and the router's
+// WAL closed after, so every acknowledged admission becomes durable.
+func (s *server) close() { s.admitter.Close() }
 
 // now is the session clock value for the current instant.
 func (s *server) now() float64 { return s.clock() }
@@ -525,15 +720,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// admitSlot reserves an admission slot against shard's bounded queue;
-// the caller must release it with s.inflight[shard].Add(-1) once the
-// router call returns. A false return means the shard is over its
+// lane maps a (possibly rebalance-grown) shard id onto the fixed
+// inflight/shed arrays; on a static topology lane == shard.
+func (s *server) lane(shard int) int { return shard % len(s.inflight) }
+
+// admitSlot reserves an admission slot against lane's bounded queue;
+// the caller must release it with s.inflight[lane].Add(-1) once the
+// admission resolves. A false return means the lane is over its
 // backlog bound and the arrival was counted as shed.
-func (s *server) admitSlot(shard int) bool {
-	n := s.inflight[shard].Add(1)
+func (s *server) admitSlot(lane int) bool {
+	n := s.inflight[lane].Add(1)
 	if s.admitLimit > 0 && int(n) > s.admitLimit {
-		s.inflight[shard].Add(-1)
-		s.shed[shard].Add(1)
+		s.inflight[lane].Add(-1)
+		s.shed[lane].Add(1)
 		return false
 	}
 	return true
@@ -542,10 +741,10 @@ func (s *server) admitSlot(shard int) bool {
 // shedReply is the overload response: 503 with a Retry-After hint of
 // one tick — by then the convoyed shard has drained or the client
 // should back off further.
-func (s *server) shedReply(w http.ResponseWriter, shard int) {
+func (s *server) shedReply(w http.ResponseWriter, lane int) {
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable,
-		fmt.Sprintf("shard %d admission queue full, retry later", shard))
+		fmt.Sprintf("shard %d admission queue full, retry later", lane))
 }
 
 func (s *server) handleWorkers(w http.ResponseWriter, r *http.Request) {
@@ -561,22 +760,33 @@ func (s *server) handleWorkers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "patience must be positive")
 		return
 	}
-	shard := s.router.ShardOf(ftoa.Pt(req.X, req.Y))
-	if !s.admitSlot(shard) {
-		s.shedReply(w, shard)
+	pt := ftoa.Pt(req.X, req.Y)
+	lane := s.lane(s.router.ShardOf(pt))
+	if !s.admitSlot(lane) {
+		s.shedReply(w, lane)
 		return
 	}
-	defer s.inflight[shard].Add(-1)
-	// The router reports the admission time the shard session actually
-	// stamped (the clock read here, clamped monotone under the shard
-	// lock), so the response always agrees with the session's deadlines
-	// even when concurrent POSTs race the clock forward.
-	h, admitted, err := s.router.AddWorker(ftoa.Worker{Loc: ftoa.Pt(req.X, req.Y), Arrive: s.now(), Patience: req.Patience})
-	if err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+	defer s.inflight[lane].Add(-1)
+	// The admission goes through the shared per-shard ring: the drainer
+	// reports the admission time the shard session actually stamped (the
+	// clock read here, clamped monotone under the shard lock), so the
+	// response always agrees with the session's deadlines even when
+	// concurrent POSTs race the clock forward. A refused enqueue — full
+	// ring, or the router quiescing for a rebalance — is the same 503 +
+	// Retry-After surface as a full backlog.
+	var res ftoa.ShardAdmitResult
+	var wg sync.WaitGroup
+	if !s.admitter.AddWorker(ftoa.Worker{Loc: pt, Arrive: s.now(), Patience: req.Patience}, &res, &wg) {
+		s.shed[lane].Add(1)
+		s.shedReply(w, lane)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"worker": h.Local, "shard": h.Shard, "time": admitted})
+	wg.Wait()
+	if res.Err != nil {
+		writeError(w, http.StatusConflict, res.Err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"worker": res.H.Local, "shard": res.H.Shard, "time": res.Admitted})
 }
 
 func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
@@ -592,18 +802,26 @@ func (s *server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "expiry must be positive")
 		return
 	}
-	shard := s.router.ShardOf(ftoa.Pt(req.X, req.Y))
-	if !s.admitSlot(shard) {
-		s.shedReply(w, shard)
+	pt := ftoa.Pt(req.X, req.Y)
+	lane := s.lane(s.router.ShardOf(pt))
+	if !s.admitSlot(lane) {
+		s.shedReply(w, lane)
 		return
 	}
-	defer s.inflight[shard].Add(-1)
-	h, admitted, err := s.router.AddTask(ftoa.Task{Loc: ftoa.Pt(req.X, req.Y), Release: s.now(), Expiry: req.Expiry})
-	if err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+	defer s.inflight[lane].Add(-1)
+	var res ftoa.ShardAdmitResult
+	var wg sync.WaitGroup
+	if !s.admitter.AddTask(ftoa.Task{Loc: pt, Release: s.now(), Expiry: req.Expiry}, &res, &wg) {
+		s.shed[lane].Add(1)
+		s.shedReply(w, lane)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"task": h.Local, "shard": h.Shard, "time": admitted})
+	wg.Wait()
+	if res.Err != nil {
+		writeError(w, http.StatusConflict, res.Err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"task": res.H.Local, "shard": res.H.Shard, "time": res.Admitted})
 }
 
 // parseSince reads a non-negative integer cursor. present reports whether
@@ -779,17 +997,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WithdrawnTasks   int `json:"withdrawn_tasks"`
 		ClaimsLost       int `json:"claims_lost"`
 		BorderMatches    int `json:"border_matches"`
-		// Shed counts the arrivals this shard rejected with 503 because
-		// its bounded admission queue (-admit-queue) was full.
+		// Shed counts the arrivals this shard's LANE rejected with 503
+		// because its bounded admission queue (-admit-queue) was full;
+		// after a rebalance grows the region count past the lane count,
+		// the lane's count is reported under every shard sharing it.
 		Shed uint64 `json:"shed"`
+		// ArrivalRate is the shard's admission-rate EWMA in arrivals per
+		// second — the demand signal the rebalance supervisor splits and
+		// merges on. Zero until the first two samples.
+		ArrivalRate float64 `json:"arrival_rate"`
 	}
-	shards := make([]shardJSON, s.router.NumShards())
+	// One StatsAll snapshot: per-shard reads would race a concurrent
+	// topology swap (the shard count can change between iterations).
+	stats := s.router.StatsAll(nil)
+	shards := make([]shardJSON, len(stats))
 	var workers, tasks, liveW, liveT, matches, expW, expT, attempted, rejected int
 	var ghostW, ghostT, wdW, wdT, claimsLost, borderMatches int
 	var shedTotal uint64
 	now := 0.0
 	for i := range shards {
-		st := s.router.ShardStats(i)
+		st := stats[i]
 		// A session that has never been advanced reports -Inf (the
 		// unset-clock sentinel), which JSON cannot encode; server time
 		// starts at 0, so clamp there.
@@ -814,7 +1041,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			WithdrawnTasks:   st.WithdrawnTasks,
 			ClaimsLost:       st.ClaimsLost,
 			BorderMatches:    st.BorderMatches,
-			Shed:             s.shed[i].Load(),
+			Shed:             s.shed[s.lane(i)].Load(),
+			ArrivalRate:      st.ArrivalRate,
 		}
 		workers += st.Workers
 		tasks += st.Tasks
@@ -831,10 +1059,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		wdT += st.WithdrawnTasks
 		claimsLost += st.ClaimsLost
 		borderMatches += st.BorderMatches
-		shedTotal += shards[i].Shed
 		if st.Now > now {
 			now = st.Now
 		}
+	}
+	// Shed totals come from the lane array directly — summing the
+	// per-shard field would double-count lanes shared by several regions.
+	for i := range s.shed {
+		shedTotal += s.shed[i].Load()
 	}
 	// WAL status: sticky append errors surface here (and only here) so an
 	// operator polling /stats notices a durability failure while the
@@ -853,6 +1085,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	wireStatus := map[string]any{"enabled": false}
 	if s.wire != nil {
 		wireStatus = s.wire.statsJSON()
+	}
+	// Topology status: the current (possibly rebalanced) region layout.
+	// The string is "CxR" for the uniform base grid, "CxR+n" after n
+	// quadtree splits; see docs/rebalance.md.
+	topoStatus := map[string]any{
+		"adaptive":   s.rebal != nil,
+		"version":    s.router.TopologyVersion(),
+		"topology":   s.router.Topology().String(),
+		"regions":    len(stats),
+		"rebalances": s.router.Rebalances(),
+		"migrating":  s.router.Migrating(),
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workers":           workers,
@@ -873,6 +1116,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shed":              shedTotal,
 		"wal":               walStatus,
 		"wire":              wireStatus,
+		"topology":          topoStatus,
 		"now":               now,
 		"shards":            shards,
 	})
@@ -881,7 +1125,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // tickLoop advances the shard clocks periodically so timer-driven
 // algorithms make progress — and deadlines expire — during arrival
 // lulls; stop ends it so shutdown doesn't race a final advance against
-// the WAL close.
+// the WAL close. It is also the rebalance supervisor's single driving
+// goroutine: each tick samples the arrival-rate EWMAs and applies at
+// most one topology change.
 func (s *server) tickLoop(interval time.Duration, stop <-chan struct{}) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -889,6 +1135,16 @@ func (s *server) tickLoop(interval time.Duration, stop <-chan struct{}) {
 		select {
 		case <-t.C:
 			s.advance()
+			if s.rebal != nil {
+				switch info, err := s.rebal.Tick(s.now()); {
+				case err != nil:
+					log.Printf("ftoa-serve: rebalance: %v", err)
+				case info != nil:
+					log.Printf("ftoa-serve: rebalance v%d: %s -> %s (%d regions, migrated %d workers + %d tasks, WAL gen %d)",
+						info.Version, info.From, info.To, info.Regions,
+						info.MigratedWorkers, info.MigratedTasks, info.WALGeneration)
+				}
+			}
 		case <-stop:
 			return
 		}
@@ -1011,8 +1267,15 @@ func main() {
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "group-commit window for -wal-sync interval (0 = 50ms default)")
 	admitQueue := flag.Int("admit-queue", 0, "per-shard admission backlog bound; arrivals beyond it are shed with 503 + Retry-After (0 disables shedding)")
 	listenWire := flag.String("listen-wire", "", "binary wire-protocol listen address for batched admission over TCP (empty disables); see docs/wire.md")
-	wireRing := flag.Int("wire-ring", 1024, "per-shard wire admission ring capacity; a full ring answers BUSY (backpressure bound)")
-	wireBatch := flag.Int("wire-batch", 256, "max wire admissions drained per shard lock acquisition")
+	admitRing := flag.Int("admit-ring", 1024, "per-shard admission ring capacity shared by HTTP and wire arrivals; a full ring answers 503/BUSY (backpressure bound)")
+	admitBatch := flag.Int("admit-batch", 256, "max ring admissions drained per shard lock acquisition")
+	rebalance := flag.Bool("rebalance", false, "adapt the shard topology online: split regions whose arrival rate exceeds -rebalance-split into a finer sub-grid and merge cold sibling quads back, migrating live state (see docs/rebalance.md)")
+	rebalSplit := flag.Float64("rebalance-split", 200, "per-region arrival rate (admissions/sec) above which the region is split")
+	rebalMerge := flag.Float64("rebalance-merge", 0, "combined arrival rate below which four sibling sub-regions merge back (0 disables merging; must be <= split/4)")
+	rebalDepth := flag.Int("rebalance-depth", 2, "max quarterings per base grid cell (clamped to 6)")
+	rebalCooldown := flag.Duration("rebalance-cooldown", 10*time.Second, "minimum interval between topology changes")
+	rebalTau := flag.Duration("rebalance-tau", 5*time.Second, "arrival-rate EWMA time constant (larger = smoother, slower to react)")
+	rebalForecast := flag.Bool("rebalance-forecast", false, "also forecast per-region demand with HP-MSI trained on the -guide count history, splitting ahead of predicted rushes")
 	flag.Parse()
 
 	cfg := config{
@@ -1028,6 +1291,15 @@ func main() {
 		walSync:         *walSync,
 		walSyncInterval: *walSyncInterval,
 		admitQueue:      *admitQueue,
+		ring:            *admitRing,
+		batch:           *admitBatch,
+		rebalance:       *rebalance,
+		rebalSplit:      *rebalSplit,
+		rebalMerge:      *rebalMerge,
+		rebalDepth:      *rebalDepth,
+		rebalCooldown:   *rebalCooldown,
+		rebalTau:        *rebalTau,
+		rebalForecast:   *rebalForecast,
 		guidePath:       *guide,
 		guideDow0:       ((*guideDow0)%7 + 7) % 7,
 		horizon:         *horizon,
@@ -1085,15 +1357,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv.wire = newWireServer(srv, wln, *wireRing, *wireBatch, cfg.tick)
+		srv.wire = newWireServer(srv, wln, cfg.tick)
 		log.Printf("ftoa-serve: wire protocol v%d on %s (ring=%d batch=%d)",
-			wire.Version, wln.Addr(), *wireRing, *wireBatch)
+			wire.Version, wln.Addr(), *admitRing, *admitBatch)
 	}
 	stopTick := make(chan struct{})
 	go srv.tickLoop(cfg.tick, stopTick)
 	gate.ready(srv.handler())
-	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s halo=%gs retire=%s wal=%q)",
-		cfg.algorithm, ln.Addr(), cfg.mode, cfg.velocity, *boundsStr, *shards, cfg.halo, cfg.retire, cfg.walDir)
+	log.Printf("ftoa-serve: %s matching on %s (mode=%s velocity=%g bounds=%s shards=%s halo=%gs retire=%s wal=%q rebalance=%v)",
+		cfg.algorithm, ln.Addr(), cfg.mode, cfg.velocity, *boundsStr, *shards, cfg.halo, cfg.retire, cfg.walDir, cfg.rebalance)
+	if cfg.rebalance {
+		log.Printf("ftoa-serve: adaptive topology: split > %g/s, merge < %g/s, depth <= %d, cooldown %s, tau %s, forecast=%v",
+			cfg.rebalSplit, cfg.rebalMerge, cfg.rebalDepth, cfg.rebalCooldown, cfg.rebalTau, cfg.rebalForecast)
+	}
 
 	// Graceful shutdown: stop admitting, drain in-flight requests, then
 	// flush and close the WAL so the final acknowledged operations are
@@ -1107,9 +1383,8 @@ func main() {
 		log.Printf("ftoa-serve: %v: draining", got)
 	}
 	close(stopTick)
-	// Wire first: dropping its connections stops the ring producers, and
-	// close drains the rings so every acknowledged admission reaches the
-	// WAL before it closes below.
+	// Producers first: dropping the wire connections and draining the
+	// HTTP server stops everyone enqueueing to the admission rings.
 	if srv.wire != nil {
 		srv.wire.close()
 	}
@@ -1118,6 +1393,9 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("ftoa-serve: shutdown: %v", err)
 	}
+	// Then the rings: close drains every enqueued admission into its
+	// shard so acknowledged arrivals reach the WAL before it closes.
+	srv.close()
 	if err := srv.router.WALClose(); err != nil {
 		log.Fatalf("ftoa-serve: WAL close: %v", err)
 	}

@@ -30,14 +30,14 @@ import (
 // backlog pages through it in consecutive frames.
 const wireEventPage = 1024
 
-// wireServer owns the wire listener, its connections, and the shared
-// admission rings. One goroutine accepts; each connection gets a reader
-// goroutine (batches on a connection are processed in order — pipelining
-// is across connections) plus, once subscribed, an event pusher.
+// wireServer owns the wire listener and its connections; admissions go
+// through the server's shared rings (server.admitter). One goroutine
+// accepts; each connection gets a reader goroutine (batches on a
+// connection are processed in order — pipelining is across connections)
+// plus, once subscribed, an event pusher.
 type wireServer struct {
 	s     *server
 	ln    net.Listener
-	adm   *ftoa.ShardAdmitter
 	retry float64       // BUSY retry-after hint, seconds (one tick)
 	push  time.Duration // event pusher poll interval
 
@@ -53,11 +53,10 @@ type wireServer struct {
 	subs     atomic.Int64  // live event subscriptions
 }
 
-func newWireServer(s *server, ln net.Listener, ring, batch int, tick time.Duration) *wireServer {
+func newWireServer(s *server, ln net.Listener, tick time.Duration) *wireServer {
 	ws := &wireServer{
 		s:     s,
 		ln:    ln,
-		adm:   ftoa.NewShardAdmitter(s.router, ftoa.ShardAdmitterConfig{Ring: ring, Batch: batch}),
 		retry: tick.Seconds(),
 		push:  tick / 4,
 		conns: make(map[net.Conn]struct{}),
@@ -70,9 +69,9 @@ func newWireServer(s *server, ln net.Listener, ring, batch int, tick time.Durati
 	return ws
 }
 
-// close stops accepting, drops every connection, waits the handlers out,
-// then drains and stops the admission rings. Call before the router's
-// WAL closes so ring-buffered admissions become durable.
+// close stops accepting, drops every connection and waits the handlers
+// out. The shared admission rings are the server's (server.close drains
+// them); call this first so wire producers are gone by then.
 func (ws *wireServer) close() {
 	ws.mu.Lock()
 	ws.closed = true
@@ -86,7 +85,6 @@ func (ws *wireServer) close() {
 		c.Close()
 	}
 	ws.wg.Wait()
-	ws.adm.Close()
 }
 
 func (ws *wireServer) acceptLoop() {
@@ -234,9 +232,9 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Reques
 			}
 			var ok bool
 			if rq.Kind == wire.ReqAddWorker {
-				ok = ws.adm.AddWorker(ftoa.Worker{Loc: ftoa.Pt(rq.X, rq.Y), Arrive: at, Patience: rq.Window}, &admRes[i], &wg)
+				ok = ws.s.admitter.AddWorker(ftoa.Worker{Loc: ftoa.Pt(rq.X, rq.Y), Arrive: at, Patience: rq.Window}, &admRes[i], &wg)
 			} else {
-				ok = ws.adm.AddTask(ftoa.Task{Loc: ftoa.Pt(rq.X, rq.Y), Release: at, Expiry: rq.Window}, &admRes[i], &wg)
+				ok = ws.s.admitter.AddTask(ftoa.Task{Loc: ftoa.Pt(rq.X, rq.Y), Release: at, Expiry: rq.Window}, &admRes[i], &wg)
 			}
 			if !ok {
 				ws.busy.Add(1)
@@ -370,7 +368,7 @@ func (ws *wireServer) statsJSON() map[string]any {
 		"batches":         ws.batches.Load(),
 		"requests":        ws.requests.Load(),
 		"busy":            ws.busy.Load(),
-		"ring_refusals":   ws.adm.BusyTotal(),
+		"ring_refusals":   ws.s.admitter.BusyTotal(),
 		"protocol_errors": ws.protoErr.Load(),
 		"subscriptions":   ws.subs.Load(),
 	}

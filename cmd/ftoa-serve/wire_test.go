@@ -27,7 +27,7 @@ func bootWire(t *testing.T, cfg config) (*server, *wireServer, *wire.Client, fun
 	if err != nil {
 		t.Fatal(err)
 	}
-	ws := newWireServer(srv, ln, 1024, 256, 100*time.Millisecond)
+	ws := newWireServer(srv, ln, 100*time.Millisecond)
 	srv.wire = ws
 	t.Cleanup(ws.close)
 	cl, err := wire.Dial(ln.Addr().String())
@@ -142,11 +142,11 @@ func TestWireEndToEnd(t *testing.T) {
 // per-entry BUSY result with a retry hint, counted in the wire stats —
 // never as an error or a dropped batch.
 func TestWireBusyReply(t *testing.T) {
-	_, ws, cl, set := bootWire(t, defaultTestConfig())
+	srv, ws, cl, set := bootWire(t, defaultTestConfig())
 	set(0)
 	// Closing the admitter makes every enqueue refuse, which is the same
 	// surface a full ring produces.
-	ws.adm.Close()
+	srv.admitter.Close()
 	res, err := cl.Do([]wire.Request{
 		{Kind: wire.ReqAddWorker, X: 10, Y: 10, At: nan(), Window: 300},
 		{Kind: wire.ReqAdvance},

@@ -70,6 +70,7 @@ import (
 	"ftoa/internal/model"
 	"ftoa/internal/predict"
 	"ftoa/internal/shard"
+	"ftoa/internal/shard/rebalance"
 	"ftoa/internal/shard/wal"
 	"ftoa/internal/sim"
 	"ftoa/internal/timeslot"
@@ -280,7 +281,31 @@ type (
 	// ShardAdmitResult is one ring admission's outcome; H and Epoch
 	// form the receipt ShardRouter.WithdrawWorker/WithdrawTask accepts.
 	ShardAdmitResult = shard.AdmitResult
+	// ShardTopology is a quadtree refinement of the base shard grid:
+	// the region layout a ShardRouter routes over, changed online via
+	// ShardRouter.Rebalance (usually driven by a RebalanceSupervisor).
+	ShardTopology = shard.Topology
+	// ShardRebalanceInfo summarises one online topology change.
+	ShardRebalanceInfo = shard.RebalanceInfo
+	// RebalanceSupervisor watches per-region demand and splits hot
+	// regions / merges cold sibling quads via ShardRouter.Rebalance.
+	RebalanceSupervisor = rebalance.Supervisor
+	// RebalanceConfig holds the supervisor's policy knobs (split and
+	// merge thresholds, depth cap, cooldown, EWMA time constant, and an
+	// optional demand forecaster).
+	RebalanceConfig = rebalance.Config
 )
+
+// MaxShardSplitDepth bounds how many times one base grid cell can be
+// quartered by rebalancing.
+const MaxShardSplitDepth = shard.MaxSplitDepth
+
+// NewRebalanceSupervisor validates cfg and returns a supervisor driving
+// r's topology; call Tick from the same single goroutine that advances
+// the router's clock.
+func NewRebalanceSupervisor(r *ShardRouter, cfg RebalanceConfig) (*RebalanceSupervisor, error) {
+	return rebalance.New(r, cfg)
+}
 
 // WAL sync policies (see WALOptions.Policy).
 const (

@@ -246,13 +246,16 @@ func (si *shardInstance) applyWithdrawLocked(pw pendingWithdraw) {
 }
 
 // retractLosers queues the retraction of every copy of rec except the
-// winner shard's own (its copy is the matched or expired one).
-func (r *Router) retractLosers(rec *mirror, winner int) {
+// winner shard's own (its copy is the matched or expired one). Copy shard
+// ids are meaningful only within one topology epoch, so the fan-out
+// resolves siblings through the state the winning shard belongs to —
+// which, during a migration, may be the not-yet-published successor.
+func (r *Router) retractLosers(ts *topoState, rec *mirror, winner int) {
 	for _, cs := range rec.copies {
 		if int(cs) == winner {
 			continue
 		}
-		r.shards[cs].enqueueWithdraw(pendingWithdraw{gid: rec.gid, task: rec.task})
+		ts.shards[cs].enqueueWithdraw(pendingWithdraw{gid: rec.gid, task: rec.task})
 	}
 }
 
@@ -261,11 +264,11 @@ func (r *Router) retractLosers(rec *mirror, winner int) {
 // router calls run it after releasing their own locks so a retraction
 // issued by a cross-shard commit lands "the moment" the winning call
 // returns rather than at the loser's next organic write.
-func (r *Router) applyPending() {
+func (r *Router) applyPending(ts *topoState) {
 	if !r.haloOn {
 		return
 	}
-	for _, si := range r.shards {
+	for _, si := range ts.shards {
 		if !si.halo.hasPending.Load() {
 			continue
 		}

@@ -397,7 +397,7 @@ func TestRouterHaloRetirement(t *testing.T) {
 		statMatches += st.Matches
 		ghosts += st.GhostWorkers + st.GhostTasks
 		withdrawn += st.WithdrawnWorkers + st.WithdrawnTasks
-		epochs += r.shards[i].sess.Epoch()
+		epochs += r.state().shards[i].sess.Epoch()
 	}
 	if matches != statMatches || matches == 0 {
 		t.Fatalf("stream has %d matches, stats say %d", matches, statMatches)
@@ -413,7 +413,7 @@ func TestRouterHaloRetirement(t *testing.T) {
 	}
 	// Every halo table entry must point at a live, correctly-typed arena
 	// slot after all the compaction.
-	for _, si := range r.shards {
+	for _, si := range r.state().shards {
 		for gid, h := range si.halo.wByGid {
 			if int(h) >= si.sess.NumWorkers() {
 				t.Fatalf("shard %d: gid %d maps to worker %d beyond live arena %d", si.id, gid, h, si.sess.NumWorkers())

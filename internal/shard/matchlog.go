@@ -43,7 +43,13 @@ type MatchLog struct {
 	retention int
 	count     atomic.Uint64 // next ordinal to assign
 	evicted   atomic.Uint64 // lowest ordinal guaranteed gap-free
-	shards    []matchLogShard
+	// shards holds one buffer pointer per shard id seen so far. Shard ids
+	// follow the router's CURRENT topology, so a Rebalance split can emit
+	// ids beyond the initial count; growth is copy-on-write under growMu
+	// (existing pointers stay valid, so in-flight Records and readers
+	// holding the old slice are unaffected).
+	shards atomic.Pointer[[]*matchLogShard]
+	growMu sync.Mutex
 }
 
 type matchLogShard struct {
@@ -55,7 +61,34 @@ type matchLogShard struct {
 // least the most recent `retention` matches per shard (non-positive
 // keeps everything). Wire Record as (part of) the router's OnEvent hook.
 func NewMatchLog(shards, retention int) *MatchLog {
-	return &MatchLog{retention: retention, shards: make([]matchLogShard, shards)}
+	l := &MatchLog{retention: retention}
+	buf := make([]*matchLogShard, shards)
+	for i := range buf {
+		buf[i] = &matchLogShard{}
+	}
+	l.shards.Store(&buf)
+	return l
+}
+
+// shard returns the buffer for shard id i, growing the table when a
+// rebalanced topology emits an id beyond anything seen before.
+func (l *MatchLog) shard(i int) *matchLogShard {
+	if cur := *l.shards.Load(); i < len(cur) {
+		return cur[i]
+	}
+	l.growMu.Lock()
+	defer l.growMu.Unlock()
+	cur := *l.shards.Load()
+	if i < len(cur) {
+		return cur[i]
+	}
+	grown := make([]*matchLogShard, i+1)
+	copy(grown, cur)
+	for j := len(cur); j < len(grown); j++ {
+		grown[j] = &matchLogShard{}
+	}
+	l.shards.Store(&grown)
+	return grown[i]
 }
 
 // Record folds one sequenced event into the view; non-match events are
@@ -66,7 +99,7 @@ func (l *MatchLog) Record(ev Event) {
 	if ev.Kind != sim.EventMatch {
 		return
 	}
-	s := &l.shards[ev.Shard]
+	s := l.shard(ev.Shard)
 	s.mu.Lock()
 	// The ordinal is assigned under the shard's buffer lock so that
 	// within a shard ordinals are appended strictly increasing — the
@@ -119,8 +152,7 @@ func (l *MatchLog) Matches(since uint64, limit int, dst []MatchEntry) ([]MatchEn
 		return dst, since, nil
 	}
 	start := len(dst)
-	for i := range l.shards {
-		s := &l.shards[i]
+	for _, s := range *l.shards.Load() {
 		s.mu.Lock()
 		buf := s.buf
 		j := sort.Search(len(buf), func(k int) bool { return buf[k].Ord >= since })

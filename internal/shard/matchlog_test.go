@@ -96,9 +96,9 @@ func TestMatchLogGapTruncation(t *testing.T) {
 		t.Fatalf("page across a gap = %+v next %d err %v (must stop before the in-flight ordinal)", out, next, err)
 	}
 	// The straggler lands; the next poll resumes without loss.
-	l.shards[1].mu.Lock()
-	l.shards[1].buf = append(l.shards[1].buf, MatchEntry{Ord: 1, Shard: 1, Worker: 2, Task: 2, Time: 2})
-	l.shards[1].mu.Unlock()
+	l.shard(1).mu.Lock()
+	l.shard(1).buf = append(l.shard(1).buf, MatchEntry{Ord: 1, Shard: 1, Worker: 2, Task: 2, Time: 2})
+	l.shard(1).mu.Unlock()
 	out, next, err = l.Matches(next, 0, nil)
 	if err != nil || len(out) != 2 || next != 3 || out[0].Ord != 1 || out[1].Ord != 2 {
 		t.Fatalf("resumed page = %+v next %d err %v", out, next, err)

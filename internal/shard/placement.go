@@ -4,11 +4,19 @@
 // about any location:
 //
 //   - which region OWNS it (every location has exactly one owner — the
-//     grid cell containing it, clamped at the service-area edges); and
+//     leaf region of the topology containing it, clamped at the
+//     service-area edges); and
 //   - which neighbor regions must ALSO see it: the regions whose area lies
 //     within the reach radius ("halo") of the location, i.e. the regions
 //     whose objects the location could feasibly be matched with under the
 //     workload's deadline windows.
+//
+// Since the rebalance subsystem the region set is no longer necessarily a
+// uniform grid: a Placement is built over a Topology — a base Cols×Rows
+// grid whose cells may be recursively quartered — and owner lookup is a
+// base-grid cell lookup followed by a short quadtree descent. A uniform
+// topology reproduces the historical grid placement bit for bit: same
+// region numbering, same rectangles, same mirror sets.
 //
 // The halo width is the knob: the natural setting is Velocity × the
 // deadline window (how far a worker can travel before the pair's deadline
@@ -22,43 +30,106 @@ import (
 	"ftoa/internal/geo"
 )
 
+// topoNode is one node of a parsed per-cell quadtree: region names the
+// leaf, or is -1 for internal nodes whose four children sit at kids..kids+3.
+type topoNode struct {
+	region int32
+	kids   int32
+}
+
 // Placement maps locations to an owner region plus the set of reachable
 // neighbor regions under a halo width. It is immutable after construction
 // and safe for concurrent use.
 type Placement struct {
-	grid *geo.Grid
+	topo *Topology
+	grid *geo.Grid // the base cell grid (first routing hop)
 	halo float64
-	// candidates[cell] holds the neighbor cells whose region lies within
-	// halo of cell's region — the superset Mirrors filters per point. For
-	// halos below a cell size this is the 8-neighborhood or less, so the
-	// per-admission filter touches a handful of rectangles.
+	// regions[i] is region i's rectangle, in canonical topology order.
+	regions []geo.Rect
+	// cellRegion[cell] short-circuits unsplit base cells straight to their
+	// region id; split cells hold -1 and route through cellNodes.
+	cellRegion []int32
+	cellNodes  [][]topoNode
+	// candidates[region] holds the regions whose area lies within halo of
+	// region — the superset Mirrors filters per point. For halos below a
+	// region size this is the 8-neighborhood or less, so the per-admission
+	// filter touches a handful of rectangles.
 	candidates [][]int32
 }
 
-// NewPlacement partitions bounds into a cols×rows region grid with the
-// given halo width. Halo must be non-negative; the grid arguments follow
-// geo.NewGrid's rules.
+// NewPlacement partitions bounds into a uniform cols×rows region grid with
+// the given halo width — the static layout every router starts from.
 func NewPlacement(bounds geo.Rect, cols, rows int, halo float64) *Placement {
+	return NewPlacementTopo(bounds, NewUniformTopology(cols, rows), halo)
+}
+
+// NewPlacementTopo builds the placement of an arbitrary topology. Halo
+// must be non-negative; the base grid follows geo.NewGrid's rules.
+func NewPlacementTopo(bounds geo.Rect, topo *Topology, halo float64) *Placement {
 	if halo < 0 {
 		panic("shard: negative halo")
 	}
-	p := &Placement{grid: geo.NewGrid(bounds, cols, rows), halo: halo}
+	p := &Placement{
+		topo:       topo,
+		grid:       geo.NewGrid(bounds, topo.BaseCols(), topo.BaseRows()),
+		halo:       halo,
+		regions:    topo.Regions(bounds),
+		cellRegion: make([]int32, topo.BaseCols()*topo.BaseRows()),
+		cellNodes:  make([][]topoNode, topo.BaseCols()*topo.BaseRows()),
+	}
+	region := int32(0)
+	for c := range p.cellRegion {
+		s := topo.cellSpec(c)
+		if len(s) == 1 {
+			p.cellRegion[c] = region
+			region++
+			continue
+		}
+		p.cellRegion[c] = -1
+		p.cellNodes[c] = buildNodes(s, &region)
+	}
 	if halo > 0 {
-		n := p.grid.NumCells()
+		n := len(p.regions)
 		p.candidates = make([][]int32, n)
 		for c := 0; c < n; c++ {
-			rc := p.grid.CellRect(c)
+			rc := p.regions[c]
 			for o := 0; o < n; o++ {
 				if o == c {
 					continue
 				}
-				if rectDistSq(rc, p.grid.CellRect(o)) <= halo*halo {
+				if rectDistSq(rc, p.regions[o]) <= halo*halo {
 					p.candidates[c] = append(p.candidates[c], int32(o))
 				}
 			}
 		}
 	}
 	return p
+}
+
+// buildNodes parses a pre-order spec into a walkable node slice (node 0
+// is the cell root) where every internal node's four children occupy
+// contiguous slots, assigning leaf region ids from *next.
+func buildNodes(s []byte, next *int32) []topoNode {
+	var nodes []topoNode
+	var parse func(pos, self int) int
+	parse = func(pos, self int) int {
+		if s[pos] == 0 {
+			nodes[self] = topoNode{region: *next, kids: -1}
+			*next++
+			return pos + 1
+		}
+		kids := len(nodes)
+		nodes = append(nodes, make([]topoNode, 4)...)
+		nodes[self] = topoNode{region: -1, kids: int32(kids)}
+		pos++
+		for q := 0; q < 4; q++ {
+			pos = parse(pos, kids+q)
+		}
+		return pos
+	}
+	nodes = append(nodes, topoNode{})
+	parse(0, 0)
+	return nodes
 }
 
 // HaloForWindow derives the natural halo width from the shared worker
@@ -72,18 +143,54 @@ func HaloForWindow(velocity, window float64) float64 {
 	return velocity * window
 }
 
-// NumRegions returns the number of regions in the grid.
-func (p *Placement) NumRegions() int { return p.grid.NumCells() }
+// NumRegions returns the number of regions.
+func (p *Placement) NumRegions() int { return len(p.regions) }
 
 // Halo returns the configured halo width.
 func (p *Placement) Halo() float64 { return p.halo }
 
-// Owner returns the region owning location pt (clamped to the grid, so
-// out-of-area locations are owned by the nearest edge region).
-func (p *Placement) Owner(pt geo.Point) int { return p.grid.CellOf(pt) }
+// Topology returns the region tree the placement was built over.
+func (p *Placement) Topology() *Topology { return p.topo }
+
+// Bounds returns the service-area rectangle.
+func (p *Placement) Bounds() geo.Rect { return p.grid.Bounds }
+
+// Owner returns the region owning location pt (clamped to the base grid,
+// so out-of-area locations are owned by the nearest edge region).
+func (p *Placement) Owner(pt geo.Point) int {
+	c := p.grid.CellOf(pt)
+	if rg := p.cellRegion[c]; rg >= 0 {
+		return int(rg)
+	}
+	nodes := p.cellNodes[c]
+	rect := p.grid.CellRect(c)
+	n := int32(0)
+	for nodes[n].region < 0 {
+		mx := (rect.MinX + rect.MaxX) / 2
+		my := (rect.MinY + rect.MaxY) / 2
+		q := int32(0)
+		// >= keeps the descent consistent with the half-open region
+		// rectangles; out-of-cell points (edge clamping) descend toward
+		// the nearest quadrant just like CellOf clamps to edge cells.
+		if pt.X >= mx {
+			q |= 1
+			rect.MinX = mx
+		} else {
+			rect.MaxX = mx
+		}
+		if pt.Y >= my {
+			q |= 2
+			rect.MinY = my
+		} else {
+			rect.MaxY = my
+		}
+		n = nodes[n].kids + q
+	}
+	return int(nodes[n].region)
+}
 
 // Region returns the rectangle of region i.
-func (p *Placement) Region(i int) geo.Rect { return p.grid.CellRect(i) }
+func (p *Placement) Region(i int) geo.Rect { return p.regions[i] }
 
 // Mirrors appends to dst the regions other than owner — pt's owning
 // region, which the caller has already resolved via Owner — whose area
@@ -96,7 +203,7 @@ func (p *Placement) Mirrors(pt geo.Point, owner int, dst []int) []int {
 	if p.halo == 0 {
 		return dst
 	}
-	rect := p.grid.CellRect(owner)
+	rect := p.regions[owner]
 	// Interior fast path: strictly farther than halo from the owner's
 	// boundary means strictly farther than halo from every other region.
 	if pt.X-rect.MinX > p.halo && rect.MaxX-pt.X > p.halo &&
@@ -105,7 +212,7 @@ func (p *Placement) Mirrors(pt geo.Point, owner int, dst []int) []int {
 	}
 	h2 := p.halo * p.halo
 	for _, c := range p.candidates[owner] {
-		if pointRectDistSq(pt, p.grid.CellRect(int(c))) <= h2 {
+		if pointRectDistSq(pt, p.regions[c]) <= h2 {
 			dst = append(dst, int(c))
 		}
 	}
@@ -121,7 +228,7 @@ func (p *Placement) Mirrors(pt geo.Point, owner int, dst []int) []int {
 // than 1 exactly because halo admissions are duplicated.
 func (p *Placement) HintShare(i int) float64 {
 	b := p.grid.Bounds
-	r := p.grid.CellRect(i)
+	r := p.regions[i]
 	grown := geo.Rect{
 		MinX: max(r.MinX-p.halo, b.MinX),
 		MinY: max(r.MinY-p.halo, b.MinY),

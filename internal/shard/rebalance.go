@@ -1,0 +1,354 @@
+// Online topology changes — the migration executor behind adaptive
+// sharding (package shard/rebalance holds the policy; this file the
+// mechanism). Rebalance swaps the router onto a new Topology — typically
+// one Split or Merge away from the current one — migrating the live
+// population and keeping every externally visible contract intact:
+//
+//   - the merged event stream stays one continuous Seq-cursor space: the
+//     old topology's retained events move into the successor state's
+//     archive and gather() serves them below the new shards' logs;
+//   - old admission receipts are invalidated, not aliased: every new
+//     session starts its arena epoch above anything the old topology ever
+//     issued, so a stale withdrawal fails ErrStaleHandle;
+//   - durability continues through a WAL *checkpoint generation*: the
+//     migration's re-admissions ARE the checkpoint (recovery replays them
+//     into fresh sessions and needs nothing older), committed atomically
+//     by a seal record in shard 0 — a crash anywhere before the seal
+//     recovers the pre-migration state, after it the post-migration one.
+//
+// The migration itself is stop-the-world: Rebalance holds the topology
+// write lock, so every admission, advance and read path waits (the
+// Admitter answers BUSY instead of queueing). Build is non-destructive —
+// the successor state is assembled beside the live one and installed by a
+// single pointer swap, so any error aborts with the old state untouched.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ftoa/internal/geo"
+)
+
+// RebalanceInfo summarises one completed topology change.
+type RebalanceInfo struct {
+	// Version is the new topology epoch; From and To render the old and
+	// new topologies (Topology.String).
+	Version  uint64
+	From, To string
+	// Regions is the new region count.
+	Regions int
+	// MigratedWorkers and MigratedTasks count the live objects re-admitted
+	// into the new sessions.
+	MigratedWorkers, MigratedTasks int
+	// WALGeneration is the checkpoint generation opened for the new
+	// topology (0 without a WAL).
+	WALGeneration uint64
+}
+
+// Topology returns the current region tree. The returned value is
+// immutable; derive successors with Split/Merge and apply via Rebalance.
+func (r *Router) Topology() *Topology { return r.state().topo }
+
+// TopologyVersion returns the current topology epoch (1 at construction,
+// +1 per completed Rebalance).
+func (r *Router) TopologyVersion() uint64 { return r.state().version }
+
+// Rebalances returns how many topology changes have completed.
+func (r *Router) Rebalances() uint64 { return r.rebalances.Load() }
+
+// Migrating reports whether a Rebalance is in flight (admission fronts
+// answer BUSY while it is).
+func (r *Router) Migrating() bool { return r.migrating.Load() }
+
+// SampleRates folds each shard's owner-admission count into its
+// arrival-rate EWMA (Stats.ArrivalRate) against the time constant tau
+// (seconds; tau <= 0 tracks the instantaneous rate). now must come from a
+// monotone clock shared by successive calls; samples at non-increasing
+// now are baselined, not folded. The first call after construction or
+// after a Rebalance only baselines the counters, so migration re-admissions
+// never read as an arrival burst.
+func (r *Router) SampleRates(now, tau float64) {
+	ts := r.state()
+	for _, si := range ts.shards {
+		si.mu.Lock()
+		count := si.sess.AdmittedWorkers() + si.sess.AdmittedTasks() - si.halo.ghostW - si.halo.ghostT
+		if !si.rateInit || now <= si.rateAt {
+			si.rateInit = true
+			si.rateCount, si.rateAt = count, now
+			si.mu.Unlock()
+			continue
+		}
+		dt := now - si.rateAt
+		inst := float64(count-si.rateCount) / dt
+		alpha := 1.0
+		if tau > 0 {
+			alpha = 1 - math.Exp(-dt/tau)
+		}
+		si.rateEWMA += alpha * (inst - si.rateEWMA)
+		si.rateCount, si.rateAt = count, now
+		si.mu.Unlock()
+	}
+}
+
+// migrant is one live object leaving an old session, keyed for the
+// deterministic re-admission order.
+type migrant struct {
+	ad        admission
+	fromShard int
+	fromLocal int
+}
+
+// Rebalance migrates the router onto topo (same base grid, different
+// split structure) and returns what moved. See the package comment above
+// for the contracts; on error the router is unchanged (a WAL checkpoint
+// generation opened by a failed attempt remains on disk unsealed and is
+// skipped by recovery).
+func (r *Router) Rebalance(topo *Topology) (*RebalanceInfo, error) {
+	if topo == nil {
+		return nil, errors.New("shard: nil topology")
+	}
+	r.migrating.Store(true)
+	defer r.migrating.Store(false)
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	old := r.state()
+	if topo.BaseCols() != old.topo.BaseCols() || topo.BaseRows() != old.topo.BaseRows() {
+		return nil, fmt.Errorf("shard: rebalance base %dx%d does not match router base %dx%d",
+			topo.BaseCols(), topo.BaseRows(), old.topo.BaseCols(), old.topo.BaseRows())
+	}
+	if topo.Equal(old.topo) {
+		return nil, errors.New("shard: rebalance to the current topology")
+	}
+
+	// Quiesce: settle every pending cross-shard retraction and drain every
+	// session's event tail into the shard logs, so the old state is fully
+	// sequenced before it is archived.
+	for _, si := range old.shards {
+		si.mu.Lock()
+		si.drainPendingLocked()
+		si.collectLocked(r)
+		si.mu.Unlock()
+	}
+	r.applyPending(old)
+
+	// The new sessions' epoch floor: above every receipt the old topology
+	// ever issued. The old max clock is what the new sessions advance to.
+	epochFloor := uint64(1)
+	maxClock := math.Inf(-1)
+	for _, si := range old.shards {
+		si.mu.Lock()
+		if e := si.sess.Epoch(); e >= epochFloor {
+			epochFloor = e + 1
+		}
+		if now := si.sess.Now(); now > maxClock {
+			maxClock = now
+		}
+		si.mu.Unlock()
+	}
+
+	// Archive the old topology's retained events below the successor's
+	// cursor space (gather serves archive + live logs as one stream).
+	archive := make([]Event, 0, len(old.archive))
+	archive = append(archive, old.archive...)
+	for _, si := range old.shards {
+		si.mu.Lock()
+		archive = append(archive, si.log...)
+		si.mu.Unlock()
+	}
+	sort.Slice(archive, func(i, j int) bool { return archive[i].Seq < archive[j].Seq })
+	if ev := r.evicted.Load(); ev > 0 {
+		cut := sort.Search(len(archive), func(i int) bool { return archive[i].Seq >= ev })
+		archive = archive[cut:]
+	}
+
+	ns, err := r.buildState(topo, old.version+1, archive)
+	if err != nil {
+		return nil, err
+	}
+
+	// Open the checkpoint generation before any re-admission so the whole
+	// migration records into it; until the seal is durable the generation
+	// is invisible to recovery, which makes every failure below a clean
+	// abort back to the old state.
+	info := &RebalanceInfo{
+		Version: ns.version,
+		From:    old.topo.String(),
+		To:      topo.String(),
+		Regions: len(ns.shards),
+	}
+	newSet := r.walSet
+	if r.walSet != nil {
+		r.walSet.Flush()
+		gen := r.walAttempt + 1
+		hm := r.headerMetaFor(ns, gen, genCheckpoint, epochFloor, r.seq.Load())
+		newSet, err = r.openWALSet(ns, hm)
+		if err != nil {
+			return nil, err
+		}
+		for i, si := range ns.shards {
+			si.wal = &shardWAL{log: newSet.Log(i)}
+		}
+		info.WALGeneration = gen
+	}
+	abort := func(err error) (*RebalanceInfo, error) {
+		if newSet != nil && newSet != r.walSet {
+			newSet.Close()
+		}
+		return nil, err
+	}
+
+	for _, si := range ns.shards {
+		si.sess.SetEpochFloor(epochFloor)
+	}
+
+	// Enumerate the migrants: owner copies (ghosts are re-derived from the
+	// new placement) of objects whose lifecycle can still affect matching.
+	// expiryFired marks AssumeGuide objects living past an already-emitted
+	// deadline, so the new session does not emit it again.
+	var migs []migrant
+	for _, osi := range old.shards {
+		osi.mu.Lock()
+		now := osi.sess.Now()
+		for h := 0; h < osi.sess.NumWorkers(); h++ {
+			if rec := refAt(osi.halo.wRef, h); rec != nil && int(rec.owner) != osi.id {
+				continue
+			}
+			if !osi.sess.WorkerLive(h) {
+				continue
+			}
+			w := *osi.sess.Worker(h)
+			migs = append(migs, migrant{
+				ad:        admission{w: w, migrated: true, expiryFired: w.Deadline() <= now},
+				fromShard: osi.id,
+				fromLocal: h,
+			})
+		}
+		for h := 0; h < osi.sess.NumTasks(); h++ {
+			if rec := refAt(osi.halo.tRef, h); rec != nil && int(rec.owner) != osi.id {
+				continue
+			}
+			if !osi.sess.TaskLive(h) {
+				continue
+			}
+			t := *osi.sess.Task(h)
+			migs = append(migs, migrant{
+				ad:        admission{task: true, t: t, migrated: true, expiryFired: t.Deadline() < now},
+				fromShard: osi.id,
+				fromLocal: h,
+			})
+		}
+		osi.mu.Unlock()
+	}
+	// Deterministic re-admission order: arrival time, then workers before
+	// tasks, then old identity. The stored times are the old owners'
+	// clamped stamps, so the new sessions (clock at -inf until the advance
+	// below) re-stamp every object at exactly its original time.
+	sort.Slice(migs, func(i, j int) bool {
+		a, b := &migs[i], &migs[j]
+		if at, bt := a.ad.time(), b.ad.time(); at != bt {
+			return at < bt
+		}
+		if a.ad.task != b.ad.task {
+			return !a.ad.task
+		}
+		if a.fromShard != b.fromShard {
+			return a.fromShard < b.fromShard
+		}
+		return a.fromLocal < b.fromLocal
+	})
+
+	var mbuf []int
+	for i := range migs {
+		ad := &migs[i].ad
+		owner := ns.placement.Owner(ad.loc())
+		var err error
+		if r.haloOn {
+			if mbuf = ns.placement.Mirrors(ad.loc(), owner, mbuf[:0]); len(mbuf) > 0 {
+				_, _, _, err = r.addMirrored(ns, owner, mbuf, ad)
+			} else {
+				_, _, _, err = r.admitOwner(ns, owner, nil, ad)
+			}
+		} else {
+			_, _, _, err = r.admitOwner(ns, owner, nil, ad)
+		}
+		if err != nil {
+			return abort(fmt.Errorf("shard: migrating object into region %d: %w", owner, err))
+		}
+		if ad.task {
+			info.MigratedTasks++
+		} else {
+			info.MigratedWorkers++
+		}
+	}
+	r.applyPending(ns)
+
+	// Advance the new sessions to the old topology's max clock. No expiry
+	// this fires is new: a migrated object with deadline <= its old shard's
+	// clock was either dead (not migrated) or expiry-suppressed, and one
+	// with a deadline inside the old shards' clock skew would have fired at
+	// the old topology's next advance at the same event time.
+	if !math.IsInf(maxClock, -1) {
+		for _, si := range ns.shards {
+			si.mu.Lock()
+			si.drainPendingLocked()
+			si.sess.Advance(maxClock)
+			si.afterWriteLocked(r)
+			if si.wal != nil {
+				si.wal.opAdvance(maxClock)
+			}
+			si.mu.Unlock()
+		}
+		r.applyPending(ns)
+	}
+
+	// Seed the new regions' arrival-rate EWMA from the old regions by area
+	// overlap, so the rebalance policy keeps a demand signal across the
+	// swap instead of restarting blind. Counters re-baseline at the next
+	// SampleRates (rateInit is false on fresh instances).
+	oldRates := make([]float64, len(old.shards))
+	for i, si := range old.shards {
+		si.mu.Lock()
+		oldRates[i] = si.rateEWMA
+		si.mu.Unlock()
+	}
+	for j, si := range ns.shards {
+		nr := ns.placement.Region(j)
+		rate := 0.0
+		for i := range old.shards {
+			or := old.placement.Region(i)
+			if ov := overlapArea(nr, or); ov > 0 {
+				rate += oldRates[i] * ov / (or.Width() * or.Height())
+			}
+		}
+		si.rateEWMA = rate
+	}
+
+	// Commit. The seal makes the checkpoint generation visible to
+	// recovery; a flush failure leaves it unsealed (recovery then yields
+	// the pre-migration state) and surfaces via WALErr — the live router
+	// swaps regardless, preferring availability, like every WAL error.
+	if newSet != nil && newSet != r.walSet {
+		if err := newSet.Flush(); err == nil {
+			newSet.Log(0).Append(encodeSeal(ns.version))
+			newSet.Log(0).Flush()
+		}
+		r.walSet.Close()
+		r.walSet = newSet
+	}
+	r.top.Store(ns)
+	r.rebalances.Add(1)
+	return info, nil
+}
+
+// overlapArea returns the intersection area of two rectangles.
+func overlapArea(a, b geo.Rect) float64 {
+	w := math.Min(a.MaxX, b.MaxX) - math.Max(a.MinX, b.MinX)
+	h := math.Min(a.MaxY, b.MaxY) - math.Max(a.MinY, b.MinY)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}

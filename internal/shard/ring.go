@@ -129,17 +129,30 @@ func (a *Admitter) add(op *admitOp) bool {
 	if a.closed.Load() {
 		return false
 	}
-	shard := a.r.placement.Owner(op.ad.loc())
+	// During a topology migration admissions would only queue behind the
+	// rebalance write lock; refuse immediately instead so producers get
+	// the BUSY + retry hint while the router is quiescing.
+	if a.r.migrating.Load() {
+		a.busy[a.r.ShardOf(op.ad.loc())%len(a.rings)].Add(1)
+		return false
+	}
+	// The ring count is fixed at creation while the region count can grow
+	// (Rebalance), so rings are lanes, not shards: a lane serializes the
+	// regions that hash onto it and the drainer re-derives each op's owner
+	// against the placement current at admission time. On a static
+	// topology owner%lanes == owner, preserving the historical one
+	// ring/one shard layout bit for bit.
+	lane := a.r.ShardOf(op.ad.loc()) % len(a.rings)
 	// The Add must precede publication: the drainer may finish the op (and
 	// call wg.Done) the instant the slot is visible.
 	op.wg.Add(1)
-	if !a.rings[shard].enqueue(op) {
+	if !a.rings[lane].enqueue(op) {
 		op.wg.Done()
-		a.busy[shard].Add(1)
+		a.busy[lane].Add(1)
 		return false
 	}
 	select {
-	case a.wake[shard] <- struct{}{}:
+	case a.wake[lane] <- struct{}{}:
 	default:
 	}
 	return true
@@ -212,41 +225,47 @@ func (a *Admitter) drainLoop(shard int) {
 	}
 }
 
-// admitBatch admits one drained, timestamp-sorted batch destined for owner.
+// admitBatch admits one drained, timestamp-sorted batch from a ring lane.
+// Each op's owner shard is re-derived against the placement current NOW —
+// a Rebalance may have moved region boundaries since the op was enqueued
+// to its lane, and only the current owner's session may admit it.
 // Halo-mirrored (border) admissions go through the multi-shard addMirrored
 // flow individually — mirroring locks neighbor shards and must not happen
-// under this shard's lock; maximal interior runs between them are admitted
-// under one lock acquisition.
-func (r *Router) admitBatch(owner int, ops []*admitOp, mbuf *[]int) {
+// under the owner's lock; maximal same-owner interior runs between them
+// are admitted under one lock acquisition.
+func (r *Router) admitBatch(_ int, ops []*admitOp, mbuf *[]int) {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	ts := r.state()
 	i := 0
 	for i < len(ops) {
+		owner := ts.placement.Owner(ops[i].ad.loc())
 		if r.haloOn {
-			*mbuf = r.placement.Mirrors(ops[i].ad.loc(), owner, (*mbuf)[:0])
+			*mbuf = ts.placement.Mirrors(ops[i].ad.loc(), owner, (*mbuf)[:0])
 			if len(*mbuf) > 0 {
 				op := ops[i]
-				h, admitted, epoch, err := r.addMirrored(owner, *mbuf, &op.ad)
+				h, admitted, epoch, err := r.addMirrored(ts, owner, *mbuf, &op.ad)
 				op.finish(h, admitted, epoch, err)
 				i++
 				continue
 			}
 		}
 		j := i + 1
-		if r.haloOn {
-			for j < len(ops) && len(r.placement.Mirrors(ops[j].ad.loc(), owner, (*mbuf)[:0])) == 0 {
-				j++
+		for j < len(ops) && ts.placement.Owner(ops[j].ad.loc()) == owner {
+			if r.haloOn && len(ts.placement.Mirrors(ops[j].ad.loc(), owner, (*mbuf)[:0])) > 0 {
+				break
 			}
-		} else {
-			j = len(ops)
+			j++
 		}
-		r.admitRun(owner, ops[i:j])
+		r.admitRun(ts, owner, ops[i:j])
 		i = j
 	}
 }
 
 // admitRun admits a run of interior admissions under one lock acquisition,
 // preserving the full per-admission tail for each (see admitOwnerLocked).
-func (r *Router) admitRun(owner int, ops []*admitOp) {
-	si := r.shards[owner]
+func (r *Router) admitRun(ts *topoState, owner int, ops []*admitOp) {
+	si := ts.shards[owner]
 	func() {
 		si.mu.Lock()
 		defer si.mu.Unlock()
@@ -259,7 +278,7 @@ func (r *Router) admitRun(owner int, ops []*admitOp) {
 	// Interior admissions can still settle mirrored counterparties (a
 	// fresh worker matching a ghost task); retractions are applied after
 	// the run, never under this shard's lock.
-	r.applyPending()
+	r.applyPending(ts)
 }
 
 // --- bounded MPSC ring ------------------------------------------------

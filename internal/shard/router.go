@@ -17,6 +17,13 @@
 // are mirrored as ghosts into the neighbor sessions they could feasibly
 // match in, and a lock-free claim protocol guarantees each logical object
 // commits in at most one session (see halo.go).
+//
+// The region set is no longer fixed at construction: Rebalance swaps in a
+// new Topology — splitting a hot region into a finer sub-grid or merging
+// cold siblings back — migrating the live population and continuing the
+// merged cursor space (see rebalance.go). All routing state hangs off one
+// atomically swapped topoState so every code path observes a consistent
+// (placement, shards, archive) triple.
 package shard
 
 import (
@@ -43,8 +50,10 @@ type Config struct {
 	// CommitGate must be nil: the router owns event consumption and the
 	// retirement and arbitration hooks.
 	Matcher sim.MatcherConfig
-	// Cols, Rows shape the shard grid. 1×1 is a valid single-shard
+	// Cols, Rows shape the base shard grid. 1×1 is a valid single-shard
 	// deployment and behaves exactly like one session behind one lock.
+	// Rebalance refines the base grid online; the static layout is the
+	// initial topology.
 	Cols, Rows int
 	// Halo, when positive, enables cross-shard border matching: an
 	// admission within Halo (a distance) of a neighboring region is
@@ -65,7 +74,9 @@ type Config struct {
 	// it must not call back into the Router (taking a lock the handler
 	// also takes from a Router-calling path deadlocks). Unlike the
 	// polled Events stream it is lossless under retention — the hook for
-	// derived views that must not miss events.
+	// derived views that must not miss events. Shard ids passed to the
+	// hook follow the CURRENT topology, so handlers indexing by shard
+	// must size for Rebalance growth (MatchLog does).
 	OnEvent func(Event)
 	// Retention bounds the per-shard merged-event log: each shard keeps
 	// at least its most recent Retention events; older ones are evicted
@@ -91,7 +102,8 @@ type Config struct {
 	// an append-only per-shard log under WAL.Dir (see walhook.go), and
 	// Recover rebuilds an equivalent router from those logs at boot.
 	// NewRouter refuses a directory that already holds segments — recovery
-	// over existing history must go through Recover.
+	// over existing history must go through Recover. Topology changes open
+	// a new checkpoint generation (see rebalance.go).
 	WAL *wal.Options
 }
 
@@ -99,7 +111,9 @@ type Config struct {
 // plus the session-local handle within that shard. With RetireInterval
 // set, Local is only stable until the owning shard's next retirement
 // compacts the object away (which can only happen once it is matched or
-// expired) — treat it as an admission receipt, not a durable key.
+// expired) — treat it as an admission receipt, not a durable key. A
+// Rebalance invalidates every receipt issued under the old topology (the
+// withdraw path reports them ErrStaleHandle).
 type Handle struct {
 	Shard int
 	Local int
@@ -149,6 +163,12 @@ type Stats struct {
 	Rejected       int
 	Now            float64
 
+	// ArrivalRate is the shard's owner-admission rate EWMA in arrivals
+	// per second, folded by Router.SampleRates (zero until sampled). It
+	// is advisory — the rebalance supervisor's demand signal — and is
+	// deliberately not WAL-recorded: a recovered router restarts it.
+	ArrivalRate float64
+
 	// Halo metrics; all zero with Halo disabled. GhostWorkers/GhostTasks
 	// count mirrored copies admitted into this shard; WithdrawnWorkers/
 	// WithdrawnTasks the copies retracted from it after their original
@@ -170,30 +190,78 @@ type Stats struct {
 // the cursor. The caller restarts from OldestCursor, accepting the gap.
 var ErrEvicted = errors.New("shard: cursor below retention boundary")
 
+// topoState is one topology epoch's complete routing state: the region
+// tree, its placement geometry, the live shard set, and the events older
+// topologies emitted. Every code path resolves the triple through one
+// atomic load so placement, shard indexing and the cursor space can never
+// be observed mid-swap. States are immutable once published — Rebalance
+// builds the successor aside and swaps the pointer.
+type topoState struct {
+	version   uint64
+	topo      *Topology
+	placement *Placement
+	shards    []*shardInstance
+	// archive holds the events emitted under earlier topologies, Seq
+	// ascending and pruned below the eviction boundary at each swap:
+	// gather merges it below the live shard logs so event cursors stay
+	// valid and gap-free across rebalances.
+	archive []Event
+}
+
 // Router is a sharded multi-session serving surface; see the package
 // comment. All methods are safe for concurrent use: admissions touch only
 // the target shard's lock, so disjoint regions admit in parallel.
 type Router struct {
-	placement *Placement
-	mode      sim.Mode
-	haloOn    bool
-	shards    []*shardInstance
-	onEvent   func(Event)
-	seq       atomic.Uint64 // next sequence number to assign
-	gids      atomic.Uint64 // next mirror-group id (halo.go)
+	mode    sim.Mode
+	haloOn  bool
+	onEvent func(Event)
+	// cfg is the validated construction config, retained because
+	// Rebalance mints fresh sessions (and WAL generations) from it.
+	cfg Config
+
+	// topoMu serializes topology swaps against every routing entry point:
+	// entry points that touch shard state take RLock (their mutual
+	// exclusion stays the per-shard locks, so concurrency is unchanged —
+	// an RLock is a handful of nanoseconds against the microsecond-scale
+	// admission path), Rebalance takes Lock. top always points at the
+	// current state; pure accessors load it without the lock.
+	topoMu sync.RWMutex
+	top    atomic.Pointer[topoState]
+
+	// migrating is set for the duration of a Rebalance so admission rings
+	// can answer BUSY immediately instead of queueing behind the write
+	// lock; rebalances counts completed topology changes.
+	migrating  atomic.Bool
+	rebalances atomic.Uint64
+
+	seq  atomic.Uint64 // next sequence number to assign
+	gids atomic.Uint64 // next mirror-group id (halo.go)
 	// evicted is the retention boundary: every event with Seq below it
 	// MAY have been dropped from its shard log.
 	evicted atomic.Uint64
 	// walSet, when non-nil, owns the per-shard write-ahead logs
 	// (walhook.go); each shard records through its own si.wal under its
-	// single-writer lock.
+	// single-writer lock. Guarded by topoMu (Rebalance swaps it).
 	walSet *wal.Set
+	// walAttempt is the highest generation ever opened, including aborted
+	// checkpoint generations whose files remain on disk (recovery skips
+	// them, but their names are taken). Guarded by topoMu.
+	walAttempt uint64
 }
+
+// state returns the current topology state. Callers that mutate shard
+// state must hold topoMu.RLock so the state cannot be swapped under them;
+// pure snapshot readers (stats, cursors) may load it bare.
+func (r *Router) state() *topoState { return r.top.Load() }
 
 // shardInstance is one region's session plus its slice of the merged log
 // and its half of the halo arbitration state (halo.go).
 type shardInstance struct {
-	id        int
+	id int
+	// ts points back at the topology state this shard belongs to, so
+	// cross-shard fan-out (claim retraction) resolves sibling shards of
+	// the SAME epoch even while a successor state is being built.
+	ts        *topoState
 	mu        sync.Mutex
 	sess      *sim.Session
 	log       []Event
@@ -204,6 +272,13 @@ type shardInstance struct {
 	retireEvery float64
 	lastRetire  float64
 	halo        haloState
+	// Arrival-rate EWMA (Router.SampleRates): rateCount is the own
+	// (non-ghost) admission count at the last sample, rateAt its sample
+	// clock, rateEWMA the folded rate. Guarded by mu.
+	rateEWMA  float64
+	rateCount int
+	rateAt    float64
+	rateInit  bool
 	// wal records this shard's operations and decisions (nil without a
 	// WAL); rep is non-nil only while this shard's log replays during
 	// Recover and redirects the decision hooks to the recorded outcomes.
@@ -214,6 +289,26 @@ type shardInstance struct {
 // NewRouter validates cfg, partitions the bounds, and starts one session
 // per region (running each algorithm's Init).
 func NewRouter(cfg Config) (*Router, error) {
+	r, err := newRouterShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := r.buildState(NewUniformTopology(cfg.Cols, cfg.Rows), 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.top.Store(ts)
+	if cfg.WAL != nil {
+		if err := r.attachFreshWAL(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// newRouterShell validates cfg and returns a router with no topology
+// state yet; NewRouter and Recover install the state.
+func newRouterShell(cfg Config) (*Router, error) {
 	if cfg.Cols <= 0 || cfg.Rows <= 0 {
 		return nil, fmt.Errorf("shard: non-positive grid %dx%d", cfg.Cols, cfg.Rows)
 	}
@@ -241,18 +336,33 @@ func NewRouter(cfg Config) (*Router, error) {
 	if _, err := sim.NewMatcher(cfg.Matcher); err != nil {
 		return nil, err
 	}
-	n := cfg.Cols * cfg.Rows
-	placement := NewPlacement(cfg.Matcher.Bounds, cfg.Cols, cfg.Rows, cfg.Halo)
-	r := &Router{
+	return &Router{
+		mode:    cfg.Matcher.Mode,
+		haloOn:  cfg.Halo > 0,
+		onEvent: cfg.OnEvent,
+		cfg:     cfg,
+	}, nil
+}
+
+// buildState constructs the complete shard set of a topology: fresh
+// sessions (each algorithm's Init run), halo tables when mirroring is on,
+// no WAL attachment (the caller wires logs per generation). archive is
+// adopted as the state's pre-topology event history.
+func (r *Router) buildState(topo *Topology, version uint64, archive []Event) (*topoState, error) {
+	cfg := &r.cfg
+	placement := NewPlacementTopo(cfg.Matcher.Bounds, topo, cfg.Halo)
+	n := placement.NumRegions()
+	ts := &topoState{
+		version:   version,
+		topo:      topo,
 		placement: placement,
-		mode:      cfg.Matcher.Mode,
-		haloOn:    cfg.Halo > 0 && n > 1,
 		shards:    make([]*shardInstance, n),
-		onEvent:   cfg.OnEvent,
+		archive:   archive,
 	}
 	for i := 0; i < n; i++ {
 		si := &shardInstance{
 			id:          i,
+			ts:          ts,
 			retention:   cfg.Retention,
 			retireEvery: cfg.RetireInterval,
 		}
@@ -279,14 +389,9 @@ func NewRouter(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("shard: RetireInterval set but algorithm %q does not implement sim.RetirableAlgorithm", alg.Name())
 		}
 		si.sess = m.NewSession(alg)
-		r.shards[i] = si
+		ts.shards[i] = si
 	}
-	if cfg.WAL != nil {
-		if err := r.attachFreshWAL(&cfg); err != nil {
-			return nil, err
-		}
-	}
-	return r, nil
+	return ts, nil
 }
 
 // scaleHint sizes a population hint to a shard's traffic share, rounding
@@ -298,19 +403,22 @@ func scaleHint(total int, share float64) int {
 	return int(math.Ceil(float64(total) * share))
 }
 
-// NumShards returns the number of regions (Cols×Rows).
-func (r *Router) NumShards() int { return len(r.shards) }
+// NumShards returns the current number of regions.
+func (r *Router) NumShards() int { return len(r.state().shards) }
 
 // ShardOf returns the shard that owns location p (clamped to bounds, so
-// out-of-area locations route to the nearest edge region).
-func (r *Router) ShardOf(p geo.Point) int { return r.placement.Owner(p) }
+// out-of-area locations route to the nearest edge region) under the
+// current topology.
+func (r *Router) ShardOf(p geo.Point) int { return r.state().placement.Owner(p) }
 
 // ShardBounds returns the region rectangle of shard i.
-func (r *Router) ShardBounds(i int) geo.Rect { return r.placement.Region(i) }
+func (r *Router) ShardBounds(i int) geo.Rect { return r.state().placement.Region(i) }
 
-// Placement returns the router's region geometry (owner and halo-mirror
-// resolution). It is immutable and safe for concurrent use.
-func (r *Router) Placement() *Placement { return r.placement }
+// Placement returns the router's current region geometry (owner and
+// halo-mirror resolution). The returned value is immutable and safe for
+// concurrent use, but a Rebalance replaces it — re-read rather than cache
+// across calls when topology changes are enabled.
+func (r *Router) Placement() *Placement { return r.state().placement }
 
 // AddWorker routes the worker to the shard owning its location and admits
 // it there; only that shard's lock is taken on the interior fast path.
@@ -322,32 +430,38 @@ func (r *Router) Placement() *Placement { return r.placement }
 // callers report deadlines consistent with the shard's view even when
 // concurrent admissions raced the clock forward.
 func (r *Router) AddWorker(w model.Worker) (h Handle, admitted float64, err error) {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	ts := r.state()
 	ad := admission{w: w}
-	owner := r.placement.Owner(w.Loc)
+	owner := ts.placement.Owner(w.Loc)
 	if r.haloOn {
-		if mirrors := r.placement.Mirrors(w.Loc, owner, nil); len(mirrors) > 0 {
-			h, admitted, _, err = r.addMirrored(owner, mirrors, &ad)
+		if mirrors := ts.placement.Mirrors(w.Loc, owner, nil); len(mirrors) > 0 {
+			h, admitted, _, err = r.addMirrored(ts, owner, mirrors, &ad)
 			return h, admitted, err
 		}
 	}
-	h, admitted, _, err = r.admitOwner(owner, nil, &ad)
-	r.applyPending()
+	h, admitted, _, err = r.admitOwner(ts, owner, nil, &ad)
+	r.applyPending(ts)
 	return h, admitted, err
 }
 
 // AddTask routes the task to the shard owning its location; see AddWorker
 // for the locking, mirroring and admitted-time semantics.
 func (r *Router) AddTask(t model.Task) (h Handle, admitted float64, err error) {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	ts := r.state()
 	ad := admission{task: true, t: t}
-	owner := r.placement.Owner(t.Loc)
+	owner := ts.placement.Owner(t.Loc)
 	if r.haloOn {
-		if mirrors := r.placement.Mirrors(t.Loc, owner, nil); len(mirrors) > 0 {
-			h, admitted, _, err = r.addMirrored(owner, mirrors, &ad)
+		if mirrors := ts.placement.Mirrors(t.Loc, owner, nil); len(mirrors) > 0 {
+			h, admitted, _, err = r.addMirrored(ts, owner, mirrors, &ad)
 			return h, admitted, err
 		}
 	}
-	h, admitted, _, err = r.admitOwner(owner, nil, &ad)
-	r.applyPending()
+	h, admitted, _, err = r.admitOwner(ts, owner, nil, &ad)
+	r.applyPending(ts)
 	return h, admitted, err
 }
 
@@ -358,6 +472,13 @@ type admission struct {
 	task bool
 	w    model.Worker
 	t    model.Task
+	// migrated marks a rebalance re-admission; expiryFired additionally
+	// records that the object's deadline expiry was already emitted under
+	// the old topology (AssumeGuide keeps such objects live), so the new
+	// session must not emit it again. Both replay through the WAL
+	// admission flags (walcodec.go).
+	migrated    bool
+	expiryFired bool
 }
 
 // loc returns the live object's location; time its arrival timestamp (the
@@ -380,13 +501,25 @@ func (ad *admission) time() float64 {
 // arrival time the session stamped.
 func (ad *admission) admit(s *sim.Session) (int, float64, error) {
 	if ad.task {
-		h, err := s.AddTask(ad.t)
+		var h int
+		var err error
+		if ad.migrated {
+			h, err = s.AddMigratedTask(ad.t, ad.expiryFired)
+		} else {
+			h, err = s.AddTask(ad.t)
+		}
 		if err != nil {
 			return -1, 0, err
 		}
 		return h, s.Task(h).Release, nil
 	}
-	h, err := s.AddWorker(ad.w)
+	var h int
+	var err error
+	if ad.migrated {
+		h, err = s.AddMigratedWorker(ad.w, ad.expiryFired)
+	} else {
+		h, err = s.AddWorker(ad.w)
+	}
 	if err != nil {
 		return -1, 0, err
 	}
@@ -401,8 +534,8 @@ func (ad *admission) admit(s *sim.Session) (int, float64, error) {
 // is the session's current count. The returned epoch is the owner
 // session's arena epoch at admission — the receipt's validity window for
 // WithdrawWorker/WithdrawTask (withdraw.go).
-func (r *Router) admitOwner(owner int, rec *mirror, ad *admission) (Handle, float64, uint64, error) {
-	si := r.shards[owner]
+func (r *Router) admitOwner(ts *topoState, owner int, rec *mirror, ad *admission) (Handle, float64, uint64, error) {
+	si := ts.shards[owner]
 	si.mu.Lock()
 	defer si.mu.Unlock()
 	si.drainPendingLocked()
@@ -459,7 +592,7 @@ func (si *shardInstance) admitOwnerLocked(r *Router, rec *mirror, ad *admission)
 // skipped (or immediately retracted) once the object's claim settled —
 // e.g. the owner session matched it on arrival — so ghosts never outlive
 // a decided object by more than the admission call that raced it.
-func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, float64, uint64, error) {
+func (r *Router) addMirrored(ts *topoState, owner int, mirrors []int, ad *admission) (Handle, float64, uint64, error) {
 	rec := &mirror{
 		gid:    r.gids.Add(1),
 		task:   ad.task,
@@ -470,7 +603,7 @@ func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, f
 	for _, m := range mirrors {
 		rec.copies = append(rec.copies, int32(m))
 	}
-	h, admitted, epoch, err := r.admitOwner(owner, rec, ad)
+	h, admitted, epoch, err := r.admitOwner(ts, owner, rec, ad)
 	if err != nil {
 		return Handle{}, 0, 0, err
 	}
@@ -484,7 +617,7 @@ func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, f
 		ad.w.Arrive = admitted
 	}
 	for _, m := range mirrors {
-		gi := r.shards[m]
+		gi := ts.shards[m]
 		gi.mu.Lock()
 		gi.drainPendingLocked()
 		if rec.settle() == claimFree {
@@ -492,7 +625,7 @@ func (r *Router) addMirrored(owner int, mirrors []int, ad *admission) (Handle, f
 		}
 		gi.mu.Unlock()
 	}
-	r.applyPending()
+	r.applyPending(ts)
 	return h, admitted, epoch, nil
 }
 
@@ -527,6 +660,9 @@ func (r *Router) admitGhostLocked(gi *shardInstance, rec *mirror, ad *admission)
 			return
 		}
 	}
+	// Ghost copies never emit lifecycle events of their own, so migrated
+	// expiry suppression is owner-side only.
+	gad.migrated, gad.expiryFired = false, false
 	ad = &gad
 	var next int
 	if ad.task {
@@ -569,7 +705,10 @@ func (r *Router) admitGhostLocked(gi *shardInstance, rec *mirror, ad *admission)
 // expiries. Locks are released via defer so a panicking algorithm or
 // OnEvent hook cannot wedge a shard's mutex.
 func (r *Router) Advance(now float64) {
-	for _, si := range r.shards {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	ts := r.state()
+	for _, si := range ts.shards {
 		func() {
 			si.mu.Lock()
 			defer si.mu.Unlock()
@@ -581,7 +720,7 @@ func (r *Router) Advance(now float64) {
 			}
 		}()
 	}
-	r.applyPending()
+	r.applyPending(ts)
 }
 
 // Finish finishes every shard's session; further admissions return
@@ -590,7 +729,10 @@ func (r *Router) Advance(now float64) {
 // applied afterwards — on already-finished sessions they are inert, every
 // deadline having fired, but they keep the halo tables tidy.
 func (r *Router) Finish() {
-	for _, si := range r.shards {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	ts := r.state()
+	for _, si := range ts.shards {
 		func() {
 			si.mu.Lock()
 			defer si.mu.Unlock()
@@ -602,7 +744,7 @@ func (r *Router) Finish() {
 			}
 		}()
 	}
-	r.applyPending()
+	r.applyPending(ts)
 }
 
 // afterWriteLocked is the post-write tail of every mutating router call:
@@ -642,7 +784,7 @@ func (si *shardInstance) collectLocked(r *Router) {
 				sev.WorkerShard = int(rw.owner)
 				sev.Worker = int(rw.ownerLocal)
 				if si.rep == nil {
-					r.retractLosers(rw, si.id)
+					r.retractLosers(si.ts, rw, si.id)
 				}
 				border = true
 			}
@@ -650,7 +792,7 @@ func (si *shardInstance) collectLocked(r *Router) {
 				sev.TaskShard = int(rt.owner)
 				sev.Task = int(rt.ownerLocal)
 				if si.rep == nil {
-					r.retractLosers(rt, si.id)
+					r.retractLosers(si.ts, rt, si.id)
 				}
 				border = true
 			}
@@ -749,7 +891,7 @@ func (si *shardInstance) ownerExpiryOutcome(r *Router, rec *mirror, sev *Event, 
 	if r.mode == sim.Strict {
 		state = rec.claimExpiry()
 		if state == claimExpired {
-			r.retractLosers(rec, si.id)
+			r.retractLosers(si.ts, rec, si.id)
 			return expiryClaimed
 		}
 	} else {
@@ -826,6 +968,8 @@ func (r *Router) Events(since uint64, dst []Event) ([]Event, uint64, error) {
 // acceptable for poll serving; a k-way merge would tighten it if page
 // loads ever dominate.
 func (r *Router) EventsLimit(since uint64, limit int, dst []Event) ([]Event, uint64, error) {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	if since < r.evicted.Load() {
 		return dst, 0, ErrEvicted
 	}
@@ -834,7 +978,7 @@ func (r *Router) EventsLimit(since uint64, limit int, dst []Event) ([]Event, uin
 		return dst, hi, nil
 	}
 	start := len(dst)
-	dst, capped := r.gather(since, hi, limit, dst)
+	dst, capped := r.gather(r.state(), since, hi, limit, dst)
 	// Re-check after the walk: a concurrent eviction during it may have
 	// dropped not-yet-visited events at or above since, leaving a gap.
 	if since < r.evicted.Load() {
@@ -850,13 +994,15 @@ func (r *Router) EventsLimit(since uint64, limit int, dst []Event) ([]Event, uin
 // eviction can narrow the page but never produce ErrEvicted — this is
 // the primitive behind cursor-less polling ("give me what is retained").
 func (r *Router) EventsFromOldest(limit int, dst []Event) ([]Event, uint64) {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	since := r.evicted.Load()
 	hi := r.seq.Load()
 	if since >= hi {
 		return dst, hi
 	}
 	start := len(dst)
-	dst, capped := r.gather(since, hi, limit, dst)
+	dst, capped := r.gather(r.state(), since, hi, limit, dst)
 	if e := r.evicted.Load(); e > since {
 		// Eviction raced the walk: events below the new boundary may be
 		// incomplete across shards, but everything at or above it was
@@ -875,11 +1021,22 @@ func (r *Router) EventsFromOldest(limit int, dst []Event) ([]Event, uint64) {
 	return page(since, hi, limit, dst, start, capped)
 }
 
-// gather collects, per shard, up to limit events with since <= Seq < hi
-// into dst, reporting whether any shard's contribution was truncated.
-func (r *Router) gather(since, hi uint64, limit int, dst []Event) ([]Event, bool) {
+// gather collects, per source, up to limit events with since <= Seq < hi
+// into dst, reporting whether any source's contribution was truncated.
+// The archive — events emitted under earlier topologies — is one more
+// source, merged exactly like a (frozen) shard log.
+func (r *Router) gather(ts *topoState, since, hi uint64, limit int, dst []Event) ([]Event, bool) {
 	capped := false
-	for _, si := range r.shards {
+	if arch := ts.archive; len(arch) > 0 {
+		i := sort.Search(len(arch), func(k int) bool { return arch[k].Seq >= since })
+		j := i + sort.Search(len(arch)-i, func(k int) bool { return arch[i+k].Seq >= hi })
+		if limit > 0 && j-i > limit {
+			j = i + limit
+			capped = true
+		}
+		dst = append(dst, arch[i:j]...)
+	}
+	for _, si := range ts.shards {
 		si.mu.Lock()
 		log := si.log
 		i := sort.Search(len(log), func(k int) bool { return log[k].Seq >= since })
@@ -915,14 +1072,18 @@ func page(since, hi uint64, limit int, dst []Event, start int, capped bool) ([]E
 	return dst, since
 }
 
-// ShardStats snapshots shard i.
+// ShardStats snapshots shard i of the current topology.
 func (r *Router) ShardStats(i int) Stats {
-	si := r.shards[i]
+	return r.shardStatsOf(r.state(), i)
+}
+
+func (r *Router) shardStatsOf(ts *topoState, i int) Stats {
+	si := ts.shards[i]
 	si.mu.Lock()
 	defer si.mu.Unlock()
 	return Stats{
 		Shard:       si.id,
-		Bounds:      r.placement.Region(si.id),
+		Bounds:      ts.placement.Region(si.id),
 		Workers:     si.sess.AdmittedWorkers(),
 		Tasks:       si.sess.AdmittedTasks(),
 		LiveWorkers: si.sess.NumWorkers(),
@@ -937,6 +1098,7 @@ func (r *Router) ShardStats(i int) Stats {
 		Attempted:        si.sess.Attempted(),
 		Rejected:         si.sess.Rejected(),
 		Now:              si.sess.Now(),
+		ArrivalRate:      si.rateEWMA,
 		GhostWorkers:     si.halo.ghostW,
 		GhostTasks:       si.halo.ghostT,
 		WithdrawnWorkers: si.sess.WithdrawnWorkers(),
@@ -954,7 +1116,9 @@ func (r *Router) ShardStats(i int) Stats {
 // behaviour never need this; it exists for operational "compact now"
 // hooks and tests.
 func (r *Router) Retire(horizon float64) (workers, tasks int) {
-	for _, si := range r.shards {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	for _, si := range r.state().shards {
 		func() {
 			si.mu.Lock()
 			defer si.mu.Unlock()
@@ -972,10 +1136,13 @@ func (r *Router) Retire(horizon float64) (workers, tasks int) {
 	return workers, tasks
 }
 
-// StatsAll appends a snapshot of every shard to dst and returns it.
+// StatsAll appends a snapshot of every shard to dst and returns it. The
+// snapshot is taken against one topology state, so the result is always
+// internally consistent even across a concurrent Rebalance.
 func (r *Router) StatsAll(dst []Stats) []Stats {
-	for i := range r.shards {
-		dst = append(dst, r.ShardStats(i))
+	ts := r.state()
+	for i := range ts.shards {
+		dst = append(dst, r.shardStatsOf(ts, i))
 	}
 	return dst
 }

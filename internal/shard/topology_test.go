@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"testing"
+
+	"ftoa/internal/geo"
+)
+
+func mustSplit(t *testing.T, topo *Topology, region int) *Topology {
+	t.Helper()
+	nt, err := topo.Split(region)
+	if err != nil {
+		t.Fatalf("Split(%d): %v", region, err)
+	}
+	return nt
+}
+
+func mustMerge(t *testing.T, topo *Topology, region int) *Topology {
+	t.Helper()
+	nt, err := topo.Merge(region)
+	if err != nil {
+		t.Fatalf("Merge(%d): %v", region, err)
+	}
+	return nt
+}
+
+// TestTopologyUniform: the unsplit topology is exactly the base grid —
+// same region count, same numbering, same rectangles — which is what lets
+// static routers keep their historical shard ids.
+func TestTopologyUniform(t *testing.T) {
+	topo := NewUniformTopology(4, 3)
+	if topo.NumRegions() != 12 || !topo.Uniform() {
+		t.Fatalf("4x3 uniform: regions=%d uniform=%v", topo.NumRegions(), topo.Uniform())
+	}
+	if s := topo.String(); s != "4x3" {
+		t.Fatalf("String = %q, want 4x3", s)
+	}
+	if q := topo.MergeableQuads(); len(q) != 0 {
+		t.Fatalf("uniform topology reports mergeable quads: %v", q)
+	}
+	bounds := geo.NewRect(0, 0, 100, 60)
+	g := geo.NewGrid(bounds, 4, 3)
+	rects := topo.Regions(bounds)
+	if len(rects) != 12 {
+		t.Fatalf("Regions returned %d rects", len(rects))
+	}
+	for i, r := range rects {
+		if topo.Depth(i) != 0 {
+			t.Fatalf("region %d depth = %d, want 0", i, topo.Depth(i))
+		}
+		if r != g.CellRect(i) {
+			t.Fatalf("region %d rect = %+v, want grid cell %+v", i, r, g.CellRect(i))
+		}
+	}
+}
+
+// TestTopologySplitNumbering: splitting one cell inserts its four children
+// at the cell's position in pre-order and shifts later regions by three;
+// the children quarter the parent rect in SW, SE, NW, NE order.
+func TestTopologySplitNumbering(t *testing.T) {
+	base := NewUniformTopology(4, 3)
+	topo := mustSplit(t, base, 5)
+	if topo.NumRegions() != 15 || topo.Uniform() {
+		t.Fatalf("after split: regions=%d uniform=%v", topo.NumRegions(), topo.Uniform())
+	}
+	if s := topo.String(); s != "4x3+3" {
+		t.Fatalf("String = %q, want 4x3+3", s)
+	}
+	if base.NumRegions() != 12 {
+		t.Fatal("Split mutated its receiver")
+	}
+	for i := 0; i < 15; i++ {
+		want := 0
+		if i >= 5 && i <= 8 {
+			want = 1
+		}
+		if d := topo.Depth(i); d != want {
+			t.Fatalf("region %d depth = %d, want %d", i, d, want)
+		}
+	}
+	bounds := geo.NewRect(0, 0, 100, 60)
+	g := geo.NewGrid(bounds, 4, 3)
+	rects := topo.Regions(bounds)
+	for i := 0; i < 5; i++ {
+		if rects[i] != g.CellRect(i) {
+			t.Fatalf("region %d moved: %+v", i, rects[i])
+		}
+	}
+	parent := g.CellRect(5)
+	mx, my := (parent.MinX+parent.MaxX)/2, (parent.MinY+parent.MaxY)/2
+	quads := []geo.Rect{
+		{MinX: parent.MinX, MinY: parent.MinY, MaxX: mx, MaxY: my}, // SW
+		{MinX: mx, MinY: parent.MinY, MaxX: parent.MaxX, MaxY: my}, // SE
+		{MinX: parent.MinX, MinY: my, MaxX: mx, MaxY: parent.MaxY}, // NW
+		{MinX: mx, MinY: my, MaxX: parent.MaxX, MaxY: parent.MaxY}, // NE
+	}
+	for q, want := range quads {
+		if rects[5+q] != want {
+			t.Fatalf("child %d rect = %+v, want %+v", q, rects[5+q], want)
+		}
+	}
+	for i := 9; i < 15; i++ {
+		if rects[i] != g.CellRect(i-3) {
+			t.Fatalf("region %d rect = %+v, want shifted cell %d", i, rects[i], i-3)
+		}
+	}
+	if q := topo.MergeableQuads(); len(q) != 1 || q[0] != [4]int{5, 6, 7, 8} {
+		t.Fatalf("MergeableQuads = %v, want [[5 6 7 8]]", q)
+	}
+	// Merging any child of the quad restores the original topology.
+	for region := 5; region <= 8; region++ {
+		if !mustMerge(t, topo, region).Equal(base) {
+			t.Fatalf("Merge(%d) does not restore the base grid", region)
+		}
+	}
+}
+
+// TestTopologySplitMergeErrors: the structural refusals — out-of-range
+// regions, merging a base cell, merging when a sibling is itself split.
+func TestTopologySplitMergeErrors(t *testing.T) {
+	topo := NewUniformTopology(2, 2)
+	if _, err := topo.Split(-1); err == nil {
+		t.Error("Split(-1) accepted")
+	}
+	if _, err := topo.Split(4); err == nil {
+		t.Error("Split past the region count accepted")
+	}
+	if _, err := topo.Merge(0); err == nil {
+		t.Error("Merge of a base cell accepted")
+	}
+	// Split cell 0, then split its SW child: the depth-1 quad now has an
+	// internal member, so merging a depth-1 leaf must refuse.
+	nested := mustSplit(t, mustSplit(t, NewUniformTopology(1, 1), 0), 0)
+	if nested.NumRegions() != 7 {
+		t.Fatalf("nested split regions = %d, want 7", nested.NumRegions())
+	}
+	if q := nested.MergeableQuads(); len(q) != 1 || q[0] != [4]int{0, 1, 2, 3} {
+		t.Fatalf("MergeableQuads = %v, want the deep quad only", q)
+	}
+	if _, err := nested.Merge(4); err == nil {
+		t.Error("Merge with a split sibling accepted")
+	}
+	// The deep quad merges fine and leaves the single-split topology.
+	if got := mustMerge(t, nested, 1); !got.Equal(mustSplit(t, NewUniformTopology(1, 1), 0)) {
+		t.Error("deep merge did not restore the single-split topology")
+	}
+}
+
+// TestTopologyMaxDepth: refinement stops at MaxSplitDepth.
+func TestTopologyMaxDepth(t *testing.T) {
+	topo := NewUniformTopology(1, 1)
+	for d := 0; d < MaxSplitDepth; d++ {
+		if topo.Depth(0) != d {
+			t.Fatalf("depth = %d, want %d", topo.Depth(0), d)
+		}
+		topo = mustSplit(t, topo, 0)
+	}
+	if topo.Depth(0) != MaxSplitDepth {
+		t.Fatalf("final depth = %d", topo.Depth(0))
+	}
+	if _, err := topo.Split(0); err == nil {
+		t.Fatal("Split past MaxSplitDepth accepted")
+	}
+	if want := 1 + 3*MaxSplitDepth; topo.NumRegions() != want {
+		t.Fatalf("regions = %d, want %d", topo.NumRegions(), want)
+	}
+}
+
+// TestTopologyEncodeDecode: the WAL header encoding round-trips any split
+// structure, and the decoder rejects malformed images rather than
+// constructing a topology that would mis-route.
+func TestTopologyEncodeDecode(t *testing.T) {
+	g := lcg(17)
+	topo := NewUniformTopology(3, 3)
+	for i := 0; i < 12; i++ {
+		region := int(g.next() % uint64(topo.NumRegions()))
+		nt, err := topo.Split(region)
+		if err != nil {
+			continue // hit max depth on this path; try another region next round
+		}
+		topo = nt
+	}
+	if topo.Uniform() {
+		t.Fatal("setup: no split landed")
+	}
+	for _, tc := range []*Topology{topo, NewUniformTopology(3, 3), NewUniformTopology(1, 5)} {
+		dec, err := DecodeTopology(tc.Encode(nil))
+		if err != nil {
+			t.Fatalf("decode %s: %v", tc, err)
+		}
+		if !dec.Equal(tc) || dec.NumRegions() != tc.NumRegions() {
+			t.Fatalf("round trip of %s lost structure: got %s", tc, dec)
+		}
+	}
+	img := topo.Encode(nil)
+	bad := [][]byte{
+		img[:3],                            // too short for the base dims
+		img[:len(img)-1],                   // truncated final cell tree
+		append(img[:len(img):len(img)], 0), // trailing leaf byte
+		append(img[:len(img):len(img)], 7), // bad spec byte
+		{0, 0, 1, 0},                       // zero cols
+	}
+	for i, p := range bad {
+		if _, err := DecodeTopology(p); err == nil {
+			t.Errorf("bad image %d accepted", i)
+		}
+	}
+	// A tree deeper than MaxSplitDepth must be rejected even when well
+	// formed: 1x1 base whose spec nests MaxSplitDepth+1 internal nodes.
+	deep := []byte{1, 0, 1, 0}
+	for d := 0; d < MaxSplitDepth+1; d++ {
+		deep = append(deep, 1)
+	}
+	for d := 0; d < MaxSplitDepth+1; d++ {
+		deep = append(deep, 0, 0, 0, 0)
+	}
+	if _, err := DecodeTopology(deep); err == nil {
+		t.Error("over-deep spec accepted")
+	}
+}

@@ -203,6 +203,42 @@ func ScanDir(fs FS, dir string) (byShard map[int][]string, maxGen uint64, err er
 	return byShard, maxGen, nil
 }
 
+// Segment names one discovered (shard, generation) log file.
+type Segment struct {
+	Shard int
+	Gen   uint64
+	Path  string
+}
+
+// Segments lists every WAL segment under dir individually, ordered by
+// generation then shard, plus the highest generation seen (0 when the
+// directory is empty or absent). Foreign files are ignored. Unlike
+// ScanDir this keeps generations apart, which recovery needs to walk the
+// topology-epoch chain generation by generation.
+func Segments(fs FS, dir string) (segs []Segment, maxGen uint64, err error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, name := range names {
+		shard, gen, ok := parseSegmentName(name)
+		if !ok {
+			continue
+		}
+		segs = append(segs, Segment{Shard: shard, Gen: gen, Path: filepath.Join(dir, name)})
+		if gen > maxGen {
+			maxGen = gen
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Gen != segs[j].Gen {
+			return segs[i].Gen < segs[j].Gen
+		}
+		return segs[i].Shard < segs[j].Shard
+	})
+	return segs, maxGen, nil
+}
+
 // ShardLog is the readable history of one shard: every durable payload
 // across its generations in append order, with per-segment torn tails and
 // dangling interim groups already dropped.

@@ -28,6 +28,13 @@ import (
 // a dangling decision tail whose operation never became durable.
 const (
 	recHeader byte = 0x01
+	// recSeal commits a checkpoint generation (rebalance.go): it is
+	// appended to shard 0's log only, after every shard's re-admission
+	// records were flushed, so its durability implies the whole
+	// checkpoint's. Payload: u64 topology version. A checkpoint
+	// generation without a durable seal is skipped by recovery — the
+	// migration never happened.
+	recSeal byte = 0x02
 
 	opWorker      byte = 0x10 // owner admission of a worker
 	opTask        byte = 0x11 // owner admission of a task
@@ -57,7 +64,38 @@ const (
 )
 
 // walMagic anchors header records; bump the version on any payload change.
-const walMagic = "FTWALv1\x00"
+// v2 extends the header with the topology-epoch chain (kind, topology
+// version and image, epoch and sequence bases) and adds the checkpoint
+// seal record.
+const walMagic = "FTWALv2\x00"
+
+// Generation kinds (header payload): how a generation relates to the
+// topology-epoch chain recovery walks (walhook.go).
+const (
+	genInitial      byte = 0 // first generation of a fresh router
+	genContinuation byte = 1 // reopened by recovery; same topology as its chain
+	genCheckpoint   byte = 2 // opened by Rebalance; holds the full post-migration state
+)
+
+// headerMeta is the v2 header metadata shared by every shard's header of
+// one generation.
+type headerMeta struct {
+	gen  uint64
+	kind byte
+	// topoVer and topo identify the topology every record of the
+	// generation was written under (topo is a Topology.Encode image).
+	topoVer uint64
+	topo    []byte
+	// epochBase is the arena-epoch floor of the generation's sessions: a
+	// checkpoint starts every new session above anything the old topology
+	// receipted, and recovery re-applies the floor before replay.
+	epochBase uint64
+	// seqBase is the global sequence counter at the generation's chain
+	// start: everything below it belongs to earlier topologies and is not
+	// replayable from the chain, so recovery resumes the eviction boundary
+	// (and the sequence counter) at least here.
+	seqBase uint64
+}
 
 // mirrorInfo is the decoded halo identity of a mirrored admission.
 type mirrorInfo struct {
@@ -112,14 +150,28 @@ func encodeFingerprint(cfg *Config) []byte {
 }
 
 // encodeHeader builds one shard's framed header record.
-func encodeHeader(shard int, gen uint64, fp []byte) []byte {
-	p := make([]byte, 0, 1+len(walMagic)+4+8+2+len(fp))
+func encodeHeader(shard int, fp []byte, hm headerMeta) []byte {
+	p := make([]byte, 0, 1+len(walMagic)+4+8+2+len(fp)+1+8+8+8+4+len(hm.topo))
 	p = append(p, recHeader)
 	p = append(p, walMagic...)
 	p = appendU32(p, uint32(shard))
-	p = appendU64(p, gen)
+	p = appendU64(p, hm.gen)
 	p = appendU16(p, uint16(len(fp)))
 	p = append(p, fp...)
+	p = append(p, hm.kind)
+	p = appendU64(p, hm.topoVer)
+	p = appendU64(p, hm.epochBase)
+	p = appendU64(p, hm.seqBase)
+	p = appendU32(p, uint32(len(hm.topo)))
+	p = append(p, hm.topo...)
+	return wal.AppendFrame(nil, p)
+}
+
+// encodeSeal builds the framed checkpoint seal record (shard 0 only).
+func encodeSeal(topoVer uint64) []byte {
+	p := make([]byte, 0, 9)
+	p = append(p, recSeal)
+	p = appendU64(p, topoVer)
 	return wal.AppendFrame(nil, p)
 }
 
@@ -176,6 +228,11 @@ func encodeAdmission(dst []byte, ad *admission, rec *mirror, ghost bool) []byte 
 	var flags byte
 	if rec != nil {
 		flags |= 1
+	}
+	if ad.expiryFired {
+		// Only possible on migrated owner re-admissions (rebalance.go):
+		// the deadline expiry was already emitted under the old topology.
+		flags |= 2
 	}
 	dst = append(dst, flags)
 	if ad.task {
@@ -257,27 +314,36 @@ func (d *decoder) bytes(n int, what string) []byte {
 }
 
 // decodeHeader validates one shard's header record against the booting
-// config's fingerprint.
-func decodeHeader(payload []byte, shard int, fp []byte) (gen uint64, err error) {
+// config's fingerprint and returns the generation's chain metadata.
+func decodeHeader(payload []byte, shard int, fp []byte) (hm headerMeta, err error) {
 	d := decoder{p: payload, off: 1} // type byte already dispatched
 	magic := d.bytes(len(walMagic), "magic")
 	if d.err == nil && string(magic) != walMagic {
-		return 0, fmt.Errorf("wal: bad magic (version mismatch or foreign file)")
+		return hm, fmt.Errorf("wal: bad magic (version mismatch or foreign file)")
 	}
 	gotShard := int(int32(d.u32("shard")))
-	gen = d.u64("generation")
+	hm.gen = d.u64("generation")
 	fpLen := int(d.u16("fingerprint length"))
 	gotFP := d.bytes(fpLen, "fingerprint")
+	hm.kind = d.u8("generation kind")
+	hm.topoVer = d.u64("topology version")
+	hm.epochBase = d.u64("epoch base")
+	hm.seqBase = d.u64("sequence base")
+	topoLen := int(d.u32("topology length"))
+	hm.topo = d.bytes(topoLen, "topology image")
 	if d.err != nil {
-		return 0, d.err
+		return hm, d.err
 	}
 	if gotShard != shard {
-		return 0, fmt.Errorf("wal: segment header names shard %d, expected %d", gotShard, shard)
+		return hm, fmt.Errorf("wal: segment header names shard %d, expected %d", gotShard, shard)
 	}
 	if string(gotFP) != string(fp) {
-		return 0, fmt.Errorf("wal: config fingerprint mismatch: the log was written under a different router configuration (mode/grid/halo/bounds/velocity/retention/retire/hints must match)")
+		return hm, fmt.Errorf("wal: config fingerprint mismatch: the log was written under a different router configuration (mode/grid/halo/bounds/velocity/retention/retire/hints must match)")
 	}
-	return gen, nil
+	if hm.kind > genCheckpoint {
+		return hm, fmt.Errorf("wal: unknown generation kind %d", hm.kind)
+	}
+	return hm, nil
 }
 
 // decodeAdmission decodes an owner or ghost admission payload (type byte
@@ -298,6 +364,9 @@ func decodeAdmission(payload []byte, task bool) (ad admission, mi mirrorInfo, mi
 		ad.w.Loc.Y = d.f64("worker y")
 		ad.w.Arrive = d.f64("worker arrive")
 		ad.w.Patience = d.f64("worker patience")
+	}
+	if flags&2 != 0 {
+		ad.migrated, ad.expiryFired = true, true
 	}
 	if flags&1 != 0 {
 		mirrored = true

@@ -245,23 +245,69 @@ type RecoveryInfo struct {
 	MaxClock float64
 	// Generation is the segment generation the recovered router writes.
 	Generation uint64
+	// TopologyVersion is the topology epoch the recovered router serves;
+	// Topology renders it (e.g. "4x4+6"). SkippedGenerations counts
+	// generations on disk that did not contribute to the recovered state:
+	// unsealed checkpoints (migrations that never committed) and
+	// generations superseded by a later sealed checkpoint.
+	TopologyVersion    uint64
+	Topology           string
+	SkippedGenerations int
 }
 
-// attachWAL opens generation gen of the log set and wires a recorder into
-// every shard. Callers hold no shard locks.
-func (r *Router) attachWAL(cfg *Config, gen uint64) error {
-	fp := encodeFingerprint(cfg)
-	set, err := wal.Open(*cfg.WAL, len(r.shards), gen, func(i int) []byte {
-		return encodeHeader(i, gen, fp)
+// genData is one on-disk generation during recovery: its read segments by
+// shard, the chain metadata from its first durable header, and whether a
+// checkpoint seal is durable in shard 0.
+type genData struct {
+	gen     uint64
+	hm      headerMeta
+	hasMeta bool
+	sealed  bool
+	byShard map[int]*wal.ShardLog
+}
+
+// openWALSet opens one generation's log set for the given topology state
+// without installing it. Callers hold no shard locks.
+func (r *Router) openWALSet(ts *topoState, hm headerMeta) (*wal.Set, error) {
+	fp := encodeFingerprint(&r.cfg)
+	set, err := wal.Open(*r.cfg.WAL, len(ts.shards), hm.gen, func(i int) []byte {
+		return encodeHeader(i, fp, hm)
 	})
+	if err != nil {
+		return nil, err
+	}
+	if hm.gen > r.walAttempt {
+		r.walAttempt = hm.gen
+	}
+	return set, nil
+}
+
+// attachWAL opens the generation and wires a recorder into every shard of
+// the current state.
+func (r *Router) attachWAL(hm headerMeta) error {
+	ts := r.state()
+	set, err := r.openWALSet(ts, hm)
 	if err != nil {
 		return err
 	}
 	r.walSet = set
-	for i, si := range r.shards {
+	for i, si := range ts.shards {
 		si.wal = &shardWAL{log: set.Log(i)}
 	}
 	return nil
+}
+
+// headerMetaFor builds the header metadata for a generation written under
+// the given state.
+func (r *Router) headerMetaFor(ts *topoState, gen uint64, kind byte, epochBase, seqBase uint64) headerMeta {
+	return headerMeta{
+		gen:       gen,
+		kind:      kind,
+		topoVer:   ts.version,
+		topo:      ts.topo.Encode(nil),
+		epochBase: epochBase,
+		seqBase:   seqBase,
+	}
 }
 
 // attachFreshWAL is the NewRouter path: it refuses a directory that
@@ -275,7 +321,7 @@ func (r *Router) attachFreshWAL(cfg *Config) error {
 	if len(byShard) > 0 {
 		return fmt.Errorf("shard: WAL directory %s already contains segments; use Recover", cfg.WAL.Dir)
 	}
-	return r.attachWAL(cfg, 1)
+	return r.attachWAL(r.headerMetaFor(r.state(), 1, genInitial, 0, 0))
 }
 
 // Recover reconstructs a Router from the write-ahead log in cfg.WAL.Dir
@@ -299,60 +345,160 @@ func Recover(cfg Config) (*Router, *RecoveryInfo, error) {
 		return nil, nil, errors.New("shard: Recover requires Config.WAL")
 	}
 	fs := cfg.WAL.Filesystem()
-	byShard, maxGen, err := wal.ScanDir(fs, cfg.WAL.Dir)
+	segs, maxGen, err := wal.Segments(fs, cfg.WAL.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(byShard) == 0 {
+	if len(segs) == 0 {
 		r, err := NewRouter(cfg)
 		if err != nil {
 			return nil, nil, err
 		}
-		return r, &RecoveryInfo{Shards: len(r.shards), Generation: 1}, nil
-	}
-	// Build the router shell without a live log, replay into it, then
-	// open the next generation for its own writes.
-	plain := cfg
-	plain.WAL = nil
-	r, err := NewRouter(plain)
-	if err != nil {
-		return nil, nil, err
-	}
-	for s := range byShard {
-		if s < 0 || s >= len(r.shards) {
-			return nil, nil, fmt.Errorf("shard: WAL segment for shard %d, but the grid has %d shards", s, len(r.shards))
-		}
+		return r, &RecoveryInfo{Shards: r.NumShards(), Generation: 1, TopologyVersion: 1, Topology: r.state().topo.String()}, nil
 	}
 	fp := encodeFingerprint(&cfg)
-	info := &RecoveryInfo{Recovered: true, Shards: len(r.shards), Generation: maxGen + 1}
-	st := &replayState{mirrors: make(map[uint64]*mirror)}
-	for i, si := range r.shards {
-		paths := byShard[i]
-		if len(paths) == 0 {
-			continue // this shard never wrote: it replays empty
+	// Read every segment, grouped by generation (segs is gen-ordered).
+	var ordered []*genData
+	var cur *genData
+	for _, sg := range segs {
+		if cur == nil || cur.gen != sg.Gen {
+			cur = &genData{gen: sg.Gen, byShard: make(map[int]*wal.ShardLog)}
+			ordered = append(ordered, cur)
 		}
-		sl, err := wal.ReadShard(fs, paths)
+		sl, err := wal.ReadShard(fs, []string{sg.Path})
 		if err != nil {
 			return nil, nil, err
 		}
-		info.Segments += sl.Segments
-		info.TornBytes += sl.TornBytes
-		info.DanglingRecords += sl.DanglingRecords
-		info.Records += len(sl.Payloads)
-		if err := r.replayShard(si, sl.Payloads, fp, st); err != nil {
+		cur.byShard[sg.Shard] = sl
+		if !cur.hasMeta && len(sl.Payloads) > 0 && sl.Payloads[0][0] == recHeader {
+			hm, err := decodeHeader(sl.Payloads[0], sg.Shard, fp)
+			if err != nil {
+				return nil, nil, fmt.Errorf("gen %d shard %d: %w", sg.Gen, sg.Shard, err)
+			}
+			cur.hm, cur.hasMeta = hm, true
+		}
+		if sg.Shard == 0 {
+			for _, p := range sl.Payloads {
+				if p[0] == recSeal {
+					cur.sealed = true
+				}
+			}
+		}
+	}
+	// Walk the topology-epoch chain: a sealed checkpoint restarts the
+	// chain (it holds the complete post-migration state), an unsealed one
+	// is a migration that never committed and contributes nothing, and
+	// initial/continuation generations extend the running chain.
+	var chain []*genData
+	for _, g := range ordered {
+		switch {
+		case !g.hasMeta:
+			// No durable header anywhere: no durable records either (the
+			// header is each segment's first record).
+		case g.hm.kind == genCheckpoint && g.sealed:
+			chain = append(chain[:0], g)
+		case g.hm.kind == genCheckpoint:
+			// Unsealed: skipped; the pre-migration chain stands.
+		default:
+			chain = append(chain, g)
+		}
+	}
+	// Resolve the chain's topology (the state every chain generation was
+	// written under) and build the shell to replay into.
+	topo := NewUniformTopology(cfg.Cols, cfg.Rows)
+	base := headerMeta{topoVer: 1}
+	if len(chain) > 0 {
+		base = chain[0].hm
+		for _, g := range chain[1:] {
+			if g.hm.topoVer != base.topoVer {
+				return nil, nil, fmt.Errorf("shard: generation %d written under topology version %d, chain is at %d", g.gen, g.hm.topoVer, base.topoVer)
+			}
+		}
+		if len(base.topo) > 0 {
+			if topo, err = DecodeTopology(base.topo); err != nil {
+				return nil, nil, err
+			}
+		}
+		if topo.BaseCols() != cfg.Cols || topo.BaseRows() != cfg.Rows {
+			return nil, nil, fmt.Errorf("shard: recovered topology base %s does not match config grid %dx%d", topo.String(), cfg.Cols, cfg.Rows)
+		}
+	}
+	r, err := newRouterShell(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts, err := r.buildState(topo, base.topoVer, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.top.Store(ts)
+	r.walAttempt = maxGen
+	if base.epochBase > 0 {
+		for _, si := range ts.shards {
+			si.sess.SetEpochFloor(base.epochBase)
+		}
+	}
+	info := &RecoveryInfo{
+		Recovered:          true,
+		Shards:             len(ts.shards),
+		Generation:         maxGen + 1,
+		TopologyVersion:    base.topoVer,
+		Topology:           topo.String(),
+		SkippedGenerations: len(ordered) - len(chain),
+	}
+	for _, g := range chain {
+		for s := range g.byShard {
+			if s < 0 || s >= len(ts.shards) {
+				return nil, nil, fmt.Errorf("shard: WAL segment for shard %d in gen %d, but topology %s has %d regions", s, g.gen, topo.String(), len(ts.shards))
+			}
+		}
+	}
+	st := &replayState{mirrors: make(map[uint64]*mirror)}
+	for i, si := range ts.shards {
+		// Concatenate this shard's durable records across the chain.
+		var payloads [][]byte
+		for _, g := range chain {
+			sl := g.byShard[i]
+			if sl == nil {
+				continue
+			}
+			info.Segments += sl.Segments
+			info.TornBytes += sl.TornBytes
+			info.DanglingRecords += sl.DanglingRecords
+			info.Records += len(sl.Payloads)
+			payloads = append(payloads, sl.Payloads...)
+		}
+		if len(payloads) == 0 {
+			continue // this shard never wrote: it replays empty
+		}
+		if err := r.replayShard(si, payloads, fp, st); err != nil {
 			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	if st.nextSeq < base.seqBase {
+		st.nextSeq = base.seqBase
+	}
 	r.seq.Store(st.nextSeq)
 	r.gids.Store(st.maxGid)
+	// Events below the chain's sequence base belong to earlier topologies
+	// and are not replayable from the chain: resume the eviction boundary
+	// there so stale cursors fail ErrEvicted instead of silently skipping.
+	raiseBoundary(&r.evicted, base.seqBase)
 	info.Events = st.events
-	for _, si := range r.shards {
+	for _, si := range ts.shards {
 		if now := si.sess.Now(); !math.IsInf(now, -1) && now > info.MaxClock {
 			info.MaxClock = now
 		}
 		info.Matches += si.sess.Matches()
 	}
-	if err := r.attachWAL(&cfg, maxGen+1); err != nil {
+	if err := r.attachWAL(headerMeta{
+		gen:       maxGen + 1,
+		kind:      genContinuation,
+		topoVer:   base.topoVer,
+		topo:      topo.Encode(nil),
+		epochBase: base.epochBase,
+		seqBase:   base.seqBase,
+	}); err != nil {
 		return nil, nil, err
 	}
 	return r, info, nil
@@ -382,6 +528,10 @@ func (r *Router) replayShard(si *shardInstance, payloads [][]byte, fp []byte, st
 		}
 		if !sawHeader {
 			return errors.New("wal: records before any segment header")
+		}
+		if typ == recSeal {
+			// Checkpoint seal (shard 0): a commit marker, not an operation.
+			continue
 		}
 		if typ&wal.InterimBit != 0 {
 			rp.interim = append(rp.interim, p)
@@ -503,6 +653,8 @@ func (r *Router) replayOp(si *shardInstance, typ byte, p []byte) error {
 // without a WAL. Graceful shutdown calls it before exit so a clean stop
 // loses nothing.
 func (r *Router) WALFlush() error {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	if r.walSet == nil {
 		return nil
 	}
@@ -512,6 +664,8 @@ func (r *Router) WALFlush() error {
 // WALClose flushes and closes the log set; the router keeps serving but
 // stops recording. Safe to call more than once or without a WAL.
 func (r *Router) WALClose() error {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	if r.walSet == nil {
 		return nil
 	}
@@ -522,6 +676,8 @@ func (r *Router) WALClose() error {
 // prefers availability over durability, so append failures never block
 // admissions — operators watch this (ftoa-serve exposes it in /stats).
 func (r *Router) WALErr() error {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	if r.walSet == nil {
 		return nil
 	}
@@ -530,6 +686,8 @@ func (r *Router) WALErr() error {
 
 // WALGeneration returns the generation the router writes, 0 without a WAL.
 func (r *Router) WALGeneration() uint64 {
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
 	if r.walSet == nil {
 		return 0
 	}

@@ -50,15 +50,18 @@ func (r *Router) WithdrawTask(h Handle, epoch uint64) (bool, error) {
 }
 
 func (r *Router) withdraw(h Handle, epoch uint64, task bool) (bool, error) {
-	if h.Shard < 0 || h.Shard >= len(r.shards) {
-		return false, fmt.Errorf("shard: withdraw names shard %d, grid has %d", h.Shard, len(r.shards))
+	r.topoMu.RLock()
+	defer r.topoMu.RUnlock()
+	ts := r.state()
+	if h.Shard < 0 || h.Shard >= len(ts.shards) {
+		return false, fmt.Errorf("shard: withdraw names shard %d, grid has %d", h.Shard, len(ts.shards))
 	}
-	si := r.shards[h.Shard]
+	si := ts.shards[h.Shard]
 	applied, err := si.withdrawOwner(r, h.Local, epoch, task)
 	// A claimed border withdrawal enqueued ghost retractions; apply them
 	// now (never while holding si.mu) so the copies are gone when the
 	// call returns, matching the commit path's retraction promptness.
-	r.applyPending()
+	r.applyPending(ts)
 	return applied, err
 }
 
@@ -105,7 +108,7 @@ func (si *shardInstance) withdrawOwner(r *Router, local int, epoch uint64, task 
 				break
 			}
 		}
-		r.retractLosers(rec, si.id)
+		r.retractLosers(si.ts, rec, si.id)
 	}
 	var applied bool
 	if task {

@@ -19,7 +19,7 @@ func TestWithdrawInterior(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	epoch := r.shards[0].sess.Epoch()
+	epoch := r.state().shards[0].sess.Epoch()
 	if ok, err := r.WithdrawWorker(h, epoch); err != nil || !ok {
 		t.Fatalf("WithdrawWorker = %v, %v; want true, nil", ok, err)
 	}
@@ -46,7 +46,7 @@ func TestWithdrawRefusals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	epoch := r.shards[0].sess.Epoch()
+	epoch := r.state().shards[0].sess.Epoch()
 	if _, err := r.WithdrawTask(Handle{Shard: 9, Local: 0}, epoch); err == nil {
 		t.Error("unknown shard accepted")
 	}
@@ -81,7 +81,7 @@ func TestWithdrawStaleEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	epoch := r.shards[0].sess.Epoch()
+	epoch := r.state().shards[0].sess.Epoch()
 	// A pair that matches at t=0, then a retirement past it: the pair is
 	// compacted away, the epoch bumps, and the receipt — though its object
 	// is still live — is conservatively refused.
@@ -118,7 +118,7 @@ func TestWithdrawMirrored(t *testing.T) {
 	if gs := r.ShardStats(ghostShard); gs.GhostWorkers != 1 {
 		t.Fatalf("setup: ghost shard stats %+v, want 1 ghost worker", gs)
 	}
-	epoch := r.shards[h.Shard].sess.Epoch()
+	epoch := r.state().shards[h.Shard].sess.Epoch()
 	if ok, err := r.WithdrawWorker(h, epoch); err != nil || !ok {
 		t.Fatalf("WithdrawWorker = %v, %v; want true, nil", ok, err)
 	}

@@ -1,0 +1,53 @@
+// Session-side support for shard migration (package internal/shard's
+// rebalance subsystem): when a region is split or merged, the live objects
+// of its old session are re-admitted into fresh sessions at their original
+// timestamps. Three pieces of session state need explicit handling that
+// ordinary admission cannot provide:
+//
+//   - liveness: only objects that can still affect future matching move —
+//     exactly the complement of the retirement dead-predicate at the
+//     current clock (WorkerLive/TaskLive);
+//   - already-emitted expiries: in AssumeGuide mode an unmatched object
+//     stays live past its deadline, but its expiry event was already
+//     emitted by the old session; re-admitting it must not enqueue a
+//     second deadline entry (AddMigratedWorker/AddMigratedTask);
+//   - receipt invalidation: admission receipts name (shard, handle, epoch)
+//     and migration renumbers all three, so every post-migration session
+//     starts its epoch above anything the old topology ever issued
+//     (SetEpochFloor), making stale receipts fail the epoch check instead
+//     of silently addressing an unrelated object.
+package sim
+
+import "ftoa/internal/model"
+
+// AddMigratedWorker admits a worker whose lifecycle began in another
+// session. It is exactly AddWorker except that when expiryFired is set —
+// the old session already emitted the worker's deadline expiry — no expiry
+// entry is enqueued, so the event is not emitted a second time.
+func (s *Session) AddMigratedWorker(w model.Worker, expiryFired bool) (int, error) {
+	return s.addWorker(w, !expiryFired)
+}
+
+// AddMigratedTask is AddTask with AddMigratedWorker's expiry semantics.
+func (s *Session) AddMigratedTask(t model.Task, expiryFired bool) (int, error) {
+	return s.addTask(t, !expiryFired)
+}
+
+// WorkerLive reports whether worker h can still affect future matching:
+// the complement of the retirement dead-predicate at the current clock.
+// In Strict mode an expired worker is dead; in AssumeGuide an unmatched
+// worker stays live (matchable) forever.
+func (s *Session) WorkerLive(h int) bool { return !s.workerDead(h, s.now) }
+
+// TaskLive is WorkerLive for tasks.
+func (s *Session) TaskLive(h int) bool { return !s.taskDead(h, s.now) }
+
+// SetEpochFloor raises the session's arena epoch to at least e. Retirement
+// bumps the epoch organically; migration uses the floor so that handles
+// receipted by any pre-migration session can never pass a fresh session's
+// epoch check.
+func (s *Session) SetEpochFloor(e uint64) {
+	if e > s.epoch {
+		s.epoch = e
+	}
+}

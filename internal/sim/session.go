@@ -277,6 +277,10 @@ func (s *Session) Reset(alg Algorithm) {
 // runs before AddWorker returns. Only ErrFinished is possible after a
 // successful NewSession.
 func (s *Session) AddWorker(w model.Worker) (int, error) {
+	return s.addWorker(w, true)
+}
+
+func (s *Session) addWorker(w model.Worker, pushExpiry bool) (int, error) {
 	if s.finished {
 		return -1, ErrFinished
 	}
@@ -291,7 +295,9 @@ func (s *Session) AddWorker(w model.Worker) (int, error) {
 		origin:     w.Loc,
 		anchorTime: w.Arrive,
 	})
-	s.wExpiry.push(expiryEntry{at: w.Deadline(), handle: int32(h)})
+	if pushExpiry {
+		s.wExpiry.push(expiryEntry{at: w.Deadline(), handle: int32(h)})
+	}
 	s.alg.OnWorkerArrival(h, w.Arrive)
 	return h, nil
 }
@@ -299,6 +305,10 @@ func (s *Session) AddWorker(w model.Worker) (int, error) {
 // AddTask admits a task and returns its handle; see AddWorker for the
 // clock and timer semantics (Release plays the role of Arrive).
 func (s *Session) AddTask(t model.Task) (int, error) {
+	return s.addTask(t, true)
+}
+
+func (s *Session) addTask(t model.Task, pushExpiry bool) (int, error) {
 	if s.finished {
 		return -1, ErrFinished
 	}
@@ -311,7 +321,9 @@ func (s *Session) AddTask(t model.Task) (int, error) {
 	s.tMatch = append(s.tMatch, false)
 	s.tMatchAt = append(s.tMatchAt, 0)
 	s.tWithdrawn = append(s.tWithdrawn, false)
-	s.tExpiry.push(expiryEntry{at: t.Deadline(), handle: int32(h)})
+	if pushExpiry {
+		s.tExpiry.push(expiryEntry{at: t.Deadline(), handle: int32(h)})
+	}
 	s.alg.OnTaskArrival(h, t.Release)
 	return h, nil
 }
