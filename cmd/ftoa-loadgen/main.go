@@ -17,6 +17,20 @@
 // an rps floor. Latency percentiles are over batch round-trips: with
 // batching, that IS the admission latency every request in the batch
 // experienced.
+//
+// Per-entry BUSY refusals are retried up to -busy-retries times after
+// sleeping the server's Retry-After hint; "retried" counts the
+// re-submissions and "gave_up" the entries still BUSY when retries ran
+// out. Every attempt counts toward "requests", so requests ==
+// admitted + busy + errors always holds.
+//
+// Fault-tolerance harness: -resilient swaps each connection's client
+// for a wire.Retrier (reconnect + idempotent resend), -chaos interposes
+// an internal/netfault proxy injecting latency, resets, stalls and
+// partitions, and -verify subscribes to the merged event stream and
+// checks the exactly-once invariant — every acknowledged admission
+// appears in the stream exactly once, nothing else does. See
+// docs/chaos.md.
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"time"
 
 	"ftoa"
+	"ftoa/internal/netfault"
 	"ftoa/internal/wire"
 )
 
@@ -52,6 +67,52 @@ type genConfig struct {
 	expiry      float64
 	trace       []ftoa.Event // replay instead of synthesis when non-empty
 	traceIn     *ftoa.Instance
+
+	// busyRetries bounds per-entry BUSY re-submissions (0 disables); each
+	// retry sleeps the server's Retry-After hint first.
+	busyRetries int
+	// resilient swaps each connection's client for a wire.Retrier:
+	// reconnect with backoff, idempotent resend, per-request deadlines.
+	resilient      bool
+	requestTimeout time.Duration
+	// chaos interposes an internal/netfault proxy between the
+	// connections and addr; chaosSeed makes its fault schedule
+	// reproducible.
+	chaos     bool
+	chaosSeed int64
+	// verify subscribes to the merged event stream and checks the
+	// exactly-once invariant after the load completes.
+	verify        bool
+	verifyTimeout time.Duration
+
+	// dialAddr is what connections actually dial: addr, or the chaos
+	// proxy in front of it. Set by run.
+	dialAddr string
+}
+
+// chaosReport is the netfault proxy's accounting, embedded in the report.
+type chaosReport struct {
+	Conns      uint64 `json:"conns"`
+	DialErrors uint64 `json:"dial_errors"`
+	Resets     uint64 `json:"resets"`
+	Stalls     uint64 `json:"stalls"`
+	Partitions uint64 `json:"partitions"`
+	BytesIn    uint64 `json:"bytes_in"`
+	BytesOut   uint64 `json:"bytes_out"`
+}
+
+// verifyReport scores the exactly-once invariant: every acknowledged
+// admission appears in the merged event stream exactly once (as a match
+// endpoint or an expiry), and nothing unacknowledged appears at all.
+type verifyReport struct {
+	Acked      uint64 `json:"acked"`       // distinct acknowledged admissions
+	AckedDup   uint64 `json:"acked_dup"`   // same endpoint acknowledged twice (client/server bug)
+	Observed   uint64 `json:"observed"`    // acked endpoints seen terminal in the stream
+	Duplicates uint64 `json:"duplicates"`  // endpoints terminal more than once
+	Missing    uint64 `json:"missing"`     // acked endpoints never seen terminal
+	Unexpected uint64 `json:"unexpected"`  // terminal endpoints never acked (double admission)
+	EventsGone uint64 `json:"events_gone"` // retention overran the subscription
+	Complete   bool   `json:"complete"`    // all of the above clean
 }
 
 type report struct {
@@ -66,22 +127,78 @@ type report struct {
 	Admitted    uint64  `json:"admitted"`
 	Busy        uint64  `json:"busy"`
 	Errors      uint64  `json:"errors"`
+	Retried     uint64  `json:"retried"`
+	GaveUp      uint64  `json:"gave_up"`
 	ProtoErrors uint64  `json:"proto_errors"`
+	Reconnects  uint64  `json:"reconnects"`
+	Resends     uint64  `json:"resends"`
 	RPS         float64 `json:"rps"`
 	AdmittedRPS float64 `json:"admitted_rps"`
 	P50Ms       float64 `json:"p50_ms"`
 	P90Ms       float64 `json:"p90_ms"`
 	P99Ms       float64 `json:"p99_ms"`
+
+	Chaos  *chaosReport  `json:"chaos,omitempty"`
+	Verify *verifyReport `json:"verify,omitempty"`
+}
+
+// endpoint identifies one admitted object by its receipt; with the
+// server running -retire 0 (no handle reuse) it is unique for the run.
+type endpoint struct {
+	worker       bool
+	shard, local uint32
+}
+
+// batcher is the slice of client surface runConn needs; wire.Client and
+// wire.Retrier both satisfy it.
+type batcher interface {
+	Do([]wire.Request) ([]wire.Result, error)
 }
 
 // connTally is one connection's contribution, merged after the run.
 type connTally struct {
-	requests uint64
-	admitted uint64
-	busy     uint64
-	errors   uint64
-	protoErr uint64
-	rttMs    []float64 // one sample per batch round-trip
+	requests   uint64
+	admitted   uint64
+	busy       uint64
+	errors     uint64
+	retried    uint64
+	gaveUp     uint64
+	protoErr   uint64
+	reconnects uint64
+	resends    uint64
+	rttMs      []float64  // one sample per batch round-trip
+	acked      []endpoint // acknowledged admission receipts (verify mode)
+}
+
+// absorb tallies one reply's results and returns the indices that came
+// back BUSY plus the largest Retry-After hint among them (capped at 2s).
+func (t *connTally) absorb(cfg *genConfig, res []wire.Result) (busy []int, wait time.Duration) {
+	t.requests += uint64(len(res))
+	for i := range res {
+		switch res[i].Status {
+		case wire.StatusOK:
+			t.admitted++
+			if cfg.verify && (res[i].Kind == wire.ReqAddWorker || res[i].Kind == wire.ReqAddTask) {
+				t.acked = append(t.acked, endpoint{
+					worker: res[i].Kind == wire.ReqAddWorker,
+					shard:  res[i].Shard,
+					local:  res[i].Local,
+				})
+			}
+		case wire.StatusBusy:
+			t.busy++
+			busy = append(busy, i)
+			if d := time.Duration(res[i].RetryAfter * float64(time.Second)); d > wait {
+				wait = d
+			}
+		default:
+			t.errors++
+		}
+	}
+	if wait > 2*time.Second {
+		wait = 2 * time.Second
+	}
+	return busy, wait
 }
 
 // hotspotCenter returns the hotspot's center for one drift phase: a
@@ -157,17 +274,71 @@ func traceBatch(in *ftoa.Instance, evs []ftoa.Event, reqs []wire.Request) []wire
 	return reqs
 }
 
+// send delivers one batch and tallies the acknowledged results,
+// honoring per-entry BUSY Retry-After hints with up to cfg.busyRetries
+// re-submissions. A retried entry keeps its idempotency seq — BUSY is
+// never recorded in the server's dedup window, so the re-submission is
+// a fresh attempt, while an OK/Err outcome re-sent by a Retrier replays.
+// Returns false when the connection died (the tally is final).
+func send(cfg *genConfig, cl batcher, reqs []wire.Request, tally *connTally) bool {
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		res, err := cl.Do(reqs)
+		if err != nil {
+			tally.protoErr++
+			return false
+		}
+		tally.rttMs = append(tally.rttMs, float64(time.Since(t0))/float64(time.Millisecond))
+		busy, wait := tally.absorb(cfg, res)
+		if len(busy) == 0 || attempt >= cfg.busyRetries {
+			tally.gaveUp += uint64(len(busy))
+			return true
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		retry := make([]wire.Request, len(busy))
+		for i, j := range busy {
+			retry[i] = reqs[j]
+		}
+		tally.retried += uint64(len(retry))
+		reqs = retry
+	}
+}
+
 // runConn is one connection's send loop: build a batch, send, tally the
 // acknowledged results, pace to the per-connection rate. Trace mode
 // walks this connection's stride of the event list to exhaustion;
 // synthesis runs until the deadline.
 func runConn(cfg *genConfig, id int, deadline time.Time, tally *connTally) {
-	cl, err := wire.Dial(cfg.addr)
-	if err != nil {
-		tally.protoErr++
-		return
+	var cl batcher
+	if cfg.resilient {
+		r := wire.NewRetrier(wire.RetryConfig{
+			Addr:           cfg.dialAddr,
+			RequestTimeout: cfg.requestTimeout,
+			// The tally wants every batch resolved, so never fail fast:
+			// Do blocks through reconnects until the server answers.
+			BreakerThreshold: -1,
+		})
+		defer r.Close()
+		defer func() {
+			tally.reconnects += r.Reconnects()
+			tally.resends += r.Resends()
+		}()
+		if _, err := r.WaitConnect(10 * time.Second); err != nil {
+			tally.protoErr++
+			return
+		}
+		cl = r
+	} else {
+		c, err := wire.Dial(cfg.dialAddr)
+		if err != nil {
+			tally.protoErr++
+			return
+		}
+		defer c.Close()
+		cl = c
 	}
-	defer cl.Close()
 	rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 	var interval time.Duration
 	if cfg.rate > 0 {
@@ -203,23 +374,8 @@ func runConn(cfg *genConfig, id int, deadline time.Time, tally *connTally) {
 			reqs = synthesize(cfg, rng, reqs, cfg.batch)
 		}
 
-		t0 := time.Now()
-		res, err := cl.Do(reqs)
-		if err != nil {
-			tally.protoErr++
+		if !send(cfg, cl, reqs, tally) {
 			return
-		}
-		tally.rttMs = append(tally.rttMs, float64(time.Since(t0))/float64(time.Millisecond))
-		tally.requests += uint64(len(res))
-		for i := range res {
-			switch res[i].Status {
-			case wire.StatusOK:
-				tally.admitted++
-			case wire.StatusBusy:
-				tally.busy++
-			default:
-				tally.errors++
-			}
 		}
 
 		if interval > 0 {
@@ -231,8 +387,110 @@ func runConn(cfg *genConfig, id int, deadline time.Time, tally *connTally) {
 	}
 }
 
+// verifier subscribes to the merged event stream — through the same
+// faulty path as the load, exercising resumable subscription — and
+// records every terminal endpoint it mentions: a match consumes its
+// worker and task, an expiry consumes its one object.
+type verifier struct {
+	r    *wire.Retrier
+	mu   sync.Mutex
+	seen map[endpoint]int
+	gone uint64
+}
+
+func newVerifier(cfg *genConfig) *verifier {
+	v := &verifier{seen: make(map[endpoint]int)}
+	v.r = wire.NewRetrier(wire.RetryConfig{
+		Addr:             cfg.dialAddr,
+		RequestTimeout:   cfg.requestTimeout,
+		BreakerThreshold: -1,
+		Subscribe:        true,
+		SubscribeSince:   0, // the stream's origin: every terminal event of the run
+		OnEvents: func(_ uint64, evs []wire.Event) {
+			v.mu.Lock()
+			for i := range evs {
+				if evs[i].Worker >= 0 {
+					v.seen[endpoint{true, uint32(evs[i].WorkerShard), uint32(evs[i].Worker)}]++
+				}
+				if evs[i].Task >= 0 {
+					v.seen[endpoint{false, uint32(evs[i].TaskShard), uint32(evs[i].Task)}]++
+				}
+			}
+			v.mu.Unlock()
+		},
+		OnGone: func(uint64) {
+			v.mu.Lock()
+			v.gone++
+			v.mu.Unlock()
+		},
+	})
+	return v
+}
+
+// missing counts acked endpoints not yet seen terminal.
+func (v *verifier) missing(acked map[endpoint]int) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for ep := range acked {
+		if v.seen[ep] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// settle drives the server clock forward until every acknowledged
+// admission has reached its terminal event (matched or expired) or
+// patience runs out, then scores the exactly-once invariant.
+func (v *verifier) settle(acked map[endpoint]int, ackedDup uint64, timeout time.Duration) *verifyReport {
+	deadline := time.Now().Add(timeout)
+	for v.missing(acked) > 0 && time.Now().Before(deadline) {
+		// Advance is idempotent by nature (the server moves to its own
+		// clock) and drives expiries for objects that will never match.
+		v.r.Do([]wire.Request{{Kind: wire.ReqAdvance}})
+		time.Sleep(100 * time.Millisecond)
+	}
+	// One last drain window so events emitted by the final advance land.
+	time.Sleep(300 * time.Millisecond)
+	v.r.Close()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	rep := &verifyReport{Acked: uint64(len(acked)), AckedDup: ackedDup, EventsGone: v.gone}
+	for ep, n := range v.seen {
+		if n > 1 {
+			rep.Duplicates++
+		}
+		if _, ok := acked[ep]; ok {
+			rep.Observed++
+		} else {
+			rep.Unexpected++
+		}
+	}
+	rep.Missing = rep.Acked - rep.Observed
+	rep.Complete = rep.Missing == 0 && rep.Duplicates == 0 && rep.Unexpected == 0 &&
+		rep.AckedDup == 0 && rep.EventsGone == 0
+	return rep
+}
+
 // run executes the load and assembles the report.
 func run(cfg *genConfig) *report {
+	cfg.dialAddr = cfg.addr
+	var proxy *netfault.Proxy
+	if cfg.chaos {
+		var err error
+		proxy, err = netfault.New(netfault.SoakProfile(cfg.addr, cfg.chaosSeed))
+		if err != nil {
+			log.Fatalf("ftoa-loadgen: chaos proxy: %v", err)
+		}
+		defer proxy.Close()
+		cfg.dialAddr = proxy.Addr().String()
+		log.Printf("ftoa-loadgen: chaos proxy on %s -> %s (seed %d)", cfg.dialAddr, cfg.addr, cfg.chaosSeed)
+	}
+	var ver *verifier
+	if cfg.verify {
+		ver = newVerifier(cfg)
+	}
 	tallies := make([]connTally, cfg.conns)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
@@ -258,14 +516,25 @@ func run(cfg *genConfig) *report {
 		DurationS:  elapsed,
 	}
 	var rtts []float64
+	acked := make(map[endpoint]int)
+	var ackedDup uint64
 	for i := range tallies {
 		t := &tallies[i]
 		rep.Requests += t.requests
 		rep.Admitted += t.admitted
 		rep.Busy += t.busy
 		rep.Errors += t.errors
+		rep.Retried += t.retried
+		rep.GaveUp += t.gaveUp
 		rep.ProtoErrors += t.protoErr
+		rep.Reconnects += t.reconnects
+		rep.Resends += t.resends
 		rtts = append(rtts, t.rttMs...)
+		for _, ep := range t.acked {
+			if acked[ep]++; acked[ep] > 1 {
+				ackedDup++
+			}
+		}
 	}
 	if elapsed > 0 {
 		rep.RPS = float64(rep.Requests) / elapsed
@@ -275,6 +544,22 @@ func run(cfg *genConfig) *report {
 	rep.P50Ms = percentile(rtts, 0.50)
 	rep.P90Ms = percentile(rtts, 0.90)
 	rep.P99Ms = percentile(rtts, 0.99)
+	if ver != nil {
+		rep.Verify = ver.settle(acked, ackedDup, cfg.verifyTimeout)
+		rep.Reconnects += ver.r.Reconnects()
+	}
+	if proxy != nil {
+		st := proxy.Stats()
+		rep.Chaos = &chaosReport{
+			Conns:      st.Conns,
+			DialErrors: st.DialErrors,
+			Resets:     st.Resets,
+			Stalls:     st.Stalls,
+			Partitions: st.Partitions,
+			BytesIn:    st.BytesIn,
+			BytesOut:   st.BytesOut,
+		}
+	}
 	return rep
 }
 
@@ -309,20 +594,40 @@ func main() {
 	velocity := flag.Float64("velocity", 1, "worker velocity for -trace parsing")
 	tracePath := flag.String("trace", "", "replay this ftoa-gen instance CSV instead of synthesizing")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	busyRetries := flag.Int("busy-retries", 3, "re-submit BUSY entries up to this many times, sleeping the server's Retry-After hint first (0 disables)")
+	resilient := flag.Bool("resilient", false, "use the reconnecting idempotent client (wire.Retrier) instead of a bare connection")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-batch deadline for -resilient clients")
+	chaos := flag.Bool("chaos", false, "interpose an internal/netfault proxy (latency, resets, stalls, partitions) between the connections and -addr")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault schedule seed for -chaos (0 = use -seed)")
+	verify := flag.Bool("verify", false, "subscribe to the event stream and check the exactly-once invariant after the load; exits nonzero if violated")
+	verifyTimeout := flag.Duration("verify-timeout", 60*time.Second, "how long -verify drives the server clock waiting for every acked admission to reach a terminal event")
 	flag.Parse()
 
 	cfg := &genConfig{
-		addr:        *addr,
-		conns:       *conns,
-		rate:        *rate,
-		duration:    *duration,
-		batch:       *batch,
-		pattern:     *pattern,
-		drift:       *hotspotDrift,
-		seed:        *seed,
-		workersFrac: *workersFrac,
-		patience:    *patience,
-		expiry:      *expiry,
+		addr:           *addr,
+		conns:          *conns,
+		rate:           *rate,
+		duration:       *duration,
+		batch:          *batch,
+		pattern:        *pattern,
+		drift:          *hotspotDrift,
+		seed:           *seed,
+		workersFrac:    *workersFrac,
+		patience:       *patience,
+		expiry:         *expiry,
+		busyRetries:    *busyRetries,
+		resilient:      *resilient,
+		requestTimeout: *requestTimeout,
+		chaos:          *chaos,
+		chaosSeed:      *chaosSeed,
+		verify:         *verify,
+		verifyTimeout:  *verifyTimeout,
+	}
+	if cfg.chaosSeed == 0 {
+		cfg.chaosSeed = cfg.seed
+	}
+	if cfg.busyRetries < 0 {
+		log.Fatalf("ftoa-loadgen: -busy-retries must be >= 0")
 	}
 	if cfg.conns <= 0 || cfg.batch <= 0 || cfg.batch > wire.MaxBatch {
 		log.Fatalf("ftoa-loadgen: need conns > 0 and 0 < batch <= %d", wire.MaxBatch)
@@ -369,5 +674,8 @@ func main() {
 	}
 	if rep.ProtoErrors > 0 {
 		log.Fatalf("ftoa-loadgen: %d connection(s) died on protocol errors", rep.ProtoErrors)
+	}
+	if rep.Verify != nil && !rep.Verify.Complete {
+		log.Fatalf("ftoa-loadgen: exactly-once verification failed: %+v", *rep.Verify)
 	}
 }

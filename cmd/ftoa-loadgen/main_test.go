@@ -45,7 +45,7 @@ func stubServer(t *testing.T, busyEvery int) (addr string, served *atomic.Uint64
 			go func() {
 				defer c.Close()
 				cn := wire.NewConn(c)
-				if err := wire.ServerHandshake(cn, 1, 0); err != nil {
+				if _, err := wire.ServerHandshake(cn, 1, 0); err != nil {
 					return
 				}
 				var reqs []wire.Request

@@ -68,6 +68,7 @@ import (
 	"io"
 	"log"
 	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
@@ -738,11 +739,11 @@ func (s *server) admitSlot(lane int) bool {
 	return true
 }
 
-// shedReply is the overload response: 503 with a Retry-After hint of
-// one tick — by then the convoyed shard has drained or the client
-// should back off further.
+// shedReply is the overload response: 503 with a jittered Retry-After
+// hint (1 or 2 seconds — the header's resolution) so a crowd of shed
+// clients does not re-arrive in the same tick.
 func (s *server) shedReply(w http.ResponseWriter, lane int) {
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(1+rand.IntN(2)))
 	writeError(w, http.StatusServiceUnavailable,
 		fmt.Sprintf("shard %d admission queue full, retry later", lane))
 }
@@ -1267,6 +1268,11 @@ func main() {
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "group-commit window for -wal-sync interval (0 = 50ms default)")
 	admitQueue := flag.Int("admit-queue", 0, "per-shard admission backlog bound; arrivals beyond it are shed with 503 + Retry-After (0 disables shedding)")
 	listenWire := flag.String("listen-wire", "", "binary wire-protocol listen address for batched admission over TCP (empty disables); see docs/wire.md")
+	wireMaxConns := flag.Int("wire-max-conns", 256, "max concurrent wire connections; excess dials are closed at the door (the resilient client retries with backoff)")
+	wireIdle := flag.Duration("wire-idle", 5*time.Minute, "wire per-connection idle (read) deadline; a silent peer is dropped after this long")
+	wireWriteTimeout := flag.Duration("wire-write-timeout", 10*time.Second, "wire per-frame write deadline; a subscriber that cannot drain its event stream this fast is evicted")
+	wireDedupWindow := flag.Int("wire-dedup-window", wire.DefaultDedupWindow, "idempotency seqs remembered per wire client; a batch re-sent within the window replays its original receipts")
+	wireDedupClients := flag.Int("wire-dedup-clients", wire.DefaultDedupCap, "wire client idempotency windows retained (LRU-evicted beyond this)")
 	admitRing := flag.Int("admit-ring", 1024, "per-shard admission ring capacity shared by HTTP and wire arrivals; a full ring answers 503/BUSY (backpressure bound)")
 	admitBatch := flag.Int("admit-batch", 256, "max ring admissions drained per shard lock acquisition")
 	rebalance := flag.Bool("rebalance", false, "adapt the shard topology online: split regions whose arrival rate exceeds -rebalance-split into a finer sub-grid and merge cold sibling quads back, migrating live state (see docs/rebalance.md)")
@@ -1334,7 +1340,14 @@ func main() {
 		log.Fatal(err)
 	}
 	gate := newBootGate()
-	hs := &http.Server{Handler: gate}
+	// Header and idle deadlines shed peers that dial and stall (the wire
+	// listener applies the analogous bounds itself); request handlers stay
+	// un-deadlined — admission latency is bounded by the ring, not a timer.
+	hs := &http.Server{
+		Handler:           gate,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -1357,9 +1370,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv.wire = newWireServer(srv, wln, cfg.tick)
-		log.Printf("ftoa-serve: wire protocol v%d on %s (ring=%d batch=%d)",
-			wire.Version, wln.Addr(), *admitRing, *admitBatch)
+		srv.wire = newWireServer(srv, wln, cfg.tick, wireOptions{
+			maxConns:     *wireMaxConns,
+			idleTimeout:  *wireIdle,
+			writeTimeout: *wireWriteTimeout,
+			dedupWindow:  *wireDedupWindow,
+			dedupClients: *wireDedupClients,
+		})
+		log.Printf("ftoa-serve: wire protocol v%d on %s (ring=%d batch=%d max-conns=%d dedup=%d/%d)",
+			wire.Version, wln.Addr(), *admitRing, *admitBatch, *wireMaxConns, *wireDedupWindow, *wireDedupClients)
 	}
 	stopTick := make(chan struct{})
 	go srv.tickLoop(cfg.tick, stopTick)

@@ -7,8 +7,15 @@
 // Subscribed connections get the merged event stream pushed as it grows.
 //
 // Backpressure is end-to-end: a full ring surfaces as a per-entry BUSY
-// result with a retry-after hint (counted in /stats under "wire"), never
-// as blocking the decode loop.
+// result with a jittered retry-after hint (counted in /stats under
+// "wire"), never as blocking the decode loop.
+//
+// The listener assumes an adversarial network: connections carry read
+// (idle), write and handshake deadlines, the connection count is
+// bounded, a subscriber too slow to drain its event stream is evicted,
+// a panic in one connection's handler kills only that connection, and
+// effectful requests are deduplicated per client id (wire.DedupTable)
+// so a batch re-sent after a lost ack replays the original receipts.
 package main
 
 import (
@@ -17,9 +24,11 @@ import (
 	"io"
 	"log"
 	"math"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ftoa"
@@ -30,6 +39,28 @@ import (
 // backlog pages through it in consecutive frames.
 const wireEventPage = 1024
 
+// wireOptions are the hardening knobs (zeros pick the defaults noted).
+type wireOptions struct {
+	maxConns     int           // connection bound (default 256)
+	idleTimeout  time.Duration // per-read deadline after handshake (default 5m)
+	writeTimeout time.Duration // per-frame write deadline (default 10s)
+	dedupWindow  int           // seqs remembered per client (wire default)
+	dedupClients int           // client windows retained (wire default)
+}
+
+func (o wireOptions) withDefaults() wireOptions {
+	if o.maxConns <= 0 {
+		o.maxConns = 256
+	}
+	if o.idleTimeout <= 0 {
+		o.idleTimeout = 5 * time.Minute
+	}
+	if o.writeTimeout <= 0 {
+		o.writeTimeout = 10 * time.Second
+	}
+	return o
+}
+
 // wireServer owns the wire listener and its connections; admissions go
 // through the server's shared rings (server.admitter). One goroutine
 // accepts; each connection gets a reader goroutine (batches on a
@@ -38,8 +69,10 @@ const wireEventPage = 1024
 type wireServer struct {
 	s     *server
 	ln    net.Listener
-	retry float64       // BUSY retry-after hint, seconds (one tick)
+	opts  wireOptions
+	retry float64       // BUSY retry-after hint, seconds (one tick, pre-jitter)
 	push  time.Duration // event pusher poll interval
+	dedup *wire.DedupTable
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -49,16 +82,23 @@ type wireServer struct {
 	batches  atomic.Uint64
 	requests atomic.Uint64
 	busy     atomic.Uint64 // BUSY results returned (ring backpressure)
+	deduped  atomic.Uint64 // effectful requests answered from the dedup window
 	protoErr atomic.Uint64 // framing/decode violations that dropped a conn
+	refused  atomic.Uint64 // conns dropped at the door (max-conns, client table full)
+	evicted  atomic.Uint64 // subscribers dropped for not draining their stream
+	panics   atomic.Uint64 // handler panics contained to their connection
 	subs     atomic.Int64  // live event subscriptions
 }
 
-func newWireServer(s *server, ln net.Listener, tick time.Duration) *wireServer {
+func newWireServer(s *server, ln net.Listener, tick time.Duration, opts wireOptions) *wireServer {
+	opts = opts.withDefaults()
 	ws := &wireServer{
 		s:     s,
 		ln:    ln,
+		opts:  opts,
 		retry: tick.Seconds(),
 		push:  tick / 4,
+		dedup: wire.NewDedupTable(opts.dedupWindow, opts.dedupClients),
 		conns: make(map[net.Conn]struct{}),
 	}
 	if ws.push <= 0 {
@@ -111,6 +151,15 @@ func (ws *wireServer) acceptLoop() {
 			c.Close()
 			return
 		}
+		if len(ws.conns) >= ws.opts.maxConns {
+			ws.mu.Unlock()
+			// Shed at the door without an Error frame: a silent close is a
+			// transient refusal the resilient client retries with backoff,
+			// while an Error frame would read as a permanent rejection.
+			ws.refused.Add(1)
+			c.Close()
+			continue
+		}
 		ws.conns[c] = struct{}{}
 		ws.wg.Add(1)
 		ws.mu.Unlock()
@@ -128,9 +177,26 @@ func (ws *wireServer) dropConn(c net.Conn) {
 func (ws *wireServer) handleConn(c net.Conn) {
 	defer ws.wg.Done()
 	defer ws.dropConn(c)
+	defer ws.recoverPanic(c)
 	cn := wire.NewConn(c)
-	if err := wire.ServerHandshake(cn, uint32(ws.s.router.NumShards()), ws.s.now()); err != nil {
+	cn.WriteTimeout = ws.opts.writeTimeout
+	// A peer that dials and never completes the handshake is shed on a
+	// short deadline; the idle budget applies only to handshaken clients.
+	cn.ReadTimeout = 10 * time.Second
+	if cn.ReadTimeout > ws.opts.idleTimeout {
+		cn.ReadTimeout = ws.opts.idleTimeout
+	}
+	clientID, err := wire.ServerHandshake(cn, uint32(ws.s.router.NumShards()), ws.s.now())
+	if err != nil {
 		ws.noteProtoErr(err)
+		return
+	}
+	cn.ReadTimeout = ws.opts.idleTimeout
+	win, err := ws.dedup.Acquire(clientID)
+	if err != nil {
+		// Table exhausted by active clients: transient, shed silently
+		// (see the max-conns refusal above for why no Error frame).
+		ws.refused.Add(1)
 		return
 	}
 	var pushStop chan struct{}
@@ -151,7 +217,7 @@ func (ws *wireServer) handleConn(c net.Conn) {
 			ws.protoFail(cn, "empty frame")
 			return
 		case p[0] == wire.MsgBatch:
-			if reqs, err = ws.handleBatch(cn, p, reqs[:0]); err != nil {
+			if reqs, err = ws.handleBatch(cn, win, p, reqs[:0]); err != nil {
 				ws.protoFail(cn, err.Error())
 				return
 			}
@@ -168,7 +234,7 @@ func (ws *wireServer) handleConn(c net.Conn) {
 			pushStop = make(chan struct{})
 			ws.subs.Add(1)
 			ws.wg.Add(1)
-			go ws.pushEvents(cn, since, pushStop)
+			go ws.pushEvents(c, cn, since, pushStop)
 		default:
 			ws.protoFail(cn, fmt.Sprintf("unexpected message 0x%02x", p[0]))
 			return
@@ -176,10 +242,26 @@ func (ws *wireServer) handleConn(c net.Conn) {
 	}
 }
 
-// noteProtoErr counts protocol violations; clean disconnects and the
-// server tearing the socket down are not errors.
+// recoverPanic contains a handler panic to its connection: the process
+// and every other connection keep serving.
+func (ws *wireServer) recoverPanic(c net.Conn) {
+	if r := recover(); r != nil {
+		ws.panics.Add(1)
+		log.Printf("ftoa-serve: wire conn %v panic: %v", c.RemoteAddr(), r)
+	}
+}
+
+// noteProtoErr counts protocol violations; clean disconnects, peer
+// resets, deadline expiries (idle/slow-subscriber shedding) and the
+// server tearing the socket down are expected under an adversarial
+// network, not protocol errors.
 func (ws *wireServer) noteProtoErr(err error) {
-	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
 		return
 	}
 	ws.mu.Lock()
@@ -197,11 +279,22 @@ func (ws *wireServer) protoFail(cn *wire.Conn, msg string) {
 	cn.WriteError(msg)
 }
 
-// handleBatch decodes one batch, runs it in two phases — admissions
-// enqueued to the rings and awaited, then advances and withdrawals in
-// batch order — and writes the positional reply. The returned slice is
-// the request scratch buffer, recycled across batches.
-func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Request) ([]wire.Request, error) {
+// retryAfter jitters the BUSY hint across [0.5, 1.5) ticks so a crowd
+// of refused clients does not re-arrive in the same tick.
+func (ws *wireServer) retryAfter() float64 {
+	return ws.retry * (0.5 + rand.Float64())
+}
+
+// handleBatch decodes one batch, resolves each effectful request against
+// the client's dedup window, runs the remainder in two phases —
+// admissions enqueued to the rings and awaited, then advances and
+// withdrawals in batch order — and writes the positional reply. The
+// window is held across the whole batch, serializing this client's
+// batches across connections: a batch re-sent on a fresh connection
+// while the original is still executing on a dying one waits, then
+// replays the recorded receipts. The returned slice is the request
+// scratch buffer, recycled across batches.
+func (ws *wireServer) handleBatch(cn *wire.Conn, win *wire.ClientWindow, p []byte, scratch []wire.Request) ([]wire.Request, error) {
 	id, reqs, err := wire.DecodeBatch(p, scratch)
 	if err != nil {
 		return reqs, err
@@ -211,19 +304,52 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Reques
 	results := make([]wire.Result, len(reqs))
 	admRes := make([]ftoa.ShardAdmitResult, len(reqs))
 	pending := make([]bool, len(reqs))
+	fresh := make([]bool, len(reqs)) // executes this batch; Record afterwards
 	var wg sync.WaitGroup
 	now := ws.s.now()
 
-	// Phase 1: enqueue every admission. The loop never blocks on a shard
-	// lock — a full ring is an immediate BUSY result.
+	win.Lock()
+	defer win.Unlock()
+
+	// Phase 0: idempotency. A re-sent op is answered from the window; an
+	// op older than the window retains is refused (its outcome is
+	// unknowable); only fresh seqs proceed to execution.
 	for i := range reqs {
 		rq := &reqs[i]
 		results[i].Kind = rq.Kind
+		if !wire.Effectful(rq.Kind) {
+			fresh[i] = true
+			continue
+		}
+		rec, state := win.Lookup(rq.Seq)
+		switch state {
+		case wire.DedupNew:
+			fresh[i] = true
+		case wire.DedupHit:
+			ws.deduped.Add(1)
+			results[i] = rec
+		case wire.DedupOverrun:
+			results[i].Status = wire.StatusErr
+			results[i].Msg = "idempotency window overrun: outcome of this seq is unknown"
+		case wire.DedupInvalid:
+			results[i].Status = wire.StatusErr
+			results[i].Msg = "idempotency seq must be nonzero"
+		}
+	}
+
+	// Phase 1: enqueue every fresh admission. The loop never blocks on a
+	// shard lock — a full ring is an immediate BUSY result.
+	for i := range reqs {
+		rq := &reqs[i]
+		if !fresh[i] {
+			continue
+		}
 		switch rq.Kind {
 		case wire.ReqAddWorker, wire.ReqAddTask:
 			if rq.Window <= 0 || math.IsNaN(rq.Window) {
 				results[i].Status = wire.StatusErr
 				results[i].Msg = "window (patience/expiry) must be positive"
+				fresh[i] = false
 				continue
 			}
 			at := rq.At
@@ -239,7 +365,8 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Reques
 			if !ok {
 				ws.busy.Add(1)
 				results[i].Status = wire.StatusBusy
-				results[i].RetryAfter = ws.retry
+				results[i].RetryAfter = ws.retryAfter()
+				fresh[i] = false // BUSY is retryable: never recorded
 				continue
 			}
 			pending[i] = true
@@ -256,6 +383,9 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Reques
 	// admits and immediately withdraws observes its own admissions.
 	for i := range reqs {
 		rq := &reqs[i]
+		if !fresh[i] {
+			continue
+		}
 		switch rq.Kind {
 		case wire.ReqAddWorker, wire.ReqAddTask:
 			if !pending[i] {
@@ -264,13 +394,14 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Reques
 			if err := admRes[i].Err; err != nil {
 				results[i].Status = wire.StatusErr
 				results[i].Msg = err.Error()
-				continue
+			} else {
+				results[i].Status = wire.StatusOK
+				results[i].Shard = uint32(admRes[i].H.Shard)
+				results[i].Local = uint32(admRes[i].H.Local)
+				results[i].Epoch = admRes[i].Epoch
+				results[i].Time = admRes[i].Admitted
 			}
-			results[i].Status = wire.StatusOK
-			results[i].Shard = uint32(admRes[i].H.Shard)
-			results[i].Local = uint32(admRes[i].H.Local)
-			results[i].Epoch = admRes[i].Epoch
-			results[i].Time = admRes[i].Admitted
+			win.Record(rq.Seq, results[i])
 		case wire.ReqAdvance:
 			// The server advances to its OWN clock: wire clients cannot
 			// move time (and so cannot expire other clients' objects).
@@ -289,10 +420,11 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Reques
 			if err != nil {
 				results[i].Status = wire.StatusErr
 				results[i].Msg = err.Error()
-				continue
+			} else {
+				results[i].Status = wire.StatusOK
+				results[i].Applied = applied
 			}
-			results[i].Status = wire.StatusOK
-			results[i].Applied = applied
+			win.Record(rq.Seq, results[i])
 		}
 	}
 	return reqs, cn.WriteFrame(wire.AppendBatchReply(nil, id, results))
@@ -301,10 +433,21 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, p []byte, scratch []wire.Reques
 // pushEvents streams the merged event log to one subscribed connection:
 // poll the cursor API on a short interval, page through any backlog, and
 // translate retention overruns into EventsGone (the client restarts from
-// the reported cursor, losing only genuinely evicted events).
-func (ws *wireServer) pushEvents(cn *wire.Conn, cursor uint64, stop <-chan struct{}) {
+// the reported cursor, losing only genuinely evicted events). A write
+// that overruns the write deadline means the subscriber is not draining:
+// the connection is dropped (the resilient client reconnects and resumes
+// from its cursor).
+func (ws *wireServer) pushEvents(c net.Conn, cn *wire.Conn, cursor uint64, stop <-chan struct{}) {
 	defer ws.wg.Done()
 	defer ws.subs.Add(-1)
+	defer ws.recoverPanic(c)
+	evict := func(err error) {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			ws.evicted.Add(1)
+		}
+		ws.dropConn(c) // wake the reader goroutine too
+	}
 	if cursor == wire.SinceNow {
 		cursor = ws.s.router.Cursor()
 	}
@@ -320,7 +463,8 @@ func (ws *wireServer) pushEvents(cn *wire.Conn, cursor uint64, stop <-chan struc
 			buf, next, err = ws.s.router.EventsLimit(cursor, wireEventPage, buf[:0])
 			if err != nil {
 				oldest := ws.s.router.OldestCursor()
-				if cn.WriteFrame(wire.AppendEventsGone(frame[:0], oldest)) != nil {
+				if werr := cn.WriteFrame(wire.AppendEventsGone(frame[:0], oldest)); werr != nil {
+					evict(werr)
 					return
 				}
 				cursor = oldest
@@ -345,7 +489,8 @@ func (ws *wireServer) pushEvents(cn *wire.Conn, cursor uint64, stop <-chan struc
 				})
 			}
 			frame = wire.AppendEvents(frame[:0], next, evs)
-			if cn.WriteFrame(frame) != nil {
+			if err := cn.WriteFrame(frame); err != nil {
+				evict(err)
 				return
 			}
 			cursor = next
@@ -368,8 +513,13 @@ func (ws *wireServer) statsJSON() map[string]any {
 		"batches":         ws.batches.Load(),
 		"requests":        ws.requests.Load(),
 		"busy":            ws.busy.Load(),
+		"deduped":         ws.deduped.Load(),
 		"ring_refusals":   ws.s.admitter.BusyTotal(),
 		"protocol_errors": ws.protoErr.Load(),
+		"refused_conns":   ws.refused.Load(),
+		"evicted_subs":    ws.evicted.Load(),
+		"panics":          ws.panics.Load(),
+		"clients":         ws.dedup.Clients(),
 		"subscriptions":   ws.subs.Load(),
 	}
 }

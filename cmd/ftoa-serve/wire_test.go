@@ -27,7 +27,7 @@ func bootWire(t *testing.T, cfg config) (*server, *wireServer, *wire.Client, fun
 	if err != nil {
 		t.Fatal(err)
 	}
-	ws := newWireServer(srv, ln, 100*time.Millisecond)
+	ws := newWireServer(srv, ln, 100*time.Millisecond, wireOptions{})
 	srv.wire = ws
 	t.Cleanup(ws.close)
 	cl, err := wire.Dial(ln.Addr().String())

@@ -1,0 +1,390 @@
+// Package netfault is a seed-deterministic in-process TCP chaos proxy:
+// it forwards byte streams between a client and a target while injecting
+// the failure modes a real network serves — added latency and jitter,
+// bandwidth caps, mid-frame connection resets (RST, not FIN), stalls,
+// and proxy-wide blackhole partitions.
+//
+// The proxy never corrupts what it forwards: bytes are delayed, held, or
+// cut off by killing the connection, but never reordered, dropped
+// mid-stream, or altered. That discipline is what makes chaos soaks
+// gateable — a surviving connection speaks an intact protocol, so any
+// CRC or framing error observed under the proxy is a real bug, and the
+// exactly-once invariant (internal/wire idempotency) can be asserted
+// with zero tolerated protocol errors.
+//
+// Fault schedules derive from Config.Seed and the connection's accept
+// index alone, so a failing soak replays the same latency draws, reset
+// times and partition windows under the same seed.
+package netfault
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects the fault profile. Zero durations disable their fault;
+// a zero-value Config is a transparent proxy.
+type Config struct {
+	// Listen is the proxy's listen address (e.g. "127.0.0.1:0").
+	Listen string
+	// Target is the upstream address every accepted connection is piped to.
+	Target string
+	// Seed makes every schedule reproducible; 0 is a valid seed.
+	Seed int64
+
+	// LatencyMin/LatencyMax delay each forwarded chunk by a per-chunk
+	// uniform draw from [min, max] in each direction.
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// Bandwidth caps each direction of each connection, bytes/second
+	// (0 = unlimited).
+	Bandwidth int
+	// ResetEvery cuts each connection with an RST (SO_LINGER 0) at a
+	// uniform draw from [0.5, 1.5)x this interval after accept — usually
+	// landing mid-frame. 0 never resets.
+	ResetEvery time.Duration
+	// StallEvery/StallFor freeze a connection direction (bytes held, not
+	// dropped) for StallFor at [0.5, 1.5)x StallEvery intervals.
+	StallEvery time.Duration
+	StallFor   time.Duration
+	// PartitionEvery/PartitionFor blackhole the whole proxy — every
+	// direction of every connection holds its bytes — for PartitionFor
+	// at [0.5, 1.5)x PartitionEvery intervals.
+	PartitionEvery time.Duration
+	PartitionFor   time.Duration
+}
+
+// Stats is a snapshot of the proxy's fault accounting.
+type Stats struct {
+	Conns      uint64 // connections accepted
+	DialErrors uint64 // upstream dials that failed (client conn dropped)
+	Resets     uint64 // connections cut with RST
+	Stalls     uint64 // per-direction stalls served
+	Partitions uint64 // proxy-wide blackhole windows
+	BytesIn    uint64 // client -> target bytes forwarded
+	BytesOut   uint64 // target -> client bytes forwarded
+}
+
+// Proxy is one running chaos proxy. Close stops it and severs every
+// proxied connection.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // both sides of every live pipe
+	closed bool
+	seq    int64
+	wg     sync.WaitGroup
+	done   chan struct{}
+
+	partUntil atomic.Int64 // unix nanos; traffic holds until then
+
+	conns_     atomic.Uint64
+	dialErrs   atomic.Uint64
+	resets     atomic.Uint64
+	stalls     atomic.Uint64
+	partitions atomic.Uint64
+	bytesIn    atomic.Uint64
+	bytesOut   atomic.Uint64
+}
+
+// New starts the proxy listening on cfg.Listen.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, errors.New("netfault: Target required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	if cfg.PartitionEvery > 0 && cfg.PartitionFor > 0 {
+		p.wg.Add(1)
+		go p.partitionLoop()
+	}
+	return p, nil
+}
+
+// Addr is the proxy's listen address — point the client here.
+func (p *Proxy) Addr() net.Addr { return p.ln.Addr() }
+
+// Stats snapshots the fault accounting.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Conns:      p.conns_.Load(),
+		DialErrors: p.dialErrs.Load(),
+		Resets:     p.resets.Load(),
+		Stalls:     p.stalls.Load(),
+		Partitions: p.partitions.Load(),
+		BytesIn:    p.bytesIn.Load(),
+		BytesOut:   p.bytesOut.Load(),
+	}
+}
+
+// Close stops accepting, severs every pipe, and waits the pumps out.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	close(p.done)
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// jitter draws uniform [0.5, 1.5) x d.
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
+func (p *Proxy) partitionLoop() {
+	defer p.wg.Done()
+	// A dedicated stream decorrelated from the per-connection ones.
+	rng := rand.New(rand.NewSource(p.cfg.Seed ^ 0x7061727469746e))
+	t := time.NewTimer(jitter(rng, p.cfg.PartitionEvery))
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			p.partitions.Add(1)
+			p.partUntil.Store(time.Now().Add(p.cfg.PartitionFor).UnixNano())
+			t.Reset(p.cfg.PartitionFor + jitter(rng, p.cfg.PartitionEvery))
+		}
+	}
+}
+
+// holdPartition blocks while the proxy-wide blackhole is in effect.
+func (p *Proxy) holdPartition() {
+	for {
+		until := p.partUntil.Load()
+		wait := time.Until(time.Unix(0, until))
+		if until == 0 || wait <= 0 {
+			return
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-p.done:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
+		seq := p.seq
+		p.seq++
+		p.mu.Unlock()
+		p.conns_.Add(1)
+		p.wg.Add(1)
+		go p.serve(c, seq)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+// serve pipes one accepted connection to the target with faults applied.
+func (p *Proxy) serve(client net.Conn, seq int64) {
+	defer p.wg.Done()
+	upstream, err := net.Dial("tcp", p.cfg.Target)
+	if err != nil {
+		p.dialErrs.Add(1)
+		client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(upstream) {
+		client.Close()
+		upstream.Close()
+		return
+	}
+	defer p.untrack(client)
+	defer p.untrack(upstream)
+
+	// Three decorrelated streams per connection, all derived from
+	// (Seed, accept index): one per pump direction, one for the reset
+	// schedule — so adding a fault type never perturbs the others.
+	base := p.cfg.Seed*1_000_003 + seq
+	connDone := make(chan struct{})
+
+	if p.cfg.ResetEvery > 0 {
+		rng := rand.New(rand.NewSource(base ^ 0x72657365740a))
+		at := jitter(rng, p.cfg.ResetEvery)
+		t := time.NewTimer(at)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer t.Stop()
+			select {
+			case <-connDone:
+			case <-p.done:
+			case <-t.C:
+				// RST, not FIN: SO_LINGER 0 discards the send queue and
+				// resets, so the peer sees the abrupt truncation a
+				// crashed or NATed-out host produces — typically landing
+				// in the middle of a frame.
+				p.resets.Add(1)
+				for _, c := range []net.Conn{client, upstream} {
+					if tc, ok := c.(*net.TCPConn); ok {
+						tc.SetLinger(0)
+					}
+					c.Close()
+				}
+			}
+		}()
+	}
+
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go p.pump(upstream, client, rand.New(rand.NewSource(base^0x633273)), &p.bytesIn, &pumps)
+	go p.pump(client, upstream, rand.New(rand.NewSource(base^0x733263)), &p.bytesOut, &pumps)
+	pumps.Wait()
+	close(connDone)
+}
+
+// pump forwards src -> dst applying latency, bandwidth, stall and
+// partition holds. Bytes are only ever delayed, never dropped: every
+// fault short of killing the connection preserves the stream intact.
+func (p *Proxy) pump(dst, src net.Conn, rng *rand.Rand, bytes *atomic.Uint64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	// Small chunks so per-chunk latency shapes the stream rather than
+	// arriving as one burst, and so a reset has frames to land inside.
+	buf := make([]byte, 4096)
+	var nextStall time.Time
+	if p.cfg.StallEvery > 0 && p.cfg.StallFor > 0 {
+		nextStall = time.Now().Add(jitter(rng, p.cfg.StallEvery))
+	}
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.holdPartition()
+			if !nextStall.IsZero() && time.Now().After(nextStall) {
+				p.stalls.Add(1)
+				p.sleep(p.cfg.StallFor)
+				nextStall = time.Now().Add(jitter(rng, p.cfg.StallEvery))
+			}
+			if p.cfg.LatencyMax > 0 {
+				lo, hi := p.cfg.LatencyMin, p.cfg.LatencyMax
+				d := lo
+				if hi > lo {
+					d += time.Duration(rng.Int63n(int64(hi - lo)))
+				}
+				p.sleep(d)
+			}
+			if p.cfg.Bandwidth > 0 {
+				p.sleep(time.Duration(float64(n) / float64(p.cfg.Bandwidth) * float64(time.Second)))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				// The destination is gone: nothing more can be delivered
+				// in either direction, so tear the pipe down.
+				dst.Close()
+				src.Close()
+				return
+			}
+			bytes.Add(uint64(n))
+		}
+		if err == io.EOF {
+			// Propagate the half-close: the reverse direction may still
+			// be draining (closing it here would DROP held bytes).
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				dst.Close()
+			}
+			return
+		}
+		if err != nil {
+			dst.Close()
+			src.Close()
+			return
+		}
+	}
+}
+
+// sleep waits d or until the proxy closes.
+func (p *Proxy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-p.done:
+	}
+}
+
+// Soak profiles: canned fault mixes for the chaos harness.
+
+// SoakProfile is a moderately hostile network: tens of milliseconds of
+// latency, sub-second stalls and partitions, and a reset roughly every
+// two seconds per connection — enough churn that a soak of a few
+// seconds exercises reconnect, resend and dedup many times over.
+func SoakProfile(target string, seed int64) Config {
+	return Config{
+		Target:         target,
+		Seed:           seed,
+		LatencyMin:     1 * time.Millisecond,
+		LatencyMax:     15 * time.Millisecond,
+		ResetEvery:     2 * time.Second,
+		StallEvery:     1500 * time.Millisecond,
+		StallFor:       300 * time.Millisecond,
+		PartitionEvery: 4 * time.Second,
+		PartitionFor:   500 * time.Millisecond,
+	}
+}

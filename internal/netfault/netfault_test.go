@@ -1,0 +1,177 @@
+package netfault
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestTransparentIntegrity: latency, jitter, stalls and a bandwidth cap
+// delay bytes but never corrupt, drop or reorder them.
+func TestTransparentIntegrity(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(Config{
+		Target:     ln.Addr().String(),
+		Seed:       7,
+		LatencyMin: time.Millisecond,
+		LatencyMax: 3 * time.Millisecond,
+		Bandwidth:  1 << 20,
+		StallEvery: 20 * time.Millisecond,
+		StallFor:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	go func() {
+		c.Write(payload)
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	echoed := make([]byte, 0, len(payload))
+	buf := make([]byte, 4096)
+	c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	for len(echoed) < len(payload) {
+		n, err := c.Read(buf)
+		echoed = append(echoed, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(echoed, payload) {
+		t.Fatalf("echo differs: got %d bytes (sum %x), want %d (sum %x)",
+			len(echoed), sha256.Sum256(echoed), len(payload), sha256.Sum256(payload))
+	}
+	st := p.Stats()
+	if st.Conns != 1 || st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Fatalf("stats = %+v, want traffic on 1 conn", st)
+	}
+}
+
+// TestResetKillsConnection: with a short reset schedule the connection
+// dies abruptly; the proxy survives and serves new connections.
+func TestResetKillsConnection(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(Config{
+		Target:     ln.Addr().String(),
+		Seed:       1,
+		ResetEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := c.Write([]byte("ping")); err != nil {
+			break
+		}
+		if _, err := c.Read(buf); err != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Close()
+	if p.Stats().Resets == 0 {
+		t.Fatal("connection died without a scheduled reset")
+	}
+
+	// The proxy still accepts and serves after cutting a connection.
+	c2, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := c2.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, buf[:5]); err != nil {
+		t.Fatalf("fresh conn after reset: %v", err)
+	}
+}
+
+// TestPartitionHoldsBytes: during a blackhole window bytes are held, not
+// lost — they arrive intact once the partition lifts.
+func TestPartitionHoldsBytes(t *testing.T) {
+	ln := echoServer(t)
+	p, err := New(Config{Target: ln.Addr().String(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(30 * time.Second))
+	buf := make([]byte, 64)
+	// Warm the pipe, then impose a partition directly and verify traffic
+	// resumes only after it lifts.
+	if _, err := c.Write([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, buf[:4]); err != nil {
+		t.Fatal(err)
+	}
+	const hold = 300 * time.Millisecond
+	p.partUntil.Store(time.Now().Add(hold).UnixNano())
+	t0 := time.Now()
+	if _, err := c.Write([]byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, buf[:4]); err != nil {
+		t.Fatalf("bytes lost across partition: %v", err)
+	}
+	if string(buf[:4]) != "held" {
+		t.Fatalf("got %q across partition, want %q", buf[:4], "held")
+	}
+	if waited := time.Since(t0); waited < hold/2 {
+		t.Fatalf("reply in %v, want the partition to hold ~%v", waited, hold)
+	}
+}

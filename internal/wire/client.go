@@ -1,16 +1,27 @@
 // Client side of the wire protocol: a connection with pipelined batch
 // RPCs and an optional event subscription, demultiplexed by a single
 // reader goroutine. Used by cmd/ftoa-loadgen and the serve-layer tests.
+// Client is one connection and dies with it; Retrier (retry.go) wraps it
+// with reconnection, resend and a circuit breaker.
 package wire
 
 import (
 	"errors"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by Do after Close (or after the connection died).
 var ErrClosed = errors.New("wire: client closed")
+
+// ErrTimeout is returned by Do when the per-request deadline (see
+// SetRequestTimeout) passes before the reply arrives. The batch may
+// still execute on the server; the connection should be dropped and the
+// batch re-sent with the same seqs, which the server dedups.
+var ErrTimeout = errors.New("wire: request deadline exceeded")
 
 // EventHandler consumes one pushed Events frame: the decoded batch plus
 // the cursor the stream resumes at. Called from the client's reader
@@ -26,6 +37,15 @@ type GoneHandler func(oldest uint64)
 type Client struct {
 	cn  *Conn
 	ack HelloAck
+	id  uint64
+
+	// seq feeds the idempotency tokens Do assigns to effectful requests
+	// whose Seq is zero. It only grows, even across errors, so a token
+	// is never reused within this client id.
+	seq atomic.Uint64
+
+	// timeout, when positive, bounds each Do from send to reply.
+	timeout atomic.Int64
 
 	mu       sync.Mutex
 	inflight map[uint64]chan []Result
@@ -38,20 +58,31 @@ type Client struct {
 	readerDone chan struct{}
 }
 
-// Dial connects, handshakes, and starts the reader.
-func Dial(addr string) (*Client, error) {
+// RandomClientID returns a nonzero id suitable for Hello.
+func RandomClientID() uint64 { return rand.Uint64() | 1 }
+
+// Dial connects, handshakes under a fresh random client id, and starts
+// the reader.
+func Dial(addr string) (*Client, error) { return DialID(addr, RandomClientID()) }
+
+// DialID is Dial with a caller-chosen client id (stable across
+// reconnects, so the server's dedup window survives them).
+func DialID(addr string, clientID uint64) (*Client, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(c)
+	return NewClientID(c, clientID)
 }
 
-// NewClient handshakes over an established stream and starts the reader.
-// On error the stream is closed.
-func NewClient(c net.Conn) (*Client, error) {
+// NewClient handshakes over an established stream under a fresh random
+// client id and starts the reader. On error the stream is closed.
+func NewClient(c net.Conn) (*Client, error) { return NewClientID(c, RandomClientID()) }
+
+// NewClientID is NewClient with a caller-chosen client id.
+func NewClientID(c net.Conn, clientID uint64) (*Client, error) {
 	cn := NewConn(c)
-	ack, err := ClientHandshake(cn)
+	ack, err := ClientHandshake(cn, clientID)
 	if err != nil {
 		cn.Close()
 		return nil, err
@@ -59,6 +90,7 @@ func NewClient(c net.Conn) (*Client, error) {
 	cl := &Client{
 		cn:         cn,
 		ack:        ack,
+		id:         clientID,
 		inflight:   make(map[uint64]chan []Result),
 		readerDone: make(chan struct{}),
 	}
@@ -68,6 +100,23 @@ func NewClient(c net.Conn) (*Client, error) {
 
 // Hello returns the server's handshake answer (shard count, clock).
 func (cl *Client) Hello() HelloAck { return cl.ack }
+
+// ClientID returns the id this connection handshook under.
+func (cl *Client) ClientID() uint64 { return cl.id }
+
+// SetRequestTimeout bounds every subsequent Do from send to reply; zero
+// (the default) waits forever. A timed-out batch may still execute —
+// drop the connection and re-send with the same seqs to resolve the
+// ambiguity through the server's dedup window.
+func (cl *Client) SetRequestTimeout(d time.Duration) { cl.timeout.Store(int64(d)) }
+
+// SetSeq positions the idempotency counter so the next auto-assigned
+// token is seq+1. A Retrier carrying its counter across reconnects uses
+// this to keep tokens monotone within the client id.
+func (cl *Client) SetSeq(seq uint64) { cl.seq.Store(seq) }
+
+// Seq returns the last assigned idempotency token.
+func (cl *Client) Seq() uint64 { return cl.seq.Load() }
 
 // Subscribe asks for event push starting at since (SinceNow for the
 // stream head). Handlers run on the reader goroutine. Call at most once,
@@ -81,8 +130,16 @@ func (cl *Client) Subscribe(since uint64, onEvents EventHandler, onGone GoneHand
 }
 
 // Do sends one batch and waits for its reply: one Result per Request, in
-// order. Concurrent Do calls pipeline on the connection.
+// order. Concurrent Do calls pipeline on the connection. Effectful
+// requests with Seq 0 are assigned the next idempotency token in place —
+// re-sending the same slice (same seqs) after a reconnect is therefore
+// safe: the server replays, never re-applies.
 func (cl *Client) Do(reqs []Request) ([]Result, error) {
+	for i := range reqs {
+		if reqs[i].Seq == 0 && Effectful(reqs[i].Kind) {
+			reqs[i].Seq = cl.seq.Add(1)
+		}
+	}
 	cl.mu.Lock()
 	if cl.err != nil {
 		err := cl.err
@@ -105,9 +162,26 @@ func (cl *Client) Do(reqs []Request) ([]Result, error) {
 		cl.mu.Unlock()
 		return nil, err
 	}
+	var timeoutC <-chan time.Time
+	if d := time.Duration(cl.timeout.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutC = t.C
+	}
 	select {
 	case res := <-ch:
 		return res, nil
+	case <-timeoutC:
+		cl.mu.Lock()
+		delete(cl.inflight, id)
+		cl.mu.Unlock()
+		// A reply racing the delete may already be buffered; prefer it.
+		select {
+		case res := <-ch:
+			return res, nil
+		default:
+		}
+		return nil, ErrTimeout
 	case <-cl.readerDone:
 		// The reader may have delivered the reply right before dying.
 		select {
@@ -121,6 +195,18 @@ func (cl *Client) Do(reqs []Request) ([]Result, error) {
 		return nil, err
 	}
 }
+
+// Err returns the sticky error the reader died with, or nil while the
+// connection is alive.
+func (cl *Client) Err() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.err
+}
+
+// Done is closed when the reader goroutine exits (the connection is
+// dead); Err then reports why.
+func (cl *Client) Done() <-chan struct{} { return cl.readerDone }
 
 // Close tears the connection down; in-flight Do calls fail with the
 // reader's error.

@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// handshake runs the server side of a pipe's handshake or fails the test.
+func handshake(t *testing.T, sc *Conn) {
+	t.Helper()
+	if _, err := ServerHandshake(sc, 1, 0); err != nil {
+		t.Errorf("server handshake: %v", err)
+	}
+}
+
+// TestClientSeqAssignment: Do assigns monotone idempotency tokens to
+// effectful requests in place and leaves advances (non-effectful)
+// unassigned, so the server never dedups a clock nudge.
+func TestClientSeqAssignment(t *testing.T) {
+	server, client := net.Pipe()
+	sc := NewConn(server)
+	seqs := make(chan []uint64, 2)
+	go func() {
+		handshake(t, sc)
+		for i := 0; i < 2; i++ {
+			p, err := sc.ReadFrame()
+			if err != nil {
+				return
+			}
+			id, reqs, err := DecodeBatch(p, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got := make([]uint64, len(reqs))
+			results := make([]Result, len(reqs))
+			for j, rq := range reqs {
+				got[j] = rq.Seq
+				results[j] = Result{Kind: rq.Kind, Status: StatusOK}
+			}
+			seqs <- got
+			sc.WriteFrame(AppendBatchReply(nil, id, results))
+		}
+	}()
+	cl, err := NewClient(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Do([]Request{
+		{Kind: ReqAddWorker, X: 1, Window: 1},
+		{Kind: ReqAdvance},
+		{Kind: ReqAddTask, X: 2, Window: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-seqs; got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("first batch seqs = %v, want [1 0 2]", got)
+	}
+	// A pre-assigned seq (a resend) is kept, not reassigned.
+	if _, err := cl.Do([]Request{{Kind: ReqWithdrawWorker, Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-seqs; got[0] != 2 {
+		t.Fatalf("resend seq = %v, want the caller's 2", got)
+	}
+	server.Close()
+}
+
+// TestClientMidFrameReset: the peer dying mid-frame (header promised
+// more bytes than ever arrive) surfaces as an error on the pending Do,
+// turns sticky, and fails every later Do immediately.
+func TestClientMidFrameReset(t *testing.T) {
+	server, client := net.Pipe()
+	sc := NewConn(server)
+	go func() {
+		handshake(t, sc)
+		if _, err := sc.ReadFrame(); err != nil { // the batch
+			return
+		}
+		// A frame header promising 100 payload bytes, then silence: the
+		// connection dies mid-frame.
+		hdr := make([]byte, 8)
+		binary.LittleEndian.PutUint32(hdr[0:4], 100)
+		server.Write(hdr)
+		server.Close()
+	}()
+	cl, err := NewClient(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Do([]Request{{Kind: ReqAddWorker, X: 1, Window: 1}}); err == nil {
+		t.Fatal("Do survived a mid-frame connection death")
+	}
+	if cl.Err() == nil {
+		t.Fatal("reader death not sticky")
+	}
+	// The next Do must fail fast with the same sticky error, not hang.
+	if _, err := cl.Do([]Request{{Kind: ReqAdvance}}); !errors.Is(err, cl.Err()) {
+		t.Fatalf("Do after death = %v, want sticky %v", err, cl.Err())
+	}
+}
+
+// TestClientStickyErrorFansOut: when the connection dies, every pending
+// Do — however many are pipelined — gets the error; none hangs.
+func TestClientStickyErrorFansOut(t *testing.T) {
+	server, client := net.Pipe()
+	sc := NewConn(server)
+	const pending = 8
+	batches := make(chan struct{}, pending)
+	go func() {
+		handshake(t, sc)
+		for i := 0; i < pending; i++ {
+			if _, err := sc.ReadFrame(); err != nil {
+				return
+			}
+			batches <- struct{}{}
+		}
+		// All in flight, none answered: hang up.
+		server.Close()
+	}()
+	cl, err := NewClient(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	errs := make(chan error, pending)
+	for i := 0; i < pending; i++ {
+		go func() {
+			_, err := cl.Do([]Request{{Kind: ReqAdvance}})
+			errs <- err
+		}()
+	}
+	for i := 0; i < pending; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("a pending Do returned results from a dead connection")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d of %d pending Do calls unblocked", i, pending)
+		}
+	}
+}
+
+// TestClientRequestTimeout: a server that swallows the batch trips the
+// per-request deadline; the Do returns ErrTimeout instead of hanging.
+func TestClientRequestTimeout(t *testing.T) {
+	server, client := net.Pipe()
+	sc := NewConn(server)
+	go func() {
+		handshake(t, sc)
+		sc.ReadFrame() // swallow the batch, never reply
+	}()
+	cl, err := NewClient(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { cl.Close(); server.Close() }()
+	cl.SetRequestTimeout(50 * time.Millisecond)
+	if _, err := cl.Do([]Request{{Kind: ReqAdvance}}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Do against a silent server = %v, want ErrTimeout", err)
+	}
+}
+
+// TestClientDemuxCloseRace: concurrent Do callers racing Close neither
+// deadlock nor panic — each call either gets its reply or an error.
+// Primarily a -race exercise of the reader/inflight handoff.
+func TestClientDemuxCloseRace(t *testing.T) {
+	server, client := net.Pipe()
+	sc := NewConn(server)
+	go func() {
+		handshake(t, sc)
+		for {
+			p, err := sc.ReadFrame()
+			if err != nil || len(p) == 0 || p[0] != MsgBatch {
+				return
+			}
+			id, reqs, err := DecodeBatch(p, nil)
+			if err != nil {
+				return
+			}
+			results := make([]Result, len(reqs))
+			for i := range results {
+				results[i] = Result{Kind: reqs[i].Kind, Status: StatusOK}
+			}
+			if sc.WriteFrame(AppendBatchReply(nil, id, results)) != nil {
+				return
+			}
+		}
+	}()
+	cl, err := NewClient(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				res, err := cl.Do([]Request{{Kind: ReqAdvance}})
+				if err != nil {
+					return // the close won the race; fine
+				}
+				if len(res) != 1 || res[0].Status != StatusOK {
+					t.Errorf("demuxed reply = %+v", res)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	cl.Close()
+	server.Close()
+	wg.Wait()
+}

@@ -1,0 +1,180 @@
+// Server-side idempotency state: a bounded per-client window of
+// completed (seq -> result) records. At-least-once delivery (a resilient
+// client resends any batch whose ack it lost) becomes exactly-once
+// effects: a re-sent op whose seq the window remembers is answered with
+// the original receipt instead of being re-applied.
+package wire
+
+import (
+	"errors"
+	"sync"
+)
+
+// DedupState classifies a seq lookup against a client's window.
+type DedupState int
+
+const (
+	// DedupNew: the seq has not been seen; execute and Record it.
+	DedupNew DedupState = iota
+	// DedupHit: the seq completed earlier; replay the recorded result.
+	DedupHit
+	// DedupOverrun: the seq is older than the window retains, so the
+	// server cannot tell whether it executed. Refuse with StatusErr —
+	// never guess at an effectful op.
+	DedupOverrun
+	// DedupInvalid: seq 0, the reserved "unassigned" sentinel.
+	DedupInvalid
+)
+
+// ErrClientTableFull reports that the dedup table is at its client
+// bound and no client was idle long enough to evict.
+var ErrClientTableFull = errors.New("wire: client table full")
+
+// DedupTable holds one ClientWindow per client id, bounded in both
+// directions: at most maxClients windows, each remembering at most
+// window completed seqs. Windows are created on first use and evicted
+// least-recently-used when the table is full.
+type DedupTable struct {
+	window     int
+	maxClients int
+
+	mu      sync.Mutex
+	clients map[uint64]*ClientWindow
+	// tick is a logical LRU clock: bumped on every Acquire, stamped
+	// into the window, so eviction needs no wall time.
+	tick uint64
+}
+
+// Defaults for NewDedupTable's bounds when zero.
+const (
+	DefaultDedupWindow = 8192
+	DefaultDedupCap    = 1024
+)
+
+// NewDedupTable builds a table retaining `window` completed seqs per
+// client for up to maxClients clients (zeros pick the defaults).
+func NewDedupTable(window, maxClients int) *DedupTable {
+	if window <= 0 {
+		window = DefaultDedupWindow
+	}
+	if maxClients <= 0 {
+		maxClients = DefaultDedupCap
+	}
+	return &DedupTable{
+		window:     window,
+		maxClients: maxClients,
+		clients:    make(map[uint64]*ClientWindow),
+	}
+}
+
+// Acquire returns the window for clientID, creating it on first use.
+// When the table is at its client bound, the least-recently-acquired
+// window is evicted to make room — unless it is still in use (a batch
+// is being processed under its lock), in which case Acquire refuses
+// with ErrClientTableFull rather than break an active client's
+// exactly-once guarantee.
+func (t *DedupTable) Acquire(clientID uint64) (*ClientWindow, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tick++
+	if w, ok := t.clients[clientID]; ok {
+		w.lastUsed = t.tick
+		return w, nil
+	}
+	if len(t.clients) >= t.maxClients {
+		var victim uint64
+		var victimW *ClientWindow
+		for id, w := range t.clients {
+			if w.inUse() {
+				continue
+			}
+			if victimW == nil || w.lastUsed < victimW.lastUsed {
+				victim, victimW = id, w
+			}
+		}
+		if victimW == nil {
+			return nil, ErrClientTableFull
+		}
+		delete(t.clients, victim)
+	}
+	w := &ClientWindow{window: t.window, recs: make(map[uint64]Result), lastUsed: t.tick}
+	t.clients[clientID] = w
+	return w, nil
+}
+
+// Clients reports the number of tracked client windows.
+func (t *DedupTable) Clients() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.clients)
+}
+
+// ClientWindow is one client's dedup state. Lock it around a whole
+// batch: the lock both guards the window and serializes batches for the
+// client across connections, so a resend racing its original (the
+// client reconnected while the old connection's handler was still
+// mid-batch) observes the original's recorded results instead of
+// re-executing.
+type ClientWindow struct {
+	mu       sync.Mutex
+	window   int
+	maxSeq   uint64 // highest seq ever recorded
+	recs     map[uint64]Result
+	lastUsed uint64 // DedupTable LRU stamp, guarded by the table lock
+}
+
+// Lock serializes the client's batch processing and must be held for
+// Lookup/Record.
+func (w *ClientWindow) Lock() { w.mu.Lock() }
+
+// Unlock releases the window.
+func (w *ClientWindow) Unlock() { w.mu.Unlock() }
+
+// inUse reports whether a batch currently holds the window; called
+// under the table lock only (best-effort: a racing Lock is caught by
+// the next eviction attempt).
+func (w *ClientWindow) inUse() bool {
+	if !w.mu.TryLock() {
+		return true
+	}
+	w.mu.Unlock()
+	return false
+}
+
+// Lookup classifies seq. Callers must hold Lock.
+func (w *ClientWindow) Lookup(seq uint64) (Result, DedupState) {
+	if seq == 0 {
+		return Result{}, DedupInvalid
+	}
+	if r, ok := w.recs[seq]; ok {
+		return r, DedupHit
+	}
+	if w.maxSeq >= uint64(w.window) && seq <= w.maxSeq-uint64(w.window) {
+		return Result{}, DedupOverrun
+	}
+	return Result{}, DedupNew
+}
+
+// Record stores a completed op's terminal result (StatusOK or
+// StatusErr — BUSY is retryable and must not be recorded) and slides
+// the window, forgetting seqs older than maxSeq-window. Callers must
+// hold Lock.
+func (w *ClientWindow) Record(seq uint64, res Result) {
+	if seq == 0 || res.Status == StatusBusy {
+		return
+	}
+	w.recs[seq] = res
+	if seq > w.maxSeq {
+		w.maxSeq = seq
+	}
+	// Seqs are client-monotone, so the stale tail is contiguous; still,
+	// sweep by predicate so a client that skips seqs cannot leak.
+	if len(w.recs) > w.window {
+		floor := w.maxSeq - uint64(w.window)
+		for s := range w.recs {
+			if s <= floor {
+				delete(w.recs, s)
+			}
+		}
+	}
+}

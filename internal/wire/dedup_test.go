@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestClientWindowLifecycle: the four lookup states, receipt replay, and
+// the rule that BUSY (retryable) is never recorded.
+func TestClientWindowLifecycle(t *testing.T) {
+	tb := NewDedupTable(4, 2)
+	w, err := tb.Acquire(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Lock()
+	defer w.Unlock()
+
+	if _, st := w.Lookup(0); st != DedupInvalid {
+		t.Fatalf("seq 0 state = %v, want DedupInvalid", st)
+	}
+	if _, st := w.Lookup(1); st != DedupNew {
+		t.Fatalf("fresh seq state = %v, want DedupNew", st)
+	}
+	w.Record(1, Result{Status: StatusOK, Local: 11})
+	rec, st := w.Lookup(1)
+	if st != DedupHit || rec.Local != 11 {
+		t.Fatalf("recorded seq = %+v/%v, want replayed receipt", rec, st)
+	}
+	// An error outcome is terminal too: replay it, don't re-execute.
+	w.Record(2, Result{Status: StatusErr, Msg: "bad window"})
+	if rec, st := w.Lookup(2); st != DedupHit || rec.Msg != "bad window" {
+		t.Fatalf("recorded error = %+v/%v, want replayed", rec, st)
+	}
+	// BUSY is backpressure, not an outcome: a retry with the same seq must
+	// execute fresh.
+	w.Record(3, Result{Status: StatusBusy, RetryAfter: 0.1})
+	if _, st := w.Lookup(3); st != DedupNew {
+		t.Fatalf("BUSY seq state = %v, want DedupNew (never recorded)", st)
+	}
+	// Seq 0 is the unassigned sentinel and must never enter the window.
+	w.Record(0, Result{Status: StatusOK})
+	if _, st := w.Lookup(0); st != DedupInvalid {
+		t.Fatalf("seq 0 after Record = %v, want DedupInvalid", st)
+	}
+}
+
+// TestClientWindowSlide: recording past the bound forgets the oldest
+// seqs, and a forgotten seq is refused (DedupOverrun) — its outcome is
+// unknowable, so the server must never guess.
+func TestClientWindowSlide(t *testing.T) {
+	tb := NewDedupTable(4, 1)
+	w, err := tb.Acquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Lock()
+	defer w.Unlock()
+	for seq := uint64(1); seq <= 10; seq++ {
+		w.Record(seq, Result{Status: StatusOK, Local: uint32(seq)})
+	}
+	// window=4, maxSeq=10: seqs <= 6 are forgotten, 7..10 replayable.
+	for seq := uint64(1); seq <= 6; seq++ {
+		if _, st := w.Lookup(seq); st != DedupOverrun {
+			t.Fatalf("seq %d state = %v, want DedupOverrun", seq, st)
+		}
+	}
+	for seq := uint64(7); seq <= 10; seq++ {
+		if rec, st := w.Lookup(seq); st != DedupHit || rec.Local != uint32(seq) {
+			t.Fatalf("seq %d = %+v/%v, want retained hit", seq, rec, st)
+		}
+	}
+	if _, st := w.Lookup(11); st != DedupNew {
+		t.Fatalf("next seq state = %v, want DedupNew", st)
+	}
+}
+
+// TestDedupTableLRUEviction: at the client bound the least-recently
+// acquired window is evicted, and a returning evicted client starts with
+// an empty window (its old receipts are gone, which Lookup reports as
+// DedupNew — the op re-executes, the accepted cost of bounded memory).
+func TestDedupTableLRUEviction(t *testing.T) {
+	tb := NewDedupTable(8, 2)
+	w1, _ := tb.Acquire(1)
+	w1.Lock()
+	w1.Record(5, Result{Status: StatusOK})
+	w1.Unlock()
+	if w2, _ := tb.Acquire(2); w2 == nil {
+		t.Fatal("second client refused below the bound")
+	}
+	// Client 1 is now LRU; admitting client 3 evicts it.
+	if _, err := tb.Acquire(3); err != nil {
+		t.Fatal(err)
+	}
+	if n := tb.Clients(); n != 2 {
+		t.Fatalf("clients = %d, want 2 after eviction", n)
+	}
+	w1b, err := tb.Acquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1b == w1 {
+		t.Fatal("evicted client got its old window back")
+	}
+	w1b.Lock()
+	if _, st := w1b.Lookup(5); st != DedupNew {
+		t.Fatalf("returning client's old seq = %v, want DedupNew (window was evicted)", st)
+	}
+	w1b.Unlock()
+
+	// Re-acquiring a live client returns the same window, receipts intact.
+	wA, _ := tb.Acquire(42)
+	wA.Lock()
+	wA.Record(1, Result{Status: StatusOK, Local: 99})
+	wA.Unlock()
+	wB, _ := tb.Acquire(42)
+	if wA != wB {
+		t.Fatal("re-acquire built a new window for a live client")
+	}
+}
+
+// TestDedupTableFullWhenAllBusy: a window mid-batch (lock held) is never
+// evicted; when every window is busy Acquire refuses instead of breaking
+// an active client's exactly-once guarantee.
+func TestDedupTableFullWhenAllBusy(t *testing.T) {
+	tb := NewDedupTable(8, 1)
+	w, err := tb.Acquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Lock()
+	if _, err := tb.Acquire(2); !errors.Is(err, ErrClientTableFull) {
+		t.Fatalf("acquire with all windows busy = %v, want ErrClientTableFull", err)
+	}
+	w.Unlock()
+	if _, err := tb.Acquire(2); err != nil {
+		t.Fatalf("acquire after batch finished: %v", err)
+	}
+}

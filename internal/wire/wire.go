@@ -43,6 +43,22 @@
 // result is StatusBusy with a retry-after hint in seconds; the rest of
 // the batch is unaffected. BUSY is per-entry and retryable; Error frames
 // are fatal (the connection closes after one).
+//
+// # Idempotency (version 2)
+//
+// The network between a client and the server is assumed adversarial:
+// an acknowledgment can be lost after the server applied the batch, so a
+// client that resends after a reconnect would double-admit under a naive
+// protocol. Version 2 makes at-least-once delivery produce exactly-once
+// effects: the Hello carries a stable 64-bit client id, every effectful
+// request (admission or withdrawal) carries a client-assigned sequence
+// number, and the server keeps a bounded per-client window of completed
+// (seq -> result) records. A re-sent op whose seq is already recorded is
+// answered with the original receipt instead of being re-applied; a seq
+// that has aged out of the window is refused with StatusErr, because the
+// server can no longer tell whether it executed. Seq 0 is reserved
+// (Client.Do assigns unset seqs itself) and refused. Advance carries no
+// seq: it moves the server to its own clock, so replaying it is harmless.
 package wire
 
 import (
@@ -54,14 +70,18 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 )
 
 // Magic opens every Hello; Version is the protocol version this package
 // speaks. A server refuses other versions with an Error frame, so the
 // version byte is the compatibility gate for any future payload change.
+// Version 2 added idempotency tokens: the Hello carries a 64-bit client
+// id and every effectful request a client-assigned seq; a token-less
+// version-1 client is refused at the handshake with a fatal Error frame.
 const (
 	Magic   = "FTWIRE\x00"
-	Version = 1
+	Version = 2
 )
 
 // MaxPayload bounds one frame's payload; MaxBatch bounds requests per
@@ -73,7 +93,7 @@ const (
 
 // Message types (first payload byte).
 const (
-	MsgHello      byte = 0x01 // c→s: magic, version
+	MsgHello      byte = 0x01 // c→s: magic, version, u64 client id
 	MsgHelloAck   byte = 0x02 // s→c: version, u32 shards, f64 now
 	MsgBatch      byte = 0x10 // c→s: u64 id, u16 count, requests
 	MsgBatchReply byte = 0x11 // s→c: u64 id, u16 count, results
@@ -83,14 +103,19 @@ const (
 	MsgError      byte = 0x7F // either: u16 len, utf8 message; fatal
 )
 
-// Request kinds within a Batch.
+// Request kinds within a Batch. Every kind except Advance is effectful
+// and carries a u64 idempotency seq ahead of its fields.
 const (
-	ReqAddWorker      byte = 0x01 // f64 x, y, arrive, patience
-	ReqAddTask        byte = 0x02 // f64 x, y, release, expiry
+	ReqAddWorker      byte = 0x01 // u64 seq, f64 x, y, arrive, patience
+	ReqAddTask        byte = 0x02 // u64 seq, f64 x, y, release, expiry
 	ReqAdvance        byte = 0x03 // empty
-	ReqWithdrawWorker byte = 0x04 // u32 shard, u32 local, u64 epoch
+	ReqWithdrawWorker byte = 0x04 // u64 seq, u32 shard, u32 local, u64 epoch
 	ReqWithdrawTask   byte = 0x05
 )
+
+// Effectful reports whether kind mutates server state and therefore
+// carries (and requires) an idempotency seq.
+func Effectful(kind byte) bool { return kind != ReqAdvance }
 
 // Result statuses.
 const (
@@ -107,8 +132,14 @@ const SinceNow = ^uint64(0)
 // the server to stamp its own clock; Window is patience/expiry),
 // withdrawals use Shard/Local/Epoch (the receipt a prior admission
 // returned), Advance uses nothing.
+//
+// Seq is the idempotency token of an effectful request: unique and
+// monotone per client, stable across resends. The server replays the
+// recorded result for a seq it has already completed. Leave it 0 and
+// Client.Do assigns the next token; the server refuses a literal 0.
 type Request struct {
 	Kind   byte
+	Seq    uint64
 	X, Y   float64
 	At     float64
 	Window float64
@@ -180,11 +211,12 @@ func appendF64(dst []byte, v float64) []byte {
 	return appendU64(dst, math.Float64bits(v))
 }
 
-// AppendHello encodes a Hello payload.
-func AppendHello(dst []byte) []byte {
+// AppendHello encodes a Hello payload carrying the client's stable id.
+func AppendHello(dst []byte, clientID uint64) []byte {
 	dst = append(dst, MsgHello)
 	dst = append(dst, Magic...)
-	return append(dst, Version)
+	dst = append(dst, Version)
+	return appendU64(dst, clientID)
 }
 
 // AppendHelloAck encodes a HelloAck payload.
@@ -217,12 +249,14 @@ func AppendBatch(dst []byte, id uint64, reqs []Request) ([]byte, error) {
 		dst = append(dst, r.Kind)
 		switch r.Kind {
 		case ReqAddWorker, ReqAddTask:
+			dst = appendU64(dst, r.Seq)
 			dst = appendF64(dst, r.X)
 			dst = appendF64(dst, r.Y)
 			dst = appendF64(dst, r.At)
 			dst = appendF64(dst, r.Window)
 		case ReqAdvance:
 		case ReqWithdrawWorker, ReqWithdrawTask:
+			dst = appendU64(dst, r.Seq)
 			dst = appendU32(dst, r.Shard)
 			dst = appendU32(dst, r.Local)
 			dst = appendU64(dst, r.Epoch)
@@ -381,18 +415,28 @@ func (c *cursor) done(msg string) error {
 	return nil
 }
 
-// DecodeHello validates a Hello payload (type byte included).
-func DecodeHello(p []byte) (version byte, err error) {
+// DecodeHello validates a Hello payload (type byte included). For a
+// foreign version the magic and version are still parsed — the remainder
+// of the payload is version-specific and ignored — so the caller can
+// refuse with an accurate version-mismatch message.
+func DecodeHello(p []byte) (version byte, clientID uint64, err error) {
 	c := cursor{p: p, off: 1}
 	magic := c.str(len(Magic), "magic")
 	version = c.u8("version")
-	if err := c.done("hello"); err != nil {
-		return 0, err
+	if c.err != nil {
+		return 0, 0, c.err
 	}
 	if magic != Magic {
-		return 0, errors.New("wire: bad magic (not an ftoa wire client)")
+		return 0, 0, errors.New("wire: bad magic (not an ftoa wire client)")
 	}
-	return version, nil
+	if version != Version {
+		return version, 0, nil
+	}
+	clientID = c.u64("client id")
+	if err := c.done("hello"); err != nil {
+		return 0, 0, err
+	}
+	return version, clientID, nil
 }
 
 // DecodeHelloAck decodes a HelloAck payload.
@@ -431,12 +475,14 @@ func DecodeBatch(p []byte, dst []Request) (id uint64, reqs []Request, err error)
 		r.Kind = c.u8("request kind")
 		switch r.Kind {
 		case ReqAddWorker, ReqAddTask:
+			r.Seq = c.u64("seq")
 			r.X = c.f64("x")
 			r.Y = c.f64("y")
 			r.At = c.f64("at")
 			r.Window = c.f64("window")
 		case ReqAdvance:
 		case ReqWithdrawWorker, ReqWithdrawTask:
+			r.Seq = c.u64("seq")
 			r.Shard = c.u32("shard")
 			r.Local = c.u32("local")
 			r.Epoch = c.u64("epoch")
@@ -525,12 +571,21 @@ func DecodeEventsGone(p []byte) (oldest uint64, err error) {
 // Conn frames messages over a byte stream. ReadFrame is single-reader;
 // WriteFrame is safe for concurrent use (serialized by an internal
 // mutex), so a client's batcher and subscriber never interleave bytes.
+//
+// ReadTimeout and WriteTimeout, when positive, bound each frame
+// operation: the matching net.Conn deadline is armed at the start of
+// every ReadFrame/WriteFrame, so a peer that goes silent mid-frame (or a
+// subscriber that stops draining its receive window) surfaces as a
+// timeout error instead of wedging the goroutine forever. Set them
+// before handing the Conn to concurrent users.
 type Conn struct {
-	c    net.Conn
-	rhdr [8]byte
-	rbuf []byte
-	wmu  sync.Mutex
-	wbuf []byte
+	c            net.Conn
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	rhdr         [8]byte
+	rbuf         []byte
+	wmu          sync.Mutex
+	wbuf         []byte
 }
 
 // NewConn wraps an established byte stream.
@@ -540,6 +595,9 @@ func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
 // until the next ReadFrame. Framing violations (bad length, bad CRC)
 // return ErrTooLarge/ErrCRC; the caller must drop the connection.
 func (cn *Conn) ReadFrame() ([]byte, error) {
+	if cn.ReadTimeout > 0 {
+		cn.c.SetReadDeadline(time.Now().Add(cn.ReadTimeout))
+	}
 	if _, err := io.ReadFull(cn.c, cn.rhdr[:]); err != nil {
 		return nil, err
 	}
@@ -565,6 +623,9 @@ func (cn *Conn) ReadFrame() ([]byte, error) {
 func (cn *Conn) WriteFrame(payload []byte) error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
+	if cn.WriteTimeout > 0 {
+		cn.c.SetWriteDeadline(time.Now().Add(cn.WriteTimeout))
+	}
 	var h [8]byte
 	binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(h[4:8], crc32.Checksum(payload, castagnoli))
@@ -582,34 +643,42 @@ func (cn *Conn) WriteError(msg string) error {
 // Close closes the underlying stream.
 func (cn *Conn) Close() error { return cn.c.Close() }
 
-// ServerHandshake performs the server side: read Hello, verify magic and
-// version, answer HelloAck. On version mismatch it sends an Error frame
-// and returns the reason.
-func ServerHandshake(cn *Conn, shards uint32, now float64) error {
+// ServerHandshake performs the server side: read Hello, verify magic,
+// version and client id, answer HelloAck. On version mismatch — which is
+// how a token-less legacy client presents — it sends a fatal Error frame
+// and returns the reason; the returned client id keys the server's
+// idempotency window for the connection.
+func ServerHandshake(cn *Conn, shards uint32, now float64) (clientID uint64, err error) {
 	p, err := cn.ReadFrame()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(p) == 0 || p[0] != MsgHello {
 		cn.WriteError("expected Hello")
-		return errors.New("wire: expected Hello")
+		return 0, errors.New("wire: expected Hello")
 	}
-	v, err := DecodeHello(p)
+	v, id, err := DecodeHello(p)
 	if err != nil {
 		cn.WriteError(err.Error())
-		return err
+		return 0, err
 	}
 	if v != Version {
-		err := fmt.Errorf("wire: version %d not supported (server speaks %d)", v, Version)
+		err := fmt.Errorf("wire: version %d not supported (server speaks %d; v2 requires idempotency tokens)", v, Version)
 		cn.WriteError(err.Error())
-		return err
+		return 0, err
 	}
-	return cn.WriteFrame(AppendHelloAck(nil, shards, now))
+	if id == 0 {
+		err := errors.New("wire: client id must be nonzero (idempotency key)")
+		cn.WriteError(err.Error())
+		return 0, err
+	}
+	return id, cn.WriteFrame(AppendHelloAck(nil, shards, now))
 }
 
-// ClientHandshake performs the client side: send Hello, read HelloAck.
-func ClientHandshake(cn *Conn) (HelloAck, error) {
-	if err := cn.WriteFrame(AppendHello(nil)); err != nil {
+// ClientHandshake performs the client side: send Hello with the client's
+// stable id, read HelloAck.
+func ClientHandshake(cn *Conn, clientID uint64) (HelloAck, error) {
+	if err := cn.WriteFrame(AppendHello(nil, clientID)); err != nil {
 		return HelloAck{}, err
 	}
 	p, err := cn.ReadFrame()

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"math"
 	"net"
@@ -104,7 +105,7 @@ func TestFrameCRC(t *testing.T) {
 
 	// Corrupt one payload byte behind a valid header: the reader must
 	// refuse with ErrCRC.
-	raw := AppendHello(nil)
+	raw := AppendHello(nil, 1)
 	framed := make([]byte, 8, 8+len(raw))
 	binary.LittleEndian.PutUint32(framed[0:4], uint32(len(raw)))
 	binary.LittleEndian.PutUint32(framed[4:8], crc32.Checksum(raw, castagnoli))
@@ -129,14 +130,38 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 	sc, cc := NewConn(server), NewConn(client)
 	go func() {
 		// A client speaking a future version.
-		p := AppendHello(nil)
-		p[len(p)-1] = Version + 1
+		p := AppendHello(nil, 1)
+		p[1+len(Magic)] = Version + 1
 		cc.WriteFrame(p)
 		cc.ReadFrame() // drain the Error frame
 		client.Close()
 	}()
-	if err := ServerHandshake(sc, 4, 0); err == nil {
+	if _, err := ServerHandshake(sc, 4, 0); err == nil {
 		t.Fatal("future version accepted")
+	}
+	server.Close()
+}
+
+func TestHandshakeRejectsZeroClientID(t *testing.T) {
+	server, client := net.Pipe()
+	sc, cc := NewConn(server), NewConn(client)
+	errc := make(chan error, 1)
+	go func() {
+		// A client that "forgot" to pick an idempotency identity.
+		cc.WriteFrame(AppendHello(nil, 0))
+		p, err := cc.ReadFrame()
+		if err == nil && len(p) > 0 && p[0] == MsgError {
+			err = DecodeError(p)
+		}
+		errc <- err
+		client.Close()
+	}()
+	if _, err := ServerHandshake(sc, 4, 0); err == nil {
+		t.Fatal("zero client id accepted")
+	}
+	var remote *RemoteError
+	if err := <-errc; !errors.As(err, &remote) {
+		t.Fatalf("client saw %v, want a fatal Error frame", err)
 	}
 	server.Close()
 }
@@ -149,7 +174,7 @@ func TestHandshakeRejectsForeignClient(t *testing.T) {
 		client.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
 		client.Close()
 	}()
-	if err := ServerHandshake(sc, 1, 0); err == nil {
+	if _, err := ServerHandshake(sc, 1, 0); err == nil {
 		t.Fatal("foreign byte stream accepted")
 	}
 	server.Close()
@@ -161,7 +186,7 @@ func TestClientPipelines(t *testing.T) {
 	server, client := net.Pipe()
 	sc := NewConn(server)
 	go func() {
-		if err := ServerHandshake(sc, 2, 5); err != nil {
+		if _, err := ServerHandshake(sc, 2, 5); err != nil {
 			t.Error(err)
 			return
 		}
