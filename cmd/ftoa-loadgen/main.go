@@ -84,6 +84,9 @@ type genConfig struct {
 	// exactly-once invariant after the load completes.
 	verify        bool
 	verifyTimeout time.Duration
+	// subscribers opens N event-stream subscriptions alongside the
+	// admission load and reports delivery lag and throughput.
+	subscribers int
 
 	// dialAddr is what connections actually dial: addr, or the chaos
 	// proxy in front of it. Set by run.
@@ -115,6 +118,24 @@ type verifyReport struct {
 	Complete   bool   `json:"complete"`    // all of the above clean
 }
 
+// subscriberReport aggregates the -subscribers fan-out: every
+// subscriber receives the full merged stream, so "events" is deliveries
+// summed across subscriptions (count × stream length when gap-free) and
+// "events_per_sec" the aggregate delivery rate. "gaps" counts seq
+// discontinuities not explained by an EventsGone restart — the stream
+// is dense, so any gap is lost delivery. Lag percentiles are per-event
+// end-to-end: server emission clock to client receipt, against a server
+// clock estimated once over an Advance round-trip.
+type subscriberReport struct {
+	Count        int     `json:"count"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Gaps         uint64  `json:"gaps"`
+	EventsGone   uint64  `json:"events_gone"`
+	LagP50Ms     float64 `json:"lag_p50_ms"`
+	LagP99Ms     float64 `json:"lag_p99_ms"`
+}
+
 type report struct {
 	Addr        string  `json:"addr"`
 	Pattern     string  `json:"pattern"`
@@ -138,8 +159,9 @@ type report struct {
 	P90Ms       float64 `json:"p90_ms"`
 	P99Ms       float64 `json:"p99_ms"`
 
-	Chaos  *chaosReport  `json:"chaos,omitempty"`
-	Verify *verifyReport `json:"verify,omitempty"`
+	Chaos       *chaosReport      `json:"chaos,omitempty"`
+	Verify      *verifyReport     `json:"verify,omitempty"`
+	Subscribers *subscriberReport `json:"subscribers,omitempty"`
 }
 
 // endpoint identifies one admitted object by its receipt; with the
@@ -473,6 +495,96 @@ func (v *verifier) settle(acked map[endpoint]int, ackedDup uint64, timeout time.
 	return rep
 }
 
+// subscriber is one event-stream consumer riding alongside the
+// admission load: it subscribes from the live head through a resilient
+// client (reconnects resume from the cursor, so continuity is
+// preserved through faults) and scores every pushed event for seq
+// continuity and end-to-end delivery lag — server emission time to
+// client receipt, against a server clock estimated once over an
+// Advance round-trip (the estimate's error is bounded by half that
+// RTT, far below the delivery lags worth gating on).
+type subscriber struct {
+	r        *wire.Retrier
+	mu       sync.Mutex
+	events   uint64
+	gaps     uint64
+	gone     uint64
+	lagMs    []float64
+	expect   uint64
+	synced   bool
+	clockOK  bool
+	serverAt float64   // server clock at ref
+	ref      time.Time // local receipt of the clock sample
+}
+
+func newSubscriber(cfg *genConfig) *subscriber {
+	s := &subscriber{}
+	s.r = wire.NewRetrier(wire.RetryConfig{
+		Addr:             cfg.dialAddr,
+		RequestTimeout:   cfg.requestTimeout,
+		BreakerThreshold: -1,
+		Subscribe:        true,
+		SubscribeSince:   wire.SinceNow,
+		OnEvents:         s.onEvents,
+		OnGone: func(uint64) {
+			s.mu.Lock()
+			s.gone++
+			// A retention overrun restarts the cursor; the jump it causes
+			// is accounted under events_gone, not as a delivery gap.
+			s.synced = false
+			s.mu.Unlock()
+		},
+	})
+	return s
+}
+
+// syncClock samples the server clock once; must run before the load so
+// lag measurements cover the whole run.
+func (s *subscriber) syncClock() error {
+	if _, err := s.r.WaitConnect(10 * time.Second); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	res, err := s.r.Do([]wire.Request{{Kind: wire.ReqAdvance}})
+	if err != nil {
+		return err
+	}
+	rtt := time.Since(t0)
+	if len(res) == 1 && res[0].Status == wire.StatusOK {
+		s.mu.Lock()
+		s.serverAt = res[0].Time + rtt.Seconds()/2
+		s.ref = t0.Add(rtt / 2)
+		s.clockOK = true
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// onEvents runs on the client's reader goroutine for every pushed
+// frame: the receipt timestamp is taken once per frame (the whole frame
+// arrived together).
+func (s *subscriber) onEvents(_ uint64, evs []wire.Event) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range evs {
+		ev := &evs[i]
+		if s.synced && ev.Seq != s.expect {
+			s.gaps++
+		}
+		s.expect = ev.Seq + 1
+		s.synced = true
+		s.events++
+		if s.clockOK {
+			lag := (s.serverAt + now.Sub(s.ref).Seconds()) - ev.Time
+			if lag < 0 {
+				lag = 0
+			}
+			s.lagMs = append(s.lagMs, lag*1000)
+		}
+	}
+}
+
 // run executes the load and assembles the report.
 func run(cfg *genConfig) *report {
 	cfg.dialAddr = cfg.addr
@@ -491,6 +603,13 @@ func run(cfg *genConfig) *report {
 	if cfg.verify {
 		ver = newVerifier(cfg)
 	}
+	subs := make([]*subscriber, cfg.subscribers)
+	for i := range subs {
+		subs[i] = newSubscriber(cfg)
+		if err := subs[i].syncClock(); err != nil {
+			log.Fatalf("ftoa-loadgen: subscriber %d: %v", i, err)
+		}
+	}
 	tallies := make([]connTally, cfg.conns)
 	deadline := time.Now().Add(cfg.duration)
 	start := time.Now()
@@ -504,6 +623,11 @@ func run(cfg *genConfig) *report {
 		}(i)
 	}
 	wg.Wait()
+	if len(subs) > 0 {
+		// Settle window: pushes for the last admissions are in flight;
+		// delivery is notification-driven, so a short drain suffices.
+		time.Sleep(500 * time.Millisecond)
+	}
 	elapsed := time.Since(start).Seconds()
 
 	rep := &report{
@@ -544,6 +668,27 @@ func run(cfg *genConfig) *report {
 	rep.P50Ms = percentile(rtts, 0.50)
 	rep.P90Ms = percentile(rtts, 0.90)
 	rep.P99Ms = percentile(rtts, 0.99)
+	if len(subs) > 0 {
+		sr := &subscriberReport{Count: len(subs)}
+		var lags []float64
+		for _, sb := range subs {
+			sb.r.Close()
+			sb.mu.Lock()
+			sr.Events += sb.events
+			sr.Gaps += sb.gaps
+			sr.EventsGone += sb.gone
+			lags = append(lags, sb.lagMs...)
+			sb.mu.Unlock()
+			rep.Reconnects += sb.r.Reconnects()
+		}
+		if elapsed > 0 {
+			sr.EventsPerSec = float64(sr.Events) / elapsed
+		}
+		sort.Float64s(lags)
+		sr.LagP50Ms = percentile(lags, 0.50)
+		sr.LagP99Ms = percentile(lags, 0.99)
+		rep.Subscribers = sr
+	}
 	if ver != nil {
 		rep.Verify = ver.settle(acked, ackedDup, cfg.verifyTimeout)
 		rep.Reconnects += ver.r.Reconnects()
@@ -601,6 +746,7 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "fault schedule seed for -chaos (0 = use -seed)")
 	verify := flag.Bool("verify", false, "subscribe to the event stream and check the exactly-once invariant after the load; exits nonzero if violated")
 	verifyTimeout := flag.Duration("verify-timeout", 60*time.Second, "how long -verify drives the server clock waiting for every acked admission to reach a terminal event")
+	subscribers := flag.Int("subscribers", 0, "open N event-stream subscriptions alongside the load and report delivery lag p50/p99, events/sec and gap counts")
 	flag.Parse()
 
 	cfg := &genConfig{
@@ -622,6 +768,10 @@ func main() {
 		chaosSeed:      *chaosSeed,
 		verify:         *verify,
 		verifyTimeout:  *verifyTimeout,
+		subscribers:    *subscribers,
+	}
+	if cfg.subscribers < 0 {
+		log.Fatalf("ftoa-loadgen: -subscribers must be >= 0")
 	}
 	if cfg.chaosSeed == 0 {
 		cfg.chaosSeed = cfg.seed

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -205,5 +206,138 @@ func TestPercentile(t *testing.T) {
 	}
 	if p := percentile(nil, 0.5); p != 0 {
 		t.Fatalf("empty percentile = %g", p)
+	}
+}
+
+// eventStubServer is stubServer plus the event side of the protocol:
+// every admission synthesizes one stream event (dense seqs, stamped
+// with the stub's clock) pushed to every subscribed connection, and
+// Advance answers with the clock — enough surface for the -subscribers
+// lag/continuity accounting to be checked exactly.
+func eventStubServer(t *testing.T) (addr string, admitted *atomic.Uint64, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	now := func() float64 { return time.Since(start).Seconds() }
+	admitted = new(atomic.Uint64)
+	var seq atomic.Uint64
+	type subConn struct {
+		cn *wire.Conn
+		mu *sync.Mutex
+	}
+	var smu sync.Mutex
+	var subs []subConn
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				cn := wire.NewConn(c)
+				wmu := &sync.Mutex{}
+				if _, err := wire.ServerHandshake(cn, 1, 0); err != nil {
+					return
+				}
+				var reqs []wire.Request
+				for {
+					p, err := cn.ReadFrame()
+					if err != nil || len(p) == 0 {
+						return
+					}
+					switch p[0] {
+					case wire.MsgSubscribe:
+						smu.Lock()
+						subs = append(subs, subConn{cn, wmu})
+						smu.Unlock()
+					case wire.MsgBatch:
+						id, rs, err := wire.DecodeBatch(p, reqs[:0])
+						if err != nil {
+							return
+						}
+						reqs = rs
+						results := make([]wire.Result, len(rs))
+						var evs []wire.Event
+						for i, rq := range rs {
+							results[i] = wire.Result{Kind: rq.Kind, Status: wire.StatusOK, Time: now()}
+							if rq.Kind == wire.ReqAddWorker || rq.Kind == wire.ReqAddTask {
+								admitted.Add(1)
+								evs = append(evs, wire.Event{
+									Seq: seq.Add(1) - 1, Kind: 0,
+									Worker: -1, Task: -1, WorkerShard: -1, TaskShard: -1,
+									Time: now(),
+								})
+							}
+						}
+						wmu.Lock()
+						werr := cn.WriteFrame(wire.AppendBatchReply(nil, id, results))
+						wmu.Unlock()
+						if werr != nil {
+							return
+						}
+						if len(evs) > 0 {
+							frame := wire.AppendEvents(nil, evs[len(evs)-1].Seq+1, evs)
+							smu.Lock()
+							targets := append([]subConn(nil), subs...)
+							smu.Unlock()
+							for _, sc := range targets {
+								sc.mu.Lock()
+								sc.cn.WriteFrame(frame)
+								sc.mu.Unlock()
+							}
+						}
+					default:
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), admitted, func() { ln.Close() }
+}
+
+// TestRunSubscriberReport: -subscribers opens live subscriptions whose
+// deliveries are scored for continuity and lag in the JSON report —
+// every subscriber sees every event exactly once, gap-free.
+func TestRunSubscriberReport(t *testing.T) {
+	addr, admitted, stop := eventStubServer(t)
+	defer stop()
+	cfg := &genConfig{
+		addr:        addr,
+		conns:       1,
+		duration:    300 * time.Millisecond,
+		batch:       16,
+		pattern:     "uniform",
+		bounds:      [4]float64{0, 0, 100, 100},
+		seed:        7,
+		workersFrac: 0.5,
+		patience:    300,
+		expiry:      60,
+		subscribers: 2,
+	}
+	rep := run(cfg)
+	if rep.ProtoErrors != 0 {
+		t.Fatalf("proto errors = %d: %+v", rep.ProtoErrors, rep)
+	}
+	sr := rep.Subscribers
+	if sr == nil || sr.Count != 2 {
+		t.Fatalf("subscribers report = %+v, want count 2", sr)
+	}
+	if want := 2 * admitted.Load(); sr.Events != want {
+		t.Fatalf("subscriber deliveries = %d, want %d (2 subscribers x %d events)",
+			sr.Events, want, admitted.Load())
+	}
+	if sr.Gaps != 0 || sr.EventsGone != 0 {
+		t.Fatalf("gaps/gone = %d/%d, want clean streams: %+v", sr.Gaps, sr.EventsGone, sr)
+	}
+	if sr.EventsPerSec <= 0 {
+		t.Fatalf("events_per_sec = %v, want positive", sr.EventsPerSec)
+	}
+	if sr.LagP99Ms < sr.LagP50Ms || sr.LagP99Ms > 5000 {
+		t.Fatalf("degenerate lag percentiles: p50 %v p99 %v", sr.LagP50Ms, sr.LagP99Ms)
 	}
 }

@@ -218,6 +218,11 @@ type server struct {
 // page via "next".
 const maxEventsPage = 10000
 
+// maxEventsWait caps the ?wait= long-poll window on GET /events so a
+// stuck client cannot pin a handler indefinitely; clients wanting a
+// longer watch re-issue the poll (their cursor makes that gap-free).
+const maxEventsWait = 30 * time.Second
+
 type matchJSON struct {
 	Worker int `json:"worker"`
 	Task   int `json:"task"`
@@ -866,11 +871,37 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			limit = n
 		}
 	}
+	// wait=DURATION long-polls: when the cursor is at the head, hold the
+	// request on a broadcast subscription (the same primitive as the wire
+	// pusher — no server-side poll loop) until an event arrives or the
+	// window elapses, then answer normally. Only meaningful with an
+	// explicit since cursor; capped so a stuck client cannot pin a
+	// handler for long.
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "wait must be a non-negative duration (e.g. 5s)")
+			return
+		}
+		if d > maxEventsWait {
+			d = maxEventsWait
+		}
+		wait = d
+	}
 	s.advance()
 	var evs []ftoa.ShardEvent
 	var next uint64
 	var err error
 	if present {
+		if wait > 0 && since >= s.router.Cursor() {
+			// At the head with nothing to deliver: park on the broadcast
+			// until an emission (or the client giving up) wakes us, then
+			// serve the page below exactly as an immediate poll would.
+			sub := s.router.Subscribe(since)
+			sub.Wait(wait, r.Context().Done())
+			sub.Close()
+		}
 		evs, next, err = s.router.EventsLimit(since, limit, nil)
 	} else {
 		// The bare form serves "whatever is retained" atomically — it
@@ -1087,6 +1118,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.wire != nil {
 		wireStatus = s.wire.statsJSON()
 	}
+	// Event delivery status: the shared broadcast ring every subscriber
+	// (wire pushers, /events long-polls) is served from. "fallbacks"
+	// counts subscriber reads that fell behind the ring and paged through
+	// the merge-on-read path; "evicted_subs" the wire subscribers dropped
+	// for not draining their stream.
+	bst := s.router.BroadcastStats()
+	var evictedSubs uint64
+	if s.wire != nil {
+		evictedSubs = s.wire.evicted.Load()
+	}
+	eventsStatus := map[string]any{
+		"subscribers":   bst.Subscribers,
+		"ring_depth":    bst.Depth,
+		"ring_capacity": bst.Capacity,
+		"published":     bst.Published,
+		"dropped":       bst.Dropped,
+		"fallbacks":     bst.Fallbacks,
+		"wakeups":       bst.Wakeups,
+		"evicted_subs":  evictedSubs,
+	}
 	// Topology status: the current (possibly rebalanced) region layout.
 	// The string is "CxR" for the uniform base grid, "CxR+n" after n
 	// quadtree splits; see docs/rebalance.md.
@@ -1117,6 +1168,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"shed":              shedTotal,
 		"wal":               walStatus,
 		"wire":              wireStatus,
+		"events":            eventsStatus,
 		"topology":          topoStatus,
 		"now":               now,
 		"shards":            shards,

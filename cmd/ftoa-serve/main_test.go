@@ -1049,3 +1049,77 @@ func TestHaloBootReport(t *testing.T) {
 		t.Fatalf("halo 30: %d warnings / %d fractions, want 4 / 4: %v", warns, fracs, lines)
 	}
 }
+
+// TestServeEventsLongPoll: GET /events?wait=D parks on the broadcast
+// subscription — an idle stream holds the request for the window and
+// returns empty; a concurrent admission releases it immediately with the
+// new event. The /stats "events" section reflects the delivery plumbing.
+func TestServeEventsLongPoll(t *testing.T) {
+	srv, err := newServer(defaultTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	if _, status := getJSONStatus(t, ts.URL+"/events?since=0&wait=banana"); status != http.StatusBadRequest {
+		t.Fatalf("bad wait accepted: status %d", status)
+	}
+
+	// Idle: the poll holds for the window, then answers empty.
+	start := time.Now()
+	out := getJSON(t, ts.URL+"/events?since=0&wait=150ms")
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("idle long-poll returned after %v, want ~150ms hold", d)
+	}
+	if evs := out["events"].([]any); len(evs) != 0 || out["next"].(float64) != 0 {
+		t.Fatalf("idle long-poll = %v, want empty at cursor 0", out)
+	}
+
+	// Hot: an admission during the hold releases the poll with the event.
+	type result struct {
+		out     map[string]any
+		elapsed time.Duration
+	}
+	done := make(chan result, 1)
+	go func() {
+		s := time.Now()
+		out := getJSON(t, ts.URL+"/events?since=0&wait=10s")
+		done <- result{out, time.Since(s)}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	postJSON(t, ts.URL+"/workers", `{"x":10,"y":10,"patience":300}`)
+	postJSON(t, ts.URL+"/tasks", `{"x":11,"y":10,"expiry":60}`)
+	select {
+	case res := <-done:
+		if res.elapsed > 5*time.Second {
+			t.Fatalf("long-poll did not release on the event (took %v)", res.elapsed)
+		}
+		evs := res.out["events"].([]any)
+		if len(evs) != 1 || evs[0].(map[string]any)["kind"].(string) != "match" {
+			t.Fatalf("long-poll result = %v, want the one match", res.out)
+		}
+		if res.out["next"].(float64) != 1 {
+			t.Fatalf("long-poll next = %v, want 1", res.out["next"])
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("long-poll stuck despite an admission")
+	}
+
+	stats := getJSON(t, ts.URL+"/stats")
+	events, ok := stats["events"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing events section: %v", stats)
+	}
+	for _, k := range []string{"subscribers", "ring_depth", "ring_capacity", "published", "fallbacks", "evicted_subs", "wakeups"} {
+		if _, ok := events[k]; !ok {
+			t.Fatalf("stats events section missing %q: %v", k, events)
+		}
+	}
+	if events["ring_capacity"].(float64) <= 0 {
+		t.Fatalf("ring_capacity = %v, want positive", events["ring_capacity"])
+	}
+	if events["published"].(float64) < 1 {
+		t.Fatalf("published = %v, want the long-polled match counted", events["published"])
+	}
+}

@@ -70,8 +70,7 @@ type wireServer struct {
 	s     *server
 	ln    net.Listener
 	opts  wireOptions
-	retry float64       // BUSY retry-after hint, seconds (one tick, pre-jitter)
-	push  time.Duration // event pusher poll interval
+	retry float64 // BUSY retry-after hint, seconds (one tick, pre-jitter)
 	dedup *wire.DedupTable
 
 	mu     sync.Mutex
@@ -97,12 +96,8 @@ func newWireServer(s *server, ln net.Listener, tick time.Duration, opts wireOpti
 		ln:    ln,
 		opts:  opts,
 		retry: tick.Seconds(),
-		push:  tick / 4,
 		dedup: wire.NewDedupTable(opts.dedupWindow, opts.dedupClients),
 		conns: make(map[net.Conn]struct{}),
-	}
-	if ws.push <= 0 {
-		ws.push = 50 * time.Millisecond
 	}
 	ws.wg.Add(1)
 	go ws.acceptLoop()
@@ -430,13 +425,25 @@ func (ws *wireServer) handleBatch(cn *wire.Conn, win *wire.ClientWindow, p []byt
 	return reqs, cn.WriteFrame(wire.AppendBatchReply(nil, id, results))
 }
 
-// pushEvents streams the merged event log to one subscribed connection:
-// poll the cursor API on a short interval, page through any backlog, and
-// translate retention overruns into EventsGone (the client restarts from
-// the reported cursor, losing only genuinely evicted events). A write
-// that overruns the write deadline means the subscriber is not draining:
-// the connection is dropped (the resilient client reconnects and resumes
-// from its cursor).
+// wirePushSafety bounds how long an idle pusher sleeps between wakeup
+// checks. Delivery is notification-driven (the broadcast wakes the
+// pusher the moment its shard publishes), so this is not a poll
+// interval — it only bounds recovery from a hypothetically missed
+// wakeup and keeps the stop check live. An idle subscriber costs one
+// timer tick and two atomic loads per second.
+const wirePushSafety = time.Second
+
+// pushEvents streams the merged event log to one subscribed connection,
+// push-based: a broadcast subscription (shard.Broadcast) delivers
+// retained events as a ring copy and wakes the pusher on emission, so a
+// hot stream is pushed immediately and an idle one does no per-tick
+// merge work. A subscriber behind the ring tail pages its backlog
+// through the merge-on-read fallback inside Next; retention overruns
+// surface as EventsGone (the client restarts from the reported cursor,
+// losing only genuinely evicted events). A write that overruns the
+// write deadline means the subscriber is not draining: the connection
+// is dropped (the resilient client reconnects and resumes from its
+// cursor).
 func (ws *wireServer) pushEvents(c net.Conn, cn *wire.Conn, cursor uint64, stop <-chan struct{}) {
 	defer ws.wg.Done()
 	defer ws.subs.Add(-1)
@@ -451,57 +458,50 @@ func (ws *wireServer) pushEvents(c net.Conn, cn *wire.Conn, cursor uint64, stop 
 	if cursor == wire.SinceNow {
 		cursor = ws.s.router.Cursor()
 	}
+	sub := ws.s.router.Subscribe(cursor)
+	defer sub.Close()
 	var buf []ftoa.ShardEvent
 	evs := make([]wire.Event, 0, wireEventPage)
 	var frame []byte
-	t := time.NewTicker(ws.push)
-	defer t.Stop()
 	for {
-		for {
-			var next uint64
-			var err error
-			buf, next, err = ws.s.router.EventsLimit(cursor, wireEventPage, buf[:0])
-			if err != nil {
-				oldest := ws.s.router.OldestCursor()
-				if werr := cn.WriteFrame(wire.AppendEventsGone(frame[:0], oldest)); werr != nil {
-					evict(werr)
-					return
-				}
-				cursor = oldest
-				continue
-			}
-			if len(buf) == 0 {
-				cursor = next
-				break
-			}
-			evs = evs[:0]
-			for i := range buf {
-				ev := &buf[i]
-				evs = append(evs, wire.Event{
-					Seq:         ev.Seq,
-					Shard:       int32(ev.Shard),
-					Kind:        byte(ev.Kind),
-					Worker:      int32(ev.Worker),
-					Task:        int32(ev.Task),
-					Time:        ev.Time,
-					WorkerShard: int32(ev.WorkerShard),
-					TaskShard:   int32(ev.TaskShard),
-				})
-			}
-			frame = wire.AppendEvents(frame[:0], next, evs)
-			if err := cn.WriteFrame(frame); err != nil {
-				evict(err)
-				return
-			}
-			cursor = next
-			if len(evs) < wireEventPage {
-				break
-			}
-		}
 		select {
 		case <-stop:
 			return
-		case <-t.C:
+		default:
+		}
+		var err error
+		buf, _, err = sub.Next(wireEventPage, buf[:0])
+		if err != nil {
+			oldest := ws.s.router.OldestCursor()
+			if werr := cn.WriteFrame(wire.AppendEventsGone(frame[:0], oldest)); werr != nil {
+				evict(werr)
+				return
+			}
+			sub.Seek(oldest)
+			continue
+		}
+		if len(buf) == 0 {
+			sub.Wait(wirePushSafety, stop)
+			continue
+		}
+		evs = evs[:0]
+		for i := range buf {
+			ev := &buf[i]
+			evs = append(evs, wire.Event{
+				Seq:         ev.Seq,
+				Shard:       int32(ev.Shard),
+				Kind:        byte(ev.Kind),
+				Worker:      int32(ev.Worker),
+				Task:        int32(ev.Task),
+				Time:        ev.Time,
+				WorkerShard: int32(ev.WorkerShard),
+				TaskShard:   int32(ev.TaskShard),
+			})
+		}
+		frame = wire.AppendEvents(frame[:0], sub.Cursor(), evs)
+		if err := cn.WriteFrame(frame); err != nil {
+			evict(err)
+			return
 		}
 	}
 }

@@ -294,7 +294,23 @@ type (
 	// merge thresholds, depth cap, cooldown, EWMA time constant, and an
 	// optional demand forecaster).
 	RebalanceConfig = rebalance.Config
+	// ShardEventSub is one subscriber's cursor into the router's shared
+	// event broadcast ring (ShardRouter.Subscribe): Next reads retained
+	// events as a lock-light slice copy, transparently falling back to
+	// the merge-on-read path when the cursor lags the ring, and Wait
+	// blocks until delivery — the push primitive behind the wire event
+	// pusher and GET /events long-polling.
+	ShardEventSub = shard.EventSub
+	// ShardBroadcastStats snapshots the shared event ring
+	// (ShardRouter.BroadcastStats): subscriber count, ring depth and
+	// capacity, published/dropped totals, fallback-to-merge transitions
+	// and wakeups delivered.
+	ShardBroadcastStats = shard.BroadcastStats
 )
+
+// DefaultShardBroadcastCapacity is the event broadcast ring size used
+// when ShardConfig.Broadcast is zero.
+const DefaultShardBroadcastCapacity = shard.DefaultBroadcastCapacity
 
 // MaxShardSplitDepth bounds how many times one base grid cell can be
 // quartered by rebalancing.

@@ -1,0 +1,345 @@
+// Shared event broadcast: one merged, Seq-ordered, bounded ring fed
+// once from the router's emission path, with per-subscriber cursors.
+//
+// EventsLimit re-merges the per-shard logs on every call: each poll
+// takes every shard lock, binary-searches each log, gathers up to
+// shards×limit events and re-sorts them — per subscriber. The global
+// sequence counter already totally orders the stream at emission, so
+// the broadcast captures that order exactly once: collectLocked, right
+// after sequencing a batch under the emitting shard's lock, publishes
+// it into a slot-indexed ring (slot of seq s is s % capacity — the seq
+// space is dense, every assigned seq produces exactly one event).
+// Subscriber reads of retained events are a lock-light slice copy under
+// one mutex; fan-out costs O(events), not O(events × subscribers ×
+// shards).
+//
+// The ring is an accelerator, not the source of truth. A subscriber
+// whose cursor falls below the ring's tail transparently pages through
+// Router.EventsLimit — the existing merge-on-read path — and rejoins
+// the ring once caught up, so retention semantics (ErrEvicted, the
+// restart-at-OldestCursor contract) and the dense cursor space across
+// Rebalance archive swaps are preserved bit-identically: both paths
+// serve the same events in the same order.
+//
+// Cross-shard publishes race, so batches can arrive out of global Seq
+// order. The ring tracks two watermarks: lo, the lowest seq it still
+// retains, and frontier, one past the highest CONTIGUOUSLY published
+// seq. Readers only see [lo, frontier) — a seq above a still-unpublished
+// hole stays invisible until the hole fills, which keeps ring reads
+// gap-free without waiting on any shard lock. When an insert overwrites
+// (seq ≥ lo+capacity) lo advances and frontier is dragged up to it if a
+// hole was evicted underneath; a straggler batch below lo is dropped —
+// the fallback path serves it. With zero subscribers publish returns
+// after one atomic load, and (re)subscribing from idle re-anchors the
+// ring at the current sequence counter, so an unobserved router does no
+// broadcast work at all.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBroadcastCapacity is the ring size used when Config.Broadcast
+// is zero: at 8192 events (~600 KiB) a subscriber may lag the live head
+// by a full wire page several times over before touching the fallback.
+const DefaultBroadcastCapacity = 8192
+
+// broadcast is the router-wide shared ring. All mutable state is
+// guarded by mu except the mirrors noted below, which are written under
+// mu but atomically readable (Wait's fast path, publish's empty check).
+type broadcast struct {
+	mu  sync.Mutex
+	buf []Event
+	// tag[i] is 1 + the seq held in buf[i], 0 when the slot was never
+	// written. Slots are verified by exact seq, so re-anchoring after an
+	// idle spell never needs to clear stale entries: a stale tag can
+	// only match its own (dead) seq, never a live one at the same slot.
+	tag []uint64
+	// lo is the lowest seq the ring retains; frontier is one past the
+	// highest contiguously published seq. Reads serve [cursor, frontier)
+	// for cursors ≥ lo. Atomic mirrors of the mu-guarded values so
+	// Wait can poll availability without taking the lock.
+	lo       atomic.Uint64
+	frontier atomic.Uint64
+	subs     map[*EventSub]struct{}
+	// nsubs mirrors len(subs); publish skips all work (no lock) while it
+	// is zero. Ordering with re-anchoring: Subscribe stores nsubs and
+	// THEN reads the router's seq counter as the new anchor, both under
+	// mu; a publisher that observed nsubs==0 must have drawn every seq
+	// of its batch before that store, hence below the anchor — skipped
+	// seqs are always below lo and belong to the fallback path.
+	nsubs atomic.Int32
+
+	published atomic.Uint64 // events inserted into the ring
+	dropped   atomic.Uint64 // straggler events below lo at publish time
+	fallbacks atomic.Uint64 // subscriber reads served by merge-on-read
+	wakeups   atomic.Uint64 // notifications delivered to armed waiters
+}
+
+func newBroadcast(capacity int) *broadcast {
+	if capacity <= 0 {
+		capacity = DefaultBroadcastCapacity
+	}
+	return &broadcast{
+		buf:  make([]Event, capacity),
+		tag:  make([]uint64, capacity),
+		subs: make(map[*EventSub]struct{}),
+	}
+}
+
+// publish inserts one emission batch (already sequenced, per-shard Seq
+// ascending) into the ring and wakes armed subscribers. Called from
+// collectLocked while the emitting shard's lock (and topoMu.RLock) is
+// held; the lock order {topoMu, shard} → broadcast.mu is safe because
+// readers never hold broadcast.mu while entering the router.
+func (b *broadcast) publish(evs []Event) {
+	if b.nsubs.Load() == 0 {
+		return
+	}
+	b.mu.Lock()
+	if len(b.subs) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	capacity := uint64(len(b.buf))
+	lo, frontier := b.lo.Load(), b.frontier.Load()
+	inserted := 0
+	for _, ev := range evs {
+		s := ev.Seq
+		if s < lo {
+			// A straggler below the retained window (published after the
+			// ring re-anchored or wrapped past it): the fallback serves it.
+			b.dropped.Add(1)
+			continue
+		}
+		if s >= lo+capacity {
+			// Overwrite: drop the tail to keep exactly capacity slots
+			// ending at s. If the advance evicts a still-unfilled hole,
+			// drag frontier up — those seqs can no longer be served from
+			// the ring, and leaving frontier below lo would wedge it.
+			lo = s - capacity + 1
+			if frontier < lo {
+				frontier = lo
+			}
+		}
+		slot := s % capacity
+		b.buf[slot] = ev
+		b.tag[slot] = s + 1
+		inserted++
+	}
+	// Advance frontier across contiguously filled slots. Out-of-order
+	// shard batches leave holes; frontier waits on them so ring reads
+	// stay gap-free.
+	for frontier < lo+capacity && b.tag[frontier%capacity] == frontier+1 {
+		frontier++
+	}
+	b.lo.Store(lo)
+	b.frontier.Store(frontier)
+	b.published.Add(uint64(inserted))
+	for sub := range b.subs {
+		if sub.armed.CompareAndSwap(true, false) {
+			select {
+			case sub.notify <- struct{}{}:
+				b.wakeups.Add(1)
+			default:
+			}
+		}
+	}
+	b.mu.Unlock()
+}
+
+// BroadcastStats is a point-in-time snapshot of the shared ring.
+type BroadcastStats struct {
+	Subscribers int    // live subscriptions
+	Capacity    int    // ring slots
+	Depth       uint64 // retained contiguous events (frontier - lo)
+	Published   uint64 // events inserted since construction
+	Dropped     uint64 // straggler events skipped below the ring tail
+	Fallbacks   uint64 // subscriber reads that fell back to merge-on-read
+	Wakeups     uint64 // notifications delivered to blocked subscribers
+}
+
+// BroadcastStats snapshots the shared event ring.
+func (r *Router) BroadcastStats() BroadcastStats {
+	b := r.bcast
+	return BroadcastStats{
+		Subscribers: int(b.nsubs.Load()),
+		Capacity:    len(b.buf),
+		Depth:       b.frontier.Load() - b.lo.Load(),
+		Published:   b.published.Load(),
+		Dropped:     b.dropped.Load(),
+		Fallbacks:   b.fallbacks.Load(),
+		Wakeups:     b.wakeups.Load(),
+	}
+}
+
+// EventSub is one subscriber's position in the merged event stream: a
+// cursor into the shared broadcast ring plus a wakeup channel. Next and
+// Wait must be called from a single consumer goroutine (the cursor is
+// unsynchronized, like any Events cursor); Close may be called from
+// anywhere and is idempotent. A subscription left open pins a map entry
+// and makes every emission do fan-out work — always Close it.
+type EventSub struct {
+	r      *Router
+	b      *broadcast
+	cursor uint64
+	notify chan struct{}
+	armed  atomic.Bool
+	closed atomic.Bool
+}
+
+// Subscribe opens a subscription positioned at since, with identical
+// cursor semantics to Events: events with Seq ≥ since are delivered
+// in Seq order, gap-free; a cursor below the retention boundary gets
+// ErrEvicted from Next, exactly as EventsLimit would report it.
+// Use Cursor() as since for "only new events".
+func (r *Router) Subscribe(since uint64) *EventSub {
+	b := r.bcast
+	sub := &EventSub{r: r, b: b, cursor: since, notify: make(chan struct{}, 1)}
+	b.mu.Lock()
+	b.subs[sub] = struct{}{}
+	b.nsubs.Store(int32(len(b.subs)))
+	if len(b.subs) == 1 {
+		// First subscriber after an idle (unobserved) spell: the ring is
+		// stale — publishes were skipped — so re-anchor it at the current
+		// sequence counter. Every seq drawn at or above this anchor is
+		// guaranteed to be published (see the nsubs ordering note); the
+		// ones below it are the fallback's job, as always.
+		anchor := r.seq.Load()
+		b.lo.Store(anchor)
+		b.frontier.Store(anchor)
+	}
+	b.mu.Unlock()
+	return sub
+}
+
+// Close tears the subscription down. Further Next calls return no
+// events; a concurrent Wait wakes up.
+func (s *EventSub) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	b := s.b
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.nsubs.Store(int32(len(b.subs)))
+	b.mu.Unlock()
+	s.armed.Store(false)
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Cursor reports the subscription's current resume position (the next
+// Seq it will deliver).
+func (s *EventSub) Cursor() uint64 { return s.cursor }
+
+// Seek repositions the cursor — the restart half of the ErrEvicted
+// contract (Seek(OldestCursor()) after Next reports eviction), mirroring
+// how a polling consumer restarts its since value.
+func (s *EventSub) Seek(cursor uint64) { s.cursor = cursor }
+
+// Next appends to dst up to limit events from the cursor onward (zero
+// or negative limit means unlimited) and advances the cursor past them.
+// When the cursor is inside the ring's retained window the read is a
+// slice copy under the ring mutex — no shard locks, no sort. When it
+// has fallen below the ring tail, the call transparently pages through
+// Router.EventsLimit (the merge-on-read path) with identical results:
+// same events, same order, same ErrEvicted behavior below the retention
+// boundary (the cursor does not move on error). An empty result with a
+// nil error means the subscriber is at the head — Wait for more.
+func (s *EventSub) Next(limit int, dst []Event) ([]Event, uint64, error) {
+	if s.closed.Load() {
+		return dst, s.cursor, nil
+	}
+	b := s.b
+	// A cursor below the retention boundary must observe ErrEvicted even
+	// when the ring happens to still hold those events: the eviction
+	// contract is EventsLimit's, bit-identical, so route it through the
+	// fallback (which reports it).
+	evicted := s.r.evicted.Load()
+	b.mu.Lock()
+	lo, frontier := b.lo.Load(), b.frontier.Load()
+	if s.cursor >= lo && s.cursor >= evicted {
+		end := frontier
+		if limit > 0 && s.cursor+uint64(limit) < end {
+			end = s.cursor + uint64(limit)
+		}
+		if end > s.cursor {
+			capacity := uint64(len(b.buf))
+			if n := int(end - s.cursor); cap(dst)-len(dst) < n {
+				grown := make([]Event, len(dst), len(dst)+n)
+				copy(grown, dst)
+				dst = grown
+			}
+			for c := s.cursor; c < end; c++ {
+				dst = append(dst, b.buf[c%capacity])
+			}
+			s.cursor = end
+		}
+		b.mu.Unlock()
+		return dst, s.cursor, nil
+	}
+	b.mu.Unlock()
+	// Below the ring tail: page the backlog through the merge-on-read
+	// path, then rejoin the ring on a later call once caught up.
+	b.fallbacks.Add(1)
+	dst, next, err := s.r.EventsLimit(s.cursor, limit, dst)
+	if err != nil {
+		return dst, s.cursor, err
+	}
+	s.cursor = next
+	return dst, next, nil
+}
+
+// Wait blocks until an event at or after the cursor is (or may be)
+// available, the timeout elapses (zero or negative waits indefinitely),
+// stop closes (nil is allowed), or the subscription closes. It returns
+// true when events may be available — callers just call Next, which
+// reports the truth; a false return means the wait was cut short.
+// Spurious true returns are possible and harmless.
+func (s *EventSub) Wait(timeout time.Duration, stop <-chan struct{}) bool {
+	if s.available() {
+		return true
+	}
+	s.armed.Store(true)
+	// Re-check after arming: a publish between the first check and the
+	// Store saw armed==false and sent no wakeup — catch it here.
+	if s.available() || s.closed.Load() {
+		s.armed.Store(false)
+		select {
+		case <-s.notify:
+		default:
+		}
+		return true
+	}
+	var timer *time.Timer
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		timeoutC = timer.C
+		defer timer.Stop()
+	}
+	select {
+	case <-s.notify:
+		return true
+	case <-timeoutC:
+		s.armed.Store(false)
+		return false
+	case <-stop:
+		s.armed.Store(false)
+		return false
+	}
+}
+
+// available reports whether Next would make progress: the frontier has
+// passed the cursor, or the cursor has fallen below the ring tail (the
+// fallback path has events — or an eviction error — for it). Keyed to
+// the frontier rather than the raw sequence counter so a transient
+// publish hole does not spin the waiter.
+func (s *EventSub) available() bool {
+	return s.b.frontier.Load() > s.cursor || s.cursor < s.b.lo.Load()
+}

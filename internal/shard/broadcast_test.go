@@ -1,0 +1,420 @@
+package shard
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ftoa/internal/geo"
+	"ftoa/internal/model"
+	"ftoa/internal/sim"
+	"ftoa/internal/workload"
+)
+
+// consumeSub drains one subscription concurrently with producers: it
+// reads pages until stop is closed AND the cursor has caught up with the
+// router head, mixing ring reads and fallback pages as the race decides.
+func consumeSub(t *testing.T, r *Router, sub *EventSub, page int, stop <-chan struct{}) []Event {
+	t.Helper()
+	var got []Event
+	var buf []Event
+	for {
+		var err error
+		buf, _, err = sub.Next(page, buf[:0])
+		if err != nil {
+			t.Errorf("subscriber Next: %v", err)
+			return got
+		}
+		got = append(got, buf...)
+		if len(buf) > 0 {
+			continue
+		}
+		select {
+		case <-stop:
+			if sub.Cursor() >= r.Cursor() {
+				return got
+			}
+		default:
+		}
+		sub.Wait(5*time.Millisecond, nil)
+	}
+}
+
+// requireDense asserts evs is exactly the dense seq range [from, to).
+func requireDense(t *testing.T, evs []Event, from, to uint64) {
+	t.Helper()
+	if uint64(len(evs)) != to-from {
+		t.Fatalf("got %d events, want the dense range [%d,%d)", len(evs), from, to)
+	}
+	for i, ev := range evs {
+		if ev.Seq != from+uint64(i) {
+			t.Fatalf("event %d has seq %d, want %d (gap or duplicate)", i, ev.Seq, from+uint64(i))
+		}
+	}
+}
+
+func TestRouterBroadcastValidates(t *testing.T) {
+	bad := testConfig(2, 2)
+	bad.Broadcast = -1
+	if _, err := NewRouter(bad); err == nil {
+		t.Error("negative broadcast capacity accepted")
+	}
+}
+
+// TestRouterBroadcastParityConcurrent: a subscriber consuming through
+// the broadcast ring — deliberately undersized so reads keep falling off
+// the tail into the merge-on-read fallback — observes, under concurrent
+// multi-shard admissions, a stream bit-identical to a full EventsLimit
+// merge from the same cursor.
+func TestRouterBroadcastParityConcurrent(t *testing.T) {
+	wcfg := workload.DefaultSynthetic()
+	wcfg.NumWorkers, wcfg.NumTasks = 300, 300
+	in, err := wcfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(Config{
+		Matcher:      sim.MatcherConfig{Mode: sim.Strict, Velocity: in.Velocity, Bounds: in.Bounds},
+		Cols:         2,
+		Rows:         2,
+		NewAlgorithm: func() sim.Algorithm { return &greedyAlg{} },
+		Broadcast:    64, // tiny ring: force frequent fallback + wraparound
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := in.Events()
+	// Seed a backlog before subscribing so the subscription provably
+	// starts below the ring anchor and exercises the fallback.
+	seed := len(events) / 4
+	for _, ev := range events[:seed] {
+		switch ev.Kind {
+		case model.WorkerArrival:
+			if _, _, err := r.AddWorker(in.Workers[ev.Index]); err != nil {
+				t.Fatal(err)
+			}
+		case model.TaskArrival:
+			if _, _, err := r.AddTask(in.Tasks[ev.Index]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sub := r.Subscribe(0)
+	defer sub.Close()
+
+	stop := make(chan struct{})
+	var got []Event
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		got = consumeSub(t, r, sub, 73, stop)
+	}()
+
+	var wg sync.WaitGroup
+	const producers = 4
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := seed + p; i < len(events); i += producers {
+				ev := events[i]
+				switch ev.Kind {
+				case model.WorkerArrival:
+					if _, _, err := r.AddWorker(in.Workers[ev.Index]); err != nil {
+						t.Error(err)
+						return
+					}
+				case model.TaskArrival:
+					if _, _, err := r.AddTask(in.Tasks[ev.Index]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.Finish()
+	close(stop)
+	consumer.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	want, next, err := r.Events(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("workload produced no events")
+	}
+	requireDense(t, got, 0, next)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("subscriber stream diverges from EventsLimit merge (%d vs %d events)", len(got), len(want))
+	}
+	st := r.BroadcastStats()
+	if st.Fallbacks == 0 {
+		t.Error("undersized ring never fell back to merge-on-read")
+	}
+	if st.Published == 0 {
+		t.Error("ring never served: no events published")
+	}
+}
+
+// TestRouterBroadcastParityRebalance: the subscription's cursor space is
+// continuous across a Rebalance archive swap — the subscriber's stream
+// stays bit-identical to the merged read even when part of it now lives
+// in the swapped-in archive.
+func TestRouterBroadcastParityRebalance(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Broadcast = 32
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addPair := func(x, y, at float64) {
+		t.Helper()
+		if _, _, err := r.AddWorker(model.Worker{Loc: geo.Pt(x, y), Arrive: at, Patience: 100}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.AddTask(model.Task{Loc: geo.Pt(x, y+1), Release: at, Expiry: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-subscription backlog in every quadrant (fallback territory).
+	for i := 0; i < 8; i++ {
+		addPair(20+60*float64(i%2), 20+60*float64((i/2)%2), float64(i))
+	}
+	sub := r.Subscribe(0)
+	defer sub.Close()
+
+	// Split quadrant 0 mid-stream: live logs migrate into the archive.
+	if _, err := r.Rebalance(mustSplit(t, r.Topology(), 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Post-swap traffic, including the split quadrant's sub-regions.
+	for i := 0; i < 8; i++ {
+		addPair(10+25*float64(i%2), 10+25*float64((i/2)%2), 8+float64(i))
+	}
+	r.Finish()
+
+	stop := make(chan struct{})
+	close(stop)
+	got := consumeSub(t, r, sub, 5, stop)
+	if t.Failed() {
+		t.FailNow()
+	}
+	want, next, err := r.Events(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDense(t, got, 0, next)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream across rebalance diverges from merge (%d vs %d events)", len(got), len(want))
+	}
+}
+
+// TestRouterBroadcastRetentionEviction: a subscriber behind the
+// retention boundary gets the same ErrEvicted/restart-at-OldestCursor
+// contract as a polling consumer — even though the broadcast ring still
+// physically holds the evicted events — and the restarted stream matches
+// the merged read bit-identically.
+func TestRouterBroadcastRetentionEviction(t *testing.T) {
+	cfg := testConfig(1, 1)
+	cfg.Retention = 3
+	cfg.Broadcast = 16
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := r.Subscribe(0) // anchored before any event: ring sees all 5
+	defer sub.Close()
+	for i := 0; i < 5; i++ {
+		if _, _, err := r.AddWorker(model.Worker{Loc: geo.Pt(10, 10), Arrive: float64(i), Patience: 100}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.AddTask(model.Task{Loc: geo.Pt(10, 11), Release: float64(i), Expiry: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := sub.Next(0, nil); err != ErrEvicted {
+		t.Fatalf("stale subscriber error = %v, want ErrEvicted", err)
+	}
+	if sub.Cursor() != 0 {
+		t.Fatalf("cursor moved to %d on eviction error, want 0", sub.Cursor())
+	}
+	sub.Seek(r.OldestCursor())
+	got, next, err := sub.Next(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantNext, err := r.Events(r.OldestCursor(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != wantNext || !reflect.DeepEqual(got, want) {
+		t.Fatalf("restarted stream = %d events next %d, want %d events next %d, bit-identical",
+			len(got), next, len(want), wantNext)
+	}
+	requireDense(t, got, r.OldestCursor(), wantNext)
+}
+
+// TestRouterBroadcastFanoutSmoke: ≥8 subscribers consuming the full
+// stream concurrently with producers (the -race fan-out gate). Every
+// subscriber must observe the identical gap-free merged stream.
+func TestRouterBroadcastFanoutSmoke(t *testing.T) {
+	wcfg := workload.DefaultSynthetic()
+	wcfg.NumWorkers, wcfg.NumTasks = 300, 300
+	in, err := wcfg.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(Config{
+		Matcher:      sim.MatcherConfig{Mode: sim.Strict, Velocity: in.Velocity, Bounds: in.Bounds},
+		Cols:         2,
+		Rows:         2,
+		NewAlgorithm: func() sim.Algorithm { return &greedyAlg{} },
+		Broadcast:    128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nsubs = 8
+	stop := make(chan struct{})
+	streams := make([][]Event, nsubs)
+	var consumers sync.WaitGroup
+	for i := 0; i < nsubs; i++ {
+		sub := r.Subscribe(0)
+		defer sub.Close()
+		consumers.Add(1)
+		go func(i int, sub *EventSub) {
+			defer consumers.Done()
+			streams[i] = consumeSub(t, r, sub, 64+7*i, stop)
+		}(i, sub)
+	}
+
+	events := in.Events()
+	var wg sync.WaitGroup
+	const producers = 4
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(events); i += producers {
+				ev := events[i]
+				switch ev.Kind {
+				case model.WorkerArrival:
+					if _, _, err := r.AddWorker(in.Workers[ev.Index]); err != nil {
+						t.Error(err)
+						return
+					}
+				case model.TaskArrival:
+					if _, _, err := r.AddTask(in.Tasks[ev.Index]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.Finish()
+	close(stop)
+	consumers.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	want, next, err := r.Events(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range streams {
+		requireDense(t, got, 0, next)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("subscriber %d stream diverges from merge", i)
+		}
+	}
+	if n := r.BroadcastStats().Subscribers; n != nsubs {
+		t.Fatalf("Subscribers = %d, want %d", n, nsubs)
+	}
+}
+
+// TestRouterBroadcastWaitWake: Wait is event-driven — it wakes promptly
+// on publish, times out when idle, and an unobserved or quiescent router
+// does zero broadcast work (no publishes, no wakeups).
+func TestRouterBroadcastWaitWake(t *testing.T) {
+	r, err := NewRouter(testConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addPair := func(at float64) {
+		t.Helper()
+		if _, _, err := r.AddWorker(model.Worker{Loc: geo.Pt(10, 10), Arrive: at, Patience: 100}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.AddTask(model.Task{Loc: geo.Pt(10, 11), Release: at, Expiry: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Unobserved: emissions with zero subscribers never touch the ring.
+	addPair(0)
+	if st := r.BroadcastStats(); st.Published != 0 || st.Depth != 0 {
+		t.Fatalf("unobserved router did broadcast work: %+v", st)
+	}
+
+	sub := r.Subscribe(r.Cursor())
+	defer sub.Close()
+
+	// Idle: Wait times out, no spurious wakeups.
+	if sub.Wait(20*time.Millisecond, nil) {
+		t.Fatal("Wait reported events on an idle stream")
+	}
+	// Quiescent ticks (no due deadlines) publish nothing.
+	for i := 1; i <= 5; i++ {
+		r.Advance(float64(i))
+	}
+	if st := r.BroadcastStats(); st.Published != 0 || st.Wakeups != 0 {
+		t.Fatalf("quiescent ticks did broadcast work: %+v", st)
+	}
+
+	// Hot: a blocked Wait wakes on the next emission.
+	woke := make(chan bool, 1)
+	go func() { woke <- sub.Wait(5*time.Second, nil) }()
+	time.Sleep(10 * time.Millisecond) // let it block (fast path also passes)
+	addPair(6)
+	select {
+	case ok := <-woke:
+		if !ok {
+			t.Fatal("Wait returned false on publish")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on publish")
+	}
+	evs, _, err := sub.Next(0, nil)
+	if err != nil || len(evs) != 1 || evs[0].Kind != sim.EventMatch {
+		t.Fatalf("post-wake Next = %v err %v, want the one match", evs, err)
+	}
+	if st := r.BroadcastStats(); st.Published != 1 {
+		t.Fatalf("Published = %d, want 1", st.Published)
+	}
+
+	// Close wakes a blocked waiter.
+	done := make(chan bool, 1)
+	go func() { done <- sub.Wait(5*time.Second, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on Close")
+	}
+	if n := r.BroadcastStats().Subscribers; n != 0 {
+		t.Fatalf("Subscribers = %d after Close, want 0", n)
+	}
+}

@@ -27,9 +27,11 @@
 package shard
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -97,6 +99,13 @@ type Config struct {
 	// sim.RetirableAlgorithm (all of this repo's algorithms do); NewRouter
 	// rejects the config otherwise. Zero disables retirement.
 	RetireInterval float64
+	// Broadcast sizes the shared event ring that Subscribe readers are
+	// served from (see broadcast.go): the number of most recent events a
+	// subscriber can lag behind the live head before its reads fall back
+	// to the merge-on-read path. Zero means DefaultBroadcastCapacity.
+	// The ring is a delivery accelerator only — it never affects which
+	// events a subscriber observes, just how cheaply.
+	Broadcast int
 	// WAL, when non-nil, makes the router durable: every shard records its
 	// admissions, withdrawals, arbitration outcomes and event sequencing to
 	// an append-only per-shard log under WAL.Dir (see walhook.go), and
@@ -236,6 +245,10 @@ type Router struct {
 
 	seq  atomic.Uint64 // next sequence number to assign
 	gids atomic.Uint64 // next mirror-group id (halo.go)
+	// bcast is the shared event ring behind Subscribe: collectLocked
+	// publishes each sequenced batch into it so subscriber fan-out costs
+	// O(events) instead of one merge-on-read per subscriber per poll.
+	bcast *broadcast
 	// evicted is the retention boundary: every event with Seq below it
 	// MAY have been dropped from its shard log.
 	evicted atomic.Uint64
@@ -330,6 +343,9 @@ func newRouterShell(cfg Config) (*Router, error) {
 	if cfg.Halo < 0 {
 		return nil, fmt.Errorf("shard: negative halo %v", cfg.Halo)
 	}
+	if cfg.Broadcast < 0 {
+		return nil, fmt.Errorf("shard: negative broadcast capacity %d", cfg.Broadcast)
+	}
 	// Validate the base config before geo.NewGrid sees the bounds:
 	// degenerate bounds (zero-area, inverted) must surface as the same
 	// clean error a plain Matcher would return, not a grid panic.
@@ -340,6 +356,7 @@ func newRouterShell(cfg Config) (*Router, error) {
 		mode:    cfg.Matcher.Mode,
 		haloOn:  cfg.Halo > 0,
 		onEvent: cfg.OnEvent,
+		bcast:   newBroadcast(cfg.Broadcast),
 		cfg:     cfg,
 	}, nil
 }
@@ -771,6 +788,7 @@ func (si *shardInstance) collectLocked(r *Router) {
 	if len(si.scratch) == 0 {
 		return
 	}
+	logged := len(si.log)
 	for _, ev := range si.scratch {
 		sev := Event{Shard: si.id, SessionEvent: ev, WorkerShard: -1, TaskShard: -1}
 		switch ev.Kind {
@@ -828,6 +846,14 @@ func (si *shardInstance) collectLocked(r *Router) {
 		}
 	}
 	si.sess.CompactEvents()
+	// Publish the batch into the shared broadcast ring before retention
+	// can touch it: the ring is fed once, here, at emission — subscriber
+	// fan-out never re-merges the logs. With no subscribers this is one
+	// atomic load. During WAL replay no subscriber can exist yet (the
+	// router is still under construction), so replayed batches skip too.
+	if batch := si.log[logged:]; len(batch) > 0 {
+		r.bcast.publish(batch)
+	}
 	if drop := retainDrop(len(si.log), si.retention); drop > 0 {
 		boundary := si.log[drop-1].Seq + 1
 		n := copy(si.log, si.log[drop:])
@@ -978,6 +1004,7 @@ func (r *Router) EventsLimit(since uint64, limit int, dst []Event) ([]Event, uin
 		return dst, hi, nil
 	}
 	start := len(dst)
+	dst = growEvents(dst, limit)
 	dst, capped := r.gather(r.state(), since, hi, limit, dst)
 	// Re-check after the walk: a concurrent eviction during it may have
 	// dropped not-yet-visited events at or above since, leaving a gap.
@@ -1002,6 +1029,7 @@ func (r *Router) EventsFromOldest(limit int, dst []Event) ([]Event, uint64) {
 		return dst, hi
 	}
 	start := len(dst)
+	dst = growEvents(dst, limit)
 	dst, capped := r.gather(r.state(), since, hi, limit, dst)
 	if e := r.evicted.Load(); e > since {
 		// Eviction raced the walk: events below the new boundary may be
@@ -1051,13 +1079,25 @@ func (r *Router) gather(ts *topoState, since, hi uint64, limit int, dst []Event)
 	return dst, capped
 }
 
+// growEvents pre-sizes dst for limit more events so the common
+// one-page gather appends without reallocating; unlimited reads keep
+// append's own growth.
+func growEvents(dst []Event, limit int) []Event {
+	if limit <= 0 || cap(dst)-len(dst) >= limit {
+		return dst
+	}
+	grown := make([]Event, len(dst), len(dst)+limit)
+	copy(grown, dst)
+	return grown
+}
+
 // page sorts the gathered tail by Seq, truncates it to limit, and
 // computes the resume cursor: the hi snapshot when the page is complete,
 // or one past the last returned event when any truncation (per-shard or
 // merged) may have hidden events below hi.
 func page(since, hi uint64, limit int, dst []Event, start int, capped bool) ([]Event, uint64) {
 	tail := dst[start:]
-	sort.Slice(tail, func(a, b int) bool { return tail[a].Seq < tail[b].Seq })
+	slices.SortFunc(tail, func(a, b Event) int { return cmp.Compare(a.Seq, b.Seq) })
 	if limit > 0 && len(tail) > limit {
 		dst = dst[:start+limit]
 		tail = dst[start:]
